@@ -1,0 +1,55 @@
+"""Ablation bench: individual optimization passes (paper future work).
+
+Compiles one benchmark with O2-minus-one-pass pipelines and reports the
+cycle cost of dropping each transform, regenerating the data behind the
+design choices DESIGN.md calls out (which passes buy the O2 speedup).
+"""
+
+import pytest
+
+from repro.compiler import TARGETS, compile_custom
+from repro.gefin import run_golden
+from repro.microarch import CONFIGS
+from repro.workloads import get_workload
+
+from conftest import emit
+
+O2_PASSES = ["constfold", "copyprop", "cse", "licm", "strength",
+             "addrfold", "dce", "simplify_cfg", "schedule"]
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    source = get_workload("dijkstra").source("micro")
+    config = CONFIGS["cortex-a15"]
+    target = TARGETS["armlet32"]
+
+    def cycles_for(passes):
+        result = compile_custom(source, passes, target)
+        return (run_golden(result.program, config).cycles,
+                result.text_size)
+
+    rows = {"full-O2-set": cycles_for(O2_PASSES)}
+    for dropped in O2_PASSES:
+        remaining = [p for p in O2_PASSES if p != dropped]
+        rows[f"minus-{dropped}"] = cycles_for(remaining)
+    return rows
+
+
+def test_ablation_pass_contributions(benchmark, ablation_rows) -> None:
+    def analyze():
+        base_cycles, _ = ablation_rows["full-O2-set"]
+        return {
+            tag: (cycles, cycles / base_cycles)
+            for tag, (cycles, _text) in ablation_rows.items()
+        }
+
+    data = benchmark(analyze)
+    lines = ["Ablation: dijkstra (micro), cortex-a15 cycles",
+             f"{'variant':22s} {'cycles':>8s} {'vs full O2':>11s}"]
+    for tag, (cycles, ratio) in data.items():
+        lines.append(f"{tag:22s} {cycles:8d} {ratio:10.3f}x")
+    emit("ablation_passes", "\n".join(lines))
+    # dropping any single pass never *helps* by more than noise
+    for tag, (_cycles, ratio) in data.items():
+        assert ratio >= 0.9, tag

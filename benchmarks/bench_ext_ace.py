@@ -1,0 +1,50 @@
+"""Extension bench: ACE analysis vs statistical fault injection.
+
+The paper dismisses ACE-style estimation as pessimistic (Section II-B,
+refs [11][23]); this bench quantifies that pessimism on our platform by
+comparing the occupancy-based ACE upper bound against SFI-measured AVF
+for representative structures.
+"""
+
+import pytest
+
+from repro.avf import ace_estimate
+from repro.gefin import run_campaign, run_golden
+from repro.microarch import CONFIGS
+from repro.workloads import build_program
+
+from conftest import emit
+
+FIELDS = ("rob.seq", "prf", "iq.src", "l1d.data")
+N = 12
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = build_program("qsort", "micro", "O1", "armlet32")
+    config = CONFIGS["cortex-a15"]
+    golden = run_golden(program, config, snapshot_every=1500)
+    return program, config, golden
+
+
+def test_ace_vs_sfi_pessimism(benchmark, setup) -> None:
+    program, config, golden = setup
+
+    def compare():
+        ace = ace_estimate(program, config, fields=FIELDS,
+                           sample_every=25)
+        sfi = {
+            field: run_campaign(program, config, field, n=N, seed=9,
+                                golden=golden).avf
+            for field in FIELDS
+        }
+        return ace, sfi
+
+    ace, sfi = benchmark.pedantic(compare, rounds=1, iterations=1)
+    lines = ["ACE upper bound vs SFI-measured AVF (qsort O1, A15)",
+             f"{'field':10s} {'ACE':>7s} {'SFI':>7s} {'gap':>7s}"]
+    for field in FIELDS:
+        gap = ace.estimates[field] - sfi[field]
+        lines.append(f"{field:10s} {ace.estimates[field]:7.3f} "
+                     f"{sfi[field]:7.3f} {gap:+7.3f}")
+    emit("ext_ace_vs_sfi", "\n".join(lines))

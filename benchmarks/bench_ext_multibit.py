@@ -1,0 +1,50 @@
+"""Extension bench: single-bit vs multi-bit upsets (paper ref. [39]).
+
+Runs matched campaigns with burst sizes 1, 2, and 4 against the physical
+register file and the L1D, reporting how the AVF grows with the blast
+radius -- the motivation for the authors' multi-bit follow-up study.
+"""
+
+import pytest
+
+from repro.gefin import run_campaign, run_golden
+from repro.microarch import CONFIGS
+from repro.workloads import build_program
+
+from conftest import emit
+
+N = 10
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = build_program("fft", "micro", "O2", "armlet32")
+    config = CONFIGS["cortex-a15"]
+    golden = run_golden(program, config, snapshot_every=1500)
+    return program, config, golden
+
+
+def test_multibit_blast_radius(benchmark, setup) -> None:
+    program, config, golden = setup
+
+    def campaign_matrix():
+        out = {}
+        for field in ("prf", "l1d.data"):
+            out[field] = {
+                burst: run_campaign(program, config, field, n=N, seed=6,
+                                    golden=golden, burst=burst).avf
+                for burst in (1, 2, 4)
+            }
+        return out
+
+    data = benchmark.pedantic(campaign_matrix, rounds=1, iterations=1)
+    lines = [f"Multi-bit upsets: fft (micro) O2, cortex-a15, n={N}",
+             f"{'field':10s} {'burst=1':>8s} {'burst=2':>8s} "
+             f"{'burst=4':>8s}"]
+    for field, row in data.items():
+        lines.append(f"{field:10s} {row[1]:8.3f} {row[2]:8.3f} "
+                     f"{row[4]:8.3f}")
+    emit("ext_multibit", "\n".join(lines))
+    for field, row in data.items():
+        # identical fault sites, wider bursts: AVF is monotone up to noise
+        assert row[4] >= row[1] - 1e-9, field

@@ -1,0 +1,60 @@
+"""Extension bench: selective-protection planning from measured AVFs.
+
+Uses the suite-weighted AVFs of the cached grid to answer the design
+question behind the paper's Section VII: which structures must be
+protected, and in what order, to remove 50% / 90% / 99% of the CPU's
+failure rate at O2?
+"""
+
+import pytest
+
+from repro.avf import fit_contributions, plan_protection
+from repro.experiments import weighted_field_avf
+from repro.microarch import CONFIGS
+
+from conftest import emit
+
+TARGETS = (0.5, 0.9, 0.99)
+
+
+@pytest.fixture(scope="module")
+def wavfs(full_grid):
+    return {
+        core: {
+            field: weighted_field_avf(full_grid, core, field, "O2")
+            for field in full_grid.spec.fields
+        }
+        for core in full_grid.spec.cores
+    }
+
+
+def test_protection_plans(benchmark, full_grid, wavfs) -> None:
+    def plans():
+        out = {}
+        for core, avfs in wavfs.items():
+            config = CONFIGS[core]
+            out[core] = {
+                target: plan_protection(config, avfs, target)
+                for target in TARGETS
+            }
+        return out
+
+    data = benchmark(plans)
+    lines = ["Selective protection at O2 (suite-weighted AVFs)"]
+    for core, by_target in data.items():
+        config = CONFIGS[core]
+        top = list(fit_contributions(config, wavfs[core]))[:3]
+        lines.append(f"\n{core}: top FIT contributors: {', '.join(top)}")
+        for target, plan in by_target.items():
+            lines.append(
+                f"  target {target:.0%}: protect {len(plan.protected)} "
+                f"fields ({plan.protected_bits} bits) -> residual FIT "
+                f"{plan.residual_fit:.3f} of {plan.baseline_fit:.3f} "
+                f"({plan.fit_reduction:.0%} removed)")
+            lines.append(f"    order: {', '.join(plan.protected[:6])}"
+                         + (" ..." if len(plan.protected) > 6 else ""))
+    emit("ext_protection", "\n".join(lines))
+    for by_target in data.values():
+        for target, plan in by_target.items():
+            assert plan.fit_reduction >= target - 1e-9 or \
+                plan.residual_fit == 0.0

@@ -1,0 +1,20 @@
+"""Fig. 1: relative performance of O0-O3 per benchmark, both cores.
+
+Paper shape: O1 captures most of the speedup; O3 is marginally worse
+than O1/O2 for most benchmarks; the relative ordering is the same on
+both microarchitectures.
+"""
+
+from repro.experiments import fig1_performance, render_fig1
+
+from conftest import emit
+
+
+def test_fig1_relative_performance(benchmark, goldens_ready) -> None:
+    data = benchmark(fig1_performance, goldens_ready)
+    emit("fig01_performance", render_fig1(data))
+    for core, rows in data.items():
+        for bench, levels in rows.items():
+            assert levels["O0"] == 1.0
+            # optimization never slows a benchmark below O0
+            assert all(v >= 0.95 for v in levels.values()), (core, bench)

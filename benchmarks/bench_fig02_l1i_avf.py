@@ -1,0 +1,27 @@
+"""Fig. 2: L1I AVF (Data + Tag fields), stacked by fault class.
+
+Paper shape: Crash is the dominant failure class for the L1I in every
+benchmark and level (instruction/immediate corruption).
+"""
+
+from repro.experiments import FIGURE_FIELDS, avf_figure, render_avf_figure
+
+from conftest import emit
+
+
+def test_fig2_l1i_avf(benchmark, full_grid) -> None:
+    fields = FIGURE_FIELDS[2]
+    data = benchmark(avf_figure, full_grid, fields)
+    emit("fig02_l1i_avf",
+         render_avf_figure(data, 2, "L1 Instruction Cache"))
+
+    # Crash should dominate the aggregated (wAVF) failure mix
+    for core in data:
+        for field in data[core]:
+            wavf = data[core][field]["wAVF"]
+            crash = sum(classes.get("crash_process", 0)
+                        + classes.get("crash_system", 0)
+                        for classes in wavf.values())
+            sdc = sum(classes.get("sdc", 0) for classes in wavf.values())
+            if crash + sdc > 0:
+                assert crash >= sdc * 0.5, (core, field)

@@ -1,0 +1,24 @@
+"""Fig. 3: L1D AVF (Data + Tag fields), stacked by fault class.
+
+Paper shape: SDC is the dominant failure class (faults corrupt the
+application's data words).
+"""
+
+from repro.experiments import FIGURE_FIELDS, avf_figure, render_avf_figure
+
+from conftest import emit
+
+
+def test_fig3_l1d_avf(benchmark, full_grid) -> None:
+    fields = FIGURE_FIELDS[3]
+    data = benchmark(avf_figure, full_grid, fields)
+    emit("fig03_l1d_avf",
+         render_avf_figure(data, 3, "L1 Data Cache"))
+
+    for core in data:
+        wavf = data[core]["l1d.data"]["wAVF"]
+        sdc = sum(classes.get("sdc", 0) for classes in wavf.values())
+        others = sum(sum(v for c, v in classes.items() if c != "sdc")
+                     for classes in wavf.values())
+        if sdc + others > 0:
+            assert sdc >= others * 0.5, core

@@ -1,0 +1,21 @@
+"""Fig. 4: L2 AVF (Data + Tag fields), stacked by fault class.
+
+Paper shape: SDC-dominated like the L1D; absolute AVF small (the
+array is huge relative to any workload footprint).
+"""
+
+from repro.experiments import FIGURE_FIELDS, avf_figure, render_avf_figure
+
+from conftest import emit
+
+
+def test_fig4_l2_avf(benchmark, full_grid) -> None:
+    fields = FIGURE_FIELDS[4]
+    data = benchmark(avf_figure, full_grid, fields)
+    emit("fig04_l2_avf",
+         render_avf_figure(data, 4, "L2 Cache"))
+
+    for core in data:
+        for field in data[core]:
+            for classes in data[core][field]["wAVF"].values():
+                assert sum(classes.values()) <= 0.5, (core, field)

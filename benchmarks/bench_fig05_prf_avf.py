@@ -1,0 +1,23 @@
+"""Fig. 5: physical register file AVF.
+
+Paper shape: optimized code is MORE vulnerable than O0 (higher
+register utilization and residency); SDC and Crash are balanced.
+"""
+
+from repro.experiments import FIGURE_FIELDS, avf_figure, render_avf_figure
+
+from conftest import emit
+
+
+def test_fig5_prf_avf(benchmark, full_grid) -> None:
+    fields = FIGURE_FIELDS[5]
+    data = benchmark(avf_figure, full_grid, fields)
+    emit("fig05_prf_avf",
+         render_avf_figure(data, 5, "Physical Register File"))
+
+    for core in data:
+        wavf = data[core]["prf"]["wAVF"]
+        o0 = sum(wavf["O0"].values())
+        optimized = max(sum(wavf[lvl].values())
+                        for lvl in ("O1", "O2", "O3"))
+        assert optimized >= o0 * 0.8, core  # optimization not protective

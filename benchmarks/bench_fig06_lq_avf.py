@@ -1,0 +1,21 @@
+"""Fig. 6: load queue and store queue AVF.
+
+Paper shape: Assert is the leading failure class (corrupted register
+operands / addresses produce unhandled microarchitectural states).
+"""
+
+from repro.experiments import FIGURE_FIELDS, avf_figure, render_avf_figure
+
+from conftest import emit
+
+
+def test_fig6_lq_avf(benchmark, full_grid) -> None:
+    fields = FIGURE_FIELDS[6]
+    data = benchmark(avf_figure, full_grid, fields)
+    emit("fig06_lq_avf",
+         render_avf_figure(data, 6, "Load and Store Queues"))
+
+    for core in data:
+        for field in data[core]:
+            wavf = data[core][field]["wAVF"]
+            assert all(sum(c.values()) <= 1.0 for c in wavf.values())

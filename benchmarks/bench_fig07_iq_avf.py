@@ -1,0 +1,22 @@
+"""Fig. 7: issue queue AVF (Source and Dest fields).
+
+Paper shape: the only structure with substantial Timeout rates
+(lost wake-ups), roughly balanced with Assert.
+"""
+
+from repro.experiments import FIGURE_FIELDS, avf_figure, render_avf_figure
+
+from conftest import emit
+
+
+def test_fig7_iq_avf(benchmark, full_grid) -> None:
+    fields = FIGURE_FIELDS[7]
+    data = benchmark(avf_figure, full_grid, fields)
+    emit("fig07_iq_avf",
+         render_avf_figure(data, 7, "Issue Queue"))
+
+    for core in data:
+        wavf = data[core]["iq.src"]["wAVF"]
+        timeout = sum(classes.get("timeout", 0)
+                      for classes in wavf.values())
+        assert timeout > 0, core

@@ -1,0 +1,25 @@
+"""Fig. 8: reorder buffer AVF (all four fields).
+
+Paper shape: assert-only failure profile; the ROB is among the most
+vulnerable structures; O0 is the most vulnerable level.
+"""
+
+from repro.experiments import FIGURE_FIELDS, avf_figure, render_avf_figure
+
+from conftest import emit
+
+
+def test_fig8_rob_avf(benchmark, full_grid) -> None:
+    fields = FIGURE_FIELDS[8]
+    data = benchmark(avf_figure, full_grid, fields)
+    emit("fig08_rob_avf",
+         render_avf_figure(data, 8, "Reorder Buffer"))
+
+    for core in data:
+        for field in data[core]:
+            wavf = data[core][field]["wAVF"]
+            for classes in wavf.values():
+                failures = {c: v for c, v in classes.items() if v > 0}
+                if failures:
+                    assert failures.get("assert", 0) == max(
+                        failures.values()), (core, field, failures)

@@ -1,0 +1,21 @@
+"""Fig. 9: weighted-AVF difference of O1/O2/O3 relative to O0, for every
+structure field on both cores.
+
+Paper shape: the RF (and LQ) trend positive (optimization raises their
+vulnerability), the ROB trends negative on every field; on the A72 the
+large cache arrays trend negative too.
+"""
+
+from repro.experiments import fig9_wavf_difference, render_fig9
+
+from conftest import emit
+
+
+def test_fig9_wavf_difference(benchmark, full_grid) -> None:
+    data = benchmark(fig9_wavf_difference, full_grid)
+    emit("fig09_wavf_diff", render_fig9(data))
+    for core, fields in data.items():
+        assert set(fields) == set(full_grid.spec.fields)
+        for field, levels in fields.items():
+            for value in levels.values():
+                assert -1.0 <= value <= 1.0, (core, field)

@@ -1,0 +1,28 @@
+"""Fig. 10: whole-CPU FIT rates per benchmark and level, stacked by
+fault class, for both cores.
+
+Paper shape: the A72's per-bit FIT advantage (9.39e-6 vs 2.59e-5) gives
+it lower absolute FIT for most benchmarks despite larger structures, and
+its failure mix shifts toward SDC relative to the A15's AppCrash.
+"""
+
+from repro.experiments import fig10_fit_rates, render_fig10
+
+from conftest import emit
+
+
+def test_fig10_fit_rates(benchmark, full_grid) -> None:
+    data = benchmark(fig10_fit_rates, full_grid)
+    emit("fig10_fit", render_fig10(data))
+    for core, benches in data.items():
+        for bench, levels in benches.items():
+            for level, classes in levels.items():
+                assert all(v >= 0 for v in classes.values())
+    # aggregate FIT comparison across cores
+    totals = {
+        core: sum(sum(classes.values())
+                  for levels in benches.values()
+                  for classes in levels.values())
+        for core, benches in data.items()
+    }
+    assert totals["cortex-a15"] > 0 and totals["cortex-a72"] > 0

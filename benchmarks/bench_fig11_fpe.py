@@ -1,0 +1,26 @@
+"""Fig. 11: Failures per Execution normalized to O0.
+
+Paper shape: optimized levels land below 1.0 for most benchmarks -- the
+speedup pays back the vulnerability increase -- with O3 showing the worst
+trade-off among the optimizing levels.
+"""
+
+from repro.experiments import fig11_fpe, render_fig11
+
+from conftest import emit
+
+
+def test_fig11_fpe(benchmark, full_grid) -> None:
+    data = benchmark(fig11_fpe, full_grid)
+    emit("fig11_fpe", render_fig11(data))
+    below_one = 0
+    total = 0
+    for core, benches in data.items():
+        for bench, levels in benches.items():
+            assert levels["O0"] == 1.0
+            for level in ("O1", "O2", "O3"):
+                total += 1
+                if levels[level] < 1.0:
+                    below_one += 1
+    # the paper's headline: optimization usually wins on FPE
+    assert below_one >= total // 2, (below_one, total)

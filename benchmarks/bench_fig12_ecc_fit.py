@@ -1,0 +1,22 @@
+"""Fig. 12: whole-CPU FIT per optimization level under three protection
+configurations (no ECC, ECC on L1D+L2, ECC on L2 only), both cores.
+
+Paper shape: protecting the caches removes most of the FIT budget (they
+hold ~90-95% of the bits); with ECC on, the pipeline structures dominate
+and O2 becomes the consistently robust level.
+"""
+
+from repro.experiments import fig12_ecc_fit, render_fig12
+
+from conftest import emit
+
+
+def test_fig12_ecc_fit(benchmark, full_grid) -> None:
+    data = benchmark(fig12_ecc_fit, full_grid)
+    emit("fig12_ecc_fit", render_fig12(data))
+    for core, schemes in data.items():
+        for level in full_grid.spec.levels:
+            no_ecc = schemes["no-ecc"][level]
+            l2 = schemes["ecc-l2"][level]
+            full = schemes["ecc-l1d-l2"][level]
+            assert no_ecc >= l2 >= full >= 0, (core, level)

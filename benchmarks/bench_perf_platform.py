@@ -1,0 +1,58 @@
+"""Platform performance benchmarks: compiler and simulator throughput.
+
+Not a paper figure -- these track the reproduction platform itself, so
+regressions in simulation speed (which bounds campaign sizes) are
+caught. pytest-benchmark statistics are meaningful here, unlike the
+figure benches which are one-shot analyses.
+"""
+
+import pytest
+
+from repro.compiler import ARMLET32, compile_source
+from repro.microarch import CORTEX_A15, CORTEX_A72, Simulator
+from repro.workloads import get_workload
+
+SOURCE = get_workload("qsort").source("micro")
+
+
+def test_compile_o2_throughput(benchmark) -> None:
+    program = benchmark(compile_source, SOURCE, "O2", ARMLET32)
+    assert len(program.text) > 50
+
+
+def test_compile_o0_throughput(benchmark) -> None:
+    program = benchmark(compile_source, SOURCE, "O0", ARMLET32)
+    assert len(program.text) > 50
+
+
+@pytest.mark.parametrize("core", [CORTEX_A15, CORTEX_A72],
+                         ids=lambda c: c.name)
+def test_simulator_cycles_per_second(benchmark, core) -> None:
+    target = "armlet32" if core.xlen == 32 else "armlet64"
+    from repro.workloads import build_program
+
+    program = build_program("qsort", "micro", "O2", target)
+
+    def run_1k_cycles():
+        sim = Simulator(program, core)
+        sim.run_until(1000)
+        return sim.cycle
+
+    cycles = benchmark(run_1k_cycles)
+    assert cycles >= 1000
+
+
+def test_snapshot_save_restore_cost(benchmark) -> None:
+    from repro.workloads import build_program
+
+    program = build_program("qsort", "micro", "O2", "armlet32")
+    sim = Simulator(program, CORTEX_A15)
+    sim.run_until(1000)
+
+    def roundtrip():
+        blob = sim.save_state()
+        sim.load_state(blob)
+        return len(blob)
+
+    size = benchmark(roundtrip)
+    assert size > 1000

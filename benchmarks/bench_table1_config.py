@@ -1,0 +1,11 @@
+"""Table I: microprocessor configurations of the two simulated cores."""
+
+from repro.experiments import render_table1, table1_configurations
+
+from conftest import emit
+
+
+def test_table1_configurations(benchmark) -> None:
+    data = benchmark(table1_configurations)
+    assert set(data) == {"cortex-a15", "cortex-a72"}
+    emit("table1_config", render_table1(data))

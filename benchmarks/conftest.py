@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Every bench consumes the shared campaign grid. With a warm cache
+(``python -m repro.experiments.run_grid``) the benches are fast analysis
+passes over cached JSON; with a cold cache the first bench to need a cell
+runs its injections inline (slow but correct, and incremental).
+
+Each bench renders its figure's rows to stdout and to
+``benchmarks/output/<name>.txt`` so the regenerated series are captured
+as artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import CampaignGrid, GridSpec
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+os.environ.setdefault("REPRO_CACHE_DIR",
+                      str(_REPO_ROOT / ".repro_cache"))
+
+
+@pytest.fixture(scope="session")
+def grid() -> CampaignGrid:
+    return CampaignGrid(GridSpec.from_env())
+
+
+@pytest.fixture(scope="session")
+def full_grid(grid: CampaignGrid) -> CampaignGrid:
+    """The grid with every campaign cell materialized."""
+    grid.ensure_all()
+    return grid
+
+
+@pytest.fixture(scope="session")
+def goldens_ready(grid: CampaignGrid) -> CampaignGrid:
+    """The grid with golden cycle counts available (no injections)."""
+    for core in grid.spec.cores:
+        for bench in grid.spec.benchmarks:
+            for level in grid.spec.levels:
+                grid.golden_cycles(core, bench, level)
+    return grid
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered figure and persist it as an artifact."""
+    print(f"\n{text}\n")
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    (_OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

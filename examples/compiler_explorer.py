@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compiler explorer: see what each optimization level does to a kernel.
+
+Compiles a small dot-product kernel at O0-O3, prints the post-
+optimization IR and generated armlet assembly side by side with static
+and dynamic statistics -- the compiler-side mechanics behind the paper's
+vulnerability differences (register residency up, memory traffic down,
+code size up at O3).
+"""
+
+from repro.compiler import ARMLET32, compile_module
+from repro.kernel import MainMemory, load, run_functional
+
+SOURCE = """
+int a[64];
+int b[64];
+
+int dot(int* x, int* y, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += x[i] * y[i]; }
+    return s;
+}
+
+int main() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = i * 3 + 1;
+        b[i] = 64 - i;
+    }
+    putint(dot(a, b, 64));
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("source kernel: 64-element dot product\n")
+    rows = []
+    for level in ("O0", "O1", "O2", "O3"):
+        result = compile_module(SOURCE, level, ARMLET32)
+        memory = MainMemory(4 * 1024 * 1024)
+        run = run_functional(load(result.program, memory), memory)
+        mem_ops = run.mix["mem"]
+        rows.append((level, result.text_size, run.instructions, mem_ops,
+                     run.mix["branch"], run.mix["mul"]))
+        if level in ("O0", "O2"):
+            print(f"--- {level}: IR of dot() "
+                  f"{'(unoptimized)' if level == 'O0' else ''} ---")
+            print(result.module.functions.get("dot",
+                  next(iter(result.module.functions.values()))).dump())
+            print()
+
+    print("level  text  dyn-instr  mem-ops  branches  muls")
+    for level, text, instr, mem, branches, muls in rows:
+        print(f"{level:5s}  {text:4d}  {instr:9d}  {mem:7d}  "
+              f"{branches:8d}  {muls:4d}")
+    print("\nNote the O0 memory traffic (stack-homed locals) vs O1+, and "
+          "the O3 text growth (inlining + unrolling) -- these drive the "
+          "L1D/RF/ROB vulnerability contrasts in the study.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Per-optimization ablation (the paper's stated future work).
+
+The paper closes by proposing to characterize how *individual*
+optimizations (not whole O-levels) move each structure's vulnerability.
+This example does exactly that for the dot-product-style gsm kernel:
+single-pass pipelines and O2-minus-one-pass pipelines, measuring
+execution cycles plus ROB and RF vulnerability for each variant.
+"""
+
+from repro.compiler import TARGETS, compile_custom
+from repro.gefin import run_campaign, run_golden
+from repro.microarch import CONFIGS
+from repro.workloads import get_workload
+
+CORE = "cortex-a15"
+N = 12
+O2_PASSES = ["constfold", "copyprop", "cse", "licm", "strength",
+             "addrfold", "dce", "simplify_cfg", "schedule"]
+
+
+def measure(tag: str, passes: list[str], source: str) -> None:
+    config = CONFIGS[CORE]
+    target = TARGETS["armlet32"]
+    result = compile_custom(source, passes, target, name=f"abl-{tag}")
+    golden = run_golden(result.program, config)
+    rob = run_campaign(result.program, config, "rob.flags", n=N, seed=2,
+                       golden=golden)
+    prf = run_campaign(result.program, config, "prf", n=N, seed=2,
+                       golden=golden)
+    print(f"{tag:22s} text={result.text_size:4d} "
+          f"cycles={golden.cycles:6d} "
+          f"AVF(rob.flags)={rob.avf:.3f} AVF(prf)={prf.avf:.3f}")
+
+
+def main() -> None:
+    source = get_workload("gsm").source("micro")
+    print(f"gsm (micro) on {CORE}; n={N} faults per structure\n")
+    measure("no passes (O0-like)", [], source)
+    for name in ("constfold", "cse", "licm", "strength", "schedule"):
+        measure(f"only {name}", [name], source)
+    measure("full O2 set", O2_PASSES, source)
+    for dropped in ("licm", "strength", "schedule"):
+        passes = [p for p in O2_PASSES if p != dropped]
+        measure(f"O2 minus {dropped}", passes, source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro: soft-error vulnerability characterization of out-of-order CPUs.
+
+A from-scratch reproduction of "Characterizing Soft Error Vulnerability of
+CPUs Across Compiler Optimizations and Microarchitectures" (IISWC 2021):
+a MinC->armlet optimizing compiler (O0-O3), a cycle-driven out-of-order
+microarchitecture simulator with Cortex-A15/A72-class configurations, a
+GeFIN-style statistical fault-injection framework, and AVF/FIT/FPE
+analytics over eight MiBench-analog workloads.
+
+Quickstart::
+
+    from repro import compile_workload, build_simulator, run_campaign
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"
+
+from .api import (
+    build_simulator,
+    compile_workload,
+    golden_run,
+    run_campaign,
+)
+
+__all__ = [
+    "build_simulator",
+    "compile_workload",
+    "golden_run",
+    "run_campaign",
+    "__version__",
+]

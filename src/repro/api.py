@@ -1,0 +1,58 @@
+"""High-level convenience API tying the toolchain together.
+
+    from repro import compile_workload, build_simulator, golden_run, \\
+        run_campaign
+
+    program = compile_workload("sha", opt_level="O2", core="cortex-a72")
+    golden = golden_run(program, core="cortex-a72")
+    result = run_campaign(program, "rob.pc", n=100, core="cortex-a72",
+                          golden=golden)
+"""
+
+from __future__ import annotations
+
+from .gefin import CampaignResult, GoldenRun
+from .gefin import run_campaign as _run_campaign
+from .gefin import run_golden as _run_golden
+from .isa.program import Program
+from .microarch import CONFIGS, Simulator
+from .workloads import build_program
+
+_CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
+
+
+def _config(core: str):
+    try:
+        return CONFIGS[core]
+    except KeyError:
+        raise ValueError(
+            f"unknown core {core!r}; available {sorted(CONFIGS)}") from None
+
+
+def compile_workload(name: str, opt_level: str = "O2",
+                     core: str = "cortex-a15",
+                     scale: str = "micro") -> Program:
+    """Compile one of the eight benchmarks for ``core``."""
+    _config(core)
+    return build_program(name, scale, opt_level, _CORE_TO_TARGET[core])
+
+
+def build_simulator(program: Program, core: str = "cortex-a15") -> Simulator:
+    """Boot a full-system simulator around ``program``."""
+    return Simulator(program, _config(core))
+
+
+def golden_run(program: Program, core: str = "cortex-a15",
+               snapshot_every: int | None = None) -> GoldenRun:
+    """Fault-free reference run (optionally checkpointed)."""
+    return _run_golden(program, _config(core),
+                       snapshot_every=snapshot_every)
+
+
+def run_campaign(program: Program, field: str, n: int,
+                 core: str = "cortex-a15", seed: int = 0,
+                 mode: str = "occupancy",
+                 golden: GoldenRun | None = None) -> CampaignResult:
+    """Statistical fault-injection campaign against one structure field."""
+    return _run_campaign(program, _config(core), field, n, seed=seed,
+                         mode=mode, golden=golden)

@@ -1,0 +1,55 @@
+"""AVF analytics: weighted AVF (eq. 1), FIT (eq. 2), FPE (eq. 3), ECC,
+and an ACE-style analytic estimator for pessimism comparisons."""
+
+from .ace import AceResult, ace_estimate
+from .ads import ads, ads_ranking, normalized_ads
+from .protection import (
+    ProtectionPlan,
+    fit_contributions,
+    plan_protection,
+)
+from .fit import (
+    ECC_L1D_L2,
+    ECC_L2_ONLY,
+    ECC_NONE,
+    ECC_SCHEMES,
+    ECCScheme,
+    cpu_fit,
+    cpu_fit_by_class,
+    field_bit_counts,
+    structure_fit,
+)
+from .fpe import (
+    DEFAULT_CLOCK_HZ,
+    execution_hours,
+    failures_per_execution,
+    normalized_fpe,
+)
+from .weighted import BenchmarkAVF, weighted_avf, weighted_class_avf
+
+__all__ = [
+    "AceResult",
+    "BenchmarkAVF",
+    "ace_estimate",
+    "ads",
+    "ads_ranking",
+    "normalized_ads",
+    "ProtectionPlan",
+    "fit_contributions",
+    "plan_protection",
+    "DEFAULT_CLOCK_HZ",
+    "ECCScheme",
+    "ECC_L1D_L2",
+    "ECC_L2_ONLY",
+    "ECC_NONE",
+    "ECC_SCHEMES",
+    "cpu_fit",
+    "cpu_fit_by_class",
+    "execution_hours",
+    "failures_per_execution",
+    "field_bit_counts",
+    "normalized_fpe",
+    "structure_fit",
+    "weighted_avf",
+    "weighted_class_avf",
+]

@@ -1,0 +1,90 @@
+"""ACE-style analytic AVF estimation (the paper's foil, Section II-B).
+
+Mukherjee et al.'s ACE analysis estimates AVF as the fraction of
+bit-cycles holding *Architecturally Correct Execution* state. Without
+fine-grained un-ACE reasoning, every live bit counts as ACE, making the
+estimate a (often very pessimistic) upper bound -- exactly the criticism
+the paper levels at ACE-based studies ([11], [23]) and the reason it
+uses statistical fault injection instead.
+
+We reproduce that comparison honestly: :func:`ace_estimate` samples each
+structure field's *live* bit occupancy over a fault-free run,
+
+    AVF_ACE(field) = mean_t(live_bits(field, t)) / total_bits(field),
+
+which the benchmarks contrast against the SFI-measured AVF. The expected
+relation (checked by the test suite) is ``AVF_ACE >= AVF_SFI`` for
+structures whose live state is frequently dead-on-arrival (caches, ROB
+metadata never consulted again), with the gap quantifying architectural
+masking that ACE analysis cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from ..kernel.syscalls import ProgramExit
+from ..microarch.config import CoreConfig
+from ..microarch.simulator import Simulator
+
+
+@dataclass
+class AceResult:
+    """Occupancy-based AVF upper bounds for one program."""
+
+    config_name: str
+    program_name: str
+    cycles: int
+    samples: int
+    estimates: dict[str, float] = dataclass_field(default_factory=dict)
+    mean_live_bits: dict[str, float] = dataclass_field(
+        default_factory=dict)
+
+    def pessimism_vs(self, sfi_avf: dict[str, float]) -> dict[str, float]:
+        """ACE estimate minus the SFI-measured AVF, per field."""
+        return {
+            name: self.estimates[name] - sfi_avf[name]
+            for name in self.estimates if name in sfi_avf
+        }
+
+
+def ace_estimate(program, config: CoreConfig,
+                 fields: tuple[str, ...] | None = None,
+                 sample_every: int = 25,
+                 max_cycles: int = 50_000_000) -> AceResult:
+    """Run fault-free and sample live-bit occupancy per structure field."""
+    if sample_every < 1:
+        raise ValueError("sample_every must be >= 1")
+    sim = Simulator(program, config)
+    if fields is None:
+        fields = tuple(sim.fault_fields())
+    totals = {name: sim.bit_count(name) for name in fields}
+    live_sums = {name: 0 for name in fields}
+    samples = 0
+    try:
+        while sim.cycle < max_cycles:
+            target = sim.cycle + sample_every
+            while sim.cycle < target:
+                sim.step()
+            for name in fields:
+                live_sums[name] += sim.catalog.live_bit_count(name)
+            samples += 1
+    except ProgramExit:
+        pass
+    if samples == 0:  # program shorter than one sampling interval
+        for name in fields:
+            live_sums[name] = sim.catalog.live_bit_count(name)
+        samples = 1
+    return AceResult(
+        config_name=config.name,
+        program_name=program.name,
+        cycles=sim.cycle,
+        samples=samples,
+        estimates={
+            name: (live_sums[name] / samples) / totals[name]
+            for name in fields
+        },
+        mean_live_bits={
+            name: live_sums[name] / samples for name in fields
+        },
+    )

@@ -1,0 +1,46 @@
+"""AVF-delay-square product (ADS), after Jones et al. [11].
+
+The paper's related work (Section II-B) discusses evaluating compiler
+optimizations by minimizing ADS = AVF x delay^2, a metric that weights
+reliability against (squared) execution time -- a harsher performance
+weighting than the paper's own FPE. We provide it for cross-comparison:
+rankings under ADS vs FPE quantify how much the conclusion depends on
+the chosen trade-off metric.
+"""
+
+from __future__ import annotations
+
+
+def ads(avf: float, delay: float) -> float:
+    """AVF-delay-square product for one configuration."""
+    if not 0 <= avf <= 1:
+        raise ValueError(f"AVF must be in [0, 1], got {avf}")
+    if delay <= 0:
+        raise ValueError("delay must be positive")
+    return avf * delay * delay
+
+
+def ads_ranking(avf_by_level: dict[str, float],
+                cycles_by_level: dict[str, int]) -> list[str]:
+    """Optimization levels sorted best-first under ADS."""
+    if set(avf_by_level) != set(cycles_by_level):
+        raise ValueError("AVF and cycle maps must cover the same levels")
+    return sorted(avf_by_level,
+                  key=lambda lvl: ads(avf_by_level[lvl],
+                                      float(cycles_by_level[lvl])))
+
+
+def normalized_ads(avf_by_level: dict[str, float],
+                   cycles_by_level: dict[str, int],
+                   baseline: str = "O0") -> dict[str, float]:
+    """ADS of each level normalized to ``baseline``."""
+    if baseline not in avf_by_level:
+        raise ValueError(f"baseline {baseline!r} missing")
+    base = ads(avf_by_level[baseline], float(cycles_by_level[baseline]))
+    if base == 0:
+        raise ValueError("baseline ADS is zero; cannot normalize")
+    return {
+        level: ads(avf_by_level[level],
+                   float(cycles_by_level[level])) / base
+        for level in avf_by_level
+    }

@@ -1,0 +1,92 @@
+"""Failures-in-Time computation (paper equation 2) and ECC protection.
+
+    FIT(structure) = FIT_bit x bits(structure) x AVF(structure)
+
+The whole-CPU FIT is the sum over structures; ECC-protected structures
+contribute zero (SECDED corrects every single-bit upset, and this study's
+fault model is single-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..microarch.config import CoreConfig
+from ..microarch.queues import ARCH_FIELD_BITS, NUM_FLAGS, PC_FIELD_BITS
+
+
+def field_bit_counts(config: CoreConfig) -> dict[str, int]:
+    """Storage bits of every injectable field of ``config``.
+
+    Must agree exactly with the live simulator's fault catalog; the test
+    suite asserts this invariant.
+    """
+    tag = config.phys_tag_bits
+    xlen = config.xlen
+    counts: dict[str, int] = {}
+    for cache in (config.l1i, config.l1d, config.l2):
+        counts[f"{cache.name}.data"] = cache.data_bits
+        counts[f"{cache.name}.tag"] = (
+            cache.num_lines * cache.tag_bits(config.phys_addr_bits))
+    counts["prf"] = config.phys_regs * xlen
+    counts["lq"] = config.lq_entries * (xlen + tag)
+    counts["sq"] = config.sq_entries * 2 * xlen
+    counts["iq.src"] = config.iq_entries * 2 * (tag + 1)
+    counts["iq.dst"] = config.iq_entries * tag
+    counts["rob.pc"] = config.rob_entries * PC_FIELD_BITS
+    counts["rob.dest"] = config.rob_entries * (ARCH_FIELD_BITS + 2 * tag)
+    counts["rob.flags"] = config.rob_entries * NUM_FLAGS
+    counts["rob.seq"] = config.rob_entries * config.seq_bits
+    return counts
+
+
+@dataclass(frozen=True)
+class ECCScheme:
+    """A protection configuration: fields whose faults are corrected."""
+
+    name: str
+    protected_fields: frozenset[str]
+
+    def protects(self, field: str) -> bool:
+        return field in self.protected_fields
+
+
+ECC_NONE = ECCScheme("no-ecc", frozenset())
+ECC_L1D_L2 = ECCScheme(
+    "ecc-l1d-l2",
+    frozenset({"l1d.data", "l1d.tag", "l2.data", "l2.tag"}))
+ECC_L2_ONLY = ECCScheme("ecc-l2", frozenset({"l2.data", "l2.tag"}))
+
+ECC_SCHEMES = (ECC_NONE, ECC_L1D_L2, ECC_L2_ONLY)
+
+
+def structure_fit(config: CoreConfig, field: str, avf: float) -> float:
+    """Equation (2) for one structure field."""
+    bits = field_bit_counts(config)[field]
+    return config.raw_fit_per_bit * bits * avf
+
+
+def cpu_fit(config: CoreConfig, field_avfs: dict[str, float],
+            ecc: ECCScheme = ECC_NONE) -> float:
+    """Whole-CPU FIT: the sum over unprotected structure fields."""
+    total = 0.0
+    for field, avf in field_avfs.items():
+        if ecc.protects(field):
+            continue
+        total += structure_fit(config, field, avf)
+    return total
+
+
+def cpu_fit_by_class(config: CoreConfig,
+                     field_class_avfs: dict[str, dict[str, float]],
+                     ecc: ECCScheme = ECC_NONE) -> dict[str, float]:
+    """Whole-CPU FIT decomposed by fault class (for Fig. 10's stacks)."""
+    bits = field_bit_counts(config)
+    totals: dict[str, float] = {}
+    for field, by_class in field_class_avfs.items():
+        if ecc.protects(field):
+            continue
+        scale = config.raw_fit_per_bit * bits[field]
+        for cls, avf in by_class.items():
+            totals[cls] = totals.get(cls, 0.0) + scale * avf
+    return totals

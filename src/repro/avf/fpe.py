@@ -1,0 +1,46 @@
+"""Failures per Execution (paper equation 3).
+
+    FPE = FIT x ExecutionTime / 1e9
+
+FPE is the probability-scale expected failure count over one complete
+program execution: it rewards optimization levels whose speedup outweighs
+their vulnerability increase. The paper reports FPE normalized to O0, so
+the clock frequency cancels; we still expose it as a parameter.
+"""
+
+from __future__ import annotations
+
+HOURS_PER_SECOND = 1.0 / 3600.0
+DEFAULT_CLOCK_HZ = 1.0e9
+
+
+def execution_hours(cycles: int, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Wall-clock hours of a run of ``cycles`` at ``clock_hz``."""
+    if cycles < 0 or clock_hz <= 0:
+        raise ValueError("cycles must be >= 0 and clock_hz positive")
+    return cycles / clock_hz * HOURS_PER_SECOND
+
+
+def failures_per_execution(fit: float, cycles: int,
+                           clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Equation (3): expected failures during one program execution."""
+    return fit * execution_hours(cycles, clock_hz) / 1.0e9
+
+
+def normalized_fpe(fit_by_level: dict[str, float],
+                   cycles_by_level: dict[str, int],
+                   baseline: str = "O0",
+                   clock_hz: float = DEFAULT_CLOCK_HZ) -> dict[str, float]:
+    """FPE of every optimization level normalized to ``baseline``."""
+    if baseline not in fit_by_level or baseline not in cycles_by_level:
+        raise ValueError(f"baseline {baseline!r} missing from inputs")
+    base = failures_per_execution(fit_by_level[baseline],
+                                  cycles_by_level[baseline], clock_hz)
+    if base == 0:
+        raise ValueError("baseline FPE is zero; cannot normalize")
+    return {
+        level: failures_per_execution(fit_by_level[level],
+                                      cycles_by_level[level],
+                                      clock_hz) / base
+        for level in fit_by_level
+    }

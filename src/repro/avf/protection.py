@@ -1,0 +1,87 @@
+"""Selective-protection exploration.
+
+Section VII of the paper examines fixed protection configurations (ECC
+on L1D+L2, ECC on L2 only). Real designs choose *which* structures to
+protect under an area/energy budget; this module turns the measured AVFs
+into that decision: rank structures by FIT contribution and greedily
+build the smallest protection set reaching a target FIT reduction.
+
+The cost model is deliberately simple -- protecting a field costs its
+bit count (ECC area scales with protected bits) -- and can be replaced
+by passing explicit per-field costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..microarch.config import CoreConfig
+from .fit import field_bit_counts, structure_fit
+
+
+@dataclass(frozen=True)
+class ProtectionPlan:
+    """Result of a selective-protection search."""
+
+    protected: tuple[str, ...]
+    baseline_fit: float
+    residual_fit: float
+    protected_bits: int
+
+    @property
+    def fit_reduction(self) -> float:
+        if self.baseline_fit == 0:
+            return 0.0
+        return 1.0 - self.residual_fit / self.baseline_fit
+
+
+def fit_contributions(config: CoreConfig,
+                      field_avfs: dict[str, float]) -> dict[str, float]:
+    """Per-field FIT contribution, descending-sorted."""
+    contributions = {
+        field: structure_fit(config, field, avf)
+        for field, avf in field_avfs.items()
+    }
+    return dict(sorted(contributions.items(), key=lambda kv: -kv[1]))
+
+
+def plan_protection(config: CoreConfig, field_avfs: dict[str, float],
+                    target_reduction: float,
+                    costs: dict[str, int] | None = None) -> ProtectionPlan:
+    """Smallest-cost greedy protection set reaching ``target_reduction``.
+
+    Greedy by FIT-per-cost ratio; with the default bit-count costs this
+    protects the structures with the highest vulnerability density
+    first. ``target_reduction`` is a fraction of the unprotected FIT
+    (e.g. 0.9 = remove 90% of the failure rate).
+    """
+    if not 0 < target_reduction <= 1:
+        raise ValueError("target_reduction must be in (0, 1]")
+    if costs is None:
+        costs = field_bit_counts(config)
+    contributions = fit_contributions(config, field_avfs)
+    baseline = sum(contributions.values())
+    if baseline == 0:
+        return ProtectionPlan((), 0.0, 0.0, 0)
+
+    ranked = sorted(
+        (field for field in contributions),
+        key=lambda f: (contributions[f] / max(1, costs.get(f, 1))),
+        reverse=True)
+    protected: list[str] = []
+    removed = 0.0
+    bits = 0
+    for field in ranked:
+        if removed / baseline >= target_reduction:
+            break
+        if contributions[field] == 0:
+            break
+        protected.append(field)
+        removed += contributions[field]
+        bits += costs.get(field, 0)
+    return ProtectionPlan(
+        protected=tuple(protected),
+        baseline_fit=baseline,
+        residual_fit=baseline - removed,
+        protected_bits=bits,
+    )

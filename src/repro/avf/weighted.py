@@ -1,0 +1,56 @@
+"""Execution-time-weighted AVF aggregation (paper equation 1).
+
+Different benchmarks run for very different times, so the per-component
+AVF reported across a workload suite weights each benchmark's AVF by its
+execution time:
+
+    wAVF(c) = sum_k AVF_k(c) * t_k / sum_k t_k
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchmarkAVF:
+    """One benchmark's AVF sample for some component."""
+
+    benchmark: str
+    avf: float
+    execution_time: float
+
+    def __post_init__(self) -> None:
+        if self.execution_time <= 0:
+            raise ValueError("execution time must be positive")
+        if not 0 <= self.avf <= 1:
+            raise ValueError(f"AVF must be within [0, 1], got {self.avf}")
+
+
+def weighted_avf(samples: list[BenchmarkAVF]) -> float:
+    """Equation (1): execution-time-weighted mean AVF."""
+    if not samples:
+        raise ValueError("weighted AVF of an empty sample set")
+    total_time = sum(s.execution_time for s in samples)
+    return sum(s.avf * s.execution_time for s in samples) / total_time
+
+
+def weighted_class_avf(samples: dict[str, tuple[dict[str, float], float]],
+                       ) -> dict[str, float]:
+    """Weighted per-fault-class AVF.
+
+    ``samples`` maps benchmark -> (avf_by_class, execution_time); the
+    result maps fault class -> weighted AVF contribution, so the sum over
+    classes equals the weighted total AVF.
+    """
+    if not samples:
+        raise ValueError("weighted AVF of an empty sample set")
+    total_time = sum(t for _, t in samples.values())
+    classes: set[str] = set()
+    for avf_by_class, _ in samples.values():
+        classes.update(avf_by_class)
+    return {
+        cls: sum(avf_by_class.get(cls, 0.0) * t
+                 for avf_by_class, t in samples.values()) / total_time
+        for cls in sorted(classes)
+    }

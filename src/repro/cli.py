@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+========  ==========================================================
+command   what it does
+========  ==========================================================
+compile   compile a benchmark (or a MinC file) and print stats/listing
+run       fault-free simulation with cycle counts and instruction mix
+inject    statistical fault-injection campaign against one field
+ace       ACE-style analytic AVF estimate for comparison with SFI
+fields    list the injectable structure fields and their bit counts
+grid      populate the full campaign grid (same as experiments.run_grid)
+report    regenerate EXPERIMENTS.md from the cached grid
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .avf import ace_estimate
+from .compiler import TARGETS, compile_source
+from .gefin import run_campaign, run_golden
+from .microarch import CONFIGS, Simulator
+from .workloads import BENCHMARKS, build_program
+
+_CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
+
+
+def _load_program(args):
+    core = CONFIGS[args.core]
+    if args.program in BENCHMARKS:
+        program = build_program(args.program, args.scale, args.opt,
+                                _CORE_TO_TARGET[args.core])
+    else:
+        path = Path(args.program)
+        if not path.exists():
+            raise SystemExit(
+                f"{args.program!r} is neither a benchmark "
+                f"({', '.join(BENCHMARKS)}) nor a MinC file")
+        program = compile_source(
+            path.read_text(), args.opt,
+            TARGETS[_CORE_TO_TARGET[args.core]], name=path.stem)
+    return program, core
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program",
+                        help="benchmark name or path to a MinC source file")
+    parser.add_argument("--core", default="cortex-a15",
+                        choices=sorted(CONFIGS))
+    parser.add_argument("--opt", default="O2",
+                        choices=["O0", "O1", "O2", "O3"])
+    parser.add_argument("--scale", default="micro",
+                        choices=["micro", "small", "large"])
+
+
+def cmd_compile(args) -> int:
+    program, _core = _load_program(args)
+    print(f"{program.name}: {len(program.text)} instructions, "
+          f"{len(program.data)} data bytes, entry at #{program.entry}")
+    if args.listing:
+        print(program.listing())
+    return 0
+
+
+def cmd_run(args) -> int:
+    program, core = _load_program(args)
+    result = Simulator(program, core).run(args.max_cycles)
+    print(f"cycles: {result.cycles}")
+    for key in ("committed", "ipc", "loads", "stores", "branches",
+                "mispredicts", "syscalls"):
+        value = result.stats.get(key)
+        if value is not None:
+            print(f"{key}: {value:.3f}" if isinstance(value, float)
+                  else f"{key}: {value}")
+    print(f"exit code: {result.exit_code}")
+    sys.stdout.write(f"output:\n{result.output.data.decode(errors='replace')}")
+    return 0
+
+
+def cmd_inject(args) -> int:
+    program, core = _load_program(args)
+    golden = run_golden(program, core,
+                        snapshot_every=None if args.no_snapshots else 2000)
+    print(f"golden: {golden.cycles} cycles")
+    result = run_campaign(program, core, args.field, args.n,
+                          seed=args.seed, mode=args.mode, golden=golden,
+                          burst=args.burst)
+    print(f"AVF({args.field}) = {result.avf:.4f} "
+          f"(+/- {result.margin():.4f} at 99% confidence, n={result.n})")
+    for cls, avf in sorted(result.avf_by_class.items()):
+        if avf:
+            print(f"  {cls:14s} {avf:.4f}  ({result.counts[cls]} runs)")
+    print(f"  masked         {result.counts['masked']} runs")
+    return 0
+
+
+def cmd_ace(args) -> int:
+    program, core = _load_program(args)
+    result = ace_estimate(program, core, sample_every=args.sample_every)
+    print(f"{result.cycles} cycles, {result.samples} occupancy samples")
+    for name, estimate in sorted(result.estimates.items()):
+        print(f"  {name:10s} ACE-AVF upper bound {estimate:.4f}")
+    return 0
+
+
+def cmd_fields(args) -> int:
+    program, core = _load_program(args)
+    sim = Simulator(program, core)
+    total = 0
+    for name in sim.fault_fields():
+        bits = sim.bit_count(name)
+        total += bits
+        print(f"  {name:10s} {bits:>10d} bits")
+    print(f"  {'total':10s} {total:>10d} bits")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile and show stats")
+    _add_common(p)
+    p.add_argument("--listing", action="store_true")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="fault-free simulation")
+    _add_common(p)
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("inject", help="fault-injection campaign")
+    _add_common(p)
+    p.add_argument("--field", default="rob.flags")
+    p.add_argument("-n", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mode", default="occupancy",
+                   choices=["occupancy", "uniform"])
+    p.add_argument("--burst", type=int, default=1,
+                   help="adjacent bits per fault (multi-bit upsets)")
+    p.add_argument("--no-snapshots", action="store_true")
+    p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser("ace", help="ACE-style analytic AVF estimate")
+    _add_common(p)
+    p.add_argument("--sample-every", type=int, default=25)
+    p.set_defaults(func=cmd_ace)
+
+    p = sub.add_parser("fields", help="list injectable fields")
+    _add_common(p)
+    p.set_defaults(func=cmd_fields)
+
+    p = sub.add_parser("grid", help="populate the campaign grid")
+    p.set_defaults(func=lambda args: _run_grid())
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    p.set_defaults(func=_run_report)
+
+    return parser
+
+
+def _run_grid() -> int:
+    from .experiments.run_grid import main
+
+    return main()
+
+
+def _run_report(args) -> int:
+    from .experiments.report import generate
+    from .experiments import CampaignGrid, GridSpec
+
+    grid = CampaignGrid(GridSpec.from_env())
+    Path(args.output).write_text(generate(grid))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The MinC -> armlet optimizing compiler.
+
+Public entry points: :func:`~repro.compiler.driver.compile_source` /
+:func:`~repro.compiler.driver.compile_module` with targets
+:data:`~repro.compiler.driver.ARMLET32` (Cortex-A15 analogue) and
+:data:`~repro.compiler.driver.ARMLET64` (Cortex-A72 analogue), and
+optimization levels ``O0``-``O3`` (see :mod:`repro.compiler.pipeline`).
+"""
+
+from . import analysis, ir
+from .driver import (
+    ARMLET32,
+    ARMLET64,
+    TARGETS,
+    CompileResult,
+    Target,
+    compile_custom,
+    compile_module,
+    compile_source,
+)
+from .pipeline import (
+    OPT_LEVELS,
+    PASS_REGISTRY,
+    normalize_level,
+    optimize_custom,
+)
+
+__all__ = [
+    "ARMLET32",
+    "ARMLET64",
+    "CompileResult",
+    "OPT_LEVELS",
+    "PASS_REGISTRY",
+    "TARGETS",
+    "Target",
+    "analysis",
+    "compile_custom",
+    "compile_module",
+    "compile_source",
+    "ir",
+    "normalize_level",
+    "optimize_custom",
+]

@@ -1,0 +1,176 @@
+"""CFG analyses shared by the optimization passes and register allocator:
+reachability, dominators, liveness, and natural-loop discovery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ir
+
+
+def reachable_blocks(func: ir.Function) -> set[str]:
+    """Names of blocks reachable from the entry block."""
+    if not func.blocks:
+        return set()
+    blocks = func.block_map()
+    seen: set[str] = set()
+    stack = [func.blocks[0].name]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        term = blocks[name].terminator
+        assert term is not None
+        stack.extend(s for s in term.successors() if s not in seen)
+    return seen
+
+
+def postorder(func: ir.Function) -> list[str]:
+    """Blocks in CFG postorder (entry last)."""
+    blocks = func.block_map()
+    visited: set[str] = set()
+    order: list[str] = []
+
+    entry = func.blocks[0].name
+    stack: list[tuple[str, int]] = [(entry, 0)]
+    visited.add(entry)
+    while stack:
+        name, index = stack[-1]
+        succs = blocks[name].terminator.successors()  # type: ignore
+        if index < len(succs):
+            stack[-1] = (name, index + 1)
+            succ = succs[index]
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, 0))
+        else:
+            order.append(name)
+            stack.pop()
+    return order
+
+
+def dominators(func: ir.Function) -> dict[str, set[str]]:
+    """Classic iterative dominator sets over reachable blocks."""
+    reachable = reachable_blocks(func)
+    preds = {name: [p for p in plist if p in reachable]
+             for name, plist in func.predecessors().items()
+             if name in reachable}
+    entry = func.blocks[0].name
+    dom: dict[str, set[str]] = {name: set(reachable) for name in reachable}
+    dom[entry] = {entry}
+    rpo = [b for b in reversed(postorder(func))]
+    changed = True
+    while changed:
+        changed = False
+        for name in rpo:
+            if name == entry:
+                continue
+            pred_doms = [dom[p] for p in preds[name]]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new.add(name)
+            if new != dom[name]:
+                dom[name] = new
+                changed = True
+    return dom
+
+
+@dataclass
+class Loop:
+    """A natural loop: ``header`` plus the set of ``body`` block names
+    (header included) and the latch blocks that branch back to it."""
+
+    header: str
+    body: set[str]
+    latches: list[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+def find_loops(func: ir.Function) -> list[Loop]:
+    """Discover natural loops via back edges (tail dominated by head).
+
+    Loops sharing a header are merged. Results are sorted innermost-first
+    (smaller body first), which is the order unrolling and LICM want.
+    """
+    dom = dominators(func)
+    blocks = func.block_map()
+    loops: dict[str, Loop] = {}
+    preds = func.predecessors()
+    for name in dom:  # reachable blocks only
+        term = blocks[name].terminator
+        assert term is not None
+        for succ in term.successors():
+            if succ in dom.get(name, ()):  # back edge name -> succ
+                loop = loops.setdefault(succ, Loop(succ, {succ}))
+                loop.latches.append(name)
+                # collect the natural loop body
+                stack = [name]
+                while stack:
+                    node = stack.pop()
+                    if node in loop.body:
+                        continue
+                    loop.body.add(node)
+                    stack.extend(p for p in preds[node]
+                                 if p not in loop.body)
+    return sorted(loops.values(), key=lambda lp: lp.size)
+
+
+def block_defs_uses(block: ir.Block) -> tuple[set[ir.VReg], set[ir.VReg]]:
+    """(defs, upward-exposed uses) of a block, for liveness seeding."""
+    defs: set[ir.VReg] = set()
+    uses: set[ir.VReg] = set()
+    for instr in block.instrs:
+        for value in instr.uses():
+            if isinstance(value, ir.VReg) and value not in defs:
+                uses.add(value)
+        dst = instr.defs()
+        if dst is not None:
+            defs.add(dst)
+    assert block.terminator is not None
+    for value in block.terminator.uses():
+        if isinstance(value, ir.VReg) and value not in defs:
+            uses.add(value)
+    return defs, uses
+
+
+def liveness(func: ir.Function) -> tuple[dict[str, set[ir.VReg]],
+                                         dict[str, set[ir.VReg]]]:
+    """Backward dataflow liveness: returns (live_in, live_out) per block."""
+    blocks = func.block_map()
+    defs: dict[str, set[ir.VReg]] = {}
+    uses: dict[str, set[ir.VReg]] = {}
+    for block in func.blocks:
+        defs[block.name], uses[block.name] = block_defs_uses(block)
+    live_in = {b.name: set(uses[b.name]) for b in func.blocks}
+    live_out: dict[str, set[ir.VReg]] = {b.name: set() for b in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            term = block.terminator
+            assert term is not None
+            out: set[ir.VReg] = set()
+            for succ in term.successors():
+                out |= live_in[succ]
+            if out != live_out[block.name]:
+                live_out[block.name] = out
+                changed = True
+            new_in = uses[block.name] | (out - defs[block.name])
+            if new_in != live_in[block.name]:
+                live_in[block.name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def single_def_vregs(func: ir.Function) -> set[ir.VReg]:
+    """Vregs defined exactly once in the whole function (params excluded:
+    they are defined at entry, so a body definition makes them multi-def)."""
+    counts: dict[ir.VReg, int] = {p: 1 for p in func.params}
+    for instr in func.instructions():
+        dst = instr.defs()
+        if dst is not None:
+            counts[dst] = counts.get(dst, 0) + 1
+    return {reg for reg, count in counts.items() if count == 1}

@@ -1,0 +1,473 @@
+"""armlet code generation from allocated IR.
+
+One :class:`ProgramBuilder` assembles a whole module: a ``_start`` stub
+(``bl main; svc 0``), then each function. Branch targets are symbolic
+until :meth:`ProgramBuilder.finalize` patches displacement fields.
+
+The generator has two personalities driven by the allocation mode:
+
+* **stack mode (O0)** -- every operand is reloaded from its frame home
+  into a scratch register before use and every result is stored back,
+  faithfully mimicking ``-O0`` output;
+* **linear mode (O1+)** -- operands live in allocated registers, spilled
+  values round-trip through the reserved scratch registers t4-t6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompileError
+from ..isa import registers
+from ..isa.assembler import expand_li
+from ..isa.instructions import Instruction, Opcode
+from ..isa.program import Program
+from . import ir
+from .regalloc import SCRATCH, Allocation
+
+_IMM_MIN, _IMM_MAX = -(1 << 15), (1 << 15) - 1
+
+_RR_OPCODE = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "div": Opcode.DIV, "rem": Opcode.REM, "and": Opcode.AND,
+    "or": Opcode.ORR, "xor": Opcode.EOR, "shl": Opcode.LSL,
+    "lshr": Opcode.LSR, "ashr": Opcode.ASR, "slt": Opcode.SLT,
+    "sltu": Opcode.SLTU,
+}
+
+_IMM_OPCODE = {
+    "add": Opcode.ADDI, "and": Opcode.ANDI, "or": Opcode.ORI,
+    "xor": Opcode.EORI, "shl": Opcode.LSLI, "lshr": Opcode.LSRI,
+    "ashr": Opcode.ASRI, "slt": Opcode.SLTI,
+}
+
+# condition -> (opcode, swap_operands)
+_COND_BRANCH = {
+    "eq": (Opcode.BEQ, False), "ne": (Opcode.BNE, False),
+    "lt": (Opcode.BLT, False), "ge": (Opcode.BGE, False),
+    "ltu": (Opcode.BLTU, False), "geu": (Opcode.BGEU, False),
+    "le": (Opcode.BGE, True), "gt": (Opcode.BLT, True),
+    "leu": (Opcode.BGEU, True), "gtu": (Opcode.BLTU, True),
+}
+
+
+def _fits_imm(value: int) -> bool:
+    return _IMM_MIN <= value <= _IMM_MAX
+
+
+@dataclass
+class _PendingBranch:
+    opcode: Opcode
+    rs1: int
+    rs2: int
+    label: str
+
+
+class ProgramBuilder:
+    """Accumulates instructions and symbolic branches for a module."""
+
+    def __init__(self, xlen: int, name: str) -> None:
+        self.xlen = xlen
+        self.word = xlen // 8
+        self.items: list[Instruction | _PendingBranch] = []
+        self.labels: dict[str, int] = {}
+        self.name = name
+
+    def here(self) -> int:
+        return len(self.items)
+
+    def label(self, name: str) -> None:
+        if name in self.labels:
+            raise CompileError(f"duplicate code label {name!r}")
+        self.labels[name] = len(self.items)
+
+    def emit(self, instr: Instruction) -> None:
+        self.items.append(instr)
+
+    def emit_branch(self, opcode: Opcode, label: str, rs1: int = 0,
+                    rs2: int = 0) -> None:
+        self.items.append(_PendingBranch(opcode, rs1, rs2, label))
+
+    def load_const(self, rd: int, value: int) -> None:
+        """Materialize ``value`` into ``rd`` with the shortest sequence."""
+        mask = (1 << self.xlen) - 1
+        value &= mask
+        signed = value - (1 << self.xlen) if value >> (self.xlen - 1) \
+            else value
+        if _fits_imm(signed):
+            self.emit(Instruction(Opcode.ADDI, rd=rd, rs1=registers.ZERO,
+                                  imm=signed))
+            return
+        for instr in expand_li(rd, value, self.xlen):
+            self.emit(instr)
+
+    def finalize(self, data: bytearray, data_symbols: dict[str, int],
+                 text_symbols: dict[str, int] | None = None) -> Program:
+        text: list[Instruction] = []
+        for index, item in enumerate(self.items):
+            if isinstance(item, _PendingBranch):
+                if item.label not in self.labels:
+                    raise CompileError(f"undefined label {item.label!r}")
+                displacement = self.labels[item.label] - index
+                text.append(Instruction(item.opcode, rs1=item.rs1,
+                                        rs2=item.rs2, imm=displacement))
+            else:
+                text.append(item)
+        symbols = dict(text_symbols or {})
+        symbols.update(self.labels)
+        return Program(text=text, data=data, text_symbols=symbols,
+                       data_symbols=dict(data_symbols),
+                       entry=self.labels.get("_start", 0), xlen=self.xlen,
+                       name=self.name)
+
+
+class FunctionCodegen:
+    """Emits armlet code for one IR function."""
+
+    def __init__(self, func: ir.Function, alloc: Allocation,
+                 builder: ProgramBuilder,
+                 data_offsets: dict[str, int]) -> None:
+        self.func = func
+        self.alloc = alloc
+        self.builder = builder
+        self.data_offsets = data_offsets
+        self.word = builder.word
+        self.save_lr = alloc.has_calls or alloc.mode == "stack"
+        self.save_fp = alloc.mode == "stack"
+        self._layout_frame()
+
+    # ---------------------------------------------------------------- frame
+
+    def _layout_frame(self) -> None:
+        word = self.word
+        offset = self.alloc.num_spill_slots * word
+        self.slot_offsets: dict[int, int] = {}
+        for slot in self.func.slots:
+            align = max(slot.align, 1)
+            offset = (offset + align - 1) // align * align
+            self.slot_offsets[slot.index] = offset
+            offset += slot.size_bytes
+        offset = (offset + word - 1) // word * word
+        saves = len(self.alloc.used_callee_saved)
+        saves += 1 if self.save_lr else 0
+        saves += 1 if self.save_fp else 0
+        self.save_base = offset
+        offset += saves * word
+        self.frame_size = (offset + 15) // 16 * 16
+
+    def _spill_offset(self, slot: int) -> int:
+        return slot * self.word
+
+    # -------------------------------------------------------------- operands
+
+    def _reg_of(self, vreg: ir.VReg) -> int | None:
+        return self.alloc.assignment.get(vreg)
+
+    def _value_into(self, value: ir.Value, scratch: int) -> int:
+        """Return a physical register holding ``value``.
+
+        Uses ``scratch`` when the value is a constant or spilled.
+        """
+        emit = self.builder.emit
+        if isinstance(value, ir.Const):
+            if value.value == 0:
+                return registers.ZERO
+            self.builder.load_const(scratch, value.value)
+            return scratch
+        reg = self._reg_of(value)
+        if reg is not None:
+            return reg
+        slot = self.alloc.spill_slots.get(value)
+        if slot is None:
+            # Value never defined on any path (dead code at O0); treat as 0.
+            return registers.ZERO
+        emit(Instruction(Opcode.LDR, rd=scratch, rs1=registers.SP,
+                         imm=self._spill_offset(slot)))
+        return scratch
+
+    def _dest_reg(self, vreg: ir.VReg) -> tuple[int, bool]:
+        """(register to compute into, needs_store_back)."""
+        reg = self._reg_of(vreg)
+        if reg is not None:
+            return reg, False
+        return SCRATCH[2], True
+
+    def _store_dest(self, vreg: ir.VReg, reg: int) -> None:
+        slot = self.alloc.spill_slots[vreg]
+        self.builder.emit(Instruction(Opcode.STR, rs2=reg, rs1=registers.SP,
+                                      imm=self._spill_offset(slot)))
+
+    def _move_into(self, dst_phys: int, value: ir.Value) -> None:
+        """Copy ``value`` into a specific physical register."""
+        if isinstance(value, ir.Const):
+            self.builder.load_const(dst_phys, value.value)
+            return
+        reg = self._reg_of(value)
+        if reg is not None:
+            if reg != dst_phys:
+                self.builder.emit(Instruction(Opcode.ADDI, rd=dst_phys,
+                                              rs1=reg, imm=0))
+            return
+        slot = self.alloc.spill_slots.get(value)
+        if slot is None:
+            self.builder.emit(Instruction(Opcode.ADDI, rd=dst_phys,
+                                          rs1=registers.ZERO, imm=0))
+            return
+        self.builder.emit(Instruction(Opcode.LDR, rd=dst_phys,
+                                      rs1=registers.SP,
+                                      imm=self._spill_offset(slot)))
+
+    # ------------------------------------------------------------ emission
+
+    def generate(self) -> None:
+        builder = self.builder
+        builder.label(self.func.name)
+        self._prologue()
+        order = [b.name for b in self.func.blocks]
+        next_of = {name: order[i + 1] if i + 1 < len(order) else None
+                   for i, name in enumerate(order)}
+        exit_label = f"{self.func.name}.$exit"
+        for block in self.func.blocks:
+            builder.label(self._block_label(block.name))
+            for instr in block.instrs:
+                self._gen_instr(instr)
+            self._gen_terminator(block, next_of[block.name], exit_label)
+        builder.label(exit_label)
+        self._epilogue()
+
+    def _block_label(self, name: str) -> str:
+        return f"{self.func.name}.{name}"
+
+    def _prologue(self) -> None:
+        emit = self.builder.emit
+        word = self.word
+        if self.frame_size:
+            emit(Instruction(Opcode.ADDI, rd=registers.SP, rs1=registers.SP,
+                             imm=-self.frame_size))
+        offset = self.save_base
+        if self.save_lr:
+            emit(Instruction(Opcode.STR, rs2=registers.LR, rs1=registers.SP,
+                             imm=offset))
+            offset += word
+        if self.save_fp:
+            emit(Instruction(Opcode.STR, rs2=registers.FP, rs1=registers.SP,
+                             imm=offset))
+            emit(Instruction(Opcode.ADDI, rd=registers.FP, rs1=registers.SP,
+                             imm=self.frame_size))
+            offset += word
+        for reg in self.alloc.used_callee_saved:
+            emit(Instruction(Opcode.STR, rs2=reg, rs1=registers.SP,
+                             imm=offset))
+            offset += word
+        for index, param in enumerate(self.func.params):
+            if index >= len(registers.ARG_REGS):
+                raise CompileError(
+                    f"{self.func.name}: more than "
+                    f"{len(registers.ARG_REGS)} parameters")
+            arg_reg = registers.ARG_REGS[index]
+            phys = self._reg_of(param)
+            if phys is not None:
+                if phys != arg_reg:
+                    emit(Instruction(Opcode.ADDI, rd=phys, rs1=arg_reg,
+                                     imm=0))
+            elif param in self.alloc.spill_slots:
+                emit(Instruction(Opcode.STR, rs2=arg_reg, rs1=registers.SP,
+                                 imm=self._spill_offset(
+                                     self.alloc.spill_slots[param])))
+
+    def _epilogue(self) -> None:
+        emit = self.builder.emit
+        word = self.word
+        offset = self.save_base
+        if self.save_lr:
+            emit(Instruction(Opcode.LDR, rd=registers.LR, rs1=registers.SP,
+                             imm=offset))
+            offset += word
+        if self.save_fp:
+            emit(Instruction(Opcode.LDR, rd=registers.FP, rs1=registers.SP,
+                             imm=offset))
+            offset += word
+        for reg in self.alloc.used_callee_saved:
+            emit(Instruction(Opcode.LDR, rd=reg, rs1=registers.SP,
+                             imm=offset))
+            offset += word
+        if self.frame_size:
+            emit(Instruction(Opcode.ADDI, rd=registers.SP, rs1=registers.SP,
+                             imm=self.frame_size))
+        emit(Instruction(Opcode.BR, rs1=registers.LR))
+
+    # ------------------------------------------------------- instructions
+
+    def _gen_instr(self, instr: ir.Instr) -> None:
+        if isinstance(instr, ir.BinOp):
+            self._gen_binop(instr)
+        elif isinstance(instr, ir.Move):
+            dst, store = self._dest_reg(instr.dst)
+            self._move_into(dst, instr.src)
+            if store:
+                self._store_dest(instr.dst, dst)
+        elif isinstance(instr, ir.Load):
+            self._gen_load(instr)
+        elif isinstance(instr, ir.Store):
+            self._gen_store(instr)
+        elif isinstance(instr, ir.La):
+            self._gen_la(instr)
+        elif isinstance(instr, ir.SlotAddr):
+            dst, store = self._dest_reg(instr.dst)
+            self.builder.emit(Instruction(
+                Opcode.ADDI, rd=dst, rs1=registers.SP,
+                imm=self.slot_offsets[instr.slot]))
+            if store:
+                self._store_dest(instr.dst, dst)
+        elif isinstance(instr, ir.Call):
+            self._gen_call(instr)
+        elif isinstance(instr, ir.Syscall):
+            self._move_into(registers.ARG_REGS[0], instr.arg)
+            self.builder.emit(Instruction(Opcode.SVC, imm=instr.number))
+        else:
+            raise CompileError(f"cannot generate {type(instr).__name__}")
+
+    def _gen_binop(self, instr: ir.BinOp) -> None:
+        emit = self.builder.emit
+        dst, store = self._dest_reg(instr.dst)
+        a, b, op = instr.a, instr.b, instr.op
+        if isinstance(b, ir.Const):
+            imm = b.value
+            if op in _IMM_OPCODE and _fits_imm(imm):
+                ra = self._value_into(a, SCRATCH[0])
+                emit(Instruction(_IMM_OPCODE[op], rd=dst, rs1=ra, imm=imm))
+                if store:
+                    self._store_dest(instr.dst, dst)
+                return
+            if op == "sub" and _fits_imm(-imm):
+                ra = self._value_into(a, SCRATCH[0])
+                emit(Instruction(Opcode.ADDI, rd=dst, rs1=ra, imm=-imm))
+                if store:
+                    self._store_dest(instr.dst, dst)
+                return
+        ra = self._value_into(a, SCRATCH[0])
+        rb = self._value_into(b, SCRATCH[1])
+        emit(Instruction(_RR_OPCODE[op], rd=dst, rs1=ra, rs2=rb))
+        if store:
+            self._store_dest(instr.dst, dst)
+
+    def _mem_operands(self, base: ir.Value, offset: int,
+                      base_scratch: int) -> tuple[int, int]:
+        """Resolve a (base reg, imm offset) pair that fits the encoding."""
+        reg = self._value_into(base, base_scratch)
+        if _fits_imm(offset):
+            return reg, offset
+        self.builder.load_const(SCRATCH[2], offset)
+        self.builder.emit(Instruction(Opcode.ADD, rd=base_scratch, rs1=reg,
+                                      rs2=SCRATCH[2]))
+        return base_scratch, 0
+
+    def _gen_load(self, instr: ir.Load) -> None:
+        dst, store = self._dest_reg(instr.dst)
+        base, offset = self._mem_operands(instr.base, instr.offset,
+                                          SCRATCH[0])
+        opcode = Opcode.LDRB if instr.size == "byte" else Opcode.LDR
+        self.builder.emit(Instruction(opcode, rd=dst, rs1=base, imm=offset))
+        if store:
+            self._store_dest(instr.dst, dst)
+
+    def _gen_store(self, instr: ir.Store) -> None:
+        src = self._value_into(instr.src, SCRATCH[0])
+        base, offset = self._mem_operands(instr.base, instr.offset,
+                                          SCRATCH[1])
+        opcode = Opcode.STRB if instr.size == "byte" else Opcode.STR
+        self.builder.emit(Instruction(opcode, rs2=src, rs1=base, imm=offset))
+
+    def _gen_la(self, instr: ir.La) -> None:
+        dst, store = self._dest_reg(instr.dst)
+        offset = self.data_offsets[instr.symbol]
+        if _fits_imm(offset):
+            self.builder.emit(Instruction(Opcode.ADDI, rd=dst,
+                                          rs1=registers.GP, imm=offset))
+        else:
+            self.builder.load_const(SCRATCH[2], offset)
+            self.builder.emit(Instruction(Opcode.ADD, rd=dst,
+                                          rs1=registers.GP,
+                                          rs2=SCRATCH[2]))
+        if store:
+            self._store_dest(instr.dst, dst)
+
+    def _gen_call(self, instr: ir.Call) -> None:
+        if len(instr.args) > len(registers.ARG_REGS):
+            raise CompileError(f"call to {instr.func}: too many arguments")
+        for index, arg in enumerate(instr.args):
+            self._move_into(registers.ARG_REGS[index], arg)
+        self.builder.emit_branch(Opcode.BL, instr.func)
+        if instr.dst is not None:
+            phys = self._reg_of(instr.dst)
+            if phys is not None:
+                if phys != registers.RETURN_REG:
+                    self.builder.emit(Instruction(
+                        Opcode.ADDI, rd=phys, rs1=registers.RETURN_REG,
+                        imm=0))
+            elif instr.dst in self.alloc.spill_slots:
+                self._store_dest(instr.dst, registers.RETURN_REG)
+
+    # -------------------------------------------------------- terminators
+
+    def _gen_terminator(self, block: ir.Block, next_name: str | None,
+                        exit_label: str) -> None:
+        term = block.terminator
+        builder = self.builder
+        if isinstance(term, ir.Jump):
+            if term.target != next_name:
+                builder.emit_branch(Opcode.B, self._block_label(term.target))
+            return
+        if isinstance(term, ir.CondJump):
+            opcode, swap = _COND_BRANCH[term.op]
+            a = self._value_into(term.a, SCRATCH[0])
+            b = self._value_into(term.b, SCRATCH[1])
+            if swap:
+                a, b = b, a
+            builder.emit_branch(opcode, self._block_label(term.if_true),
+                                rs1=a, rs2=b)
+            if term.if_false != next_name:
+                builder.emit_branch(Opcode.B,
+                                    self._block_label(term.if_false))
+            return
+        if isinstance(term, ir.Ret):
+            if term.value is not None:
+                self._move_into(registers.RETURN_REG, term.value)
+            if next_name is not None:
+                builder.emit_branch(Opcode.B, exit_label)
+            return
+        raise CompileError(f"bad terminator {term!r}")
+
+
+def layout_data(module: ir.Module) -> tuple[bytearray, dict[str, int]]:
+    """Pack global objects into the data segment; returns (bytes, offsets)."""
+    data = bytearray()
+    offsets: dict[str, int] = {}
+    for gobj in module.globals:
+        align = max(gobj.align, 1)
+        while len(data) % align:
+            data.append(0)
+        offsets[gobj.name] = len(data)
+        data.extend(gobj.init)
+        data.extend(b"\x00" * (gobj.size_bytes - len(gobj.init)))
+    return data, offsets
+
+
+def generate_program(module: ir.Module,
+                     allocations: dict[str, Allocation],
+                     opt_level: str) -> Program:
+    """Emit a complete linked :class:`Program` for ``module``."""
+    builder = ProgramBuilder(module.xlen, f"{module.name}.{opt_level}")
+    data, data_offsets = layout_data(module)
+
+    builder.label("_start")
+    builder.emit_branch(Opcode.BL, "main")
+    builder.emit(Instruction(Opcode.SVC, imm=0))
+
+    for name, func in module.functions.items():
+        FunctionCodegen(func, allocations[name], builder,
+                        data_offsets).generate()
+
+    symbols = {name: offset for name, offset in data_offsets.items()}
+    program = builder.finalize(data, symbols)
+    return program

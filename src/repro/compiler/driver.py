@@ -1,0 +1,97 @@
+"""Top-level compiler driver: MinC source -> linked armlet Program.
+
+    from repro.compiler import compile_source, ARMLET32
+    program = compile_source(source, opt_level="O2", target=ARMLET32)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.program import Program
+from ..lang import analyze, parse
+from . import codegen, ir, irbuilder, pipeline, regalloc
+
+
+@dataclass(frozen=True)
+class Target:
+    """A compilation target: the data width of the core family."""
+
+    name: str
+    xlen: int
+
+    @property
+    def word_size(self) -> int:
+        return self.xlen // 8
+
+
+ARMLET32 = Target("armlet32", 32)
+ARMLET64 = Target("armlet64", 64)
+
+TARGETS = {t.name: t for t in (ARMLET32, ARMLET64)}
+
+
+@dataclass
+class CompileResult:
+    """A compiled program plus the post-optimization IR for inspection."""
+
+    program: Program
+    module: ir.Module
+    opt_level: str
+    target: Target
+
+    @property
+    def text_size(self) -> int:
+        return len(self.program.text)
+
+
+def compile_module(source: str, opt_level: str | int,
+                   target: Target, name: str = "prog") -> CompileResult:
+    """Compile MinC ``source`` and keep the IR around."""
+    level = pipeline.normalize_level(opt_level)
+    module_ast = parse(source)
+    info = analyze(module_ast)
+    module = irbuilder.build_module(module_ast, info, target.word_size,
+                                    name=name)
+    pipeline.optimize(module, level)
+    allocations = {
+        fname: regalloc.allocate(func, level)
+        for fname, func in module.functions.items()
+    }
+    program = codegen.generate_program(module, allocations, level)
+    program.name = f"{name}.{level}.{target.name}"
+    return CompileResult(program=program, module=module, opt_level=level,
+                         target=target)
+
+
+def compile_source(source: str, opt_level: str | int = "O0",
+                   target: Target = ARMLET32,
+                   name: str = "prog") -> Program:
+    """Compile MinC ``source`` to a linked :class:`Program`."""
+    return compile_module(source, opt_level, target, name).program
+
+
+def compile_custom(source: str, pass_names: list[str],
+                   target: Target = ARMLET32, name: str = "prog",
+                   regalloc_mode: str = "O1") -> CompileResult:
+    """Compile with an explicit pass list (ablation studies).
+
+    ``regalloc_mode`` picks the allocator personality: ``"O0"`` for
+    stack-homed locals, anything else for linear scan. The result's
+    ``opt_level`` records the pass list for provenance.
+    """
+    module_ast = parse(source)
+    info = analyze(module_ast)
+    module = irbuilder.build_module(module_ast, info, target.word_size,
+                                    name=name)
+    pipeline.optimize_custom(module, pass_names)
+    level = "O0" if regalloc_mode == "O0" else "O1"
+    allocations = {
+        fname: regalloc.allocate(func, level)
+        for fname, func in module.functions.items()
+    }
+    tag = "+".join(pass_names) if pass_names else "none"
+    program = codegen.generate_program(module, allocations, level)
+    program.name = f"{name}.custom[{tag}].{target.name}"
+    return CompileResult(program=program, module=module,
+                         opt_level=f"custom[{tag}]", target=target)

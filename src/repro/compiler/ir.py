@@ -1,0 +1,434 @@
+"""Three-address intermediate representation with an explicit CFG.
+
+The IR is deliberately *not* SSA: virtual registers may be redefined, as
+in classic pre-SSA compilers. Optimization passes therefore use
+conservative dataflow reasoning (block-local value numbering, liveness,
+single-definition checks). This keeps the pass implementations honest and
+mirrors the era of compiler the study's O-level contrasts descend from.
+
+Instructions are mutable dataclasses; passes rewrite operands in place or
+rebuild instruction lists. Block terminators are separate from the body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Union
+
+
+@dataclass(frozen=True, slots=True)
+class VReg:
+    """A virtual register; ``hint`` is a debug name only."""
+
+    id: int
+    hint: str = ""
+
+    def __str__(self) -> str:
+        return f"%{self.id}{'.' + self.hint if self.hint else ''}"
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """An integer constant operand (already wrapped by the builder)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Value = Union[VReg, Const]
+
+BIN_OPS = frozenset({
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor",
+    "shl", "lshr", "ashr", "slt", "sltu",
+})
+
+COMMUTATIVE_OPS = frozenset({"add", "mul", "and", "or", "xor"})
+
+COND_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge",
+                      "ltu", "leu", "gtu", "geu"})
+
+NEGATED_COND = {
+    "eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "le": "gt",
+    "gt": "le", "ltu": "geu", "geu": "ltu", "leu": "gtu", "gtu": "leu",
+}
+
+SWAPPED_COND = {
+    "eq": "eq", "ne": "ne", "lt": "gt", "gt": "lt", "le": "ge",
+    "ge": "le", "ltu": "gtu", "gtu": "ltu", "leu": "geu", "geu": "leu",
+}
+
+
+# ------------------------------------------------------------ instructions
+
+@dataclass
+class Instr:
+    """Base class for non-terminator IR instructions."""
+
+    def defs(self) -> VReg | None:
+        return None
+
+    def uses(self) -> tuple[Value, ...]:
+        return ()
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        """Substitute operand vregs according to ``mapping``."""
+
+    @property
+    def is_pure(self) -> bool:
+        """True if the instruction can be removed when its result is dead."""
+        return False
+
+
+def _subst(value: Value, mapping: dict[VReg, Value]) -> Value:
+    if isinstance(value, VReg) and value in mapping:
+        return mapping[value]
+    return value
+
+
+@dataclass
+class BinOp(Instr):
+    dst: VReg
+    op: str
+    a: Value
+    b: Value
+
+    def defs(self) -> VReg:
+        return self.dst
+
+    def uses(self) -> tuple[Value, ...]:
+        return (self.a, self.b)
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        self.a = _subst(self.a, mapping)
+        self.b = _subst(self.b, mapping)
+
+    @property
+    def is_pure(self) -> bool:
+        # div/rem by zero traps, but C makes that UB, so DCE may drop them.
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.a}, {self.b}"
+
+
+@dataclass
+class Move(Instr):
+    dst: VReg
+    src: Value
+
+    def defs(self) -> VReg:
+        return self.dst
+
+    def uses(self) -> tuple[Value, ...]:
+        return (self.src,)
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        self.src = _subst(self.src, mapping)
+
+    @property
+    def is_pure(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass
+class Load(Instr):
+    dst: VReg
+    base: Value
+    offset: int
+    size: str = "word"  # "word" (xlen) or "byte"
+
+    def defs(self) -> VReg:
+        return self.dst
+
+    def uses(self) -> tuple[Value, ...]:
+        return (self.base,)
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        self.base = _subst(self.base, mapping)
+
+    @property
+    def is_pure(self) -> bool:
+        # A dead load can be removed: MinC has no volatile or MMIO.
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.dst} = load.{self.size} [{self.base}+{self.offset}]"
+
+
+@dataclass
+class Store(Instr):
+    src: Value
+    base: Value
+    offset: int
+    size: str = "word"
+
+    def uses(self) -> tuple[Value, ...]:
+        return (self.src, self.base)
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        self.src = _subst(self.src, mapping)
+        self.base = _subst(self.base, mapping)
+
+    def __str__(self) -> str:
+        return f"store.{self.size} {self.src} -> [{self.base}+{self.offset}]"
+
+
+@dataclass
+class La(Instr):
+    """Materialize the address of a global data symbol."""
+
+    dst: VReg
+    symbol: str
+
+    def defs(self) -> VReg:
+        return self.dst
+
+    @property
+    def is_pure(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.dst} = la {self.symbol}"
+
+
+@dataclass
+class SlotAddr(Instr):
+    """Materialize the address of a stack slot (local array)."""
+
+    dst: VReg
+    slot: int
+
+    def defs(self) -> VReg:
+        return self.dst
+
+    @property
+    def is_pure(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.dst} = slot_addr #{self.slot}"
+
+
+@dataclass
+class Call(Instr):
+    dst: VReg | None
+    func: str
+    args: list[Value]
+
+    def defs(self) -> VReg | None:
+        return self.dst
+
+    def uses(self) -> tuple[Value, ...]:
+        return tuple(self.args)
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        self.args = [_subst(a, mapping) for a in self.args]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dst} = " if self.dst else ""
+        return f"{prefix}call {self.func}({args})"
+
+
+@dataclass
+class Syscall(Instr):
+    """Output / exit builtin lowered to an SVC at codegen."""
+
+    number: int
+    arg: Value
+
+    def uses(self) -> tuple[Value, ...]:
+        return (self.arg,)
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        self.arg = _subst(self.arg, mapping)
+
+    def __str__(self) -> str:
+        return f"syscall {self.number}, {self.arg}"
+
+
+# ------------------------------------------------------------- terminators
+
+@dataclass
+class Terminator:
+    def successors(self) -> tuple[str, ...]:
+        return ()
+
+    def uses(self) -> tuple[Value, ...]:
+        return ()
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        pass
+
+
+@dataclass
+class Jump(Terminator):
+    target: str
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass
+class CondJump(Terminator):
+    op: str
+    a: Value
+    b: Value
+    if_true: str
+    if_false: str
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.if_true, self.if_false)
+
+    def uses(self) -> tuple[Value, ...]:
+        return (self.a, self.b)
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        self.a = _subst(self.a, mapping)
+        self.b = _subst(self.b, mapping)
+
+    def __str__(self) -> str:
+        return (f"if {self.op} {self.a}, {self.b} then {self.if_true}"
+                f" else {self.if_false}")
+
+
+@dataclass
+class Ret(Terminator):
+    value: Value | None = None
+
+    def uses(self) -> tuple[Value, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        if self.value is not None:
+            self.value = _subst(self.value, mapping)
+
+    def __str__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+# ------------------------------------------------------------- containers
+
+@dataclass
+class StackSlot:
+    """A stack-allocated object (local array); offsets assigned at codegen."""
+
+    index: int
+    size_bytes: int
+    align: int
+
+
+@dataclass
+class Block:
+    name: str
+    instrs: list[Instr] = field(default_factory=list)
+    terminator: Terminator | None = None
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines += [f"  {i}" for i in self.instrs]
+        lines.append(f"  {self.terminator}")
+        return "\n".join(lines)
+
+
+class Function:
+    """An IR function: ordered blocks (entry first), params, stack slots."""
+
+    def __init__(self, name: str, params: list[VReg],
+                 returns_value: bool) -> None:
+        self.name = name
+        self.params = params
+        self.returns_value = returns_value
+        self.blocks: list[Block] = []
+        self.slots: list[StackSlot] = []
+        self._next_vreg = max((p.id for p in params), default=-1) + 1
+        self._next_block = 0
+
+    def new_vreg(self, hint: str = "") -> VReg:
+        reg = VReg(self._next_vreg, hint)
+        self._next_vreg += 1
+        return reg
+
+    def new_block(self, hint: str = "bb") -> Block:
+        block = Block(f"{hint}{self._next_block}")
+        self._next_block += 1
+        self.blocks.append(block)
+        return block
+
+    def new_slot(self, size_bytes: int, align: int) -> StackSlot:
+        slot = StackSlot(len(self.slots), size_bytes, align)
+        self.slots.append(slot)
+        return slot
+
+    def block_map(self) -> dict[str, Block]:
+        return {b.name: b for b in self.blocks}
+
+    def predecessors(self) -> dict[str, list[str]]:
+        preds: dict[str, list[str]] = {b.name: [] for b in self.blocks}
+        for block in self.blocks:
+            assert block.terminator is not None, block.name
+            for succ in block.terminator.successors():
+                preds[succ].append(block.name)
+        return preds
+
+    def instructions(self) -> Iterable[Instr]:
+        for block in self.blocks:
+            yield from block.instrs
+
+    def dump(self) -> str:
+        header = f"func {self.name}({', '.join(map(str, self.params))})"
+        return "\n".join([header] + [str(b) for b in self.blocks])
+
+
+@dataclass
+class GlobalData:
+    """An initialized global object in the data segment."""
+
+    name: str
+    size_bytes: int
+    init: bytes
+    align: int
+
+
+class Module:
+    """A compiled translation unit: functions plus global data."""
+
+    def __init__(self, name: str, word_size: int) -> None:
+        self.name = name
+        self.word_size = word_size
+        self.functions: dict[str, Function] = {}
+        self.globals: list[GlobalData] = []
+
+    @property
+    def xlen(self) -> int:
+        return self.word_size * 8
+
+    def add_global(self, name: str, size_bytes: int, init: bytes,
+                   align: int) -> None:
+        self.globals.append(GlobalData(name, size_bytes, init, align))
+
+    def dump(self) -> str:
+        parts = [f"module {self.name} (word={self.word_size})"]
+        parts += [f"global {g.name}: {g.size_bytes} bytes"
+                  for g in self.globals]
+        parts += [f.dump() for f in self.functions.values()]
+        return "\n\n".join(parts)
+
+
+def clone_instr(instr: Instr) -> Instr:
+    """Shallow-copy an instruction (lists copied)."""
+    if isinstance(instr, Call):
+        return Call(instr.dst, instr.func, list(instr.args))
+    return replace(instr)  # type: ignore[type-var]
+
+
+def clone_terminator(term: Terminator) -> Terminator:
+    return replace(term)  # type: ignore[type-var]

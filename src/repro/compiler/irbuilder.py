@@ -1,0 +1,548 @@
+"""Lowering from the type-checked MinC AST to three-address IR.
+
+The builder is deliberately naive: every AST operation becomes the obvious
+IR sequence with no on-the-fly simplification. All cleverness lives in the
+optimization passes, so the O0 pipeline (which runs no passes) really is
+the unoptimized translation -- just as ``gcc -O0`` emits the direct
+statement-by-statement lowering the paper's baseline binaries use.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+from ..lang import ast_nodes as ast
+from ..lang.sema import SemanticInfo
+from . import ir
+
+_SYSCALL_BUILTINS = {"exit": 0, "putint": 1, "putchar": 2, "puthex": 3}
+
+_CMP_TO_COND = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                ">": "gt", ">=": "ge"}
+
+_ARITH_TO_IROP = {"+": "add", "-": "sub", "*": "mul", "/": "div",
+                  "%": "rem", "&": "and", "|": "or", "^": "xor",
+                  "<<": "shl", ">>": "ashr"}
+
+
+class _FunctionBuilder:
+    def __init__(self, func_ast: ast.FuncDef, info: SemanticInfo,
+                 module: ir.Module) -> None:
+        self.ast = func_ast
+        self.info = info
+        self.module = module
+        self.word = module.word_size
+        params = [ir.VReg(i, p.name) for i, p in enumerate(func_ast.params)]
+        self.func = ir.Function(func_ast.name, params,
+                                func_ast.ret.kind != "void")
+        # unique local symbol -> vreg (scalars) or stack slot (arrays)
+        self.scalar_vregs: dict[str, ir.VReg] = {}
+        self.array_slots: dict[str, ir.StackSlot] = {}
+        for index, param in enumerate(func_ast.params):
+            self.scalar_vregs[f"{param.name}.p{index}"] = params[index]
+        self.block = self.func.new_block("entry")
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break)
+
+    # ------------------------------------------------------------- helpers
+
+    def emit(self, instr: ir.Instr) -> None:
+        self.block.instrs.append(instr)
+
+    def terminate(self, term: ir.Terminator) -> None:
+        if self.block.terminator is None:
+            self.block.terminator = term
+
+    def start_block(self, block: ir.Block) -> None:
+        self.block = block
+
+    def new_vreg(self, hint: str = "t") -> ir.VReg:
+        return self.func.new_vreg(hint)
+
+    def elem_size(self, ty: ast.Type) -> int:
+        return 1 if ty.base == "char" else self.word
+
+    # ---------------------------------------------------------------- build
+
+    def build(self) -> ir.Function:
+        self.build_block(self.ast.body)
+        self.terminate(ir.Ret(ir.Const(0) if self.func.returns_value
+                              else None))
+        self._seal_unterminated()
+        return self.func
+
+    def _seal_unterminated(self) -> None:
+        """Give every block a terminator (unreachable join blocks)."""
+        for block in self.func.blocks:
+            if block.terminator is None:
+                block.terminator = ir.Ret(
+                    ir.Const(0) if self.func.returns_value else None)
+
+    def build_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self.build_stmt(stmt)
+
+    # ------------------------------------------------------------ statements
+
+    def build_stmt(self, stmt: ast.Stmt) -> None:
+        if self.block.terminator is not None:
+            # Dead code after return/break: still lower into a fresh,
+            # unreachable block so later passes can discard it.
+            self.start_block(self.func.new_block("dead"))
+        if isinstance(stmt, ast.Block):
+            self.build_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self.build_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self.build_expr(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.If):
+            self.build_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.build_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.build_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.build_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise CompileError("break outside loop", stmt.line)
+            self.terminate(ir.Jump(self.loop_stack[-1][1]))
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise CompileError("continue outside loop", stmt.line)
+            self.terminate(ir.Jump(self.loop_stack[-1][0]))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.build_expr(stmt.value)
+                self.terminate(ir.Ret(value))
+            else:
+                self.terminate(ir.Ret(None))
+        else:
+            raise CompileError(
+                f"cannot lower {type(stmt).__name__}", stmt.line)
+
+    def build_decl(self, decl: ast.VarDecl) -> None:
+        symbol = decl.resolved  # type: ignore[attr-defined]
+        if decl.ty.kind == "array":
+            elem = self.elem_size(decl.ty)
+            assert decl.ty.size is not None
+            slot = self.func.new_slot(decl.ty.size * elem, elem)
+            self.array_slots[symbol] = slot
+            if decl.init_list:
+                addr = self.new_vreg("arr")
+                self.emit(ir.SlotAddr(addr, slot.index))
+                size = "byte" if elem == 1 else "word"
+                for index, value in enumerate(decl.init_list):
+                    self.emit(ir.Store(ir.Const(value), addr, index * elem,
+                                       size))
+            return
+        vreg = self.new_vreg(decl.name)
+        self.scalar_vregs[symbol] = vreg
+        init = (self.build_expr(decl.init) if decl.init is not None
+                else ir.Const(0))
+        self.emit(ir.Move(vreg, init))
+
+    def build_if(self, stmt: ast.If) -> None:
+        assert stmt.cond is not None and stmt.then is not None
+        then_block = self.func.new_block("then")
+        join_block = self.func.new_block("endif")
+        else_block = (self.func.new_block("else") if stmt.other is not None
+                      else join_block)
+        self.build_branch(stmt.cond, then_block.name, else_block.name)
+        self.start_block(then_block)
+        self.build_stmt(stmt.then)
+        self.terminate(ir.Jump(join_block.name))
+        if stmt.other is not None:
+            self.start_block(else_block)
+            self.build_stmt(stmt.other)
+            self.terminate(ir.Jump(join_block.name))
+        self.start_block(join_block)
+
+    def build_while(self, stmt: ast.While) -> None:
+        assert stmt.cond is not None and stmt.body is not None
+        head = self.func.new_block("while_head")
+        body = self.func.new_block("while_body")
+        done = self.func.new_block("while_done")
+        self.terminate(ir.Jump(head.name))
+        self.start_block(head)
+        self.build_branch(stmt.cond, body.name, done.name)
+        self.loop_stack.append((head.name, done.name))
+        self.start_block(body)
+        self.build_stmt(stmt.body)
+        self.terminate(ir.Jump(head.name))
+        self.loop_stack.pop()
+        self.start_block(done)
+
+    def build_do_while(self, stmt: ast.DoWhile) -> None:
+        assert stmt.cond is not None and stmt.body is not None
+        body = self.func.new_block("do_body")
+        cond = self.func.new_block("do_cond")
+        done = self.func.new_block("do_done")
+        self.terminate(ir.Jump(body.name))
+        self.loop_stack.append((cond.name, done.name))
+        self.start_block(body)
+        self.build_stmt(stmt.body)
+        self.terminate(ir.Jump(cond.name))
+        self.loop_stack.pop()
+        self.start_block(cond)
+        self.build_branch(stmt.cond, body.name, done.name)
+        self.start_block(done)
+
+    def build_for(self, stmt: ast.For) -> None:
+        assert stmt.body is not None
+        if stmt.init is not None:
+            self.build_stmt(stmt.init)
+        head = self.func.new_block("for_head")
+        body = self.func.new_block("for_body")
+        step = self.func.new_block("for_step")
+        done = self.func.new_block("for_done")
+        self.terminate(ir.Jump(head.name))
+        self.start_block(head)
+        if stmt.cond is not None:
+            self.build_branch(stmt.cond, body.name, done.name)
+        else:
+            self.terminate(ir.Jump(body.name))
+        self.loop_stack.append((step.name, done.name))
+        self.start_block(body)
+        self.build_stmt(stmt.body)
+        self.terminate(ir.Jump(step.name))
+        self.loop_stack.pop()
+        self.start_block(step)
+        if stmt.step is not None:
+            self.build_expr(stmt.step, want_value=False)
+        self.terminate(ir.Jump(head.name))
+        self.start_block(done)
+
+    # ---------------------------------------------------------- branch form
+
+    def build_branch(self, cond: ast.Expr, true_name: str,
+                     false_name: str) -> None:
+        """Lower ``cond`` directly into control flow."""
+        if isinstance(cond, ast.Binary) and cond.op == "&&":
+            assert cond.left is not None and cond.right is not None
+            middle = self.func.new_block("and_rhs")
+            self.build_branch(cond.left, middle.name, false_name)
+            self.start_block(middle)
+            self.build_branch(cond.right, true_name, false_name)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "||":
+            assert cond.left is not None and cond.right is not None
+            middle = self.func.new_block("or_rhs")
+            self.build_branch(cond.left, true_name, middle.name)
+            self.start_block(middle)
+            self.build_branch(cond.right, true_name, false_name)
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            assert cond.operand is not None
+            self.build_branch(cond.operand, false_name, true_name)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in _CMP_TO_COND:
+            assert cond.left is not None and cond.right is not None
+            a = self.build_expr(cond.left)
+            b = self.build_expr(cond.right)
+            self.terminate(ir.CondJump(_CMP_TO_COND[cond.op], a, b,
+                                       true_name, false_name))
+            return
+        value = self.build_expr(cond)
+        self.terminate(ir.CondJump("ne", value, ir.Const(0),
+                                   true_name, false_name))
+
+    # ---------------------------------------------------------- expressions
+
+    def build_expr(self, expr: ast.Expr,
+                   want_value: bool = True) -> ir.Value:
+        if isinstance(expr, ast.Num):
+            return ir.Const(expr.value)
+        if isinstance(expr, ast.Var):
+            return self.build_var_read(expr)
+        if isinstance(expr, ast.Index):
+            addr, offset, size = self.build_address(expr)
+            dst = self.new_vreg("ld")
+            self.emit(ir.Load(dst, addr, offset, size))
+            return dst
+        if isinstance(expr, ast.Unary):
+            return self.build_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.build_binary(expr)
+        if isinstance(expr, ast.Cond):
+            return self.build_conditional(expr)
+        if isinstance(expr, ast.Assign):
+            return self.build_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self.build_incdec(expr)
+        if isinstance(expr, ast.Call):
+            return self.build_call(expr, want_value)
+        raise CompileError(f"cannot lower {type(expr).__name__}", expr.line)
+
+    def build_var_read(self, expr: ast.Var) -> ir.Value:
+        kind, name = expr.binding  # type: ignore[attr-defined]
+        if kind == "local":
+            if name in self.array_slots:
+                dst = self.new_vreg("arr")
+                self.emit(ir.SlotAddr(dst, self.array_slots[name].index))
+                return dst
+            return self.scalar_vregs[name]
+        gvar = self.info.globals[name]
+        addr = self.new_vreg("ga")
+        self.emit(ir.La(addr, name))
+        if gvar.ty.kind == "array":
+            return addr
+        dst = self.new_vreg(name)
+        size = "byte" if gvar.ty.kind == "char" else "word"
+        self.emit(ir.Load(dst, addr, 0, size))
+        return dst
+
+    def build_address(self, expr: ast.Index) -> tuple[ir.Value, int, str]:
+        """Compute (base, offset, size) for an indexed access."""
+        assert expr.base is not None and expr.index is not None
+        base = self.build_expr(expr.base)
+        elem = self.elem_size(expr.base.ty)
+        size = "byte" if elem == 1 else "word"
+        index = self.build_expr(expr.index)
+        scaled = self.new_vreg("ofs")
+        self.emit(ir.BinOp(scaled, "mul", index, ir.Const(elem)))
+        addr = self.new_vreg("addr")
+        self.emit(ir.BinOp(addr, "add", base, scaled))
+        return addr, 0, size
+
+    def build_unary(self, expr: ast.Unary) -> ir.Value:
+        assert expr.operand is not None
+        value = self.build_expr(expr.operand)
+        dst = self.new_vreg("u")
+        if expr.op == "-":
+            self.emit(ir.BinOp(dst, "sub", ir.Const(0), value))
+        elif expr.op == "~":
+            self.emit(ir.BinOp(dst, "xor", value, ir.Const(-1)))
+        elif expr.op == "!":
+            self.emit(ir.BinOp(dst, "sltu", value, ir.Const(1)))
+        else:
+            raise CompileError(f"bad unary {expr.op}", expr.line)
+        return dst
+
+    def build_binary(self, expr: ast.Binary) -> ir.Value:
+        assert expr.left is not None and expr.right is not None
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.build_bool_value(expr)
+        if op in _CMP_TO_COND:
+            return self.build_comparison(op, expr.left, expr.right)
+        a = self.build_expr(expr.left)
+        b = self.build_expr(expr.right)
+        lt, rt = expr.left.ty, expr.right.ty
+        if op in ("+", "-") and (lt.is_pointerish or rt.is_pointerish):
+            return self.build_pointer_arith(op, a, b, lt, rt)
+        dst = self.new_vreg("b")
+        self.emit(ir.BinOp(dst, _ARITH_TO_IROP[op], a, b))
+        return dst
+
+    def build_pointer_arith(self, op: str, a: ir.Value, b: ir.Value,
+                            lt: ast.Type, rt: ast.Type) -> ir.Value:
+        if rt.is_pointerish:  # int + ptr
+            a, b = b, a
+            lt, rt = rt, lt
+        elem = self.elem_size(lt)
+        scaled = self.new_vreg("sc")
+        self.emit(ir.BinOp(scaled, "mul", b, ir.Const(elem)))
+        dst = self.new_vreg("pa")
+        self.emit(ir.BinOp(dst, "add" if op == "+" else "sub", a, scaled))
+        return dst
+
+    def build_comparison(self, op: str, left: ast.Expr,
+                         right: ast.Expr) -> ir.Value:
+        a = self.build_expr(left)
+        b = self.build_expr(right)
+        dst = self.new_vreg("cmp")
+        unsigned = left.ty.is_pointerish or right.ty.is_pointerish
+        slt = "sltu" if unsigned else "slt"
+        if op == "<":
+            self.emit(ir.BinOp(dst, slt, a, b))
+        elif op == ">":
+            self.emit(ir.BinOp(dst, slt, b, a))
+        elif op == "<=":
+            tmp = self.new_vreg("cmp")
+            self.emit(ir.BinOp(tmp, slt, b, a))
+            self.emit(ir.BinOp(dst, "xor", tmp, ir.Const(1)))
+        elif op == ">=":
+            tmp = self.new_vreg("cmp")
+            self.emit(ir.BinOp(tmp, slt, a, b))
+            self.emit(ir.BinOp(dst, "xor", tmp, ir.Const(1)))
+        elif op == "==":
+            tmp = self.new_vreg("cmp")
+            self.emit(ir.BinOp(tmp, "xor", a, b))
+            self.emit(ir.BinOp(dst, "sltu", tmp, ir.Const(1)))
+        else:  # !=
+            tmp = self.new_vreg("cmp")
+            self.emit(ir.BinOp(tmp, "xor", a, b))
+            self.emit(ir.BinOp(dst, "sltu", ir.Const(0), tmp))
+        return dst
+
+    def build_bool_value(self, expr: ast.Binary) -> ir.Value:
+        """Materialize a short-circuit expression as 0/1."""
+        dst = self.new_vreg("bool")
+        true_block = self.func.new_block("bool_true")
+        false_block = self.func.new_block("bool_false")
+        join = self.func.new_block("bool_join")
+        self.build_branch(expr, true_block.name, false_block.name)
+        self.start_block(true_block)
+        self.emit(ir.Move(dst, ir.Const(1)))
+        self.terminate(ir.Jump(join.name))
+        self.start_block(false_block)
+        self.emit(ir.Move(dst, ir.Const(0)))
+        self.terminate(ir.Jump(join.name))
+        self.start_block(join)
+        return dst
+
+    def build_conditional(self, expr: ast.Cond) -> ir.Value:
+        assert expr.cond and expr.then and expr.other
+        dst = self.new_vreg("sel")
+        then_block = self.func.new_block("sel_then")
+        else_block = self.func.new_block("sel_else")
+        join = self.func.new_block("sel_join")
+        self.build_branch(expr.cond, then_block.name, else_block.name)
+        self.start_block(then_block)
+        self.emit(ir.Move(dst, self.build_expr(expr.then)))
+        self.terminate(ir.Jump(join.name))
+        self.start_block(else_block)
+        self.emit(ir.Move(dst, self.build_expr(expr.other)))
+        self.terminate(ir.Jump(join.name))
+        self.start_block(join)
+        return dst
+
+    def build_assign(self, expr: ast.Assign) -> ir.Value:
+        assert expr.target is not None and expr.value is not None
+        if isinstance(expr.target, ast.Var):
+            return self.build_scalar_assign(expr)
+        assert isinstance(expr.target, ast.Index)
+        addr, offset, size = self.build_address(expr.target)
+        if expr.op is None:
+            value = self.build_expr(expr.value)
+        else:
+            old = self.new_vreg("old")
+            self.emit(ir.Load(old, addr, offset, size))
+            rhs = self.build_expr(expr.value)
+            value = self.apply_compound(expr.op, old, rhs,
+                                        expr.target.ty)
+        self.emit(ir.Store(value, addr, offset, size))
+        return value
+
+    def build_scalar_assign(self, expr: ast.Assign) -> ir.Value:
+        target = expr.target
+        assert isinstance(target, ast.Var)
+        kind, name = target.binding  # type: ignore[attr-defined]
+        if kind == "local":
+            vreg = self.scalar_vregs[name]
+            if expr.op is None:
+                value = self.build_expr(expr.value)  # type: ignore[arg-type]
+            else:
+                rhs = self.build_expr(expr.value)  # type: ignore[arg-type]
+                value = self.apply_compound(expr.op, vreg, rhs, target.ty)
+            self.emit(ir.Move(vreg, value))
+            return vreg
+        gvar = self.info.globals[name]
+        size = "byte" if gvar.ty.kind == "char" else "word"
+        addr = self.new_vreg("ga")
+        self.emit(ir.La(addr, name))
+        if expr.op is None:
+            value = self.build_expr(expr.value)  # type: ignore[arg-type]
+        else:
+            old = self.new_vreg("old")
+            self.emit(ir.Load(old, addr, 0, size))
+            rhs = self.build_expr(expr.value)  # type: ignore[arg-type]
+            value = self.apply_compound(expr.op, old, rhs, target.ty)
+        self.emit(ir.Store(value, addr, 0, size))
+        return value
+
+    def apply_compound(self, op: str, old: ir.Value, rhs: ir.Value,
+                       target_ty: ast.Type) -> ir.Value:
+        if target_ty.kind == "ptr" and op in ("+", "-"):
+            scaled = self.new_vreg("sc")
+            self.emit(ir.BinOp(scaled, "mul", rhs,
+                               ir.Const(self.elem_size(target_ty))))
+            rhs = scaled
+        dst = self.new_vreg("ca")
+        self.emit(ir.BinOp(dst, _ARITH_TO_IROP[op], old, rhs))
+        return dst
+
+    def build_incdec(self, expr: ast.IncDec) -> ir.Value:
+        assert expr.target is not None
+        delta = 1
+        if expr.target.ty.kind == "ptr":
+            delta = self.elem_size(expr.target.ty)
+        op = "add" if expr.op == "++" else "sub"
+        if isinstance(expr.target, ast.Var):
+            kind, name = expr.target.binding  # type: ignore[attr-defined]
+            if kind == "local":
+                vreg = self.scalar_vregs[name]
+                old = None
+                if not expr.prefix:
+                    old = self.new_vreg("post")
+                    self.emit(ir.Move(old, vreg))
+                new = self.new_vreg("inc")
+                self.emit(ir.BinOp(new, op, vreg, ir.Const(delta)))
+                self.emit(ir.Move(vreg, new))
+                return old if old is not None else vreg
+            gvar = self.info.globals[name]
+            size = "byte" if gvar.ty.kind == "char" else "word"
+            addr = self.new_vreg("ga")
+            self.emit(ir.La(addr, name))
+            old = self.new_vreg("old")
+            self.emit(ir.Load(old, addr, 0, size))
+            new = self.new_vreg("inc")
+            self.emit(ir.BinOp(new, op, old, ir.Const(delta)))
+            self.emit(ir.Store(new, addr, 0, size))
+            return old if not expr.prefix else new
+        assert isinstance(expr.target, ast.Index)
+        addr, offset, size = self.build_address(expr.target)
+        old = self.new_vreg("old")
+        self.emit(ir.Load(old, addr, offset, size))
+        new = self.new_vreg("inc")
+        self.emit(ir.BinOp(new, op, old, ir.Const(delta)))
+        self.emit(ir.Store(new, addr, offset, size))
+        return old if not expr.prefix else new
+
+    def build_call(self, expr: ast.Call, want_value: bool) -> ir.Value:
+        args = [self.build_expr(a) for a in expr.args]
+        if expr.name == "ushr":
+            dst = self.new_vreg("ushr")
+            self.emit(ir.BinOp(dst, "lshr", args[0], args[1]))
+            return dst
+        if expr.name in _SYSCALL_BUILTINS:
+            self.emit(ir.Syscall(_SYSCALL_BUILTINS[expr.name], args[0]))
+            return ir.Const(0)
+        sig = self.info.functions[expr.name]
+        dst = None
+        if sig.ret.kind != "void" and want_value:
+            dst = self.new_vreg("ret")
+        self.emit(ir.Call(dst, expr.name, args))
+        return dst if dst is not None else ir.Const(0)
+
+
+def _encode_global(gvar: ast.GlobalVar, word_size: int) -> tuple[int, bytes,
+                                                                 int]:
+    """Return (size_bytes, init_bytes, align) for a global."""
+    if gvar.ty.kind == "array":
+        elem = 1 if gvar.ty.base == "char" else word_size
+        assert gvar.ty.size is not None
+        size = gvar.ty.size * elem
+        init = bytearray()
+        values = gvar.init if isinstance(gvar.init, list) else []
+        mask = (1 << (elem * 8)) - 1
+        for value in values:
+            init.extend((value & mask).to_bytes(elem, "little"))
+        return size, bytes(init), elem
+    elem = 1 if gvar.ty.kind == "char" else word_size
+    value = gvar.init if isinstance(gvar.init, int) else 0
+    mask = (1 << (elem * 8)) - 1
+    return elem, (value & mask).to_bytes(elem, "little"), elem
+
+
+def build_module(module_ast: ast.Module, info: SemanticInfo,
+                 word_size: int, name: str = "module") -> ir.Module:
+    """Lower a type-checked AST module into IR."""
+    module = ir.Module(name, word_size)
+    for gvar in module_ast.globals:
+        size, init, align = _encode_global(gvar, word_size)
+        module.add_global(gvar.name, size, init, align)
+    for func_ast in module_ast.functions:
+        builder = _FunctionBuilder(func_ast, info, module)
+        module.functions[func_ast.name] = builder.build()
+    return module

@@ -1,0 +1,34 @@
+"""Optimization passes, one module per transform.
+
+Function passes expose ``run(func, module) -> bool``; the inliner is a
+module pass exposing ``run_module(module) -> bool``. Pipelines per
+optimization level are assembled in :mod:`repro.compiler.pipeline`.
+"""
+
+from . import (
+    addrfold,
+    constfold,
+    copyprop,
+    cse,
+    dce,
+    inline,
+    licm,
+    schedule,
+    simplify_cfg,
+    strength,
+    unroll,
+)
+
+__all__ = [
+    "addrfold",
+    "constfold",
+    "copyprop",
+    "cse",
+    "dce",
+    "inline",
+    "licm",
+    "schedule",
+    "simplify_cfg",
+    "strength",
+    "unroll",
+]

@@ -1,0 +1,44 @@
+"""Addressing-mode folding (enabled at O1+).
+
+armlet loads and stores take a base register plus a 16-bit immediate
+offset. This peephole folds ``t = add base, C`` into the offset field of
+loads/stores that use ``t`` as their base, letting DCE retire the add.
+Only single-def address producers are folded (sound on non-SSA IR for the
+same reason as global copy propagation)."""
+
+from __future__ import annotations
+
+from .. import analysis, ir
+from .common import norm_const
+
+_OFFSET_MIN, _OFFSET_MAX = -(1 << 15), (1 << 15) - 1
+
+
+def run(func: ir.Function, module: ir.Module) -> bool:
+    single = analysis.single_def_vregs(func)
+    adds: dict[ir.VReg, tuple[ir.Value, int]] = {}
+    for instr in func.instructions():
+        if isinstance(instr, ir.BinOp) and instr.op == "add" \
+                and instr.dst in single and isinstance(instr.b, ir.Const):
+            base = instr.a
+            if isinstance(base, ir.VReg) and base in single:
+                adds[instr.dst] = (base, norm_const(instr.b.value,
+                                                    module.xlen))
+    if not adds:
+        return False
+    changed = False
+    for block in func.blocks:
+        for instr in block.instrs:
+            if not isinstance(instr, (ir.Load, ir.Store)):
+                continue
+            base = instr.base
+            if isinstance(base, ir.VReg) and base in adds:
+                origin, delta = adds[base]
+                if isinstance(origin, ir.Const):
+                    continue
+                folded = instr.offset + delta
+                if _OFFSET_MIN <= folded <= _OFFSET_MAX:
+                    instr.base = origin
+                    instr.offset = folded
+                    changed = True
+    return changed

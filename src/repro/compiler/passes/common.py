@@ -1,0 +1,61 @@
+"""Shared helpers for optimization passes: constant evaluation matching
+the armlet datapath, and condition evaluation for branch folding."""
+
+from __future__ import annotations
+
+from ...isa import semantics
+from ...isa.instructions import Opcode
+from .. import ir
+
+_IR_TO_OPCODE = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "div": Opcode.DIV, "rem": Opcode.REM, "and": Opcode.AND,
+    "or": Opcode.ORR, "xor": Opcode.EOR, "shl": Opcode.LSL,
+    "lshr": Opcode.LSR, "ashr": Opcode.ASR, "slt": Opcode.SLT,
+    "sltu": Opcode.SLTU,
+}
+
+
+def norm_const(value: int, xlen: int) -> int:
+    """Canonical (signed) representation of a constant at width ``xlen``."""
+    return semantics.to_signed(semantics.wrap(value, xlen), xlen)
+
+
+def eval_binop(op: str, a: int, b: int, xlen: int) -> int | None:
+    """Fold a binary op over constants; None if it would trap (div by 0)."""
+    if op in ("div", "rem") and semantics.wrap(b, xlen) == 0:
+        return None
+    result = semantics.alu(_IR_TO_OPCODE[op], semantics.wrap(a, xlen),
+                           semantics.wrap(b, xlen), xlen)
+    return norm_const(result, xlen)
+
+
+def eval_cond(op: str, a: int, b: int, xlen: int) -> bool:
+    """Evaluate an IR condition code over constants."""
+    ua, ub = semantics.wrap(a, xlen), semantics.wrap(b, xlen)
+    sa, sb = semantics.to_signed(ua, xlen), semantics.to_signed(ub, xlen)
+    if op == "eq":
+        return ua == ub
+    if op == "ne":
+        return ua != ub
+    if op == "lt":
+        return sa < sb
+    if op == "le":
+        return sa <= sb
+    if op == "gt":
+        return sa > sb
+    if op == "ge":
+        return sa >= sb
+    if op == "ltu":
+        return ua < ub
+    if op == "leu":
+        return ua <= ub
+    if op == "gtu":
+        return ua > ub
+    if op == "geu":
+        return ua >= ub
+    raise ValueError(f"unknown condition {op!r}")
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0

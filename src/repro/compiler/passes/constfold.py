@@ -1,0 +1,85 @@
+"""Constant folding and algebraic simplification (enabled at O1+).
+
+Folds binary ops over constant operands (with exact armlet wrap
+semantics), applies algebraic identities, canonicalizes commutative ops to
+put constants on the right, and folds conditional jumps whose operands are
+both constant.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from .common import eval_binop, eval_cond, norm_const
+
+
+def _simplify(instr: ir.BinOp, xlen: int) -> ir.Instr:
+    op, a, b = instr.op, instr.a, instr.b
+    if isinstance(a, ir.Const) and isinstance(b, ir.Const):
+        folded = eval_binop(op, a.value, b.value, xlen)
+        if folded is not None:
+            return ir.Move(instr.dst, ir.Const(folded))
+        return instr
+    # Canonicalize: constant to the right for commutative ops.
+    if isinstance(a, ir.Const) and op in ir.COMMUTATIVE_OPS:
+        instr.a, instr.b = b, a
+        a, b = instr.a, instr.b
+    if isinstance(b, ir.Const):
+        bv = norm_const(b.value, xlen)
+        if op in ("add", "sub", "or", "xor", "shl", "lshr", "ashr") \
+                and bv == 0:
+            return ir.Move(instr.dst, a)
+        if op == "and" and bv == 0:
+            return ir.Move(instr.dst, ir.Const(0))
+        if op == "and" and bv == -1:
+            return ir.Move(instr.dst, a)
+        if op == "mul" and bv == 1:
+            return ir.Move(instr.dst, a)
+        if op == "mul" and bv == 0:
+            return ir.Move(instr.dst, ir.Const(0))
+        if op == "div" and bv == 1:
+            return ir.Move(instr.dst, a)
+        if op == "rem" and bv == 1:
+            return ir.Move(instr.dst, ir.Const(0))
+    if isinstance(a, ir.Const):
+        av = norm_const(a.value, xlen)
+        if op in ("add", "or", "xor") and av == 0:
+            return ir.Move(instr.dst, b)
+        if op in ("mul", "and", "div", "rem", "shl", "lshr", "ashr") \
+                and av == 0:
+            return ir.Move(instr.dst, ir.Const(0))
+    if isinstance(a, ir.VReg) and a == b:
+        if op in ("sub", "xor"):
+            return ir.Move(instr.dst, ir.Const(0))
+        if op in ("and", "or"):
+            return ir.Move(instr.dst, a)
+        if op in ("slt", "sltu"):
+            return ir.Move(instr.dst, ir.Const(0))
+    return instr
+
+
+def run(func: ir.Function, module: ir.Module) -> bool:
+    """Fold constants in ``func``; returns True if anything changed."""
+    xlen = module.xlen
+    changed = False
+    for block in func.blocks:
+        new_instrs: list[ir.Instr] = []
+        for instr in block.instrs:
+            if isinstance(instr, ir.BinOp):
+                simplified = _simplify(instr, xlen)
+                if simplified is not instr:
+                    changed = True
+                new_instrs.append(simplified)
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+        term = block.terminator
+        if isinstance(term, ir.CondJump) and isinstance(term.a, ir.Const) \
+                and isinstance(term.b, ir.Const):
+            taken = eval_cond(term.op, term.a.value, term.b.value, xlen)
+            block.terminator = ir.Jump(
+                term.if_true if taken else term.if_false)
+            changed = True
+        elif isinstance(term, ir.CondJump) and term.if_true == term.if_false:
+            block.terminator = ir.Jump(term.if_true)
+            changed = True
+    return changed

@@ -1,0 +1,88 @@
+"""Copy and constant propagation (enabled at O1+).
+
+Two flavours, both sound on the non-SSA IR:
+
+* **Global single-def propagation** -- if ``x`` is defined exactly once,
+  by ``x = y`` where ``y`` is a constant or itself single-def, every use
+  of ``x`` can read ``y`` directly. Soundness rests on a builder
+  invariant: the IR builder emits each vreg's defining Move lexically
+  before any use (MinC declarations dominate their scope), so a
+  single-def source's one definition always precedes the copy and its
+  value can never change between the copy and any use of the copy's
+  destination. Passes preserve the invariant (unrolling clones defs,
+  making them multi-def; inlining allocates fresh vregs).
+* **Block-local propagation** -- within a block, track live copies
+  ``dst -> src`` and rewrite uses until either side is redefined.
+"""
+
+from __future__ import annotations
+
+from .. import analysis, ir
+
+
+def _global_propagation(func: ir.Function) -> bool:
+    single = analysis.single_def_vregs(func)
+    mapping: dict[ir.VReg, ir.Value] = {}
+    for instr in func.instructions():
+        if isinstance(instr, ir.Move) and instr.dst in single:
+            src = instr.src
+            if isinstance(src, ir.Const) or (isinstance(src, ir.VReg)
+                                             and src in single):
+                mapping[instr.dst] = src
+    if not mapping:
+        return False
+    # Resolve chains (a -> b -> const) with cycle safety.
+    for key in list(mapping):
+        seen = {key}
+        value = mapping[key]
+        while isinstance(value, ir.VReg) and value in mapping \
+                and value not in seen:
+            seen.add(value)
+            value = mapping[value]
+        mapping[key] = value
+    changed = False
+    for block in func.blocks:
+        for instr in block.instrs:
+            before = instr.uses()
+            instr.replace_uses(mapping)
+            if instr.uses() != before:
+                changed = True
+        assert block.terminator is not None
+        before = block.terminator.uses()
+        block.terminator.replace_uses(mapping)
+        if block.terminator.uses() != before:
+            changed = True
+    return changed
+
+
+def _local_propagation(func: ir.Function) -> bool:
+    changed = False
+    for block in func.blocks:
+        copies: dict[ir.VReg, ir.Value] = {}
+        for instr in block.instrs:
+            if copies:
+                live = {k: v for k, v in copies.items()}
+                before = instr.uses()
+                instr.replace_uses(live)
+                if instr.uses() != before:
+                    changed = True
+            dst = instr.defs()
+            if dst is not None:
+                # Kill copies involving the redefined register.
+                copies.pop(dst, None)
+                for key in [k for k, v in copies.items() if v == dst]:
+                    del copies[key]
+                if isinstance(instr, ir.Move) and instr.src != dst:
+                    copies[dst] = instr.src
+        if copies and block.terminator is not None:
+            before = block.terminator.uses()
+            block.terminator.replace_uses(copies)
+            if block.terminator.uses() != before:
+                changed = True
+    return changed
+
+
+def run(func: ir.Function, module: ir.Module) -> bool:
+    changed = _global_propagation(func)
+    changed |= _local_propagation(func)
+    return changed

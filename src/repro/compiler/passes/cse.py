@@ -1,0 +1,58 @@
+"""Common-subexpression elimination via block-local value numbering
+(enabled at O2+, and cheap enough that O1 also runs it, as GCC's
+``-ftree-*-dce``/dominator opts do at O1).
+
+Within a block, pure computations are keyed by (operation, value numbers
+of operands); a repeated key is replaced by a copy from the first holder.
+Redefinition of a register bumps its version, invalidating stale keys.
+Loads are *not* value-numbered (no alias analysis)."""
+
+from __future__ import annotations
+
+from .. import ir
+
+
+def run(func: ir.Function, module: ir.Module) -> bool:
+    changed = False
+    for block in func.blocks:
+        version: dict[ir.VReg, int] = {}
+        available: dict[tuple, ir.VReg] = {}
+        holder_version: dict[tuple, int] = {}
+
+        def value_number(value: ir.Value) -> tuple:
+            if isinstance(value, ir.Const):
+                return ("c", value.value)
+            return ("r", value.id, version.get(value, 0))
+
+        new_instrs: list[ir.Instr] = []
+        for instr in block.instrs:
+            key: tuple | None = None
+            if isinstance(instr, ir.BinOp):
+                a, b = value_number(instr.a), value_number(instr.b)
+                if instr.op in ir.COMMUTATIVE_OPS and b < a:
+                    a, b = b, a
+                key = (instr.op, a, b)
+            elif isinstance(instr, ir.La):
+                key = ("la", instr.symbol)
+            elif isinstance(instr, ir.SlotAddr):
+                key = ("slot", instr.slot)
+            if key is not None:
+                holder = available.get(key)
+                if holder is not None and \
+                        holder_version[key] == version.get(holder, 0):
+                    new_instrs.append(ir.Move(instr.defs(), holder))
+                    dst = instr.defs()
+                    assert dst is not None
+                    version[dst] = version.get(dst, 0) + 1
+                    changed = True
+                    continue
+            dst = instr.defs()
+            if dst is not None:
+                version[dst] = version.get(dst, 0) + 1
+            if key is not None:
+                assert dst is not None
+                available[key] = dst
+                holder_version[key] = version.get(dst, 0)
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    return changed

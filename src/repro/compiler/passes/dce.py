@@ -1,0 +1,40 @@
+"""Dead-code elimination (enabled at O1+).
+
+Removes pure instructions whose results are never used, walking each block
+backward against the liveness solution and iterating to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from .. import analysis, ir
+
+
+def run(func: ir.Function, module: ir.Module) -> bool:
+    changed = False
+    while True:
+        _, live_out = analysis.liveness(func)
+        removed = False
+        for block in func.blocks:
+            live = set(live_out[block.name])
+            assert block.terminator is not None
+            for value in block.terminator.uses():
+                if isinstance(value, ir.VReg):
+                    live.add(value)
+            kept: list[ir.Instr] = []
+            for instr in reversed(block.instrs):
+                dst = instr.defs()
+                if dst is not None and dst not in live and instr.is_pure:
+                    removed = True
+                    continue
+                if dst is not None:
+                    live.discard(dst)
+                for value in instr.uses():
+                    if isinstance(value, ir.VReg):
+                        live.add(value)
+                kept.append(instr)
+            kept.reverse()
+            if len(kept) != len(block.instrs):
+                block.instrs = kept
+        if not removed:
+            return changed
+        changed = True

@@ -1,0 +1,191 @@
+"""Function inlining (enabled at O3) -- the paper's signature O3 transform:
+it removes call overhead and enlarges the text segment.
+
+A call site is inlined when the callee is non-recursive and either small
+(instruction count below ``INLINE_SIZE_LIMIT``) or called exactly once in
+the whole module. Callee blocks are cloned with fresh vregs, slots are
+re-homed into the caller's frame, and returns become moves plus jumps to
+the continuation block. Functions left uncalled afterwards are dropped.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+
+INLINE_SIZE_LIMIT = 40
+CALLER_GROWTH_LIMIT = 600
+
+
+def _function_size(func: ir.Function) -> int:
+    return sum(len(b.instrs) + 1 for b in func.blocks)
+
+
+def _call_graph(module: ir.Module) -> dict[str, set[str]]:
+    graph: dict[str, set[str]] = {}
+    for name, func in module.functions.items():
+        callees: set[str] = set()
+        for instr in func.instructions():
+            if isinstance(instr, ir.Call):
+                callees.add(instr.func)
+        graph[name] = callees
+    return graph
+
+
+def _recursive_functions(graph: dict[str, set[str]]) -> set[str]:
+    """Functions that can (transitively) call themselves."""
+    recursive: set[str] = set()
+    for start in graph:
+        stack = list(graph.get(start, ()))
+        seen: set[str] = set()
+        while stack:
+            name = stack.pop()
+            if name == start:
+                recursive.add(start)
+                break
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(graph.get(name, ()))
+    return recursive
+
+
+def _call_counts(module: ir.Module) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for func in module.functions.values():
+        for instr in func.instructions():
+            if isinstance(instr, ir.Call):
+                counts[instr.func] = counts.get(instr.func, 0) + 1
+    return counts
+
+
+def _inline_call(caller: ir.Function, block: ir.Block, index: int,
+                 callee: ir.Function) -> None:
+    call = block.instrs[index]
+    assert isinstance(call, ir.Call)
+
+    vreg_map: dict[ir.VReg, ir.VReg] = {}
+
+    def remap(value: ir.Value) -> ir.Value:
+        if isinstance(value, ir.Const):
+            return value
+        if value not in vreg_map:
+            vreg_map[value] = caller.new_vreg(value.hint or "in")
+        return vreg_map[value]
+
+    slot_map: dict[int, int] = {}
+    for slot in callee.slots:
+        new_slot = caller.new_slot(slot.size_bytes, slot.align)
+        slot_map[slot.index] = new_slot.index
+
+    suffix = f".{callee.name}{caller._next_block}"
+    name_map = {b.name: b.name + suffix for b in callee.blocks}
+    caller._next_block += 1
+
+    continuation = ir.Block(f"cont{suffix}")
+    continuation.instrs = block.instrs[index + 1:]
+    continuation.terminator = block.terminator
+
+    prologue: list[ir.Instr] = []
+    for param, arg in zip(callee.params, call.args):
+        prologue.append(ir.Move(remap(param), arg))
+    block.instrs = block.instrs[:index] + prologue
+    block.terminator = ir.Jump(name_map[callee.blocks[0].name])
+
+    cloned: list[ir.Block] = []
+    for src in callee.blocks:
+        dst_block = ir.Block(name_map[src.name])
+        for instr in src.instrs:
+            copy = ir.clone_instr(instr)
+            if isinstance(copy, ir.SlotAddr):
+                copy.slot = slot_map[copy.slot]
+            old_dst = copy.defs()
+            mapping = {v: remap(v) for v in copy.uses()
+                       if isinstance(v, ir.VReg)}
+            copy.replace_uses(mapping)
+            if old_dst is not None:
+                new_dst = remap(old_dst)
+                if isinstance(copy, ir.BinOp):
+                    copy.dst = new_dst
+                elif isinstance(copy, (ir.Move, ir.Load, ir.La,
+                                       ir.SlotAddr)):
+                    copy.dst = new_dst
+                elif isinstance(copy, ir.Call):
+                    copy.dst = new_dst
+            dst_block.instrs.append(copy)
+        term = src.terminator
+        assert term is not None
+        if isinstance(term, ir.Ret):
+            if call.dst is not None:
+                value = (remap(term.value)
+                         if isinstance(term.value, ir.VReg)
+                         else term.value)
+                if value is None:
+                    value = ir.Const(0)
+                dst_block.instrs.append(ir.Move(call.dst, value))
+            dst_block.terminator = ir.Jump(continuation.name)
+        elif isinstance(term, ir.Jump):
+            dst_block.terminator = ir.Jump(name_map[term.target])
+        elif isinstance(term, ir.CondJump):
+            a = remap(term.a) if isinstance(term.a, ir.VReg) else term.a
+            b = remap(term.b) if isinstance(term.b, ir.VReg) else term.b
+            dst_block.terminator = ir.CondJump(
+                term.op, a, b, name_map[term.if_true],
+                name_map[term.if_false])
+        cloned.append(dst_block)
+
+    insert_at = caller.blocks.index(block) + 1
+    caller.blocks[insert_at:insert_at] = cloned + [continuation]
+
+
+def run_module(module: ir.Module) -> bool:
+    """Inline eligible call sites across the module; prune dead functions."""
+    changed = False
+    for _round in range(4):
+        graph = _call_graph(module)
+        recursive = _recursive_functions(graph)
+        counts = _call_counts(module)
+        round_changed = False
+        for caller in module.functions.values():
+            if _function_size(caller) > CALLER_GROWTH_LIMIT:
+                continue
+            for block in list(caller.blocks):
+                for index, instr in enumerate(block.instrs):
+                    if not isinstance(instr, ir.Call):
+                        continue
+                    callee = module.functions.get(instr.func)
+                    if callee is None or callee is caller:
+                        continue
+                    if instr.func in recursive:
+                        continue
+                    small = _function_size(callee) <= INLINE_SIZE_LIMIT
+                    once = counts.get(instr.func, 0) == 1
+                    if not (small or once):
+                        continue
+                    _inline_call(caller, block, index, callee)
+                    round_changed = True
+                    changed = True
+                    break  # block structure changed; rescan caller
+                else:
+                    continue
+                break
+        if not round_changed:
+            break
+    _prune_dead_functions(module)
+    return changed
+
+
+def _prune_dead_functions(module: ir.Module) -> None:
+    if "main" not in module.functions:
+        return
+    graph = _call_graph(module)
+    live: set[str] = set()
+    stack = ["main"]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        stack.extend(c for c in graph.get(name, ()) if c in module.functions)
+    for name in list(module.functions):
+        if name not in live:
+            del module.functions[name]

@@ -1,0 +1,94 @@
+"""Loop-invariant code motion (enabled at O2+).
+
+For each natural loop (innermost first) a preheader is created and pure,
+non-trapping computations whose operands are loop-invariant are hoisted
+into it. An instruction qualifies when:
+
+* it is a BinOp (except div/rem, which can trap and must not be executed
+  speculatively), Move, La, or SlotAddr;
+* every vreg operand has **no definition inside the loop**;
+* its destination is defined **exactly once in the whole function** (so
+  hoisting cannot clobber another definition's value).
+"""
+
+from __future__ import annotations
+
+from .. import analysis, ir
+
+
+def _loop_defs(func: ir.Function, loop: analysis.Loop) -> set[ir.VReg]:
+    defs: set[ir.VReg] = set()
+    for block in func.blocks:
+        if block.name in loop.body:
+            for instr in block.instrs:
+                dst = instr.defs()
+                if dst is not None:
+                    defs.add(dst)
+    return defs
+
+
+def _ensure_preheader(func: ir.Function, loop: analysis.Loop) -> ir.Block:
+    """Create (or reuse) a block that is the unique non-latch entry."""
+    preds = func.predecessors()
+    outside = [p for p in preds[loop.header] if p not in loop.body]
+    blocks = func.block_map()
+    if len(outside) == 1:
+        candidate = blocks[outside[0]]
+        if isinstance(candidate.terminator, ir.Jump):
+            return candidate
+    pre = ir.Block(f"{loop.header}.pre{len(func.blocks)}")
+    pre.terminator = ir.Jump(loop.header)
+    for name in outside:
+        term = blocks[name].terminator
+        assert term is not None
+        if isinstance(term, ir.Jump) and term.target == loop.header:
+            term.target = pre.name
+        elif isinstance(term, ir.CondJump):
+            if term.if_true == loop.header:
+                term.if_true = pre.name
+            if term.if_false == loop.header:
+                term.if_false = pre.name
+    index = func.blocks.index(blocks[loop.header])
+    func.blocks.insert(index, pre)
+    return pre
+
+
+def _hoistable(instr: ir.Instr) -> bool:
+    if isinstance(instr, ir.BinOp):
+        return instr.op not in ("div", "rem")
+    return isinstance(instr, (ir.Move, ir.La, ir.SlotAddr))
+
+
+def run(func: ir.Function, module: ir.Module) -> bool:
+    changed = False
+    for loop in analysis.find_loops(func):
+        single_def = analysis.single_def_vregs(func)
+        preheader: ir.Block | None = None
+        while True:
+            loop_defs = _loop_defs(func, loop)
+            hoisted_any = False
+            for block in func.blocks:
+                if block.name not in loop.body:
+                    continue
+                remaining: list[ir.Instr] = []
+                for instr in block.instrs:
+                    dst = instr.defs()
+                    invariant = (
+                        _hoistable(instr)
+                        and dst is not None and dst in single_def
+                        and all(not (isinstance(v, ir.VReg)
+                                     and v in loop_defs)
+                                for v in instr.uses()))
+                    if invariant:
+                        if preheader is None:
+                            preheader = _ensure_preheader(func, loop)
+                        preheader.instrs.append(instr)
+                        loop_defs.discard(dst)
+                        hoisted_any = True
+                        changed = True
+                    else:
+                        remaining.append(instr)
+                block.instrs = remaining
+            if not hoisted_any:
+                break
+    return changed

@@ -1,0 +1,87 @@
+"""Control-flow graph cleanup (enabled at O1+): unreachable-block removal,
+empty-block jump threading, and straight-line block merging. This is the
+"cross jumping"-style tidying the paper attributes to O1/O2."""
+
+from __future__ import annotations
+
+from .. import analysis, ir
+
+
+def _remove_unreachable(func: ir.Function) -> bool:
+    reachable = analysis.reachable_blocks(func)
+    if len(reachable) == len(func.blocks):
+        return False
+    func.blocks = [b for b in func.blocks if b.name in reachable]
+    return True
+
+
+def _thread_empty_jumps(func: ir.Function) -> bool:
+    """Redirect edges that pass through an empty block ending in a jump."""
+    forward: dict[str, str] = {}
+    entry = func.blocks[0].name
+    for block in func.blocks:
+        if not block.instrs and isinstance(block.terminator, ir.Jump) \
+                and block.name != entry \
+                and block.terminator.target != block.name:
+            forward[block.name] = block.terminator.target
+
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in forward and name not in seen:
+            seen.add(name)
+            name = forward[name]
+        return name
+
+    changed = False
+    for block in func.blocks:
+        term = block.terminator
+        if isinstance(term, ir.Jump):
+            target = resolve(term.target)
+            if target != term.target:
+                term.target = target
+                changed = True
+        elif isinstance(term, ir.CondJump):
+            if_true = resolve(term.if_true)
+            if_false = resolve(term.if_false)
+            if (if_true, if_false) != (term.if_true, term.if_false):
+                term.if_true, term.if_false = if_true, if_false
+                changed = True
+            if term.if_true == term.if_false:
+                block.terminator = ir.Jump(term.if_true)
+                changed = True
+    return changed
+
+
+def _merge_straight_line(func: ir.Function) -> bool:
+    """Merge A -> B when A jumps to B and B has no other predecessor."""
+    changed = False
+    while True:
+        preds = func.predecessors()
+        blocks = func.block_map()
+        merged = False
+        for block in func.blocks:
+            term = block.terminator
+            if not isinstance(term, ir.Jump):
+                continue
+            target = term.target
+            if target == block.name or target == func.blocks[0].name:
+                continue
+            if len(preds[target]) != 1:
+                continue
+            succ = blocks[target]
+            block.instrs.extend(succ.instrs)
+            block.terminator = succ.terminator
+            func.blocks.remove(succ)
+            merged = True
+            changed = True
+            break
+        if not merged:
+            return changed
+
+
+def run(func: ir.Function, module: ir.Module) -> bool:
+    changed = _remove_unreachable(func)
+    changed |= _thread_empty_jumps(func)
+    changed |= _remove_unreachable(func)
+    changed |= _merge_straight_line(func)
+    return changed

@@ -1,0 +1,88 @@
+"""Strength reduction (enabled at O2+).
+
+Replaces expensive multiply/divide/remainder by cheap shift/add sequences
+when one operand is a suitable constant:
+
+* ``x * 2^k``      -> ``x << k``
+* ``x * (2^k + 1)``-> ``(x << k) + x``
+* ``x * (2^k - 1)``-> ``(x << k) - x``
+* ``x / 2^k``      -> sign-corrected arithmetic shift (C truncation)
+* ``x % 2^k``      -> via the reduced divide (``x - (x/2^k) << k``)
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from .common import is_power_of_two, norm_const
+
+
+def _signed_div_pow2(func: ir.Function, out: list[ir.Instr], dst: ir.VReg,
+                     x: ir.Value, k: int, xlen: int) -> None:
+    """dst = x / 2**k with C round-toward-zero semantics."""
+    if k == 0:
+        out.append(ir.Move(dst, x))
+        return
+    sign = func.new_vreg("sr")
+    out.append(ir.BinOp(sign, "ashr", x, ir.Const(xlen - 1)))
+    bias = func.new_vreg("sr")
+    out.append(ir.BinOp(bias, "lshr", sign, ir.Const(xlen - k)))
+    adjusted = func.new_vreg("sr")
+    out.append(ir.BinOp(adjusted, "add", x, bias))
+    out.append(ir.BinOp(dst, "ashr", adjusted, ir.Const(k)))
+
+
+def _reduce(func: ir.Function, instr: ir.BinOp,
+            xlen: int) -> list[ir.Instr] | None:
+    if not isinstance(instr.b, ir.Const):
+        return None
+    value = norm_const(instr.b.value, xlen)
+    if instr.op == "mul":
+        if is_power_of_two(value):
+            return [ir.BinOp(instr.dst, "shl", instr.a,
+                             ir.Const(value.bit_length() - 1))]
+        if value > 2 and is_power_of_two(value - 1):
+            shifted = func.new_vreg("sr")
+            return [
+                ir.BinOp(shifted, "shl", instr.a,
+                         ir.Const((value - 1).bit_length() - 1)),
+                ir.BinOp(instr.dst, "add", shifted, instr.a),
+            ]
+        if value > 2 and is_power_of_two(value + 1):
+            shifted = func.new_vreg("sr")
+            return [
+                ir.BinOp(shifted, "shl", instr.a,
+                         ir.Const((value + 1).bit_length() - 1)),
+                ir.BinOp(instr.dst, "sub", shifted, instr.a),
+            ]
+        return None
+    if instr.op == "div" and is_power_of_two(value):
+        out: list[ir.Instr] = []
+        _signed_div_pow2(func, out, instr.dst, instr.a,
+                         value.bit_length() - 1, xlen)
+        return out
+    if instr.op == "rem" and is_power_of_two(value):
+        k = value.bit_length() - 1
+        out = []
+        quotient = func.new_vreg("sr")
+        _signed_div_pow2(func, out, quotient, instr.a, k, xlen)
+        scaled = func.new_vreg("sr")
+        out.append(ir.BinOp(scaled, "shl", quotient, ir.Const(k)))
+        out.append(ir.BinOp(instr.dst, "sub", instr.a, scaled))
+        return out
+    return None
+
+
+def run(func: ir.Function, module: ir.Module) -> bool:
+    changed = False
+    for block in func.blocks:
+        new_instrs: list[ir.Instr] = []
+        for instr in block.instrs:
+            if isinstance(instr, ir.BinOp):
+                reduced = _reduce(func, instr, module.xlen)
+                if reduced is not None:
+                    new_instrs.extend(reduced)
+                    changed = True
+                    continue
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    return changed

@@ -1,0 +1,111 @@
+"""Loop unrolling (enabled at O3).
+
+Because the IR is not SSA, a loop body can be replicated verbatim: the
+clones reuse the same virtual registers, so dataflow is preserved by
+construction. Each clone keeps its own exit test, which makes the
+transform valid for *any* loop shape (it is iterated peeling inside the
+loop): the dynamic instruction stream is unchanged except for the reduced
+number of taken back-edge branches, while the static code grows by the
+unroll factor -- precisely the O3 code-size signature the paper leans on.
+
+Only innermost loops with a single latch and a bounded body size are
+unrolled, by ``UNROLL_FACTOR``.
+"""
+
+from __future__ import annotations
+
+from .. import analysis, ir
+
+UNROLL_FACTOR = 2
+MAX_BODY_BLOCKS = 6
+MAX_BODY_INSTRS = 48
+
+
+def _clone_body(func: ir.Function, body_blocks: list[ir.Block],
+                suffix: str) -> tuple[list[ir.Block], dict[str, str]]:
+    name_map = {b.name: b.name + suffix for b in body_blocks}
+    clones: list[ir.Block] = []
+    for src in body_blocks:
+        clone = ir.Block(name_map[src.name])
+        clone.instrs = [ir.clone_instr(i) for i in src.instrs]
+        term = src.terminator
+        assert term is not None
+        clone.terminator = ir.clone_terminator(term)
+        clones.append(clone)
+    return clones, name_map
+
+
+def _retarget(term: ir.Terminator, mapping: dict[str, str]) -> None:
+    if isinstance(term, ir.Jump):
+        term.target = mapping.get(term.target, term.target)
+    elif isinstance(term, ir.CondJump):
+        term.if_true = mapping.get(term.if_true, term.if_true)
+        term.if_false = mapping.get(term.if_false, term.if_false)
+
+
+def _unroll_loop(func: ir.Function, loop: analysis.Loop,
+                 factor: int) -> None:
+    blocks = func.block_map()
+    body_blocks = [b for b in func.blocks if b.name in loop.body]
+    latch = loop.latches[0]
+
+    copies: list[tuple[list[ir.Block], dict[str, str]]] = []
+    for _ in range(1, factor):
+        # suffix from the function's block counter: unique even when the
+        # same loop is unrolled again by an iterated custom pipeline
+        suffix = f".u{func._next_block}"
+        func._next_block += 1
+        copies.append(_clone_body(func, body_blocks, suffix))
+
+    # Rewire back edges: original latch -> copy 1, copy i -> copy i+1,
+    # last copy -> original header. Internal edges stay within each copy.
+    for i, (clones, name_map) in enumerate(copies):
+        if i + 1 < len(copies):
+            next_header = copies[i + 1][1][loop.header]
+        else:
+            next_header = loop.header
+        for clone in clones:
+            assert clone.terminator is not None
+            internal = dict(name_map)
+            internal[loop.header] = next_header
+            # The clone of the header's *entry* is jumped to via back
+            # edges; edges to the header from within this copy are the
+            # copy's own back edge and must go to the next copy.
+            _retarget(clone.terminator, internal)
+
+    first_header = copies[0][1][loop.header]
+    latch_term = blocks[latch].terminator
+    assert latch_term is not None
+    _retarget(latch_term, {loop.header: first_header})
+
+    insert_at = max(func.blocks.index(b) for b in body_blocks) + 1
+    new_blocks: list[ir.Block] = []
+    for clones, _ in copies:
+        new_blocks.extend(clones)
+    func.blocks[insert_at:insert_at] = new_blocks
+
+
+def run(func: ir.Function, module: ir.Module,
+        factor: int = UNROLL_FACTOR) -> bool:
+    if factor < 2:
+        return False
+    loops = analysis.find_loops(func)
+    inner_headers: set[str] = set()
+    # innermost = loop whose body contains no other loop's header
+    headers = {loop.header for loop in loops}
+    for loop in loops:
+        if not (loop.body - {loop.header}) & headers:
+            inner_headers.add(loop.header)
+    changed = False
+    for loop in loops:
+        if loop.header not in inner_headers:
+            continue
+        if len(loop.latches) != 1 or loop.size > MAX_BODY_BLOCKS:
+            continue
+        total = sum(len(b.instrs) for b in func.blocks
+                    if b.name in loop.body)
+        if total > MAX_BODY_INSTRS:
+            continue
+        _unroll_loop(func, loop, factor)
+        changed = True
+    return changed

@@ -1,0 +1,200 @@
+"""Register allocation.
+
+Two allocators implement the paper's key O0-vs-O1+ contrast:
+
+* :func:`allocate_stack` (O0) -- every virtual register gets a stack home;
+  the code generator reloads operands before each use and stores results
+  after each definition. This reproduces the load/store-heavy pattern of
+  ``gcc -O0`` binaries that drives their distinctive cache/RF utilization.
+* :func:`allocate_linear` (O1+) -- classic linear-scan over live
+  intervals. Intervals that span a call are placed in callee-saved
+  registers (or spilled); others prefer caller-saved temporaries.
+
+Allocatable registers: t0-t3 (caller-saved) and s0-s11 (callee-saved).
+t4-t6 are reserved as code-generator scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import registers
+from . import analysis, ir
+
+CALLER_SAVED_POOL = (9, 10, 11, 12)            # t0-t3
+CALLEE_SAVED_POOL = tuple(registers.SAVED_REGS)  # s0-s11
+SCRATCH = (13, 14, 15)                         # t4-t6
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    mode: str                                   # "stack" or "linear"
+    assignment: dict[ir.VReg, int] = field(default_factory=dict)
+    spill_slots: dict[ir.VReg, int] = field(default_factory=dict)
+    used_callee_saved: list[int] = field(default_factory=list)
+    has_calls: bool = False
+
+    @property
+    def num_spill_slots(self) -> int:
+        return len(set(self.spill_slots.values()))
+
+    def location(self, reg: ir.VReg) -> tuple[str, int]:
+        """('reg', phys) or ('slot', index) for an allocated vreg."""
+        if reg in self.assignment:
+            return ("reg", self.assignment[reg])
+        return ("slot", self.spill_slots[reg])
+
+
+def _function_has_calls(func: ir.Function) -> bool:
+    return any(isinstance(i, ir.Call) for i in func.instructions())
+
+
+def _all_vregs(func: ir.Function) -> list[ir.VReg]:
+    seen: dict[ir.VReg, None] = {}
+    for param in func.params:
+        seen[param] = None
+    for block in func.blocks:
+        for instr in block.instrs:
+            dst = instr.defs()
+            if dst is not None:
+                seen.setdefault(dst, None)
+            for value in instr.uses():
+                if isinstance(value, ir.VReg):
+                    seen.setdefault(value, None)
+        assert block.terminator is not None
+        for value in block.terminator.uses():
+            if isinstance(value, ir.VReg):
+                seen.setdefault(value, None)
+    return list(seen)
+
+
+def allocate_stack(func: ir.Function) -> Allocation:
+    """O0 allocator: a frame home for every virtual register."""
+    alloc = Allocation(mode="stack", has_calls=_function_has_calls(func))
+    for index, reg in enumerate(_all_vregs(func)):
+        alloc.spill_slots[reg] = index
+    return alloc
+
+
+@dataclass
+class _Interval:
+    reg: ir.VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+    assigned: int | None = None
+
+
+def _build_intervals(func: ir.Function) -> list[_Interval]:
+    live_in, live_out = analysis.liveness(func)
+    position = 0
+    ranges: dict[ir.VReg, list[int]] = {}
+    call_positions: list[int] = []
+
+    def touch(reg: ir.VReg, pos: int) -> None:
+        bounds = ranges.setdefault(reg, [pos, pos])
+        bounds[0] = min(bounds[0], pos)
+        bounds[1] = max(bounds[1], pos)
+
+    for param in func.params:
+        touch(param, 0)
+
+    for block in func.blocks:
+        block_start = position
+        for reg in live_in[block.name]:
+            touch(reg, block_start)
+        for instr in block.instrs:
+            position += 1
+            for value in instr.uses():
+                if isinstance(value, ir.VReg):
+                    touch(value, position)
+            dst = instr.defs()
+            if dst is not None:
+                touch(dst, position)
+            if isinstance(instr, ir.Call):
+                call_positions.append(position)
+        position += 1
+        assert block.terminator is not None
+        for value in block.terminator.uses():
+            if isinstance(value, ir.VReg):
+                touch(value, position)
+        for reg in live_out[block.name]:
+            touch(reg, position)
+
+    intervals = [
+        _Interval(reg, bounds[0], bounds[1])
+        for reg, bounds in ranges.items()
+    ]
+    for interval in intervals:
+        interval.crosses_call = any(
+            interval.start < call <= interval.end
+            for call in call_positions)
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals
+
+
+def allocate_linear(func: ir.Function) -> Allocation:
+    """Linear-scan allocation for O1 and above."""
+    alloc = Allocation(mode="linear", has_calls=_function_has_calls(func))
+    intervals = _build_intervals(func)
+    active: list[_Interval] = []
+    free_caller = list(CALLER_SAVED_POOL)
+    free_callee = list(CALLEE_SAVED_POOL)
+    next_spill = 0
+
+    def release(interval: _Interval) -> None:
+        assert interval.assigned is not None
+        if interval.assigned in CALLER_SAVED_POOL:
+            free_caller.append(interval.assigned)
+        else:
+            free_callee.append(interval.assigned)
+
+    for interval in intervals:
+        for done in [iv for iv in active if iv.end < interval.start]:
+            active.remove(done)
+            release(done)
+        pools = ([free_callee] if interval.crosses_call
+                 else [free_caller, free_callee])
+        chosen: int | None = None
+        for pool in pools:
+            if pool:
+                chosen = pool.pop(0)
+                break
+        if chosen is None:
+            # Try to steal from the active interval with the furthest end
+            # whose register satisfies this interval's constraint.
+            candidates = [
+                iv for iv in active
+                if not interval.crosses_call
+                or iv.assigned in CALLEE_SAVED_POOL
+            ]
+            candidates.sort(key=lambda iv: iv.end, reverse=True)
+            if candidates and candidates[0].end > interval.end:
+                victim = candidates[0]
+                chosen = victim.assigned
+                victim.assigned = None
+                active.remove(victim)
+                alloc.spill_slots[victim.reg] = next_spill
+                alloc.assignment.pop(victim.reg, None)
+                next_spill += 1
+        if chosen is None:
+            alloc.spill_slots[interval.reg] = next_spill
+            next_spill += 1
+            continue
+        interval.assigned = chosen
+        alloc.assignment[interval.reg] = chosen
+        active.append(interval)
+
+    used = {reg for reg in alloc.assignment.values()
+            if reg in CALLEE_SAVED_POOL}
+    alloc.used_callee_saved = sorted(used)
+    return alloc
+
+
+def allocate(func: ir.Function, opt_level: str) -> Allocation:
+    """Select the allocator for ``opt_level`` ('O0' -> stack homes)."""
+    if opt_level == "O0":
+        return allocate_stack(func)
+    return allocate_linear(func)

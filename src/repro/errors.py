@@ -1,0 +1,86 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+The split between :class:`SimCrashError` and :class:`SimAssertError` mirrors
+the paper's fault-effect taxonomy (Section III-C): a *Crash* is an event the
+simulated platform itself would observe (a killed process or a kernel
+panic), while an *Assert* is a condition the simulator cannot map onto any
+real-machine behaviour (e.g. a physical register tag that exceeds the
+register file size) and therefore terminates the simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CompileError(ReproError):
+    """A MinC source program failed to lex, parse, type-check, or lower."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class AssemblyError(ReproError):
+    """Assembler input was malformed (bad mnemonic, operand, or label)."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded into its 32-bit binary form."""
+
+
+class IllegalInstructionError(ReproError):
+    """A 32-bit word does not decode to any architecturally valid instruction.
+
+    During fault-free execution this indicates a toolchain bug; during fault
+    injection it is the expected consequence of a flipped bit in the L1I
+    data array and leads to a process crash at commit.
+    """
+
+    def __init__(self, word: int, pc: int | None = None) -> None:
+        self.word = word
+        self.pc = pc
+        where = f" at pc=0x{pc:x}" if pc is not None else ""
+        super().__init__(f"illegal instruction 0x{word:08x}{where}")
+
+
+class SimulationError(ReproError):
+    """Base class for events that terminate a simulation abnormally."""
+
+
+class SimCrashError(SimulationError):
+    """The simulated program crashed (paper class: Crash).
+
+    ``kind`` distinguishes a killed user process (``"process"``) from a
+    kernel panic (``"system"``); the FIT analysis reports them separately
+    (AppCrash vs SysCrash in Fig. 10).
+    """
+
+    def __init__(self, reason: str, kind: str = "process") -> None:
+        if kind not in ("process", "system"):
+            raise ValueError(f"unknown crash kind: {kind!r}")
+        self.kind = kind
+        self.reason = reason
+        super().__init__(f"{kind} crash: {reason}")
+
+
+class SimAssertError(SimulationError):
+    """The simulator hit a state it cannot adjudicate (paper class: Assert).
+
+    Raised by defensive microarchitectural checks: out-of-range physical
+    register tags, cache tags pointing outside the system map, inconsistent
+    ROB/LQ/SQ metadata, and similar conditions that have no well-defined
+    real-hardware outcome.
+    """
+
+
+class SimTimeoutError(SimulationError):
+    """Simulation exceeded its cycle budget (paper class: Timeout)."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        super().__init__(f"simulation exceeded {limit} cycles")

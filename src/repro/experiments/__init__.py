@@ -1,0 +1,49 @@
+"""Experiments harness: the campaign grid and one data generator per
+paper table/figure."""
+
+from .figures import (
+    FIGURE_FIELDS,
+    avf_figure,
+    fig1_performance,
+    fig9_wavf_difference,
+    fig10_fit_rates,
+    fig11_fpe,
+    fig12_ecc_fit,
+    table1_configurations,
+    weighted_field_avf,
+)
+from .grid import CORES, OPT_LEVELS, CampaignGrid, GridSpec
+from .render import (
+    format_table,
+    render_avf_figure,
+    render_fig1,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_table1,
+)
+
+__all__ = [
+    "CORES",
+    "CampaignGrid",
+    "FIGURE_FIELDS",
+    "GridSpec",
+    "OPT_LEVELS",
+    "avf_figure",
+    "fig1_performance",
+    "fig9_wavf_difference",
+    "fig10_fit_rates",
+    "fig11_fpe",
+    "fig12_ecc_fit",
+    "format_table",
+    "render_avf_figure",
+    "render_fig1",
+    "render_fig9",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_table1",
+    "table1_configurations",
+    "weighted_field_avf",
+]

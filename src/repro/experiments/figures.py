@@ -1,0 +1,186 @@
+"""Data generators for every table and figure in the paper's evaluation.
+
+Each ``figN_*`` function consumes a :class:`~repro.experiments.grid.
+CampaignGrid` and returns plain nested dicts (JSON-serializable) holding
+exactly the series the corresponding paper figure plots. Rendering to
+text tables lives in :mod:`repro.experiments.render`.
+"""
+
+from __future__ import annotations
+
+from ..avf import (
+    ECC_SCHEMES,
+    cpu_fit,
+    cpu_fit_by_class,
+    failures_per_execution,
+)
+from ..avf.weighted import BenchmarkAVF, weighted_avf, weighted_class_avf
+from ..gefin.outcomes import FAILURE_OUTCOMES
+from ..microarch import CONFIGS
+from .grid import CampaignGrid
+
+FAULT_CLASSES = tuple(o.value for o in FAILURE_OUTCOMES)
+
+# Figure -> structure fields shown in that figure (per-benchmark panels);
+# the aggregate analyses always use all fifteen fields.
+FIGURE_FIELDS = {
+    2: ("l1i.data", "l1i.tag"),
+    3: ("l1d.data", "l1d.tag"),
+    4: ("l2.data", "l2.tag"),
+    5: ("prf",),
+    6: ("lq", "sq"),
+    7: ("iq.src", "iq.dst"),
+    8: ("rob.pc", "rob.dest", "rob.flags", "rob.seq"),
+}
+
+
+def table1_configurations() -> dict[str, dict[str, str]]:
+    """Table I: the two core configurations."""
+    rows: dict[str, dict[str, str]] = {}
+    for name, cfg in CONFIGS.items():
+        rows[name] = {
+            "ISA": f"armlet-{cfg.xlen} "
+                   f"({'Armv7' if cfg.xlen == 32 else 'Armv8'} analogue)",
+            "Pipeline": "Out-of-Order",
+            "L1 Data Cache": f"{cfg.l1d.size_bytes // 1024} KB "
+                             f"({cfg.l1d.ways}-way), PIPT",
+            "L1 Instruction Cache": f"{cfg.l1i.size_bytes // 1024} KB "
+                                    f"({cfg.l1i.ways}-way), PIPT",
+            "L2 Cache": f"{cfg.l2.size_bytes // (1024 * 1024)} MB "
+                        f"({cfg.l2.ways}-way), PIPT",
+            "Physical Register File": f"{cfg.phys_regs} registers",
+            "Issue Queue": f"{cfg.iq_entries} entries x {cfg.xlen} bit",
+            "Load / Store Queue": f"{cfg.lq_entries} entries x "
+                                  f"{cfg.xlen} bit",
+            "Reorder Buffer": f"{cfg.rob_entries} entries",
+            "Fetch width": str(cfg.fetch_width),
+            "Execute Width": str(cfg.execute_width),
+            "Writeback Width": str(cfg.writeback_width),
+            "Raw FIT/bit": f"{cfg.raw_fit_per_bit:.2e}",
+        }
+    return rows
+
+
+def fig1_performance(grid: CampaignGrid) -> dict:
+    """Fig. 1: relative performance (speedup vs O0) per benchmark."""
+    out: dict = {}
+    for core in grid.spec.cores:
+        out[core] = {}
+        for bench in grid.spec.benchmarks:
+            base = grid.golden_cycles(core, bench, "O0")
+            out[core][bench] = {
+                level: base / grid.golden_cycles(core, bench, level)
+                for level in grid.spec.levels
+            }
+    return out
+
+
+def avf_figure(grid: CampaignGrid, fields: tuple[str, ...]) -> dict:
+    """Figs. 2-8: per-benchmark AVF stacked by fault class, plus wAVF."""
+    out: dict = {}
+    for core in grid.spec.cores:
+        out[core] = {}
+        for field in fields:
+            panel: dict = {}
+            for bench in grid.spec.benchmarks:
+                panel[bench] = {
+                    level: grid.avf_by_class(core, bench, level, field)
+                    for level in grid.spec.levels
+                }
+            panel["wAVF"] = {}
+            for level in grid.spec.levels:
+                samples = {
+                    bench: (panel[bench][level],
+                            float(grid.golden_cycles(core, bench, level)))
+                    for bench in grid.spec.benchmarks
+                }
+                panel["wAVF"][level] = weighted_class_avf(samples)
+            out[core][field] = panel
+    return out
+
+
+def weighted_field_avf(grid: CampaignGrid, core: str, field: str,
+                       level: str) -> float:
+    """wAVF of one field at one level (equation 1 over the suite)."""
+    samples = [
+        BenchmarkAVF(bench, grid.avf(core, bench, level, field),
+                     float(grid.golden_cycles(core, bench, level)))
+        for bench in grid.spec.benchmarks
+    ]
+    return weighted_avf(samples)
+
+
+def fig9_wavf_difference(grid: CampaignGrid) -> dict:
+    """Fig. 9: wAVF difference of O1/O2/O3 relative to O0, per field."""
+    out: dict = {}
+    for core in grid.spec.cores:
+        out[core] = {}
+        for field in grid.spec.fields:
+            base = weighted_field_avf(grid, core, field, "O0")
+            out[core][field] = {
+                level: weighted_field_avf(grid, core, field, level) - base
+                for level in grid.spec.levels if level != "O0"
+            }
+    return out
+
+
+def _field_class_avfs(grid: CampaignGrid, core: str, bench: str,
+                      level: str) -> dict[str, dict[str, float]]:
+    return {
+        field: grid.avf_by_class(core, bench, level, field)
+        for field in grid.spec.fields
+    }
+
+
+def fig10_fit_rates(grid: CampaignGrid) -> dict:
+    """Fig. 10: whole-CPU FIT per benchmark/level, stacked by class."""
+    out: dict = {}
+    for core in grid.spec.cores:
+        config = CONFIGS[core]
+        out[core] = {}
+        for bench in grid.spec.benchmarks:
+            out[core][bench] = {
+                level: cpu_fit_by_class(
+                    config, _field_class_avfs(grid, core, bench, level))
+                for level in grid.spec.levels
+            }
+    return out
+
+
+def fig11_fpe(grid: CampaignGrid) -> dict:
+    """Fig. 11: Failures per Execution normalized to O0."""
+    fit = fig10_fit_rates(grid)
+    out: dict = {}
+    for core in grid.spec.cores:
+        out[core] = {}
+        for bench in grid.spec.benchmarks:
+            fpe = {}
+            for level in grid.spec.levels:
+                total_fit = sum(fit[core][bench][level].values())
+                cycles = grid.golden_cycles(core, bench, level)
+                fpe[level] = failures_per_execution(total_fit, cycles)
+            base = fpe["O0"]
+            out[core][bench] = {
+                level: (fpe[level] / base if base > 0 else 0.0)
+                for level in grid.spec.levels
+            }
+    return out
+
+
+def fig12_ecc_fit(grid: CampaignGrid) -> dict:
+    """Fig. 12: whole-CPU FIT per level under the three ECC schemes,
+    computed from suite-weighted AVFs."""
+    out: dict = {}
+    for core in grid.spec.cores:
+        config = CONFIGS[core]
+        out[core] = {}
+        for scheme in ECC_SCHEMES:
+            out[core][scheme.name] = {}
+            for level in grid.spec.levels:
+                field_avfs = {
+                    field: weighted_field_avf(grid, core, field, level)
+                    for field in grid.spec.fields
+                }
+                out[core][scheme.name][level] = cpu_fit(config, field_avfs,
+                                                        scheme)
+    return out

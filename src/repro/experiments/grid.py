@@ -1,0 +1,242 @@
+"""The campaign grid: every (core, benchmark, opt-level, field) cell.
+
+The paper's evaluation is one big grid -- 2 microarchitectures x 8
+benchmarks x 4 optimization levels x 15 structure fields, with a fixed
+number of injections per cell. :class:`CampaignGrid` materializes that
+grid with on-disk JSON caching so the twelve figure benches share one
+set of campaigns.
+
+Environment knobs (see DESIGN.md):
+
+* ``REPRO_SCALE``      -- workload input scale (micro/small/large)
+* ``REPRO_INJECTIONS`` -- faults per cell
+* ``REPRO_SEED``       -- campaign seed
+* ``REPRO_MODE``       -- uniform | occupancy sampling
+* ``REPRO_CACHE_DIR``  -- cache directory
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..gefin import (
+    CampaignResult,
+    GoldenRun,
+    ResultStore,
+    result_key,
+    run_campaign,
+    run_golden,
+)
+from ..microarch import ALL_FIELDS, CONFIGS, CoreConfig
+from ..workloads import BENCHMARKS, build_program
+
+OPT_LEVELS = ("O0", "O1", "O2", "O3")
+CORES = ("cortex-a15", "cortex-a72")
+
+_CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
+
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".repro_cache"))
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Shape and sampling parameters of one campaign grid."""
+
+    benchmarks: tuple[str, ...] = BENCHMARKS
+    levels: tuple[str, ...] = OPT_LEVELS
+    cores: tuple[str, ...] = CORES
+    fields: tuple[str, ...] = ALL_FIELDS
+    scale: str = "micro"
+    injections: int = 8
+    seed: int = 2021
+    mode: str = "occupancy"
+
+    @classmethod
+    def from_env(cls) -> "GridSpec":
+        return cls(
+            scale=os.environ.get("REPRO_SCALE", "micro"),
+            injections=int(os.environ.get("REPRO_INJECTIONS", "8")),
+            seed=int(os.environ.get("REPRO_SEED", "2021")),
+            mode=os.environ.get("REPRO_MODE", "occupancy"),
+        )
+
+    @property
+    def cells(self) -> int:
+        return (len(self.benchmarks) * len(self.levels) * len(self.cores)
+                * len(self.fields))
+
+
+class CampaignGrid:
+    """Runs and caches the full campaign grid."""
+
+    def __init__(self, spec: GridSpec | None = None,
+                 cache_dir: str | Path | None = None) -> None:
+        self.spec = spec or GridSpec.from_env()
+        self.store = ResultStore(cache_dir or DEFAULT_CACHE_DIR)
+        self._golden: dict[tuple[str, str, str], GoldenRun] = {}
+
+    # ------------------------------------------------------------- building
+
+    def config(self, core: str) -> CoreConfig:
+        return CONFIGS[core]
+
+    def program(self, core: str, benchmark: str, level: str):
+        return build_program(benchmark, self.spec.scale, level,
+                             _CORE_TO_TARGET[core])
+
+    def golden(self, core: str, benchmark: str, level: str,
+               snapshots: bool = True) -> GoldenRun:
+        """Golden run for one program cell (memoized per process)."""
+        key = (core, benchmark, level)
+        cached = self._golden.get(key)
+        if cached is not None:
+            return cached
+        program = self.program(core, benchmark, level)
+        config = self.config(core)
+        golden = run_golden(program, config)
+        if snapshots and golden.cycles > 2000:
+            golden = run_golden(program, config,
+                                snapshot_every=max(1000,
+                                                   golden.cycles // 8))
+        self._golden[key] = golden
+        self._save_golden_stats(core, benchmark, level, golden)
+        return golden
+
+    def _golden_key(self, core: str, benchmark: str, level: str) -> str:
+        return f"golden__{core}__{benchmark}__{level}__{self.spec.scale}"
+
+    def _save_golden_stats(self, core: str, benchmark: str, level: str,
+                           golden: GoldenRun) -> None:
+        self.store.save_extra(self._golden_key(core, benchmark, level), {
+            "cycles": golden.cycles,
+            "stats": golden.stats,
+        })
+
+    def golden_cycles(self, core: str, benchmark: str, level: str) -> int:
+        """Fault-free cycle count, from cache when available."""
+        cached = self.store.load_extra(
+            self._golden_key(core, benchmark, level))
+        if cached is not None:
+            return int(cached["cycles"])
+        return self.golden(core, benchmark, level, snapshots=False).cycles
+
+    def golden_stats(self, core: str, benchmark: str,
+                     level: str) -> dict[str, float]:
+        """Fault-free run statistics (IPC, mix, utilization counters)."""
+        cached = self.store.load_extra(
+            self._golden_key(core, benchmark, level))
+        if cached is not None:
+            return dict(cached["stats"])
+        return dict(self.golden(core, benchmark, level,
+                                snapshots=False).stats)
+
+    # ------------------------------------------------------------ campaigns
+
+    def _cell_key(self, core: str, benchmark: str, level: str,
+                  field: str) -> str:
+        return result_key(core, benchmark, level, field, self.spec.scale,
+                          self.spec.injections, self.spec.seed,
+                          self.spec.mode)
+
+    def result(self, core: str, benchmark: str, level: str,
+               field: str) -> CampaignResult:
+        """Campaign result for one cell, running it if not cached."""
+        key = self._cell_key(core, benchmark, level, field)
+        cached = self.store.load(key)
+        if cached is not None:
+            return cached
+        golden = self.golden(core, benchmark, level)
+        result = run_campaign(
+            self.program(core, benchmark, level), self.config(core), field,
+            self.spec.injections, seed=self.spec.seed, mode=self.spec.mode,
+            golden=golden)
+        self.store.save(key, result)
+        return result
+
+    def is_cached(self, core: str, benchmark: str, level: str,
+                  field: str) -> bool:
+        return self._cell_key(core, benchmark, level, field) in self.store
+
+    def ensure_all(self, progress=None, workers: int = 1) -> int:
+        """Materialize every cell; returns the number of cells run.
+
+        With ``workers > 1`` the grid is partitioned by program (one
+        worker task per (core, benchmark, level), sharing that program's
+        golden run across its 15 field campaigns); each worker writes
+        its own cache files, so parallelism is safe and resumable.
+        """
+        if workers > 1:
+            return self._ensure_parallel(progress, workers)
+        ran = 0
+        spec = self.spec
+        for core in spec.cores:
+            for benchmark in spec.benchmarks:
+                for level in spec.levels:
+                    for field in spec.fields:
+                        if self.is_cached(core, benchmark, level, field):
+                            continue
+                        self.result(core, benchmark, level, field)
+                        ran += 1
+                        if progress is not None:
+                            progress(core, benchmark, level, field, ran)
+                    # free golden snapshots once a program's cells exist
+                    self._golden.pop((core, benchmark, level), None)
+        return ran
+
+    def _pending_programs(self) -> list[tuple[str, str, str]]:
+        spec = self.spec
+        return [
+            (core, benchmark, level)
+            for core in spec.cores
+            for benchmark in spec.benchmarks
+            for level in spec.levels
+            if any(not self.is_cached(core, benchmark, level, field)
+                   for field in spec.fields)
+        ]
+
+    def _ensure_parallel(self, progress, workers: int) -> int:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        pending = self._pending_programs()
+        ran = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_program_cells, self.spec,
+                            str(self.store.root), core, benchmark,
+                            level): (core, benchmark, level)
+                for core, benchmark, level in pending
+            }
+            for future in as_completed(futures):
+                core, benchmark, level = futures[future]
+                ran += future.result()
+                if progress is not None:
+                    progress(core, benchmark, level, "*", ran)
+        return ran
+
+    # ------------------------------------------------------------- queries
+
+    def avf(self, core: str, benchmark: str, level: str,
+            field: str) -> float:
+        return self.result(core, benchmark, level, field).avf
+
+    # ------------------------------------------------------------- misc
+
+    def avf_by_class(self, core: str, benchmark: str, level: str,
+                     field: str) -> dict[str, float]:
+        return dict(self.result(core, benchmark, level, field).avf_by_class)
+
+
+def _run_program_cells(spec: GridSpec, store_root: str, core: str,
+                       benchmark: str, level: str) -> int:
+    """Worker entry point: run all uncached fields of one program."""
+    grid = CampaignGrid(spec, store_root)
+    ran = 0
+    for field in spec.fields:
+        if grid.is_cached(core, benchmark, level, field):
+            continue
+        grid.result(core, benchmark, level, field)
+        ran += 1
+    return ran

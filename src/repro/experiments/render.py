@@ -1,0 +1,119 @@
+"""ASCII rendering of figure data: every bench prints the same rows or
+series the corresponding paper figure plots."""
+
+from __future__ import annotations
+
+from .figures import FAULT_CLASSES
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list[str]]) -> str:
+    """Render a fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join("-" * w for w in widths)
+    out = [title, line,
+           "  ".join(h.ljust(w) for h, w in zip(headers, widths)), line]
+    for row in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    out.append(line)
+    return "\n".join(out)
+
+
+def render_table1(data: dict[str, dict[str, str]]) -> str:
+    cores = list(data)
+    parameters = list(next(iter(data.values())))
+    rows = [[param] + [data[core][param] for core in cores]
+            for param in parameters]
+    return format_table("Table I: microprocessor configurations",
+                        ["Parameter"] + cores, rows)
+
+
+def render_fig1(data: dict) -> str:
+    parts = []
+    for core, benches in data.items():
+        levels = list(next(iter(benches.values())))
+        rows = [[bench] + [f"{benches[bench][lvl]:.2f}x" for lvl in levels]
+                for bench in benches]
+        parts.append(format_table(
+            f"Fig. 1: relative performance vs O0 ({core})",
+            ["benchmark"] + levels, rows))
+    return "\n\n".join(parts)
+
+
+def render_avf_figure(data: dict, figure_no: int, component: str) -> str:
+    """Figs. 2-8: one table per (core, field), rows = benchmark x level,
+    columns = fault classes + total AVF."""
+    parts = []
+    for core, fields in data.items():
+        for field, panel in fields.items():
+            rows = []
+            for bench, levels in panel.items():
+                for level, classes in levels.items():
+                    total = sum(classes.values())
+                    rows.append(
+                        [bench, level]
+                        + [f"{classes.get(c, 0.0):.4f}"
+                           for c in FAULT_CLASSES]
+                        + [f"{total:.4f}"])
+            parts.append(format_table(
+                f"Fig. {figure_no}: {component} AVF -- field {field} "
+                f"({core})",
+                ["benchmark", "level", *FAULT_CLASSES, "AVF"], rows))
+    return "\n\n".join(parts)
+
+
+def render_fig9(data: dict) -> str:
+    parts = []
+    for core, fields in data.items():
+        levels = list(next(iter(fields.values())))
+        rows = [[field] + [f"{fields[field][lvl]:+.4f}" for lvl in levels]
+                for field in fields]
+        parts.append(format_table(
+            f"Fig. 9: wAVF difference vs O0 ({core})",
+            ["field"] + levels, rows))
+    return "\n\n".join(parts)
+
+
+def render_fig10(data: dict) -> str:
+    parts = []
+    for core, benches in data.items():
+        rows = []
+        for bench, levels in benches.items():
+            for level, classes in levels.items():
+                total = sum(classes.values())
+                rows.append(
+                    [bench, level]
+                    + [f"{classes.get(c, 0.0):.2f}" for c in FAULT_CLASSES]
+                    + [f"{total:.2f}"])
+        parts.append(format_table(
+            f"Fig. 10: CPU FIT rates by fault class ({core})",
+            ["benchmark", "level", *FAULT_CLASSES, "total"], rows))
+    return "\n\n".join(parts)
+
+
+def render_fig11(data: dict) -> str:
+    parts = []
+    for core, benches in data.items():
+        levels = list(next(iter(benches.values())))
+        rows = [[bench] + [f"{benches[bench][lvl]:.3f}" for lvl in levels]
+                for bench in benches]
+        parts.append(format_table(
+            f"Fig. 11: failures per execution, normalized to O0 ({core})",
+            ["benchmark"] + levels, rows))
+    return "\n\n".join(parts)
+
+
+def render_fig12(data: dict) -> str:
+    parts = []
+    for core, schemes in data.items():
+        levels = list(next(iter(schemes.values())))
+        rows = [[scheme] + [f"{schemes[scheme][lvl]:.2f}"
+                            for lvl in levels]
+                for scheme in schemes]
+        parts.append(format_table(
+            f"Fig. 12: CPU FIT per ECC scheme ({core})",
+            ["scheme"] + levels, rows))
+    return "\n\n".join(parts)

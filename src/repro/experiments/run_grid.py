@@ -1,0 +1,43 @@
+"""Command-line campaign-grid runner.
+
+    python -m repro.experiments.run_grid
+
+Respects the ``REPRO_*`` environment knobs and caches into
+``REPRO_CACHE_DIR``; safe to interrupt and resume (each cell is cached
+independently).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .grid import CampaignGrid, GridSpec
+
+
+def main() -> int:
+    import os
+
+    spec = GridSpec.from_env()
+    grid = CampaignGrid(spec)
+    total = spec.cells
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    start = time.time()
+
+    def progress(core: str, bench: str, level: str, field: str,
+                 ran: int) -> None:
+        elapsed = time.time() - start
+        print(f"[{elapsed:7.1f}s] {ran:5d} cells run | "
+              f"{core} {bench} {level} {field}", flush=True)
+
+    print(f"grid: {total} cells, scale={spec.scale} "
+          f"n={spec.injections} seed={spec.seed} mode={spec.mode} "
+          f"workers={workers}", flush=True)
+    ran = grid.ensure_all(progress, workers=workers)
+    print(f"done: {ran} cells run, {total - ran} cached, "
+          f"{time.time() - start:.1f}s", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

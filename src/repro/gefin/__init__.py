@@ -1,0 +1,57 @@
+"""GeFIN-style microarchitecture-level statistical fault injection.
+
+Workflow::
+
+    golden = run_golden(program, CORTEX_A15)
+    result = run_campaign(program, CORTEX_A15, "rob.pc", n=200,
+                          golden=golden)
+    print(result.avf, result.avf_by_class, result.margin())
+"""
+
+from .campaign import (
+    CampaignResult,
+    aggregate,
+    derive_rng,
+    run_campaign,
+    run_field_campaigns,
+)
+from .fault import FaultSpec, GoldenRun, run_golden
+from .injector import InjectionResult, inject_one
+from .outcomes import (
+    ALL_OUTCOMES,
+    FAILURE_OUTCOMES,
+    Outcome,
+    classify_completion,
+    classify_exception,
+)
+from .sampling import (
+    error_margin,
+    fault_population,
+    required_sample_size,
+    z_score,
+)
+from .storage import ResultStore, result_key
+
+__all__ = [
+    "ALL_OUTCOMES",
+    "CampaignResult",
+    "FAILURE_OUTCOMES",
+    "FaultSpec",
+    "GoldenRun",
+    "InjectionResult",
+    "Outcome",
+    "ResultStore",
+    "aggregate",
+    "classify_completion",
+    "classify_exception",
+    "derive_rng",
+    "error_margin",
+    "fault_population",
+    "inject_one",
+    "required_sample_size",
+    "result_key",
+    "run_campaign",
+    "run_field_campaigns",
+    "run_golden",
+    "z_score",
+]

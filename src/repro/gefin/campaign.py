@@ -1,0 +1,170 @@
+"""Statistical fault-injection campaigns.
+
+A campaign draws ``n`` single-bit faults uniformly over (cycle x bit) for
+one structure field of one compiled program on one core, runs each to
+completion, and aggregates per-class AVF contributions:
+
+    AVF(field) = sum_i weight_i * [outcome_i != MASKED] / n
+
+With ``mode="uniform"`` weights are 1 and this is the textbook SFI
+estimator (2,000 such samples is the paper's setting). With
+``mode="occupancy"`` faults are drawn among *live* bits and weighted by
+live/total occupancy, an unbiased importance-sampling variant that gives
+usable estimates for large sparse arrays (the L2) at small n.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field as dataclass_field
+
+from ..microarch.config import CoreConfig
+from .fault import FaultSpec, GoldenRun, run_golden
+from .injector import InjectionResult, inject_one
+from .outcomes import ALL_OUTCOMES, FAILURE_OUTCOMES, Outcome
+from .sampling import error_margin, fault_population
+
+DEFAULT_SNAPSHOT_COUNT = 8
+
+
+def derive_rng(seed: int, field: str, trial: int) -> random.Random:
+    """Per-injection RNG, reproducible across processes.
+
+    Derives the stream from a SHA-256 of (seed, field, trial) rather than
+    Python's randomized string hashing, so campaigns replay bit-exactly.
+    """
+    digest = hashlib.sha256(f"{seed}:{field}:{trial}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one (program, core, field) campaign."""
+
+    field: str
+    program_name: str
+    config_name: str
+    mode: str
+    n: int
+    seed: int
+    golden_cycles: int
+    bit_count: int
+    counts: dict[str, int] = dataclass_field(default_factory=dict)
+    avf_by_class: dict[str, float] = dataclass_field(default_factory=dict)
+
+    @property
+    def avf(self) -> float:
+        """Total architectural vulnerability factor of the field."""
+        return sum(self.avf_by_class.get(o.value, 0.0)
+                   for o in FAILURE_OUTCOMES)
+
+    def margin(self, confidence: float = 0.99) -> float:
+        """Achieved statistical error margin (Leveugle formulation)."""
+        population = fault_population(self.bit_count, self.golden_cycles)
+        return error_margin(population, self.n, confidence)
+
+    def to_dict(self) -> dict:
+        return {
+            "field": self.field,
+            "program": self.program_name,
+            "config": self.config_name,
+            "mode": self.mode,
+            "n": self.n,
+            "seed": self.seed,
+            "golden_cycles": self.golden_cycles,
+            "bit_count": self.bit_count,
+            "counts": dict(self.counts),
+            "avf_by_class": dict(self.avf_by_class),
+            "avf": self.avf,
+            "margin99": self.margin(0.99),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(
+            field=data["field"],
+            program_name=data["program"],
+            config_name=data["config"],
+            mode=data["mode"],
+            n=data["n"],
+            seed=data["seed"],
+            golden_cycles=data["golden_cycles"],
+            bit_count=data["bit_count"],
+            counts=dict(data["counts"]),
+            avf_by_class=dict(data["avf_by_class"]),
+        )
+
+
+def aggregate(field: str, program_name: str, config_name: str, mode: str,
+              seed: int, golden: GoldenRun, bit_count: int,
+              results: list[InjectionResult]) -> CampaignResult:
+    """Fold raw injection results into a :class:`CampaignResult`."""
+    n = len(results)
+    counts = {o.value: 0 for o in ALL_OUTCOMES}
+    weighted = {o.value: 0.0 for o in ALL_OUTCOMES}
+    for result in results:
+        counts[result.outcome.value] += 1
+        weighted[result.outcome.value] += result.weight
+    avf_by_class = {
+        o.value: (weighted[o.value] / n if n else 0.0)
+        for o in FAILURE_OUTCOMES
+    }
+    return CampaignResult(
+        field=field, program_name=program_name, config_name=config_name,
+        mode=mode, n=n, seed=seed, golden_cycles=golden.cycles,
+        bit_count=bit_count, counts=counts, avf_by_class=avf_by_class)
+
+
+def run_campaign(program, config: CoreConfig, field: str, n: int,
+                 seed: int = 0, mode: str = "occupancy",
+                 golden: GoldenRun | None = None,
+                 keep_results: bool = False, burst: int = 1,
+                 ) -> CampaignResult | tuple[CampaignResult,
+                                             list[InjectionResult]]:
+    """Run an ``n``-fault campaign against one structure field.
+
+    ``burst`` > 1 selects the multi-bit upset model (that many adjacent
+    bits flipped per fault).
+    """
+    if golden is None:
+        golden = run_golden(program, config)
+    from ..microarch.simulator import Simulator
+
+    probe = Simulator(program, config)
+    bit_count = probe.bit_count(field)
+    del probe
+
+    results: list[InjectionResult] = []
+    for trial in range(n):
+        rng = derive_rng(seed, field, trial)
+        cycle = rng.randrange(1, max(2, golden.cycles))
+        if mode == "occupancy":
+            spec = FaultSpec(field=field, cycle=cycle, mode="occupancy",
+                             burst=burst)
+        else:
+            spec = FaultSpec(field=field, cycle=cycle,
+                             bit_index=rng.randrange(bit_count),
+                             burst=burst)
+        results.append(inject_one(program, config, golden, spec, rng))
+
+    summary = aggregate(field, program.name, config.name, mode, seed,
+                        golden, bit_count, results)
+    if keep_results:
+        return summary, results
+    return summary
+
+
+def run_field_campaigns(program, config: CoreConfig, fields: list[str],
+                        n: int, seed: int = 0, mode: str = "occupancy",
+                        snapshot_count: int = DEFAULT_SNAPSHOT_COUNT,
+                        ) -> dict[str, CampaignResult]:
+    """Campaigns for several fields sharing one golden (+ checkpoints)."""
+    probe_golden = run_golden(program, config)
+    snapshot_every = max(1, probe_golden.cycles // max(1, snapshot_count))
+    golden = run_golden(program, config, snapshot_every=snapshot_every)
+    return {
+        field: run_campaign(program, config, field, n, seed=seed,
+                            mode=mode, golden=golden)
+        for field in fields
+    }

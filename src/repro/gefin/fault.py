@@ -1,0 +1,99 @@
+"""Fault specification and golden-run bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..isa.program import Program
+from ..microarch.config import CoreConfig
+from ..microarch.simulator import SimResult, Simulator
+
+DEFAULT_MAX_CYCLES = 50_000_000
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One transient fault: a flip of ``burst`` adjacent bits.
+
+    ``burst=1`` is the paper's single-bit model; larger bursts model the
+    multi-bit upsets of the authors' follow-up study (IISWC 2019 [39]),
+    where one particle strike corrupts physically adjacent cells.
+
+    ``mode`` selects how ``bit_index`` is interpreted: ``"uniform"``
+    addresses the full storage array; ``"occupancy"`` means the bit index
+    is drawn among *live* bits at injection time (the index itself is
+    drawn lazily, so ``bit_index`` may be None until injection).
+    """
+
+    field: str
+    cycle: int
+    bit_index: int | None = None
+    mode: str = "uniform"
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("uniform", "occupancy"):
+            raise ValueError(f"unknown sampling mode {self.mode!r}")
+        if self.cycle < 1:
+            raise ValueError("injection cycle must be >= 1")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+@dataclass
+class GoldenRun:
+    """Reference (fault-free) execution of one program on one core."""
+
+    program: Program
+    config_name: str
+    cycles: int
+    output_data: bytes
+    exit_code: int | None
+    stats: dict[str, float]
+    snapshots: list[tuple[int, bytes]] = field(default_factory=list)
+
+    @property
+    def timeout_cycles(self) -> int:
+        """The paper's timeout threshold: 2x the fault-free time."""
+        return 2 * self.cycles
+
+
+def run_golden(program: Program, config: CoreConfig,
+               max_cycles: int = DEFAULT_MAX_CYCLES,
+               snapshot_every: int | None = None) -> GoldenRun:
+    """Execute the fault-free reference run, optionally checkpointing.
+
+    ``snapshot_every`` enables checkpoint-accelerated campaigns: the
+    machine state is serialized every that-many cycles so each injection
+    can resume from the nearest checkpoint below its injection cycle
+    instead of re-simulating from boot.
+    """
+    sim = Simulator(program, config)
+    snapshots: list[tuple[int, bytes]] = []
+    if snapshot_every is not None and snapshot_every < 1:
+        raise ReproError("snapshot_every must be >= 1")
+    if snapshot_every is None:
+        result: SimResult = sim.run(max_cycles)
+    else:
+        while True:
+            target = sim.cycle + snapshot_every
+            if target > max_cycles:
+                result = sim.run(max_cycles)
+                break
+            if not sim.run_until(target):
+                result = sim.result()
+                break
+            snapshots.append((sim.cycle, sim.save_state()))
+    if result.exit_code != 0:
+        raise ReproError(
+            f"golden run of {program.name} exited with {result.exit_code}")
+    return GoldenRun(
+        program=program,
+        config_name=config.name,
+        cycles=result.cycles,
+        output_data=result.output.data,
+        exit_code=result.exit_code,
+        stats=result.stats,
+        snapshots=snapshots,
+    )

@@ -1,0 +1,94 @@
+"""End-to-end execution of a single fault-injection run."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..microarch.config import CoreConfig
+from ..microarch.simulator import Simulator
+from .fault import FaultSpec, GoldenRun
+from .outcomes import Outcome, classify_completion, classify_exception
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one injection run.
+
+    ``weight`` is the importance-sampling weight of the sample: 1.0 for
+    uniform sampling, live_bits/total_bits (at injection time) for
+    occupancy sampling. The AVF estimator is ``mean(weight x failure)``.
+    """
+
+    spec: FaultSpec
+    outcome: Outcome
+    weight: float
+    bit_index: int | None
+    detail: str = ""
+    cycles: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome.is_failure
+
+
+def _restore_nearest(sim: Simulator, golden: GoldenRun, cycle: int) -> None:
+    """Fast-forward ``sim`` using the latest checkpoint below ``cycle``."""
+    best = None
+    for snap_cycle, blob in golden.snapshots:
+        if snap_cycle < cycle and (best is None or snap_cycle > best[0]):
+            best = (snap_cycle, blob)
+    if best is not None:
+        sim.load_state(best[1])
+
+
+def inject_one(program, config: CoreConfig, golden: GoldenRun,
+               spec: FaultSpec,
+               rng: random.Random | None = None) -> InjectionResult:
+    """Run one end-to-end injection and classify its outcome."""
+    sim = Simulator(program, config)
+    _restore_nearest(sim, golden, spec.cycle)
+    alive = sim.run_until(spec.cycle)
+    if not alive:
+        # The program finished before the fault struck (can only happen
+        # when the caller samples beyond the golden cycle count).
+        return InjectionResult(spec, Outcome.MASKED, 1.0, spec.bit_index,
+                               "program completed before injection",
+                               sim.cycle)
+
+    if spec.mode == "occupancy":
+        total = sim.bit_count(spec.field)
+        live = sim.catalog.live_bit_count(spec.field)
+        if live == 0:
+            return InjectionResult(spec, Outcome.MASKED, 0.0, None,
+                                   "no live bits at injection time",
+                                   golden.cycles)
+        bit = spec.bit_index
+        if bit is None:
+            if rng is None:
+                raise ValueError("occupancy mode needs an rng to draw bits")
+            bit = rng.randrange(live)
+        for offset in range(spec.burst):
+            if bit + offset < live:
+                sim.catalog.flip_live(spec.field, bit + offset)
+        weight = live / total
+    else:
+        bit = spec.bit_index
+        if bit is None:
+            if rng is None:
+                raise ValueError("bit_index is None and no rng given")
+            bit = rng.randrange(sim.bit_count(spec.field))
+        for offset in range(spec.burst):
+            if bit + offset < sim.bit_count(spec.field):
+                sim.flip(spec.field, bit + offset)
+        weight = 1.0
+
+    try:
+        result = sim.run(golden.timeout_cycles)
+    except SimulationError as exc:
+        return InjectionResult(spec, classify_exception(exc), weight, bit,
+                               str(exc), sim.cycle)
+    outcome = classify_completion(result, golden.output_data,
+                                  golden.exit_code)
+    return InjectionResult(spec, outcome, weight, bit, "", result.cycles)

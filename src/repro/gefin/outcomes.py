@@ -1,0 +1,66 @@
+"""Fault-effect classification (paper Section III-C).
+
+==============  ======================================================
+class           meaning
+==============  ======================================================
+MASKED          output identical to the golden run
+SDC             run completed, output differs (silent data corruption)
+TIMEOUT         run exceeded 2x the fault-free execution time
+CRASH_PROCESS   the simulated process was killed (SIGSEGV/SIGILL/...)
+CRASH_SYSTEM    kernel panic
+ASSERT          simulator hit a state it cannot adjudicate
+==============  ======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import (
+    SimAssertError,
+    SimCrashError,
+    SimTimeoutError,
+    SimulationError,
+)
+from ..microarch.simulator import SimResult
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    TIMEOUT = "timeout"
+    CRASH_PROCESS = "crash_process"
+    CRASH_SYSTEM = "crash_system"
+    ASSERT = "assert"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not Outcome.MASKED
+
+
+# Everything that is not masked, in stable plotting order.
+FAILURE_OUTCOMES = (Outcome.SDC, Outcome.CRASH_PROCESS,
+                    Outcome.CRASH_SYSTEM, Outcome.TIMEOUT, Outcome.ASSERT)
+
+ALL_OUTCOMES = (Outcome.MASKED,) + FAILURE_OUTCOMES
+
+
+def classify_exception(exc: SimulationError) -> Outcome:
+    """Map a simulation-terminating exception to its fault class."""
+    if isinstance(exc, SimCrashError):
+        return (Outcome.CRASH_SYSTEM if exc.kind == "system"
+                else Outcome.CRASH_PROCESS)
+    if isinstance(exc, SimAssertError):
+        return Outcome.ASSERT
+    if isinstance(exc, SimTimeoutError):
+        return Outcome.TIMEOUT
+    raise TypeError(f"not a simulation outcome: {exc!r}")
+
+
+def classify_completion(result: SimResult, golden_output: bytes,
+                        golden_exit: int | None) -> Outcome:
+    """Classify a run that terminated normally against the golden run."""
+    if result.output.data == golden_output and \
+            result.output.exit_code == golden_exit:
+        return Outcome.MASKED
+    return Outcome.SDC

@@ -1,0 +1,64 @@
+"""Statistical fault sampling (Leveugle et al., DATE 2009).
+
+The paper draws 2,000 faults per (structure-field, workload) and quotes a
+2.88% error margin at 99% confidence. These are the same formulas:
+
+    n = N / (1 + e^2 (N - 1) / (t^2 p (1 - p)))
+
+solved either for the sample size ``n`` given a margin ``e`` or for the
+margin given ``n``, with ``N`` the fault population (bits x cycles),
+``p = 0.5`` the conservative failure-probability prior, and ``t`` the
+normal quantile of the confidence level.
+"""
+
+from __future__ import annotations
+
+import math
+
+_Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758, 0.999: 3.2905}
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided normal quantile for a confidence level in (0, 1)."""
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if confidence in _Z_SCORES:
+        return _Z_SCORES[confidence]
+    try:
+        from scipy.stats import norm
+    except ImportError:  # pragma: no cover - scipy is installed here
+        raise ValueError(
+            f"confidence {confidence} needs scipy; use one of "
+            f"{sorted(_Z_SCORES)}") from None
+    return float(norm.ppf(0.5 + confidence / 2))
+
+
+def required_sample_size(population: int, margin: float,
+                         confidence: float = 0.99,
+                         p: float = 0.5) -> int:
+    """Sample size for ``margin`` at ``confidence`` over ``population``."""
+    if population <= 0:
+        raise ValueError("population must be positive")
+    if not 0 < margin < 1:
+        raise ValueError("margin must be in (0, 1)")
+    t = z_score(confidence)
+    n = population / (1 + margin ** 2 * (population - 1) / (t ** 2 * p
+                                                            * (1 - p)))
+    return max(1, math.ceil(n))
+
+
+def error_margin(population: int, n: int, confidence: float = 0.99,
+                 p: float = 0.5) -> float:
+    """Error margin achieved by ``n`` samples from ``population``."""
+    if population <= 0 or n <= 0:
+        raise ValueError("population and n must be positive")
+    if n >= population:
+        return 0.0
+    t = z_score(confidence)
+    return math.sqrt(t ** 2 * p * (1 - p) * (population - n)
+                     / (n * (population - 1)))
+
+
+def fault_population(bit_count: int, cycles: int) -> int:
+    """Single-bit transient fault population: every (bit, cycle) pair."""
+    return max(1, bit_count * max(1, cycles))

@@ -1,0 +1,64 @@
+"""JSON persistence for campaign results.
+
+The experiments harness caches one :class:`~repro.gefin.campaign.
+CampaignResult` per (core, benchmark, opt-level, field) so that every
+figure bench reads a shared grid instead of re-running injections.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .campaign import CampaignResult
+
+
+def result_key(config_name: str, benchmark: str, opt_level: str,
+               field: str, scale: str, n: int, seed: int,
+               mode: str) -> str:
+    """Stable cache key for one campaign cell."""
+    return (f"{config_name}__{benchmark}__{opt_level}__{field}"
+            f"__{scale}__n{n}__s{seed}__{mode}")
+
+
+class ResultStore:
+    """Directory of JSON campaign results keyed by :func:`result_key`."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def load(self, key: str) -> CampaignResult | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        with path.open() as handle:
+            return CampaignResult.from_dict(json.load(handle))
+
+    def save(self, key: str, result: CampaignResult) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w") as handle:
+            json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
+        tmp.replace(path)
+
+    def save_extra(self, key: str, payload: dict) -> None:
+        """Persist auxiliary JSON (e.g. golden-run statistics)."""
+        path = self.root / f"{key}.json"
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        tmp.replace(path)
+
+    def load_extra(self, key: str) -> dict | None:
+        path = self.root / f"{key}.json"
+        if not path.exists():
+            return None
+        with path.open() as handle:
+            return json.load(handle)

@@ -1,0 +1,30 @@
+"""The armlet instruction set architecture.
+
+Public surface: register conventions (:mod:`~repro.isa.registers`), the
+:class:`~repro.isa.instructions.Instruction` /
+:class:`~repro.isa.instructions.Opcode` model, binary
+:func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`,
+functional :mod:`~repro.isa.semantics`, the
+:class:`~repro.isa.program.Program` container, and a two-pass
+:func:`~repro.isa.assembler.assemble`.
+"""
+
+from . import registers, semantics
+from .assembler import assemble, disassemble, expand_li
+from .encoding import decode, encode
+from .instructions import Format, Instruction, Opcode
+from .program import Program
+
+__all__ = [
+    "Format",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+    "expand_li",
+    "registers",
+    "semantics",
+]

@@ -1,0 +1,286 @@
+"""A two-pass assembler for armlet assembly text.
+
+The assembler exists for tests, examples, and hand-written snippets; the
+compiler builds :class:`~repro.isa.program.Program` objects directly. The
+accepted syntax is deliberately small::
+
+    .text                     ; section switches
+    .data
+    loop:                     ; labels
+        add  a0, a1, a2       ; R-format
+        addi a0, a0, -4       ; I-format
+        movw t0, 513          ; constant materialization
+        li   t0, 0x12345678   ; pseudo: expands to movw (+ movt / shifts)
+        ldr  a0, [sp, 8]      ; loads/stores
+        str  a1, [sp, 0]
+        beq  a0, zero, done   ; branch to label
+        b    loop
+        bl   function
+        br   lr
+        svc  1
+    done:
+        svc  0
+    .data
+    buf:  .space 64           ; zero-filled bytes
+    tbl:  .word 1, 2, -3      ; xlen-sized words
+
+Comments start with ``;`` or ``#``. Branch labels are resolved to relative
+instruction displacements in pass two.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblyError
+from . import registers
+from .instructions import Format, Instruction, Opcode
+from .program import Program
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+def _parse_int(token: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"line {line}: bad integer {token!r}") from None
+
+
+def _parse_reg(token: str, line: int) -> int:
+    try:
+        return registers.reg_number(token)
+    except ValueError as exc:
+        raise AssemblyError(f"line {line}: {exc}") from None
+
+
+def expand_li(rd: int, value: int, xlen: int) -> list[Instruction]:
+    """Expand ``li rd, value`` into real instructions.
+
+    Uses MOVW for 16-bit payloads, MOVW+MOVT for 32-bit ones, and a
+    shift/or sequence for wider 64-bit constants on armlet-64.
+    """
+    mask = (1 << xlen) - 1
+    value &= mask
+    if value <= 0xFFFF:
+        return [Instruction(Opcode.MOVW, rd=rd, imm=value)]
+    if value <= 0xFFFF_FFFF:
+        out = [Instruction(Opcode.MOVW, rd=rd, imm=value & 0xFFFF)]
+        out.append(Instruction(Opcode.MOVT, rd=rd, imm=value >> 16))
+        return out
+    if xlen < 64:
+        raise AssemblyError(f"constant {value:#x} does not fit in {xlen} bits")
+    out = [Instruction(Opcode.MOVW, rd=rd, imm=value & 0xFFFF)]
+    for opcode, shift in ((Opcode.MOVT, 16), (Opcode.MOVT2, 32),
+                          (Opcode.MOVT3, 48)):
+        chunk = (value >> shift) & 0xFFFF
+        if chunk:
+            out.append(Instruction(opcode, rd=rd, imm=chunk))
+    return out
+
+
+class _PendingBranch:
+    """A branch whose label displacement is resolved in pass two."""
+
+    __slots__ = ("opcode", "rs1", "rs2", "label", "line")
+
+    def __init__(self, opcode: Opcode, rs1: int, rs2: int, label: str,
+                 line: int) -> None:
+        self.opcode = opcode
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.label = label
+        self.line = line
+
+
+def assemble(source: str, xlen: int = 32, name: str = "a.out") -> Program:
+    """Assemble ``source`` into a :class:`Program`.
+
+    The entry point is the ``_start`` label if present, else instruction 0.
+    """
+    program = Program(xlen=xlen, name=name)
+    section = "text"
+    items: list[Instruction | _PendingBranch] = []
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            label = label.strip()
+            line = line.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblyError(f"line {lineno}: bad label {label!r}")
+            if section == "text":
+                if label in program.text_symbols:
+                    raise AssemblyError(
+                        f"line {lineno}: duplicate label {label!r}")
+                program.text_symbols[label] = len(items)
+            else:
+                program.data_symbols[label] = len(program.data)
+        if not line:
+            continue
+        if line.startswith("."):
+            _directive(line, lineno, program)
+            section = _SECTION.get(line.split()[0], section)
+            continue
+        if section != "text":
+            raise AssemblyError(
+                f"line {lineno}: instruction outside .text: {line!r}")
+        items.extend(_parse_instruction(line, lineno, xlen))
+
+    program.text = _resolve(items, program.text_symbols)
+    program.entry = program.text_symbols.get("_start", 0)
+    return program
+
+
+_SECTION = {".text": "text", ".data": "data"}
+
+
+def _directive(line: str, lineno: int, program: Program) -> None:
+    parts = line.split(None, 1)
+    name = parts[0]
+    arg = parts[1] if len(parts) > 1 else ""
+    if name in _SECTION:
+        return
+    if name == ".space":
+        program.data.extend(b"\x00" * _parse_int(arg, lineno))
+        return
+    if name == ".word":
+        width = program.xlen // 8
+        for token in arg.split(","):
+            value = _parse_int(token.strip(), lineno)
+            mask = (1 << program.xlen) - 1
+            program.data.extend((value & mask).to_bytes(width, "little"))
+        return
+    if name == ".byte":
+        for token in arg.split(","):
+            program.data.append(_parse_int(token.strip(), lineno) & 0xFF)
+        return
+    raise AssemblyError(f"line {lineno}: unknown directive {name!r}")
+
+
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*(?:,\s*(-?\w+)\s*)?\]$")
+
+
+def _parse_instruction(line: str, lineno: int,
+                       xlen: int) -> list[Instruction | _PendingBranch]:
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    ops = [o.strip() for o in _split_operands(rest)] if rest.strip() else []
+
+    if mnemonic == "li":
+        if len(ops) != 2:
+            raise AssemblyError(f"line {lineno}: li needs rd, imm")
+        return list(expand_li(_parse_reg(ops[0], lineno),
+                              _parse_int(ops[1], lineno), xlen))
+    if mnemonic == "mov":
+        if len(ops) != 2:
+            raise AssemblyError(f"line {lineno}: mov needs rd, rs")
+        return [Instruction(Opcode.ADDI, rd=_parse_reg(ops[0], lineno),
+                            rs1=_parse_reg(ops[1], lineno), imm=0)]
+    if mnemonic == "ret":
+        return [Instruction(Opcode.BR, rs1=registers.LR)]
+
+    try:
+        opcode = Opcode[mnemonic.upper()]
+    except KeyError:
+        raise AssemblyError(
+            f"line {lineno}: unknown mnemonic {mnemonic!r}") from None
+
+    fmt = Instruction(opcode).format
+    if fmt is Format.R:
+        _expect(ops, 3, lineno, mnemonic)
+        return [Instruction(opcode, rd=_parse_reg(ops[0], lineno),
+                            rs1=_parse_reg(ops[1], lineno),
+                            rs2=_parse_reg(ops[2], lineno))]
+    if fmt is Format.I:
+        _expect(ops, 3, lineno, mnemonic)
+        return [Instruction(opcode, rd=_parse_reg(ops[0], lineno),
+                            rs1=_parse_reg(ops[1], lineno),
+                            imm=_parse_int(ops[2], lineno))]
+    if fmt is Format.LI:
+        _expect(ops, 2, lineno, mnemonic)
+        return [Instruction(opcode, rd=_parse_reg(ops[0], lineno),
+                            imm=_parse_int(ops[1], lineno))]
+    if fmt in (Format.LOAD, Format.STORE):
+        _expect(ops, 2, lineno, mnemonic)
+        match = _MEM_RE.match(ops[1])
+        if not match:
+            raise AssemblyError(
+                f"line {lineno}: bad memory operand {ops[1]!r}")
+        base = _parse_reg(match.group(1), lineno)
+        offset = _parse_int(match.group(2), lineno) if match.group(2) else 0
+        reg = _parse_reg(ops[0], lineno)
+        if fmt is Format.LOAD:
+            return [Instruction(opcode, rd=reg, rs1=base, imm=offset)]
+        return [Instruction(opcode, rs2=reg, rs1=base, imm=offset)]
+    if fmt is Format.BC:
+        _expect(ops, 3, lineno, mnemonic)
+        rs1 = _parse_reg(ops[0], lineno)
+        rs2 = _parse_reg(ops[1], lineno)
+        if _LABEL_RE.match(ops[2]) and not ops[2].lstrip("-").isdigit():
+            return [_PendingBranch(opcode, rs1, rs2, ops[2], lineno)]
+        return [Instruction(opcode, rs1=rs1, rs2=rs2,
+                            imm=_parse_int(ops[2], lineno))]
+    if fmt is Format.J:
+        _expect(ops, 1, lineno, mnemonic)
+        if _LABEL_RE.match(ops[0]) and not ops[0].lstrip("-").isdigit():
+            return [_PendingBranch(opcode, 0, 0, ops[0], lineno)]
+        return [Instruction(opcode, imm=_parse_int(ops[0], lineno))]
+    if fmt is Format.JR:
+        _expect(ops, 1, lineno, mnemonic)
+        return [Instruction(opcode, rs1=_parse_reg(ops[0], lineno))]
+    if opcode is Opcode.SVC:
+        _expect(ops, 1, lineno, mnemonic)
+        return [Instruction(opcode, imm=_parse_int(ops[0], lineno))]
+    return [Instruction(opcode)]
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split on commas not inside brackets (``ldr a0, [sp, 8]``)."""
+    out: list[str] = []
+    depth = 0
+    current = ""
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            out.append(current)
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        out.append(current)
+    return out
+
+
+def _expect(ops: list[str], count: int, lineno: int, mnemonic: str) -> None:
+    if len(ops) != count:
+        raise AssemblyError(
+            f"line {lineno}: {mnemonic} expects {count} operands,"
+            f" got {len(ops)}")
+
+
+def _resolve(items: list[Instruction | _PendingBranch],
+             symbols: dict[str, int]) -> list[Instruction]:
+    text: list[Instruction] = []
+    for index, item in enumerate(items):
+        if isinstance(item, Instruction):
+            text.append(item)
+            continue
+        if item.label not in symbols:
+            raise AssemblyError(
+                f"line {item.line}: undefined label {item.label!r}")
+        displacement = symbols[item.label] - index
+        text.append(Instruction(item.opcode, rs1=item.rs1, rs2=item.rs2,
+                                imm=displacement))
+    return text
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program``'s text segment as assembly-like text."""
+    return program.listing()

@@ -1,0 +1,120 @@
+"""Binary encoding and decoding of armlet instructions.
+
+Every instruction is one 32-bit word::
+
+    [31:26] opcode
+    [25:21] rd   (STORE: rs2; BC: rs1; JR: rs1)
+    [20:16] rs1  (BC: rs2)
+    [15:0]  imm16 (R-format: [15:11] rs2, [10:0] must-be-zero)
+    J-format: [25:0] imm26
+
+Fields an instruction's format does not use must be zero; decoding rejects
+words that violate this, which increases the fraction of single-bit flips
+in the instruction stream that surface as illegal instructions -- the
+dominant crash mechanism for L1I faults in the paper.
+"""
+
+from __future__ import annotations
+
+from ..errors import EncodingError, IllegalInstructionError
+from .instructions import Format, Instruction, Opcode, VALID_OPCODES
+
+WORD_BITS = 32
+_IMM16_MASK = 0xFFFF
+_IMM26_MASK = 0x3FF_FFFF
+
+
+def _signed(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _check_imm(imm: int, bits: int) -> int:
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if not lo <= imm <= hi:
+        raise EncodingError(f"immediate {imm} does not fit in {bits} bits")
+    return imm & ((1 << bits) - 1)
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < 32:
+        raise EncodingError(f"register number out of range: {reg}")
+    return reg
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` to its 32-bit binary word."""
+    op = int(instr.opcode) << 26
+    fmt = instr.format
+    if fmt is Format.R:
+        return (op | _check_reg(instr.rd) << 21 | _check_reg(instr.rs1) << 16
+                | _check_reg(instr.rs2) << 11)
+    if fmt in (Format.I, Format.LOAD):
+        return (op | _check_reg(instr.rd) << 21 | _check_reg(instr.rs1) << 16
+                | _check_imm(instr.imm, 16))
+    if fmt is Format.LI:
+        # MOVW/MOVT immediates are raw 16-bit payloads (zero-extended).
+        if not 0 <= instr.imm <= 0xFFFF:
+            raise EncodingError(f"{instr.opcode.name} immediate {instr.imm} "
+                                "must be an unsigned 16-bit value")
+        return op | _check_reg(instr.rd) << 21 | instr.imm
+    if fmt is Format.STORE:
+        return (op | _check_reg(instr.rs2) << 21 | _check_reg(instr.rs1) << 16
+                | _check_imm(instr.imm, 16))
+    if fmt is Format.BC:
+        return (op | _check_reg(instr.rs1) << 21 | _check_reg(instr.rs2) << 16
+                | _check_imm(instr.imm, 16))
+    if fmt is Format.J:
+        return op | _check_imm(instr.imm, 26)
+    if fmt is Format.JR:
+        return op | _check_reg(instr.rs1) << 21
+    if instr.opcode is Opcode.SVC:
+        return op | _check_imm(instr.imm, 16)
+    return op  # NOP
+
+
+def decode(word: int, pc: int | None = None) -> Instruction:
+    """Decode a 32-bit word, raising :class:`IllegalInstructionError`.
+
+    ``pc`` is attached to the error for diagnostics only.
+    """
+    word &= 0xFFFF_FFFF
+    opnum = word >> 26
+    if opnum not in VALID_OPCODES:
+        raise IllegalInstructionError(word, pc)
+    opcode = Opcode(opnum)
+    f1 = (word >> 21) & 0x1F
+    f2 = (word >> 16) & 0x1F
+    imm16 = word & _IMM16_MASK
+    fmt = _FORMAT_OF[opcode]
+    if fmt is Format.R:
+        if word & 0x7FF:
+            raise IllegalInstructionError(word, pc)
+        return Instruction(opcode, rd=f1, rs1=f2, rs2=(word >> 11) & 0x1F)
+    if fmt in (Format.I, Format.LOAD):
+        return Instruction(opcode, rd=f1, rs1=f2, imm=_signed(imm16, 16))
+    if fmt is Format.LI:
+        if f2:
+            raise IllegalInstructionError(word, pc)
+        return Instruction(opcode, rd=f1, imm=imm16)
+    if fmt is Format.STORE:
+        return Instruction(opcode, rs2=f1, rs1=f2, imm=_signed(imm16, 16))
+    if fmt is Format.BC:
+        return Instruction(opcode, rs1=f1, rs2=f2, imm=_signed(imm16, 16))
+    if fmt is Format.J:
+        return Instruction(opcode, imm=_signed(word & _IMM26_MASK, 26))
+    if fmt is Format.JR:
+        if word & 0x1F_FFFF:
+            raise IllegalInstructionError(word, pc)
+        return Instruction(opcode, rs1=f1)
+    if opcode is Opcode.SVC:
+        if (word >> 16) & 0x3FF:
+            raise IllegalInstructionError(word, pc)
+        return Instruction(opcode, imm=_signed(imm16, 16))
+    if word & _IMM26_MASK:  # NOP must be a bare opcode
+        raise IllegalInstructionError(word, pc)
+    return Instruction(opcode)
+
+
+_FORMAT_OF = {op: Instruction(op).format for op in Opcode}

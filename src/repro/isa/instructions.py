@@ -1,0 +1,248 @@
+"""Instruction set definition for the armlet ISA.
+
+armlet is a small RISC-style ISA with a fixed 32-bit instruction encoding,
+used in two data-width variants: armlet-32 (the Cortex-A15 analogue,
+Armv7-class) and armlet-64 (the Cortex-A72 analogue, Armv8-class). The
+instruction *encoding* is identical in both variants; only the register and
+memory word width differs, exactly as the paper's two cores share an
+evaluation methodology while differing in datapath width.
+
+Branch and jump immediates are signed displacements in *instruction units*
+relative to the branch's own slot (so ``B 0`` is a self-loop).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Format(enum.Enum):
+    """Operand layout of an instruction word."""
+
+    R = "r"        # rd, rs1, rs2
+    I = "i"        # rd, rs1, imm16
+    LI = "li"      # rd, imm16 (MOVW / MOVT)
+    LOAD = "load"  # rd, [rs1 + imm16]
+    STORE = "store"  # rs2 -> [rs1 + imm16]
+    BC = "bc"      # rs1, rs2, imm16 (conditional branch)
+    J = "j"        # imm26 (B / BL)
+    JR = "jr"      # rs1 (BR)
+    SYS = "sys"    # imm16 (SVC) or nothing (NOP)
+
+
+class Opcode(enum.IntEnum):
+    """All armlet opcodes; the numeric value is the 6-bit encoding field.
+
+    Value 0 and every unassigned value decode as illegal instructions, so a
+    random single-bit flip in an instruction word frequently produces an
+    undecodable word -- the mechanism behind the Crash-dominated L1I
+    vulnerability profile the paper reports.
+    """
+
+    # register-register ALU
+    ADD = 1
+    SUB = 2
+    AND = 3
+    ORR = 4
+    EOR = 5
+    LSL = 6
+    LSR = 7
+    ASR = 8
+    SLT = 9
+    SLTU = 10
+    MUL = 11
+    MULH = 12
+    DIV = 13
+    REM = 14
+    # register-immediate ALU
+    ADDI = 16
+    ANDI = 17
+    ORI = 18
+    EORI = 19
+    LSLI = 20
+    LSRI = 21
+    ASRI = 22
+    SLTI = 23
+    # constant materialization (MOVT2/MOVT3 insert the third and fourth
+    # 16-bit halves and are valid only on armlet-64 cores, like AArch64's
+    # MOVK with hw=2,3)
+    MOVW = 24
+    MOVT = 25
+    MOVT2 = 30
+    MOVT3 = 31
+    # memory
+    LDR = 26
+    LDRB = 27
+    STR = 28
+    STRB = 29
+    # control flow
+    B = 32
+    BL = 33
+    BR = 34
+    BEQ = 36
+    BNE = 37
+    BLT = 38
+    BGE = 39
+    BLTU = 40
+    BGEU = 41
+    # system
+    SVC = 48
+    NOP = 49
+
+
+_FORMATS: dict[Opcode, Format] = {
+    Opcode.ADD: Format.R, Opcode.SUB: Format.R, Opcode.AND: Format.R,
+    Opcode.ORR: Format.R, Opcode.EOR: Format.R, Opcode.LSL: Format.R,
+    Opcode.LSR: Format.R, Opcode.ASR: Format.R, Opcode.SLT: Format.R,
+    Opcode.SLTU: Format.R, Opcode.MUL: Format.R, Opcode.MULH: Format.R,
+    Opcode.DIV: Format.R, Opcode.REM: Format.R,
+    Opcode.ADDI: Format.I, Opcode.ANDI: Format.I, Opcode.ORI: Format.I,
+    Opcode.EORI: Format.I, Opcode.LSLI: Format.I, Opcode.LSRI: Format.I,
+    Opcode.ASRI: Format.I, Opcode.SLTI: Format.I,
+    Opcode.MOVW: Format.LI, Opcode.MOVT: Format.LI,
+    Opcode.MOVT2: Format.LI, Opcode.MOVT3: Format.LI,
+    Opcode.LDR: Format.LOAD, Opcode.LDRB: Format.LOAD,
+    Opcode.STR: Format.STORE, Opcode.STRB: Format.STORE,
+    Opcode.B: Format.J, Opcode.BL: Format.J, Opcode.BR: Format.JR,
+    Opcode.BEQ: Format.BC, Opcode.BNE: Format.BC, Opcode.BLT: Format.BC,
+    Opcode.BGE: Format.BC, Opcode.BLTU: Format.BC, Opcode.BGEU: Format.BC,
+    Opcode.SVC: Format.SYS, Opcode.NOP: Format.SYS,
+}
+
+# Execution resource class; the pipeline maps these to latencies.
+_EXEC_CLASS: dict[Opcode, str] = {}
+for _op, _fmt in _FORMATS.items():
+    if _op in (Opcode.MUL, Opcode.MULH):
+        _EXEC_CLASS[_op] = "mul"
+    elif _op in (Opcode.DIV, Opcode.REM):
+        _EXEC_CLASS[_op] = "div"
+    elif _fmt in (Format.LOAD, Format.STORE):
+        _EXEC_CLASS[_op] = "mem"
+    elif _fmt in (Format.BC, Format.J, Format.JR):
+        _EXEC_CLASS[_op] = "branch"
+    elif _fmt is Format.SYS:
+        _EXEC_CLASS[_op] = "system"
+    else:
+        _EXEC_CLASS[_op] = "alu"
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded armlet instruction.
+
+    Fields not used by the instruction's format are zero. ``imm`` is the
+    sign-extended immediate (instruction units for branches and jumps).
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def format(self) -> Format:
+        return _FORMATS[self.opcode]
+
+    @property
+    def exec_class(self) -> str:
+        """Resource class: alu, mul, div, mem, branch, or system."""
+        return _EXEC_CLASS[self.opcode]
+
+    @property
+    def is_load(self) -> bool:
+        return self.format is Format.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.format is Format.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.format in (Format.LOAD, Format.STORE)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.format is Format.BC
+
+    @property
+    def is_jump(self) -> bool:
+        return self.format in (Format.J, Format.JR)
+
+    @property
+    def is_control(self) -> bool:
+        return self.format in (Format.BC, Format.J, Format.JR)
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode is Opcode.BL
+
+    @property
+    def is_syscall(self) -> bool:
+        return self.opcode is Opcode.SVC
+
+    def dest_reg(self) -> int | None:
+        """Architectural register written, or None.
+
+        Writes to the hardwired zero register are reported as None so the
+        pipeline never allocates rename resources for them.
+        """
+        fmt = self.format
+        if fmt in (Format.R, Format.I, Format.LI, Format.LOAD):
+            return self.rd if self.rd != 0 else None
+        if self.opcode is Opcode.BL:
+            from . import registers
+
+            return registers.LR
+        return None
+
+    def src_regs(self) -> tuple[int, ...]:
+        """Architectural registers read (zero register included)."""
+        fmt = self.format
+        if fmt is Format.R:
+            return (self.rs1, self.rs2)
+        if fmt in (Format.I, Format.LOAD):
+            return (self.rs1,)
+        if fmt is Format.STORE:
+            return (self.rs1, self.rs2)
+        if fmt is Format.BC:
+            return (self.rs1, self.rs2)
+        if fmt is Format.JR:
+            return (self.rs1,)
+        if self.opcode in (Opcode.MOVT, Opcode.MOVT2, Opcode.MOVT3):
+            return (self.rd,)  # MOVT* merge into the existing register
+        return ()
+
+    def __str__(self) -> str:
+        from . import registers as rg
+
+        op = self.opcode.name.lower()
+        fmt = self.format
+        if fmt is Format.R:
+            return (f"{op} {rg.reg_name(self.rd)}, {rg.reg_name(self.rs1)},"
+                    f" {rg.reg_name(self.rs2)}")
+        if fmt is Format.I:
+            return (f"{op} {rg.reg_name(self.rd)}, {rg.reg_name(self.rs1)},"
+                    f" {self.imm}")
+        if fmt is Format.LI:
+            return f"{op} {rg.reg_name(self.rd)}, {self.imm}"
+        if fmt is Format.LOAD:
+            return (f"{op} {rg.reg_name(self.rd)},"
+                    f" [{rg.reg_name(self.rs1)}, {self.imm}]")
+        if fmt is Format.STORE:
+            return (f"{op} {rg.reg_name(self.rs2)},"
+                    f" [{rg.reg_name(self.rs1)}, {self.imm}]")
+        if fmt is Format.BC:
+            return (f"{op} {rg.reg_name(self.rs1)}, {rg.reg_name(self.rs2)},"
+                    f" {self.imm}")
+        if fmt is Format.J:
+            return f"{op} {self.imm}"
+        if fmt is Format.JR:
+            return f"{op} {rg.reg_name(self.rs1)}"
+        if self.opcode is Opcode.SVC:
+            return f"svc {self.imm}"
+        return op
+
+
+VALID_OPCODES = frozenset(int(op) for op in Opcode)

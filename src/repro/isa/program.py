@@ -1,0 +1,64 @@
+"""Executable program container shared by the assembler and the compiler.
+
+A :class:`Program` is the armlet analogue of a statically linked ELF: a
+text segment (decoded instructions, one per 32-bit slot), an initialized
+data segment (raw bytes), symbol tables for both, and an entry point. The
+kernel loader (:mod:`repro.kernel.loader`) places the segments into the
+simulated system map and encodes the text into memory words, which is what
+the L1I cache (and hence the fault injector) actually sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .encoding import encode
+from .instructions import Instruction
+
+
+@dataclass
+class Program:
+    """A linked armlet program.
+
+    ``text_symbols`` maps label -> instruction index; ``data_symbols`` maps
+    label -> byte offset within the data segment. ``entry`` is the
+    instruction index where execution starts. ``xlen`` records the data
+    width (32 or 64) the program was compiled for; the loader refuses to
+    load a program onto a mismatched core.
+    """
+
+    text: list[Instruction] = field(default_factory=list)
+    data: bytearray = field(default_factory=bytearray)
+    text_symbols: dict[str, int] = field(default_factory=dict)
+    data_symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+    xlen: int = 32
+    name: str = "a.out"
+
+    def __post_init__(self) -> None:
+        if self.xlen not in (32, 64):
+            raise ValueError(f"unsupported xlen: {self.xlen}")
+
+    @property
+    def text_bytes(self) -> int:
+        return len(self.text) * 4
+
+    def encoded_text(self) -> list[int]:
+        """Encode the text segment into 32-bit words."""
+        return [encode(instr) for instr in self.text]
+
+    def listing(self) -> str:
+        """Human-readable disassembly with symbol annotations."""
+        by_index: dict[int, list[str]] = {}
+        for label, index in self.text_symbols.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.text):
+            for label in sorted(by_index.get(i, ())):
+                lines.append(f"{label}:")
+            marker = " <- entry" if i == self.entry else ""
+            lines.append(f"  {i:5d}: {instr}{marker}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.text)

@@ -1,0 +1,62 @@
+"""Architectural register definitions for the armlet ISA.
+
+Both armlet variants expose 32 integer registers. Register 0 is hardwired
+to zero (writes are discarded), matching the convention the code generator
+relies on for materializing constants and discarding results.
+
+The calling convention used by the compiler:
+
+========  =======  ====================================================
+register  alias    role
+========  =======  ====================================================
+r0        zero     constant zero
+r1-r8     a0-a7    arguments / return value (a0)
+r9-r15    t0-t6    caller-saved temporaries
+r16-r27   s0-s11   callee-saved
+r28       gp       global pointer (base of the data segment)
+r29       fp       frame pointer
+r30       lr       link register
+r31       sp       stack pointer
+========  =======  ====================================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+ZERO = 0
+GP = 28
+FP = 29
+LR = 30
+SP = 31
+
+ARG_REGS = tuple(range(1, 9))          # a0-a7
+RETURN_REG = 1                         # a0
+TEMP_REGS = tuple(range(9, 16))        # t0-t6
+SAVED_REGS = tuple(range(16, 28))      # s0-s11
+
+_ALIASES = {0: "zero", 28: "gp", 29: "fp", 30: "lr", 31: "sp"}
+for _i, _r in enumerate(ARG_REGS):
+    _ALIASES[_r] = f"a{_i}"
+for _i, _r in enumerate(TEMP_REGS):
+    _ALIASES[_r] = f"t{_i}"
+for _i, _r in enumerate(SAVED_REGS):
+    _ALIASES[_r] = f"s{_i}"
+
+_NAME_TO_NUM = {alias: num for num, alias in _ALIASES.items()}
+_NAME_TO_NUM.update({f"r{i}": i for i in range(NUM_REGS)})
+
+
+def reg_name(num: int) -> str:
+    """Return the conventional alias for register ``num`` (e.g. ``sp``)."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return _ALIASES.get(num, f"r{num}")
+
+
+def reg_number(name: str) -> int:
+    """Parse a register name (``r7``, ``a0``, ``sp``...) to its number."""
+    try:
+        return _NAME_TO_NUM[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None

@@ -1,0 +1,116 @@
+"""Functional semantics of armlet instructions.
+
+These pure functions define *what* each instruction computes, independent
+of *when* it computes it. They are shared by the fast functional
+interpreter (used to validate the compiler and produce reference outputs)
+and by the out-of-order core's execute stage, guaranteeing that both
+engines implement identical architecture semantics.
+
+All values are stored as unsigned Python ints masked to ``xlen`` bits;
+signed operations convert at the point of use, mirroring a real datapath.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimCrashError
+from .instructions import Instruction, Opcode
+
+
+def mask(xlen: int) -> int:
+    return (1 << xlen) - 1
+
+
+def wrap(value: int, xlen: int) -> int:
+    """Truncate ``value`` to an unsigned ``xlen``-bit quantity."""
+    return value & ((1 << xlen) - 1)
+
+
+def to_signed(value: int, xlen: int) -> int:
+    """Interpret an unsigned ``xlen``-bit value as two's-complement."""
+    sign = 1 << (xlen - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _shift_amount(b: int, xlen: int) -> int:
+    # Hardware shifters use only the low log2(xlen) bits of the amount.
+    return b & (xlen - 1)
+
+
+def alu(opcode: Opcode, a: int, b: int, xlen: int) -> int:
+    """Compute an ALU/multiply/divide result for unsigned operands.
+
+    ``b`` is the second register value or the sign-extended immediate,
+    already wrapped to ``xlen`` bits by the caller. Division by zero
+    raises :class:`SimCrashError` (the simulated platform delivers the
+    equivalent of SIGFPE), which is how an injected fault that corrupts a
+    divisor into zero surfaces as a process crash.
+    """
+    if opcode in (Opcode.ADD, Opcode.ADDI):
+        return wrap(a + b, xlen)
+    if opcode is Opcode.SUB:
+        return wrap(a - b, xlen)
+    if opcode in (Opcode.AND, Opcode.ANDI):
+        return a & b
+    if opcode in (Opcode.ORR, Opcode.ORI):
+        return a | b
+    if opcode in (Opcode.EOR, Opcode.EORI):
+        return a ^ b
+    if opcode in (Opcode.LSL, Opcode.LSLI):
+        return wrap(a << _shift_amount(b, xlen), xlen)
+    if opcode in (Opcode.LSR, Opcode.LSRI):
+        return a >> _shift_amount(b, xlen)
+    if opcode in (Opcode.ASR, Opcode.ASRI):
+        return wrap(to_signed(a, xlen) >> _shift_amount(b, xlen), xlen)
+    if opcode in (Opcode.SLT, Opcode.SLTI):
+        return 1 if to_signed(a, xlen) < to_signed(b, xlen) else 0
+    if opcode is Opcode.SLTU:
+        return 1 if a < b else 0
+    if opcode is Opcode.MUL:
+        return wrap(a * b, xlen)
+    if opcode is Opcode.MULH:
+        product = to_signed(a, xlen) * to_signed(b, xlen)
+        return wrap(product >> xlen, xlen)
+    if opcode in (Opcode.DIV, Opcode.REM):
+        if b == 0:
+            raise SimCrashError("integer division by zero", kind="process")
+        sa, sb = to_signed(a, xlen), to_signed(b, xlen)
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        if opcode is Opcode.DIV:
+            return wrap(quotient, xlen)
+        return wrap(sa - quotient * sb, xlen)
+    raise ValueError(f"not an ALU opcode: {opcode!r}")
+
+
+_MOVT_SHIFT = {Opcode.MOVT: 16, Opcode.MOVT2: 32, Opcode.MOVT3: 48}
+
+
+def mov_result(instr: Instruction, old_rd: int, xlen: int) -> int:
+    """Result of MOVW/MOVT/MOVT2/MOVT3 given the previous rd value."""
+    if instr.opcode is Opcode.MOVW:
+        return instr.imm & 0xFFFF
+    shift = _MOVT_SHIFT[instr.opcode]
+    if shift >= xlen:
+        raise SimCrashError(
+            f"{instr.opcode.name} is undefined on a {xlen}-bit core",
+            kind="process")
+    return (old_rd & ~(0xFFFF << shift) & mask(xlen)) | (
+        (instr.imm & 0xFFFF) << shift)
+
+
+def branch_taken(opcode: Opcode, a: int, b: int, xlen: int) -> bool:
+    """Evaluate a conditional branch for unsigned register values."""
+    if opcode is Opcode.BEQ:
+        return a == b
+    if opcode is Opcode.BNE:
+        return a != b
+    if opcode is Opcode.BLT:
+        return to_signed(a, xlen) < to_signed(b, xlen)
+    if opcode is Opcode.BGE:
+        return to_signed(a, xlen) >= to_signed(b, xlen)
+    if opcode is Opcode.BLTU:
+        return a < b
+    if opcode is Opcode.BGEU:
+        return a >= b
+    raise ValueError(f"not a conditional branch: {opcode!r}")

@@ -1,0 +1,30 @@
+"""Minimal full-system substrate: memory map, RAM, loader, syscalls.
+
+The paper runs its fault-injection campaigns in full-system simulation so
+that operating-system state participates in the fault surface. This
+package provides the equivalent substrate for the repro platform: a
+:class:`~repro.kernel.layout.SystemMap` with crash semantics, a
+:class:`~repro.kernel.memory.MainMemory`, a program
+:func:`~repro.kernel.loader.load` path, a resident-kernel
+:class:`~repro.kernel.syscalls.SyscallHandler`, and a
+:class:`~repro.kernel.functional.FunctionalCPU` reference interpreter.
+"""
+
+from .functional import ExecutionResult, FunctionalCPU, run_functional
+from .layout import SystemMap
+from .loader import LoadedImage, load
+from .memory import MainMemory
+from .syscalls import OutputCapture, ProgramExit, SyscallHandler
+
+__all__ = [
+    "ExecutionResult",
+    "FunctionalCPU",
+    "LoadedImage",
+    "MainMemory",
+    "OutputCapture",
+    "ProgramExit",
+    "SyscallHandler",
+    "SystemMap",
+    "load",
+    "run_functional",
+]

@@ -1,0 +1,155 @@
+"""Fast functional reference CPU.
+
+This interpreter executes a loaded program with architecturally exact
+semantics but no timing model. It serves three roles:
+
+* the compiler test oracle (every optimization level of every workload
+  must produce the same output here);
+* the source of golden outputs cross-checked against the out-of-order
+  core (both engines share :mod:`repro.isa.semantics`);
+* a cheap profiler (dynamic instruction mix) used by examples and tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import SimTimeoutError
+from ..isa import registers, semantics
+from ..isa.instructions import Format, Instruction, Opcode
+from .layout import SystemMap
+from .loader import LoadedImage
+from .memory import MainMemory
+from .syscalls import OutputCapture, ProgramExit, SyscallHandler
+
+
+class DirectDataPort:
+    """Kernel data port that bypasses caches (functional mode)."""
+
+    def __init__(self, memory: MainMemory, system_map: SystemMap,
+                 word_size: int) -> None:
+        self._memory = memory
+        self._map = system_map
+        self._size = word_size
+
+    def read_word(self, addr: int) -> int:
+        self._map.check_data_access(addr, self._size, store=False,
+                                    mode="kernel")
+        return self._memory.read_word(addr, self._size)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._map.check_data_access(addr, self._size, store=True,
+                                    mode="kernel")
+        self._memory.write_word(addr, value, self._size)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a fault-free functional run."""
+
+    output: OutputCapture
+    instructions: int
+    mix: Counter = field(default_factory=Counter)
+
+    @property
+    def exit_code(self) -> int | None:
+        return self.output.exit_code
+
+
+class FunctionalCPU:
+    """Single-stepping architectural interpreter for armlet programs."""
+
+    def __init__(self, image: LoadedImage, memory: MainMemory,
+                 xlen: int) -> None:
+        if xlen != image.program.xlen:
+            raise ValueError(
+                f"program compiled for xlen={image.program.xlen}, "
+                f"core is xlen={xlen}")
+        self.image = image
+        self.memory = memory
+        self.xlen = xlen
+        self.word_size = xlen // 8
+        self.mask = semantics.mask(xlen)
+        self.regs = [0] * registers.NUM_REGS
+        for reg, value in image.initial_regs.items():
+            self.regs[reg] = value
+        self.pc = image.entry_pc
+        self.handler = SyscallHandler(image.system_map, xlen)
+        self._port = DirectDataPort(memory, image.system_map, self.word_size)
+        self.instructions = 0
+        self.mix: Counter = Counter()
+
+    def run(self, max_instructions: int = 200_000_000) -> ExecutionResult:
+        """Execute until exit; raises the usual simulation errors."""
+        text = self.image.program.text
+        text_base = self.image.system_map.text_base
+        try:
+            while True:
+                self.image.system_map.check_fetch(
+                    self.pc, self.image.text_bytes)
+                instr = text[(self.pc - text_base) >> 2]
+                self.step(instr)
+                self.instructions += 1
+                if self.instructions > max_instructions:
+                    raise SimTimeoutError(max_instructions)
+        except ProgramExit:
+            pass
+        return ExecutionResult(output=self.handler.output,
+                               instructions=self.instructions, mix=self.mix)
+
+    def step(self, instr: Instruction) -> None:
+        """Execute one instruction and advance pc."""
+        regs = self.regs
+        op = instr.opcode
+        fmt = instr.format
+        self.mix[instr.exec_class] += 1
+        next_pc = self.pc + 4
+
+        if fmt is Format.R:
+            result = semantics.alu(op, regs[instr.rs1], regs[instr.rs2],
+                                   self.xlen)
+            if instr.rd:
+                regs[instr.rd] = result
+        elif fmt is Format.I:
+            imm = instr.imm & self.mask
+            result = semantics.alu(op, regs[instr.rs1], imm, self.xlen)
+            if instr.rd:
+                regs[instr.rd] = result
+        elif fmt is Format.LI:
+            if instr.rd:
+                regs[instr.rd] = semantics.mov_result(
+                    instr, regs[instr.rd], self.xlen)
+        elif fmt is Format.LOAD:
+            addr = semantics.wrap(regs[instr.rs1] + instr.imm, self.xlen)
+            size = 1 if op is Opcode.LDRB else self.word_size
+            self.image.system_map.check_data_access(addr, size, store=False)
+            if instr.rd:
+                regs[instr.rd] = self.memory.read_word(addr, size)
+        elif fmt is Format.STORE:
+            addr = semantics.wrap(regs[instr.rs1] + instr.imm, self.xlen)
+            size = 1 if op is Opcode.STRB else self.word_size
+            self.image.system_map.check_data_access(addr, size, store=True)
+            self.memory.write_word(addr, regs[instr.rs2], size)
+        elif fmt is Format.BC:
+            if semantics.branch_taken(op, regs[instr.rs1], regs[instr.rs2],
+                                      self.xlen):
+                next_pc = self.pc + 4 * instr.imm
+        elif fmt is Format.J:
+            if op is Opcode.BL:
+                regs[registers.LR] = next_pc
+            next_pc = self.pc + 4 * instr.imm
+        elif fmt is Format.JR:
+            next_pc = regs[instr.rs1]
+        elif op is Opcode.SVC:
+            self.handler.handle(instr.imm, regs[registers.RETURN_REG],
+                                self._port)
+        # NOP: nothing to do.
+        self.pc = next_pc
+
+
+def run_functional(image: LoadedImage, memory: MainMemory,
+                   max_instructions: int = 200_000_000) -> ExecutionResult:
+    """Convenience wrapper: run ``image`` to completion functionally."""
+    cpu = FunctionalCPU(image, memory, image.program.xlen)
+    return cpu.run(max_instructions)

@@ -1,0 +1,97 @@
+"""System memory map of the simulated armlet platform.
+
+The map is the arbiter of crash semantics: every load, store, and fetch is
+checked against it, and the *kind* of violation determines the fault class
+the injector observes.
+
+========================  ==========================================
+region                    behaviour on user access
+========================  ==========================================
+null / vector page        segmentation fault -> process crash
+text segment              execute + load OK; store -> process crash
+kernel data block         any user access -> process crash; corrupted
+                          kernel state found *by the kernel* during a
+                          syscall -> kernel panic (system crash)
+data / heap / stack       read-write
+beyond RAM                bus error -> process crash
+========================  ==========================================
+
+Addresses whose bit pattern (after a fault) falls outside the RAM size are
+"outside the system map"; when such an address is produced by
+*microarchitectural metadata* (e.g. a flipped cache tag on writeback) the
+simulator raises an Assert instead, because real hardware behaviour is
+undefined -- mirroring the paper's Assert category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimCrashError
+
+
+@dataclass(frozen=True)
+class SystemMap:
+    """Address-space layout; all fields are byte addresses."""
+
+    ram_size: int = 4 * 1024 * 1024
+    text_base: int = 0x0000_1000
+    kernel_base: int = 0x0008_0000
+    kernel_size: int = 0x0000_1000
+    data_base: int = 0x0010_0000
+    heap_base: int = 0x0020_0000
+    stack_top: int = 0x003F_FFF0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.text_base < self.kernel_base < self.data_base
+                < self.heap_base < self.stack_top <= self.ram_size):
+            raise ValueError("system map regions out of order")
+
+    @property
+    def kernel_end(self) -> int:
+        return self.kernel_base + self.kernel_size
+
+    def region_of(self, addr: int) -> str:
+        """Classify ``addr`` into a named region."""
+        if addr < 0 or addr >= self.ram_size:
+            return "unmapped"
+        if addr < self.text_base:
+            return "null"
+        if addr < self.kernel_base:
+            return "text"
+        if addr < self.kernel_end:
+            return "kernel"
+        if addr < self.data_base:
+            return "gap"
+        return "user"
+
+    def check_data_access(self, addr: int, size: int, store: bool,
+                          mode: str = "user") -> None:
+        """Validate a data access, raising :class:`SimCrashError`.
+
+        ``mode`` is ``"user"`` for program accesses and ``"kernel"`` for
+        syscall-handler accesses (which may touch the kernel block).
+        """
+        if addr % size:
+            raise SimCrashError(
+                f"misaligned {size}-byte access at 0x{addr:x}")
+        region = self.region_of(addr)
+        if region == "unmapped":
+            raise SimCrashError(f"bus error at 0x{addr:x}")
+        if region in ("null", "gap"):
+            raise SimCrashError(f"segmentation fault at 0x{addr:x}")
+        if region == "text" and store:
+            raise SimCrashError(f"store to read-only text at 0x{addr:x}")
+        if region == "kernel" and mode != "kernel":
+            raise SimCrashError(
+                f"user access to kernel memory at 0x{addr:x}")
+
+    def check_fetch(self, pc: int, text_bytes: int) -> None:
+        """Validate an instruction fetch address."""
+        if pc % 4:
+            raise SimCrashError(f"misaligned fetch at 0x{pc:x}")
+        if not self.text_base <= pc < self.text_base + text_bytes:
+            raise SimCrashError(f"jump outside text segment to 0x{pc:x}")
+
+    def in_ram(self, addr: int) -> bool:
+        return 0 <= addr < self.ram_size

@@ -1,0 +1,71 @@
+"""Program loader: builds the initial memory image and register state.
+
+The loader plays the role of the firmware + OS exec path: it encodes the
+program's text into RAM at the text base, copies the initialized data
+segment, writes the resident kernel block (canary, syscall ledger), and
+prepares the initial architectural register state (sp, gp, pc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..isa import registers
+from ..isa.program import Program
+from .layout import SystemMap
+from .memory import MainMemory
+from .syscalls import KERNEL_MAGIC
+
+
+@dataclass
+class LoadedImage:
+    """Everything the CPU needs to start executing a program."""
+
+    program: Program
+    system_map: SystemMap
+    entry_pc: int
+    initial_regs: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def text_bytes(self) -> int:
+        return self.program.text_bytes
+
+
+def load(program: Program, memory: MainMemory,
+         system_map: SystemMap | None = None) -> LoadedImage:
+    """Load ``program`` into ``memory`` and return the boot state."""
+    if system_map is None:
+        system_map = SystemMap(ram_size=memory.size)
+    if system_map.ram_size > memory.size:
+        raise ReproError("system map larger than physical memory")
+
+    text_end = system_map.text_base + program.text_bytes
+    if text_end > system_map.kernel_base:
+        raise ReproError(
+            f"text segment too large: {program.text_bytes} bytes")
+    data_end = system_map.data_base + len(program.data)
+    if data_end > system_map.heap_base:
+        raise ReproError(f"data segment too large: {len(program.data)} bytes")
+
+    for index, word in enumerate(program.encoded_text()):
+        memory.write_word(system_map.text_base + 4 * index, word, 4)
+    if program.data:
+        memory.write_bytes(system_map.data_base, bytes(program.data))
+
+    word_size = program.xlen // 8
+    mask = (1 << program.xlen) - 1
+    memory.write_word(system_map.kernel_base, KERNEL_MAGIC & mask, word_size)
+    memory.write_word(system_map.kernel_base + word_size, 0, word_size)
+    memory.write_word(system_map.kernel_base + 2 * word_size, 0, word_size)
+
+    stack_top = system_map.stack_top - (system_map.stack_top % word_size)
+    return LoadedImage(
+        program=program,
+        system_map=system_map,
+        entry_pc=system_map.text_base + 4 * program.entry,
+        initial_regs={
+            registers.SP: stack_top,
+            registers.GP: system_map.data_base,
+        },
+    )

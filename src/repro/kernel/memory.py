@@ -1,0 +1,54 @@
+"""Byte-addressable main memory backing the simulated platform.
+
+Main memory sits behind the L2 cache in the out-of-order model and is
+accessed directly by the functional reference CPU. It performs no
+permission checking of its own -- the :class:`~repro.kernel.layout.
+SystemMap` does that at the core/MMU boundary -- but it does bounds-check,
+because a physical address outside RAM reaching the memory controller is a
+bus-level event.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimCrashError
+
+
+class MainMemory:
+    """A flat little-endian RAM of ``size`` bytes."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % 4096:
+            raise ValueError("memory size must be a positive page multiple")
+        self.size = size
+        self._bytes = bytearray(size)
+
+    def _check(self, addr: int, length: int) -> None:
+        if addr < 0 or addr + length > self.size:
+            raise SimCrashError(
+                f"bus error: physical access at 0x{addr:x} (+{length})")
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        return bytes(self._bytes[addr:addr + length])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._bytes[addr:addr + len(data)] = data
+
+    def read_word(self, addr: int, size: int) -> int:
+        """Read a little-endian unsigned word of ``size`` bytes."""
+        self._check(addr, size)
+        return int.from_bytes(self._bytes[addr:addr + size], "little")
+
+    def write_word(self, addr: int, value: int, size: int) -> None:
+        self._check(addr, size)
+        self._bytes[addr:addr + size] = (value & ((1 << (8 * size)) - 1)
+                                         ).to_bytes(size, "little")
+
+    def snapshot(self) -> bytes:
+        return bytes(self._bytes)
+
+    def restore(self, image: bytes) -> None:
+        if len(image) != self.size:
+            raise ValueError("snapshot size mismatch")
+        self._bytes[:] = image

@@ -1,0 +1,151 @@
+"""Minimal exokernel: syscall interface and kernel-state checking.
+
+The paper injects faults during *full-system* simulation, so kernel state
+is part of the fault surface and some faults surface as kernel panics
+(system crashes) rather than killed processes. We reproduce that channel
+with a small resident kernel block in RAM (written by the loader) that the
+syscall handler reads and updates **through the same data-cache hierarchy
+as the program**. A fault that corrupts the cached kernel block is
+therefore discovered by the kernel's own consistency checks and escalates
+to a system crash.
+
+Syscall ABI: the SVC immediate selects the service, ``a0`` carries the
+argument.
+
+====  ========  ==========================================
+num   name      effect
+====  ========  ==========================================
+0     exit      terminate with status a0
+1     putint    emit a0 as signed decimal + newline
+2     putchar   emit low byte of a0
+3     puthex    emit a0 as hex + newline
+====  ========  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..errors import SimCrashError
+from ..isa import semantics
+from .layout import SystemMap
+
+KERNEL_MAGIC = 0x5AFE_C0DE
+
+SYS_EXIT = 0
+SYS_PUTINT = 1
+SYS_PUTCHAR = 2
+SYS_PUTHEX = 3
+
+
+class ProgramExit(Exception):
+    """Raised by the exit syscall to unwind the simulation loop."""
+
+    def __init__(self, code: int) -> None:
+        self.code = code
+        super().__init__(f"program exited with status {code}")
+
+
+class DataPort(Protocol):
+    """Word-granularity kernel access path into the memory system.
+
+    The functional CPU provides a direct-to-RAM implementation; the
+    out-of-order core provides one routed through L1D/L2 so that cached
+    kernel state is exposed to injected faults.
+    """
+
+    def read_word(self, addr: int) -> int: ...
+
+    def write_word(self, addr: int, value: int) -> None: ...
+
+
+class OutputCapture:
+    """Accumulates program output; the SDC comparator diffs two of these."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self.exit_code: int | None = None
+
+    def append_int(self, value: int) -> None:
+        self._chunks.append(f"{value}\n".encode())
+
+    def append_hex(self, value: int) -> None:
+        self._chunks.append(f"{value:x}\n".encode())
+
+    def append_byte(self, value: int) -> None:
+        self._chunks.append(bytes([value & 0xFF]))
+
+    @property
+    def data(self) -> bytes:
+        return b"".join(self._chunks)
+
+    @property
+    def count(self) -> int:
+        return len(self._chunks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OutputCapture):
+            return NotImplemented
+        return self.data == other.data and self.exit_code == other.exit_code
+
+    def get_state(self) -> tuple:
+        return (list(self._chunks), self.exit_code)
+
+    def set_state(self, state: tuple) -> None:
+        self._chunks = list(state[0])
+        self.exit_code = state[1]
+
+
+class SyscallHandler:
+    """Executes syscalls at commit time, atomically.
+
+    The handler validates the in-memory kernel block on every call; any
+    inconsistency is a kernel panic. ``xlen`` determines the width of the
+    kernel block's words (it is compiled into the platform, like a kernel
+    built for the core's ISA).
+    """
+
+    def __init__(self, system_map: SystemMap, xlen: int,
+                 output: OutputCapture | None = None) -> None:
+        self.system_map = system_map
+        self.xlen = xlen
+        self.word_size = xlen // 8
+        self.output = output if output is not None else OutputCapture()
+        self._magic = KERNEL_MAGIC & semantics.mask(xlen)
+
+    def _addr(self, index: int) -> int:
+        return self.system_map.kernel_base + index * self.word_size
+
+    def handle(self, number: int, arg: int, port: DataPort) -> None:
+        """Dispatch syscall ``number`` with argument ``arg``.
+
+        Raises :class:`ProgramExit` for exit, :class:`SimCrashError` for
+        unknown services (SIGSYS-equivalent) or kernel-state corruption.
+        """
+        magic = port.read_word(self._addr(0))
+        if magic != self._magic:
+            raise SimCrashError(
+                f"kernel canary corrupted: 0x{magic:x}", kind="system")
+        count = port.read_word(self._addr(1))
+        port.write_word(self._addr(1), semantics.wrap(count + 1, self.xlen))
+
+        if number == SYS_EXIT:
+            self.output.exit_code = semantics.to_signed(arg, self.xlen)
+            raise ProgramExit(self.output.exit_code)
+        if number == SYS_PUTINT:
+            self.output.append_int(semantics.to_signed(arg, self.xlen))
+        elif number == SYS_PUTCHAR:
+            self.output.append_byte(arg)
+        elif number == SYS_PUTHEX:
+            self.output.append_hex(arg)
+        else:
+            raise SimCrashError(f"bad syscall number {number}")
+
+        recorded = port.read_word(self._addr(2))
+        expected = semantics.wrap(self.output.count - 1, self.xlen)
+        if recorded != expected:
+            raise SimCrashError(
+                f"kernel output ledger inconsistent "
+                f"({recorded} != {expected})", kind="system")
+        port.write_word(self._addr(2),
+                        semantics.wrap(self.output.count, self.xlen))

@@ -1,0 +1,22 @@
+"""MinC: the small C dialect the benchmark workloads are written in.
+
+Pipeline: :func:`~repro.lang.parser.parse` produces an AST,
+:func:`~repro.lang.sema.analyze` type-checks it and resolves names; the
+result feeds :mod:`repro.compiler.irbuilder`.
+"""
+
+from . import ast_nodes
+from .parser import parse
+from .sema import BUILTINS, SemanticInfo, analyze
+from .tokens import Token, TokenKind, tokenize
+
+__all__ = [
+    "BUILTINS",
+    "SemanticInfo",
+    "Token",
+    "TokenKind",
+    "analyze",
+    "ast_nodes",
+    "parse",
+    "tokenize",
+]

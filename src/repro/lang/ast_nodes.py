@@ -1,0 +1,217 @@
+"""Abstract syntax tree for MinC.
+
+Every node carries the source line for diagnostics. Expression nodes gain
+a ``ty`` attribute (a :class:`Type`) during semantic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Type:
+    """MinC type: ``int``, ``char``, pointer-to-base, or array-of-base.
+
+    ``kind`` is one of ``int``, ``char``, ``ptr``, ``array``, ``void``.
+    ``base`` (for ptr/array) is ``int`` or ``char``. ``size`` is the array
+    element count.
+    """
+
+    kind: str
+    base: str | None = None
+    size: int | None = None
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind in ("int", "char")
+
+    @property
+    def is_pointerish(self) -> bool:
+        return self.kind in ("ptr", "array")
+
+    def element(self) -> "Type":
+        if not self.is_pointerish:
+            raise ValueError(f"{self} has no element type")
+        return Type(self.base)  # type: ignore[arg-type]
+
+    def decayed(self) -> "Type":
+        """Array-to-pointer decay."""
+        if self.kind == "array":
+            return Type("ptr", self.base)
+        return self
+
+    def __str__(self) -> str:
+        if self.kind == "ptr":
+            return f"{self.base}*"
+        if self.kind == "array":
+            return f"{self.base}[{self.size}]"
+        return self.kind
+
+
+INT = Type("int")
+CHAR = Type("char")
+VOID = Type("void")
+
+
+# --------------------------------------------------------------- expressions
+
+@dataclass
+class Expr:
+    line: int = 0
+    ty: Type = field(default=INT, compare=False)
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # - ! ~
+    operand: Expr | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    op: str = ""          # ++ or --
+    prefix: bool = True
+    target: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Cond(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr | None = None
+    value: Expr | None = None
+    op: str | None = None  # compound-assignment operator, e.g. "+" for +=
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------- statements
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ty: Type = INT
+    init: Expr | None = None
+    init_list: list[int] | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    other: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+# --------------------------------------------------------------- top level
+
+@dataclass
+class Param:
+    name: str
+    ty: Type
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: Type
+    params: list[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    ty: Type
+    init: int | list[int] | None
+    line: int = 0
+
+
+@dataclass
+class Module:
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

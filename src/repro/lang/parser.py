@@ -1,0 +1,428 @@
+"""Recursive-descent parser for MinC with C operator precedence."""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+from . import ast_nodes as ast
+from .tokens import Token, TokenKind, tokenize
+
+# Binary operator precedence (higher binds tighter); all left-associative.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                    "<<=", ">>="}
+
+
+class Parser:
+    """Parses one MinC translation unit into an :class:`ast.Module`."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect_punct(self, text: str) -> Token:
+        if not self.tok.is_punct(text):
+            raise CompileError(f"expected {text!r}, got {self.tok.text!r}",
+                               self.tok.line)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.tok.kind is not TokenKind.IDENT:
+            raise CompileError(f"expected identifier, got {self.tok.text!r}",
+                               self.tok.line)
+        return self.advance()
+
+    def accept_punct(self, text: str) -> bool:
+        if self.tok.is_punct(text):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------ top level
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while self.tok.kind is not TokenKind.EOF:
+            while self.tok.is_keyword("const"):
+                self.advance()
+            base = self._parse_base_type()
+            is_ptr = self.accept_punct("*")
+            name = self.expect_ident()
+            if self.tok.is_punct("("):
+                ret = ast.Type("ptr", base) if is_ptr else ast.Type(base)
+                if base == "void" and not is_ptr:
+                    ret = ast.VOID
+                module.functions.append(self._parse_function(name.text, ret))
+            else:
+                if base == "void":
+                    raise CompileError("void variable", name.line)
+                module.globals.append(
+                    self._parse_global(base, is_ptr, name))
+        return module
+
+    def _parse_base_type(self) -> str:
+        token = self.tok
+        if token.is_keyword("int") or token.is_keyword("char") \
+                or token.is_keyword("void"):
+            self.advance()
+            return token.text
+        raise CompileError(f"expected type, got {token.text!r}", token.line)
+
+    def _parse_global(self, base: str, is_ptr: bool,
+                      name: Token) -> ast.GlobalVar:
+        if is_ptr:
+            raise CompileError("global pointers are not supported",
+                               name.line)
+        if self.accept_punct("["):
+            size_tok = self.tok
+            size = None
+            if not size_tok.is_punct("]"):
+                if size_tok.kind is not TokenKind.NUMBER:
+                    raise CompileError("array size must be a constant",
+                                       size_tok.line)
+                size = self.advance().value
+            self.expect_punct("]")
+            init: list[int] | None = None
+            if self.accept_punct("="):
+                init = self._parse_init_list()
+            if size is None:
+                if init is None:
+                    raise CompileError("unsized array needs initializer",
+                                       name.line)
+                size = len(init)
+            if init is not None and len(init) > size:
+                raise CompileError("too many initializers", name.line)
+            self.expect_punct(";")
+            return ast.GlobalVar(name.text, ast.Type("array", base, size),
+                                 init, name.line)
+        init_value: int | None = None
+        if self.accept_punct("="):
+            init_value = self._parse_const_expr()
+        self.expect_punct(";")
+        return ast.GlobalVar(name.text, ast.Type(base), init_value,
+                             name.line)
+
+    def _parse_init_list(self) -> list[int]:
+        self.expect_punct("{")
+        values: list[int] = []
+        if not self.tok.is_punct("}"):
+            values.append(self._parse_const_expr())
+            while self.accept_punct(","):
+                if self.tok.is_punct("}"):  # trailing comma
+                    break
+                values.append(self._parse_const_expr())
+        self.expect_punct("}")
+        return values
+
+    def _parse_const_expr(self) -> int:
+        """Constant expression for initializers: literals with unary minus."""
+        negate = False
+        while self.tok.is_punct("-"):
+            self.advance()
+            negate = not negate
+        token = self.tok
+        if token.kind is not TokenKind.NUMBER:
+            raise CompileError("initializer must be a constant", token.line)
+        self.advance()
+        return -token.value if negate else token.value
+
+    def _parse_function(self, name: str, ret: ast.Type) -> ast.FuncDef:
+        line = self.tok.line
+        self.expect_punct("(")
+        params: list[ast.Param] = []
+        if not self.tok.is_punct(")"):
+            if self.tok.is_keyword("void") and \
+                    self.tokens[self.pos + 1].is_punct(")"):
+                self.advance()
+            else:
+                params.append(self._parse_param())
+                while self.accept_punct(","):
+                    params.append(self._parse_param())
+        self.expect_punct(")")
+        body = self._parse_block()
+        return ast.FuncDef(name, ret, params, body, line)
+
+    def _parse_param(self) -> ast.Param:
+        while self.tok.is_keyword("const"):
+            self.advance()
+        base = self._parse_base_type()
+        if base == "void":
+            raise CompileError("void parameter", self.tok.line)
+        is_ptr = self.accept_punct("*")
+        name = self.expect_ident()
+        if self.accept_punct("["):
+            self.expect_punct("]")
+            is_ptr = True
+        ty = ast.Type("ptr", base) if is_ptr else ast.Type(base)
+        return ast.Param(name.text, ty, name.line)
+
+    # ------------------------------------------------------------ statements
+
+    def _parse_block(self) -> ast.Block:
+        start = self.expect_punct("{")
+        stmts: list[ast.Stmt] = []
+        while not self.tok.is_punct("}"):
+            if self.tok.kind is TokenKind.EOF:
+                raise CompileError("unterminated block", start.line)
+            stmts.append(self._parse_statement())
+        self.expect_punct("}")
+        return ast.Block(start.line, stmts)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.tok
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_keyword("int") or token.is_keyword("char") \
+                or token.is_keyword("const"):
+            return self._parse_var_decl()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("do"):
+            return self._parse_do_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("break"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.Break(token.line)
+        if token.is_keyword("continue"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.Continue(token.line)
+        if token.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.tok.is_punct(";"):
+                value = self._parse_expression()
+            self.expect_punct(";")
+            return ast.Return(token.line, value)
+        if token.is_punct(";"):
+            self.advance()
+            return ast.Block(token.line, [])
+        expr = self._parse_expression()
+        self.expect_punct(";")
+        return ast.ExprStmt(token.line, expr)
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        while self.tok.is_keyword("const"):
+            self.advance()
+        line = self.tok.line
+        base = self._parse_base_type()
+        if base == "void":
+            raise CompileError("void variable", line)
+        decls: list[ast.Stmt] = []
+        while True:
+            is_ptr = self.accept_punct("*")
+            name = self.expect_ident()
+            if self.accept_punct("["):
+                if is_ptr:
+                    raise CompileError("array of pointers not supported",
+                                       name.line)
+                size_tok = self.tok
+                if size_tok.kind is not TokenKind.NUMBER:
+                    raise CompileError("local array size must be constant",
+                                       size_tok.line)
+                size = self.advance().value
+                self.expect_punct("]")
+                init_list = None
+                if self.accept_punct("="):
+                    init_list = self._parse_init_list()
+                decls.append(ast.VarDecl(
+                    name.line, name.text, ast.Type("array", base, size),
+                    None, init_list))
+            else:
+                ty = ast.Type("ptr", base) if is_ptr else ast.Type(base)
+                init = None
+                if self.accept_punct("="):
+                    init = self._parse_expression()
+                decls.append(ast.VarDecl(name.line, name.text, ty, init))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(line, decls)
+
+    def _parse_if(self) -> ast.If:
+        line = self.advance().line
+        self.expect_punct("(")
+        cond = self._parse_expression()
+        self.expect_punct(")")
+        then = self._parse_statement()
+        other = None
+        if self.tok.is_keyword("else"):
+            self.advance()
+            other = self._parse_statement()
+        return ast.If(line, cond, then, other)
+
+    def _parse_while(self) -> ast.While:
+        line = self.advance().line
+        self.expect_punct("(")
+        cond = self._parse_expression()
+        self.expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(line, cond, body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        line = self.advance().line
+        body = self._parse_statement()
+        if not self.tok.is_keyword("while"):
+            raise CompileError("expected 'while' after do-body",
+                               self.tok.line)
+        self.advance()
+        self.expect_punct("(")
+        cond = self._parse_expression()
+        self.expect_punct(")")
+        self.expect_punct(";")
+        return ast.DoWhile(line, body, cond)
+
+    def _parse_for(self) -> ast.For:
+        line = self.advance().line
+        self.expect_punct("(")
+        init: ast.Stmt | None = None
+        if not self.tok.is_punct(";"):
+            if self.tok.is_keyword("int") or self.tok.is_keyword("char"):
+                init = self._parse_var_decl()
+            else:
+                init = ast.ExprStmt(self.tok.line, self._parse_expression())
+                self.expect_punct(";")
+        else:
+            self.advance()
+        cond = None
+        if not self.tok.is_punct(";"):
+            cond = self._parse_expression()
+        self.expect_punct(";")
+        step = None
+        if not self.tok.is_punct(")"):
+            step = self._parse_expression()
+        self.expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(line, init, cond, step, body)
+
+    # ----------------------------------------------------------- expressions
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self.tok
+        if token.is_punct("="):
+            self.advance()
+            value = self._parse_assignment()
+            return ast.Assign(token.line, ast.INT, left, value)
+        if token.kind is TokenKind.PUNCT and token.text in _COMPOUND_ASSIGN:
+            self.advance()
+            value = self._parse_assignment()
+            return ast.Assign(token.line, ast.INT, left, value,
+                              token.text[:-1])
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.tok.is_punct("?"):
+            line = self.advance().line
+            then = self._parse_expression()
+            self.expect_punct(":")
+            other = self._parse_conditional()
+            return ast.Cond(line, ast.INT, cond, then, other)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.tok
+            if token.kind is not TokenKind.PUNCT:
+                return left
+            prec = _PRECEDENCE.get(token.text, 0)
+            if prec < min_prec:
+                return left
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(token.line, ast.INT, token.text, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind is TokenKind.PUNCT and token.text in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(token.line, ast.INT, token.text,
+                             self._parse_unary())
+        if token.is_punct("+"):
+            self.advance()
+            return self._parse_unary()
+        if token.kind is TokenKind.PUNCT and token.text in ("++", "--"):
+            self.advance()
+            target = self._parse_unary()
+            return ast.IncDec(token.line, ast.INT, token.text, True, target)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.tok
+            if token.is_punct("["):
+                self.advance()
+                index = self._parse_expression()
+                self.expect_punct("]")
+                expr = ast.Index(token.line, ast.INT, expr, index)
+            elif token.kind is TokenKind.PUNCT and token.text in ("++",
+                                                                  "--"):
+                self.advance()
+                expr = ast.IncDec(token.line, ast.INT, token.text, False,
+                                  expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return ast.Num(token.line, ast.INT, token.value)
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            if self.tok.is_punct("("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.tok.is_punct(")"):
+                    args.append(self._parse_expression())
+                    while self.accept_punct(","):
+                        args.append(self._parse_expression())
+                self.expect_punct(")")
+                return ast.Call(token.line, ast.INT, token.text, args)
+            return ast.Var(token.line, ast.INT, token.text)
+        if token.is_punct("("):
+            self.advance()
+            expr = self._parse_expression()
+            self.expect_punct(")")
+            return expr
+        raise CompileError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.Module:
+    """Parse MinC ``source`` into an AST module."""
+    return Parser(source).parse_module()

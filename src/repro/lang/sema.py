@@ -1,0 +1,319 @@
+"""Semantic analysis for MinC.
+
+Resolves names against lexical scopes (rewriting each variable reference
+to a unique symbol so later stages never deal with shadowing), checks
+types, and annotates every expression node with its :class:`~repro.lang.
+ast_nodes.Type`. The result is a :class:`SemanticInfo` consumed by the IR
+builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CompileError
+from . import ast_nodes as ast
+
+BUILTINS: dict[str, tuple[ast.Type, list[ast.Type]]] = {
+    "putint": (ast.VOID, [ast.INT]),
+    "putchar": (ast.VOID, [ast.INT]),
+    "puthex": (ast.VOID, [ast.INT]),
+    "exit": (ast.VOID, [ast.INT]),
+    "ushr": (ast.INT, [ast.INT, ast.INT]),
+}
+
+
+@dataclass
+class FuncSig:
+    name: str
+    ret: ast.Type
+    params: list[ast.Type]
+
+
+@dataclass
+class SemanticInfo:
+    """Symbol tables produced by :func:`analyze`."""
+
+    globals: dict[str, ast.GlobalVar] = field(default_factory=dict)
+    functions: dict[str, FuncSig] = field(default_factory=dict)
+    # unique local symbol -> declared type, per function
+    locals: dict[str, dict[str, ast.Type]] = field(default_factory=dict)
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        self.names: dict[str, str] = {}
+
+    def lookup(self, name: str) -> str | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _FunctionChecker:
+    def __init__(self, func: ast.FuncDef, info: SemanticInfo) -> None:
+        self.func = func
+        self.info = info
+        self.local_types: dict[str, ast.Type] = {}
+        self.counter = 0
+        self.loop_depth = 0
+
+    def unique(self, name: str) -> str:
+        self.counter += 1
+        return f"{name}.{self.counter}"
+
+    def check(self) -> None:
+        scope = _Scope()
+        for index, param in enumerate(self.func.params):
+            if param.name in scope.names:
+                raise CompileError(f"duplicate parameter {param.name!r}",
+                                   param.line)
+            symbol = f"{param.name}.p{index}"
+            scope.names[param.name] = symbol
+            self.local_types[symbol] = param.ty
+        self._check_block(self.func.body, _Scope(scope))
+        self.info.locals[self.func.name] = self.local_types
+
+    # -- statements ------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, _Scope(scope))
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_decl(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            assert stmt.cond is not None and stmt.then is not None
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other, scope)
+        elif isinstance(stmt, ast.While):
+            assert stmt.cond is not None and stmt.body is not None
+            self._check_expr(stmt.cond, scope)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            assert stmt.cond is not None and stmt.body is not None
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            self._check_expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            assert stmt.body is not None
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise CompileError(f"{kind} outside loop", stmt.line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if self.func.ret.kind == "void":
+                    raise CompileError("void function returns a value",
+                                       stmt.line)
+                ty = self._check_expr(stmt.value, scope)
+                self._require_scalar_or_ptr(ty, self.func.ret, stmt.line)
+            elif self.func.ret.kind != "void":
+                raise CompileError("non-void function returns nothing",
+                                   stmt.line)
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}",
+                               stmt.line)
+
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope)
+
+    def _check_decl(self, decl: ast.VarDecl, scope: _Scope) -> None:
+        if decl.name in scope.names:
+            raise CompileError(
+                f"redeclaration of {decl.name!r} in the same scope",
+                decl.line)
+        symbol = self.unique(decl.name)
+        if decl.init is not None:
+            ty = self._check_expr(decl.init, scope)
+            self._require_scalar_or_ptr(ty, decl.ty, decl.line)
+        if decl.init_list is not None:
+            assert decl.ty.kind == "array"
+            if decl.ty.size is not None and \
+                    len(decl.init_list) > decl.ty.size:
+                raise CompileError("too many initializers", decl.line)
+        scope.names[decl.name] = symbol
+        self.local_types[symbol] = decl.ty
+        decl.resolved = symbol  # type: ignore[attr-defined]
+
+    # -- expressions -----------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> ast.Type:
+        ty = self._infer(expr, scope)
+        expr.ty = ty
+        return ty
+
+    def _infer(self, expr: ast.Expr, scope: _Scope) -> ast.Type:
+        if isinstance(expr, ast.Num):
+            return ast.INT
+        if isinstance(expr, ast.Var):
+            symbol = scope.lookup(expr.name)
+            if symbol is not None:
+                expr.binding = ("local", symbol)  # type: ignore
+                return self.local_types[symbol]
+            gvar = self.info.globals.get(expr.name)
+            if gvar is not None:
+                expr.binding = ("global", expr.name)  # type: ignore
+                return gvar.ty
+            raise CompileError(f"undefined variable {expr.name!r}",
+                               expr.line)
+        if isinstance(expr, ast.Index):
+            assert expr.base is not None and expr.index is not None
+            base_ty = self._check_expr(expr.base, scope)
+            if not base_ty.is_pointerish:
+                raise CompileError(f"cannot index {base_ty}", expr.line)
+            index_ty = self._check_expr(expr.index, scope)
+            if not index_ty.is_scalar:
+                raise CompileError("array index must be a scalar",
+                                   expr.line)
+            return base_ty.element()
+        if isinstance(expr, ast.Unary):
+            assert expr.operand is not None
+            ty = self._check_expr(expr.operand, scope)
+            if not ty.is_scalar:
+                raise CompileError(
+                    f"unary {expr.op} needs a scalar, got {ty}", expr.line)
+            return ast.INT
+        if isinstance(expr, ast.IncDec):
+            assert expr.target is not None
+            self._check_lvalue(expr.target, scope)
+            ty = self._check_expr(expr.target, scope)
+            if not (ty.is_scalar or ty.kind == "ptr"):
+                raise CompileError(f"cannot {expr.op} a {ty}", expr.line)
+            return ty
+        if isinstance(expr, ast.Binary):
+            assert expr.left is not None and expr.right is not None
+            lt = self._check_expr(expr.left, scope)
+            rt = self._check_expr(expr.right, scope)
+            if expr.op in ("+", "-") and (lt.is_pointerish
+                                          or rt.is_pointerish):
+                if lt.is_pointerish and rt.is_scalar:
+                    return lt.decayed()
+                if rt.is_pointerish and lt.is_scalar and expr.op == "+":
+                    return rt.decayed()
+                raise CompileError(
+                    f"bad pointer arithmetic: {lt} {expr.op} {rt}",
+                    expr.line)
+            if expr.op in ("==", "!=", "<", "<=", ">", ">=") and \
+                    lt.is_pointerish and rt.is_pointerish:
+                return ast.INT
+            if not (lt.is_scalar and rt.is_scalar):
+                raise CompileError(
+                    f"operator {expr.op} needs scalars, got {lt}, {rt}",
+                    expr.line)
+            return ast.INT
+        if isinstance(expr, ast.Cond):
+            assert expr.cond and expr.then and expr.other
+            self._check_expr(expr.cond, scope)
+            tt = self._check_expr(expr.then, scope)
+            ot = self._check_expr(expr.other, scope)
+            if tt.is_pointerish != ot.is_pointerish:
+                raise CompileError("mismatched ?: arms", expr.line)
+            return tt.decayed()
+        if isinstance(expr, ast.Assign):
+            assert expr.target is not None and expr.value is not None
+            self._check_lvalue(expr.target, scope)
+            target_ty = self._check_expr(expr.target, scope)
+            value_ty = self._check_expr(expr.value, scope)
+            if expr.op is not None:
+                if not (target_ty.is_scalar or target_ty.kind == "ptr"):
+                    raise CompileError("bad compound assignment target",
+                                       expr.line)
+                if target_ty.kind == "ptr":
+                    # p += n / p -= n: the operand is an element delta.
+                    if expr.op not in ("+", "-") or not value_ty.is_scalar:
+                        raise CompileError(
+                            "bad pointer compound assignment", expr.line)
+                    return target_ty
+            self._require_scalar_or_ptr(value_ty, target_ty, expr.line)
+            return target_ty
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        raise CompileError(f"unhandled expression {type(expr).__name__}",
+                           expr.line)
+
+    def _check_lvalue(self, expr: ast.Expr, scope: _Scope) -> None:
+        if isinstance(expr, ast.Var):
+            ty = self._infer(expr, scope)
+            if ty.kind == "array":
+                raise CompileError("cannot assign to an array", expr.line)
+            return
+        if isinstance(expr, ast.Index):
+            return
+        raise CompileError("expression is not assignable", expr.line)
+
+    def _check_call(self, call: ast.Call, scope: _Scope) -> ast.Type:
+        if call.name in BUILTINS:
+            ret, params = BUILTINS[call.name]
+        elif call.name in self.info.functions:
+            sig = self.info.functions[call.name]
+            ret, params = sig.ret, sig.params
+        else:
+            raise CompileError(f"undefined function {call.name!r}",
+                               call.line)
+        if len(call.args) != len(params):
+            raise CompileError(
+                f"{call.name} expects {len(params)} arguments,"
+                f" got {len(call.args)}", call.line)
+        for arg, param_ty in zip(call.args, params):
+            arg_ty = self._check_expr(arg, scope)
+            self._require_scalar_or_ptr(arg_ty, param_ty, call.line)
+        return ret
+
+    @staticmethod
+    def _require_scalar_or_ptr(actual: ast.Type, expected: ast.Type,
+                               line: int) -> None:
+        actual = actual.decayed()
+        expected = expected.decayed()
+        if expected.is_scalar and actual.is_scalar:
+            return
+        if expected.kind == "ptr" and actual.kind == "ptr" \
+                and expected.base == actual.base:
+            return
+        raise CompileError(f"type mismatch: expected {expected},"
+                           f" got {actual}", line)
+
+
+def analyze(module: ast.Module) -> SemanticInfo:
+    """Type-check ``module`` and return its symbol tables."""
+    info = SemanticInfo()
+    for gvar in module.globals:
+        if gvar.name in info.globals:
+            raise CompileError(f"duplicate global {gvar.name!r}", gvar.line)
+        info.globals[gvar.name] = gvar
+    for func in module.functions:
+        if func.name in info.functions or func.name in BUILTINS:
+            raise CompileError(f"duplicate function {func.name!r}",
+                               func.line)
+        if func.name in info.globals:
+            raise CompileError(
+                f"{func.name!r} is both a global and a function", func.line)
+        info.functions[func.name] = FuncSig(
+            func.name, func.ret, [p.ty for p in func.params])
+    if "main" not in info.functions:
+        raise CompileError("program has no main function")
+    for func in module.functions:
+        _FunctionChecker(func, info).check()
+    return info

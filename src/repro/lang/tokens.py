@@ -1,0 +1,133 @@
+"""Lexer for MinC, the small C dialect the workloads are written in.
+
+MinC keeps C's surface syntax for the constructs the MiBench-analog
+benchmarks need: ``int``/``char`` scalars, arrays, pointers (as function
+parameters), the usual operators with C precedence, control flow
+(``if``/``while``/``for``/``do``/``break``/``continue``/``return``), and
+function definitions. Output is via the builtins ``putint``, ``putchar``,
+``puthex``; logical-shift-right is the builtin ``ushr`` (``>>`` on ``int``
+is arithmetic, as in C on signed operands).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import CompileError
+
+KEYWORDS = frozenset({
+    "int", "char", "void", "if", "else", "while", "for", "do", "break",
+    "continue", "return", "const",
+})
+
+# Longest-match first.
+_PUNCTUATION = [
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "+", "-", "*",
+    "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", "(", ")", "{", "}",
+    "[", "]", ";", ",", "?", ":",
+]
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int
+    line: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MinC source, raising :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token(TokenKind.NUMBER, source[i:j], value, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, 0, line))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 1 >= n or source[j + 1] not in _ESCAPES:
+                    raise CompileError("bad character escape", line)
+                value = _ESCAPES[source[j + 1]]
+                j += 2
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            else:
+                raise CompileError("unterminated character literal", line)
+            if j >= n or source[j] != "'":
+                raise CompileError("unterminated character literal", line)
+            tokens.append(Token(TokenKind.NUMBER, source[i:j + 1], value,
+                                line))
+            i = j + 1
+            continue
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokenKind.PUNCT, punct, 0, line))
+                i += len(punct)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(TokenKind.EOF, "", 0, line))
+    return tokens

@@ -1,0 +1,36 @@
+"""Cycle-driven out-of-order microarchitecture simulator.
+
+Two core models reproduce the paper's Table I geometries:
+:data:`~repro.microarch.config.CORTEX_A15` (armlet-32) and
+:data:`~repro.microarch.config.CORTEX_A72` (armlet-64). The
+:class:`~repro.microarch.simulator.Simulator` runs a compiled
+:class:`~repro.isa.program.Program` full-system (with the kernel layer)
+and exposes the fifteen injectable structure fields through
+:class:`~repro.microarch.faults.FieldCatalog`.
+"""
+
+from .branch import BranchPredictor
+from .caches import CacheHierarchy, SetAssocCache
+from .config import CONFIGS, CORTEX_A15, CORTEX_A72, CoreConfig, get_config
+from .core import OoOCore
+from .faults import ALL_FIELDS, COMPONENT_FIELDS, FieldCatalog
+from .regfile import PhysRegFile
+from .simulator import SimResult, Simulator
+
+__all__ = [
+    "ALL_FIELDS",
+    "BranchPredictor",
+    "CONFIGS",
+    "COMPONENT_FIELDS",
+    "CORTEX_A15",
+    "CORTEX_A72",
+    "CacheHierarchy",
+    "CoreConfig",
+    "FieldCatalog",
+    "OoOCore",
+    "PhysRegFile",
+    "SetAssocCache",
+    "SimResult",
+    "Simulator",
+    "get_config",
+]

@@ -1,0 +1,65 @@
+"""Branch prediction: a bimodal 2-bit-counter table plus a BTB.
+
+Prediction quality only shapes timing (squash frequency and depth); the
+predictor is not a fault-injection target in the paper, so its state is
+not registered with the fault catalog.
+"""
+
+from __future__ import annotations
+
+
+class BranchPredictor:
+    """Bimodal predictor with a direct-mapped branch target buffer."""
+
+    def __init__(self, table_size: int = 1024, btb_size: int = 512) -> None:
+        if table_size & (table_size - 1) or btb_size & (btb_size - 1):
+            raise ValueError("predictor table sizes must be powers of two")
+        self.table_size = table_size
+        self.btb_size = btb_size
+        self.counters = [2] * table_size        # weakly taken
+        self.btb: dict[int, tuple[int, bool]] = {}  # pc -> (target, is_cond)
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> int:
+        """Predicted next fetch address for the instruction at ``pc``."""
+        self.lookups += 1
+        hit = self.btb.get(pc)
+        if hit is None:
+            return pc + 4
+        target, is_cond = hit
+        if not is_cond:
+            return target
+        return target if self.counters[self._index(pc)] >= 2 else pc + 4
+
+    def update(self, pc: int, taken: bool, target: int,
+               is_cond: bool) -> None:
+        """Train on a resolved control instruction."""
+        if is_cond:
+            index = self._index(pc)
+            if taken:
+                self.counters[index] = min(3, self.counters[index] + 1)
+            else:
+                self.counters[index] = max(0, self.counters[index] - 1)
+        if taken:
+            if len(self.btb) >= self.btb_size and pc not in self.btb:
+                # Direct-mapped-style eviction: drop the entry whose pc
+                # aliases the same BTB set.
+                alias = [k for k in self.btb
+                         if self._index(k) == self._index(pc)]
+                victim = alias[0] if alias else next(iter(self.btb))
+                del self.btb[victim]
+            self.btb[pc] = (target, is_cond)
+
+    def get_state(self) -> dict:
+        return {"counters": list(self.counters), "btb": dict(self.btb),
+                "lookups": self.lookups, "mispredicts": self.mispredicts}
+
+    def set_state(self, state: dict) -> None:
+        self.counters = list(state["counters"])
+        self.btb = dict(state["btb"])
+        self.lookups = state["lookups"]
+        self.mispredicts = state["mispredicts"]

@@ -1,0 +1,363 @@
+"""Set-associative write-back caches with bit-accurate fault surfaces.
+
+Functional-with-latency model: every access updates cache state (fills,
+LRU, evictions, write-backs) immediately and returns the latency the
+requester must charge, which keeps timing deterministic without modeling
+MSHRs. Lines are allocated lazily; a fault flip addressed to storage with
+no resident line is inherently masked (the next fill would overwrite that
+SRAM cell anyway).
+
+Fault semantics implemented here:
+
+* data-array flips mutate the resident line's bytes -- later reads return
+  corrupted data (SDC channel), dirty write-backs propagate it downstream;
+* tag-array flips re-tag a line: the original address now misses (clean:
+  refetched, masked; dirty: its data is lost) and the flipped tag may
+  alias another address (wrong-data hits) or point outside the system
+  map, in which case an eventual write-back raises the paper's *Assert*;
+* a flip that makes two ways of a set match the same tag is detected at
+  lookup and raises *Assert* (real hardware behaviour is undefined).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimAssertError
+from ..kernel.memory import MainMemory
+from .config import CacheGeometry, CoreConfig
+from .faults import FieldCatalog, LambdaField
+
+
+class CacheLine:
+    """One resident cache line."""
+
+    __slots__ = ("tag", "valid", "dirty", "data", "stamp")
+
+    def __init__(self, tag: int, data: bytearray) -> None:
+        self.tag = tag
+        self.valid = True
+        self.dirty = False
+        self.data = data
+        self.stamp = 0
+
+
+class SetAssocCache:
+    """A single cache level backed by a sparse line store."""
+
+    def __init__(self, name: str, geometry: CacheGeometry,
+                 phys_addr_bits: int) -> None:
+        self.name = name
+        self.geometry = geometry
+        self.phys_addr_bits = phys_addr_bits
+        self.offset_bits = geometry.offset_bits
+        self.index_bits = geometry.index_bits
+        self.index_mask = geometry.num_sets - 1
+        self.line_bytes = geometry.line_bytes
+        self.ways = geometry.ways
+        # address-tag width (without valid/dirty metadata bits)
+        self.addr_tag_bits = (phys_addr_bits - self.index_bits
+                              - self.offset_bits)
+        self.tag_entry_bits = self.addr_tag_bits + 2  # + valid + dirty
+        self.lines: dict[tuple[int, int], CacheLine] = {}
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------ addressing
+
+    def split(self, addr: int) -> tuple[int, int, int]:
+        """(tag, set index, offset) of ``addr``."""
+        offset = addr & (self.line_bytes - 1)
+        index = (addr >> self.offset_bits) & self.index_mask
+        tag = addr >> (self.offset_bits + self.index_bits)
+        return tag, index, offset
+
+    def line_address(self, tag: int, index: int) -> int:
+        return (tag << (self.offset_bits + self.index_bits)) | (
+            index << self.offset_bits)
+
+    # -------------------------------------------------------------- lookup
+
+    def lookup(self, addr: int) -> CacheLine | None:
+        """Find the resident valid line for ``addr``; None on miss.
+
+        Raises :class:`SimAssertError` when multiple ways match (possible
+        only after a tag-array fault).
+        """
+        tag, index, _ = self.split(addr)
+        found: CacheLine | None = None
+        for way in range(self.ways):
+            line = self.lines.get((index, way))
+            if line is not None and line.valid and line.tag == tag:
+                if found is not None:
+                    raise SimAssertError(
+                        f"{self.name}: duplicate tag match in set {index}")
+                found = line
+        if found is not None:
+            self._clock += 1
+            found.stamp = self._clock
+            self.hits += 1
+        else:
+            self.misses += 1
+        return found
+
+    def victim_way(self, index: int) -> int:
+        """LRU victim way for ``index`` (invalid ways first)."""
+        oldest_way = 0
+        oldest_stamp = None
+        for way in range(self.ways):
+            line = self.lines.get((index, way))
+            if line is None or not line.valid:
+                return way
+            if oldest_stamp is None or line.stamp < oldest_stamp:
+                oldest_stamp = line.stamp
+                oldest_way = way
+        return oldest_way
+
+    def evict_for(self, addr: int) -> tuple[int, bytearray] | None:
+        """Choose and remove a victim for ``addr``.
+
+        Returns ``(victim_address, victim_data)`` if the victim was valid
+        and dirty and must be written back, else None. Raises Assert when
+        the victim's reconstructed address lies outside the physical
+        address space the downstream level can hold (the flipped-tag
+        write-back case).
+        """
+        _, index, _ = self.split(addr)
+        way = self.victim_way(index)
+        line = self.lines.pop((index, way), None)
+        self._pending_way = (index, way)
+        if line is None or not line.valid or not line.dirty:
+            return None
+        victim_addr = self.line_address(line.tag, index)
+        return victim_addr, line.data
+
+    def place(self, addr: int, data: bytearray) -> CacheLine:
+        """Install ``data`` for ``addr`` into the way freed by
+        :meth:`evict_for` (which must be called first)."""
+        tag, index, _ = self.split(addr)
+        way_key = self._pending_way
+        assert way_key[0] == index
+        line = CacheLine(tag, data)
+        self._clock += 1
+        line.stamp = self._clock
+        self.lines[way_key] = line
+        return line
+
+    def invalidate_all(self) -> None:
+        self.lines.clear()
+
+    # ------------------------------------------------------- fault surface
+
+    def data_bit_count(self) -> int:
+        return self.geometry.data_bits
+
+    def flip_data_bit(self, bit_index: int) -> bool:
+        bits_per_line = self.line_bytes * 8
+        line_number, bit = divmod(bit_index, bits_per_line)
+        index, way = divmod(line_number, self.ways)
+        line = self.lines.get((index, way))
+        if line is None:
+            return False
+        byte_index, bit_in_byte = divmod(bit, 8)
+        line.data[byte_index] ^= 1 << bit_in_byte
+        return True
+
+    def live_data_bit_count(self) -> int:
+        """Bits currently backed by a resident line (occupancy sampling)."""
+        return len(self.lines) * self.line_bytes * 8
+
+    def flip_live_data_bit(self, index: int) -> bool:
+        bits_per_line = self.line_bytes * 8
+        which, bit = divmod(index, bits_per_line)
+        key = sorted(self.lines)[which]
+        line = self.lines[key]
+        byte_index, bit_in_byte = divmod(bit, 8)
+        line.data[byte_index] ^= 1 << bit_in_byte
+        return True
+
+    def tag_bit_count(self) -> int:
+        return self.geometry.num_lines * self.tag_entry_bits
+
+    def flip_tag_bit(self, bit_index: int) -> bool:
+        line_number, bit = divmod(bit_index, self.tag_entry_bits)
+        index, way = divmod(line_number, self.ways)
+        line = self.lines.get((index, way))
+        if line is None:
+            return False
+        if bit < self.addr_tag_bits:
+            line.tag ^= 1 << bit
+        elif bit == self.addr_tag_bits:
+            line.valid = not line.valid
+        else:
+            line.dirty = not line.dirty
+        return True
+
+    def live_tag_bit_count(self) -> int:
+        return len(self.lines) * self.tag_entry_bits
+
+    def flip_live_tag_bit(self, index: int) -> bool:
+        which, bit = divmod(index, self.tag_entry_bits)
+        key = sorted(self.lines)[which]
+        line = self.lines[key]
+        if bit < self.addr_tag_bits:
+            line.tag ^= 1 << bit
+        elif bit == self.addr_tag_bits:
+            line.valid = not line.valid
+        else:
+            line.dirty = not line.dirty
+        return True
+
+    # ------------------------------------------------------------ snapshot
+
+    def get_state(self) -> dict:
+        return {
+            "lines": {key: (ln.tag, ln.valid, ln.dirty, bytes(ln.data),
+                            ln.stamp)
+                      for key, ln in self.lines.items()},
+            "clock": self._clock, "hits": self.hits, "misses": self.misses,
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.lines = {}
+        for key, (tag, valid, dirty, data, stamp) in state["lines"].items():
+            line = CacheLine(tag, bytearray(data))
+            line.valid = valid
+            line.dirty = dirty
+            line.stamp = stamp
+            self.lines[key] = line
+        self._clock = state["clock"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
+
+class CacheHierarchy:
+    """L1I + L1D backed by a unified L2 backed by main memory."""
+
+    def __init__(self, config: CoreConfig, memory: MainMemory,
+                 catalog: FieldCatalog | None = None) -> None:
+        self.config = config
+        self.memory = memory
+        self.l1i = SetAssocCache("l1i", config.l1i, config.phys_addr_bits)
+        self.l1d = SetAssocCache("l1d", config.l1d, config.phys_addr_bits)
+        self.l2 = SetAssocCache("l2", config.l2, config.phys_addr_bits)
+        if catalog is not None:
+            for cache in (self.l1i, self.l1d, self.l2):
+                catalog.register(LambdaField(
+                    f"{cache.name}.data", cache.data_bit_count,
+                    cache.flip_data_bit, cache.live_data_bit_count,
+                    cache.flip_live_data_bit))
+                catalog.register(LambdaField(
+                    f"{cache.name}.tag", cache.tag_bit_count,
+                    cache.flip_tag_bit, cache.live_tag_bit_count,
+                    cache.flip_live_tag_bit))
+
+    # ----------------------------------------------------------- internals
+
+    def _line_addr(self, addr: int, cache: SetAssocCache) -> int:
+        return addr & ~(cache.line_bytes - 1)
+
+    def _memory_write_line(self, addr: int, data: bytearray) -> None:
+        if addr < 0 or addr + len(data) > self.memory.size:
+            raise SimAssertError(
+                f"cache write-back outside system map at 0x{addr:x}")
+        self.memory.write_bytes(addr, bytes(data))
+
+    def _memory_read_line(self, addr: int, length: int) -> bytearray:
+        if addr < 0 or addr + length > self.memory.size:
+            raise SimAssertError(
+                f"cache fill outside system map at 0x{addr:x}")
+        return bytearray(self.memory.read_bytes(addr, length))
+
+    def _l2_get_line(self, addr: int) -> CacheLine:
+        """Return the L2 line holding ``addr``, filling from memory."""
+        line_addr = self._line_addr(addr, self.l2)
+        line = self.l2.lookup(line_addr)
+        if line is not None:
+            return line
+        victim = self.l2.evict_for(line_addr)
+        if victim is not None:
+            self._memory_write_line(victim[0], victim[1])
+        data = self._memory_read_line(line_addr, self.l2.line_bytes)
+        return self.l2.place(line_addr, data)
+
+    def _l2_writeback(self, addr: int, data: bytearray) -> None:
+        """Accept a dirty line evicted from an L1."""
+        line = self._l2_get_line(addr)
+        offset = addr - self._line_addr(addr, self.l2)
+        line.data[offset:offset + len(data)] = data
+        line.dirty = True
+
+    def _l1_get_line(self, l1: SetAssocCache,
+                     addr: int) -> tuple[CacheLine, int]:
+        """Return (line, latency) for ``addr`` in an L1 cache."""
+        line_addr = self._line_addr(addr, l1)
+        line = l1.lookup(line_addr)
+        if line is not None:
+            return line, self.config.l1_hit_latency
+        l2_hit_before = self.l2.hits
+        victim = l1.evict_for(line_addr)
+        if victim is not None:
+            self._l2_writeback(victim[0], victim[1])
+            self.l2.hits = l2_hit_before  # write-back traffic not a demand hit
+        l2_line = self._l2_get_line(line_addr)
+        was_l2_hit = self.l2.hits > l2_hit_before
+        l2_offset = line_addr - self._line_addr(line_addr, self.l2)
+        data = bytearray(l2_line.data[l2_offset:l2_offset + l1.line_bytes])
+        new_line = l1.place(line_addr, data)
+        latency = (self.config.l2_hit_latency if was_l2_hit
+                   else self.config.memory_latency)
+        return new_line, latency
+
+    # ------------------------------------------------------------- data side
+
+    def read(self, addr: int, size: int) -> tuple[int, int]:
+        """Read ``size`` bytes at ``addr`` through L1D; (value, latency)."""
+        line, latency = self._l1_get_line(self.l1d, addr)
+        offset = addr & (self.l1d.line_bytes - 1)
+        if offset + size > self.l1d.line_bytes:
+            # Split access: second half through a second lookup.
+            first = self.l1d.line_bytes - offset
+            low = int.from_bytes(line.data[offset:offset + first], "little")
+            line2, lat2 = self._l1_get_line(self.l1d, addr + first)
+            rest = line2.data[0:size - first]
+            value = low | int.from_bytes(rest, "little") << (8 * first)
+            return value, latency + lat2
+        value = int.from_bytes(line.data[offset:offset + size], "little")
+        return value, latency
+
+    def write(self, addr: int, value: int, size: int) -> int:
+        """Write through L1D (write-back, write-allocate); returns latency."""
+        line, latency = self._l1_get_line(self.l1d, addr)
+        offset = addr & (self.l1d.line_bytes - 1)
+        payload = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if offset + size > self.l1d.line_bytes:
+            first = self.l1d.line_bytes - offset
+            line.data[offset:offset + first] = payload[:first]
+            line.dirty = True
+            line2, lat2 = self._l1_get_line(self.l1d, addr + first)
+            line2.data[0:size - first] = payload[first:]
+            line2.dirty = True
+            return latency + lat2
+        line.data[offset:offset + size] = payload
+        line.dirty = True
+        return latency
+
+    # ------------------------------------------------------- instruction side
+
+    def fetch_word(self, addr: int) -> tuple[int, int]:
+        """Fetch a 32-bit instruction word through L1I; (word, latency)."""
+        line, latency = self._l1_get_line(self.l1i, addr)
+        offset = addr & (self.l1i.line_bytes - 1)
+        word = int.from_bytes(line.data[offset:offset + 4], "little")
+        return word, latency
+
+    # ------------------------------------------------------------ snapshot
+
+    def get_state(self) -> dict:
+        return {"l1i": self.l1i.get_state(), "l1d": self.l1d.get_state(),
+                "l2": self.l2.get_state()}
+
+    def set_state(self, state: dict) -> None:
+        self.l1i.set_state(state["l1i"])
+        self.l1d.set_state(state["l1d"])
+        self.l2.set_state(state["l2"])

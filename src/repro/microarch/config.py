@@ -1,0 +1,145 @@
+"""Microarchitecture configurations (paper Table I).
+
+Two out-of-order core models are provided: ``CORTEX_A15`` (armlet-32,
+Armv7 analogue) and ``CORTEX_A72`` (armlet-64, Armv8 analogue), with the
+exact structure geometries of Table I. The raw FIT/bit constants come
+from the neutron-beam-calibrated values the paper cites ([37]):
+2.59e-5 FIT/bit for the A15's process and 9.39e-6 FIT/bit for the A72's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache array."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError(f"{self.name}: size not divisible by ways*line")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{self.name}: set count must be a power of 2")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    @property
+    def offset_bits(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        return self.num_sets.bit_length() - 1
+
+    def tag_bits(self, phys_addr_bits: int) -> int:
+        """Stored tag width: address tag plus valid and dirty bits."""
+        return phys_addr_bits - self.index_bits - self.offset_bits + 2
+
+    @property
+    def data_bits(self) -> int:
+        return self.size_bytes * 8
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Full configuration of one simulated out-of-order core."""
+
+    name: str
+    xlen: int
+    phys_addr_bits: int
+    l1i: CacheGeometry
+    l1d: CacheGeometry
+    l2: CacheGeometry
+    phys_regs: int
+    iq_entries: int
+    lq_entries: int
+    sq_entries: int
+    rob_entries: int
+    fetch_width: int
+    execute_width: int
+    writeback_width: int
+    raw_fit_per_bit: float
+    # access latencies, in cycles
+    l1_hit_latency: int = 2
+    l2_hit_latency: int = 12
+    memory_latency: int = 80
+    exec_latency: dict[str, int] = field(default_factory=lambda: {
+        "alu": 1, "mul": 4, "div": 12, "branch": 1, "system": 1,
+    })
+    mispredict_penalty: int = 3
+    syscall_overhead: int = 40
+
+    @property
+    def word_size(self) -> int:
+        return self.xlen // 8
+
+    @property
+    def phys_tag_bits(self) -> int:
+        return (self.phys_regs - 1).bit_length()
+
+    @property
+    def seq_bits(self) -> int:
+        return 16
+
+
+CORTEX_A15 = CoreConfig(
+    name="cortex-a15",
+    xlen=32,
+    phys_addr_bits=32,
+    l1i=CacheGeometry("l1i", 32 * 1024, 2),
+    l1d=CacheGeometry("l1d", 32 * 1024, 2),
+    l2=CacheGeometry("l2", 1024 * 1024, 8),
+    phys_regs=128,
+    iq_entries=32,
+    lq_entries=16,
+    sq_entries=16,
+    rob_entries=40,
+    fetch_width=3,
+    execute_width=6,
+    writeback_width=8,
+    raw_fit_per_bit=2.59e-5,
+    exec_latency={"alu": 1, "mul": 4, "div": 12, "branch": 1, "system": 1},
+)
+
+CORTEX_A72 = CoreConfig(
+    name="cortex-a72",
+    xlen=64,
+    phys_addr_bits=40,
+    l1i=CacheGeometry("l1i", 48 * 1024, 3, line_bytes=64),
+    l1d=CacheGeometry("l1d", 32 * 1024, 2),
+    l2=CacheGeometry("l2", 2 * 1024 * 1024, 16),
+    phys_regs=192,
+    iq_entries=64,
+    lq_entries=16,
+    sq_entries=16,
+    rob_entries=128,
+    fetch_width=3,
+    execute_width=6,
+    writeback_width=8,
+    raw_fit_per_bit=9.39e-6,
+    exec_latency={"alu": 1, "mul": 3, "div": 10, "branch": 1, "system": 1},
+)
+
+CONFIGS = {c.name: c for c in (CORTEX_A15, CORTEX_A72)}
+
+
+def get_config(name: str) -> CoreConfig:
+    """Look up a core configuration by name (e.g. ``cortex-a15``)."""
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown core {name!r}; available: {sorted(CONFIGS)}"
+        ) from None

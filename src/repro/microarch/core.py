@@ -1,0 +1,601 @@
+"""The out-of-order core: fetch, decode, rename, issue, execute, memory,
+writeback, and commit, with fault-aware microarchitectural state.
+
+Design notes relevant to fault injection:
+
+* Architectural metadata is deliberately stored **twice**: once privately
+  on the :class:`~repro.microarch.uop.MicroOp` and once in the injectable
+  hardware structures (ROB/IQ/LQ/SQ entries). The pipeline *acts* on the
+  structure copies -- issue uses IQ tags and ready bits, loads use LQ
+  addresses and dest tags, stores drain SQ address/data, commit frees the
+  ROB's old-phys tag, squash walks restore the ROB's (arch, old-phys)
+  pairs -- so injected flips have organic consequences. Where acting on a
+  corrupted value would require behaviour real hardware leaves undefined,
+  a defensive check raises :class:`~repro.errors.SimAssertError`,
+  reproducing the paper's Assert class.
+* Exceptions (illegal instructions after L1I flips, memory access faults
+  after address corruption, division by zero) are carried to commit and
+  raised there, so wrong-path faults squash away silently -- the masking
+  mechanism behind much of the measured AVF structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import (
+    IllegalInstructionError,
+    SimAssertError,
+    SimCrashError,
+)
+from ..isa import registers as arch_regs
+from ..isa import semantics
+from ..isa.encoding import decode as decode_word
+from ..isa.instructions import Format, Opcode
+from ..kernel.layout import SystemMap
+from ..kernel.syscalls import DataPort, SyscallHandler
+from .branch import BranchPredictor
+from .caches import CacheHierarchy
+from .config import CoreConfig
+from .faults import FieldCatalog
+from .queues import (
+    FLAG_BRANCH,
+    FLAG_DONE,
+    FLAG_EXCEPTION,
+    FLAG_HAS_DEST,
+    FLAG_STORE,
+    FLAG_SYSCALL,
+    IssueQueue,
+    LoadQueue,
+    PC_FIELD_BITS,
+    ReorderBuffer,
+    StoreQueue,
+)
+from .regfile import PhysRegFile
+from .uop import MicroOp
+
+
+class CoreStats:
+    """Cheap counters accumulated during simulation."""
+
+    __slots__ = ("cycles", "committed", "fetched", "loads", "stores",
+                 "branches", "mispredicts", "squashed", "syscalls",
+                 "prf_reads", "prf_writes", "rob_occupancy_sum",
+                 "iq_occupancy_sum", "samples")
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.committed = 0
+        self.fetched = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.mispredicts = 0
+        self.squashed = 0
+        self.syscalls = 0
+        self.prf_reads = 0
+        self.prf_writes = 0
+        self.rob_occupancy_sum = 0
+        self.iq_occupancy_sum = 0
+        self.samples = 0
+
+    def as_dict(self) -> dict[str, float]:
+        out = {name: getattr(self, name) for name in self.__slots__}
+        if self.samples:
+            out["rob_occupancy_avg"] = self.rob_occupancy_sum / self.samples
+            out["iq_occupancy_avg"] = self.iq_occupancy_sum / self.samples
+        if self.cycles:
+            out["ipc"] = self.committed / self.cycles
+        return out
+
+
+class OoOCore:
+    """A single out-of-order core wired to a cache hierarchy."""
+
+    def __init__(self, config: CoreConfig, hierarchy: CacheHierarchy,
+                 system_map: SystemMap, text_bytes: int,
+                 handler: SyscallHandler, kernel_port: DataPort,
+                 catalog: FieldCatalog) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.system_map = system_map
+        self.text_bytes = text_bytes
+        self.handler = handler
+        self.kernel_port = kernel_port
+        self.xlen = config.xlen
+        self.mask = (1 << config.xlen) - 1
+        self.word_size = config.word_size
+
+        self.prf = PhysRegFile(config.phys_regs, config.xlen, catalog)
+        self.iq = IssueQueue(config, catalog)
+        self.lq = LoadQueue(config, catalog)
+        self.sq = StoreQueue(config, catalog)
+        self.rob = ReorderBuffer(config, catalog)
+        self.predictor = BranchPredictor()
+
+        self.fetch_pc = 0
+        self.fetch_busy_until = 0
+        self.fetch_poisoned = False
+        self.fetch_queue: deque[MicroOp] = deque()
+        self.decode_queue: deque[MicroOp] = deque()
+        self.inflight: list[MicroOp] = []
+        self.commit_stall_until = 0
+        self.next_seq = 0
+        self.cycle = 0
+        self.stats = CoreStats()
+        self._seq_mask = (1 << config.seq_bits) - 1
+        self._pc_mask = (1 << PC_FIELD_BITS) - 1
+        # Decode cache keyed by the raw 32-bit word: static programs
+        # decode the same words millions of times, and a flipped word is
+        # simply a different key, so fault behaviour is unaffected.
+        self._decode_cache: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def boot(self, entry_pc: int, initial_regs: dict[int, int]) -> None:
+        self.fetch_pc = entry_pc
+        for arch, value in initial_regs.items():
+            self.prf.set_initial(arch, value)
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        self._commit()
+        self._writeback()
+        self._memory()
+        self._issue()
+        self._rename()
+        self._decode()
+        self._fetch()
+        if self.cycle & 0xF == 0:
+            self.stats.samples += 1
+            self.stats.rob_occupancy_sum += self.rob.occupancy
+            self.stats.iq_occupancy_sum += self.iq.occupancy
+
+    # ---------------------------------------------------------------- fetch
+
+    def _fetch(self) -> None:
+        if self.cycle < self.fetch_busy_until or self.fetch_poisoned:
+            return
+        budget = self.config.fetch_width
+        limit = 2 * self.config.fetch_width
+        while budget > 0 and len(self.fetch_queue) < limit:
+            pc = self.fetch_pc
+            uop = MicroOp(self.next_seq, pc, 0)
+            try:
+                self.system_map.check_fetch(pc, self.text_bytes)
+            except SimCrashError as exc:
+                uop.exception = exc
+                self.next_seq += 1
+                self.fetch_queue.append(uop)
+                self.fetch_poisoned = True
+                return
+            word, latency = self.hierarchy.fetch_word(pc)
+            uop.raw = word
+            uop.predicted_next = self.predictor.predict(pc)
+            self.next_seq += 1
+            self.fetch_queue.append(uop)
+            self.stats.fetched += 1
+            self.fetch_pc = uop.predicted_next
+            if latency > self.config.l1_hit_latency:
+                self.fetch_busy_until = self.cycle + latency
+                return
+            budget -= 1
+
+    # --------------------------------------------------------------- decode
+
+    def _decode(self) -> None:
+        budget = self.config.fetch_width
+        limit = 2 * self.config.fetch_width
+        while budget > 0 and self.fetch_queue and \
+                len(self.decode_queue) < limit:
+            uop = self.fetch_queue.popleft()
+            budget -= 1
+            if uop.exception is None:
+                cached = self._decode_cache.get(uop.raw)
+                if cached is None:
+                    cached = self._predecode(uop.raw)
+                    if len(self._decode_cache) < 65536:
+                        self._decode_cache[uop.raw] = cached
+                instr, is_load, is_store, is_branch, is_syscall, \
+                    arch_dest, srcs, mem_size = cached
+                if instr is None:
+                    uop.illegal = True
+                    uop.exception = SimCrashError(
+                        f"illegal instruction 0x{uop.raw:08x} "
+                        f"at pc=0x{uop.pc:x}")
+                else:
+                    uop.instr = instr
+                    uop.is_load = is_load
+                    uop.is_store = is_store
+                    uop.is_branch = is_branch
+                    uop.is_syscall = is_syscall
+                    uop.arch_dest = arch_dest
+                    uop.arch_srcs = srcs
+                    uop.mem_size = mem_size
+            if uop.instr is not None:
+                if uop.instr.format is Format.J:
+                    # Direct jumps resolve at decode: redirect early.
+                    target = (uop.pc + 4 * uop.instr.imm) & self._pc_mask
+                    uop.actual_next = target
+                    if uop.predicted_next != target:
+                        uop.predicted_next = target
+                        self.fetch_queue.clear()
+                        self.fetch_pc = target
+                        self.fetch_busy_until = max(self.fetch_busy_until,
+                                                    self.cycle + 1)
+                        self.predictor.update(uop.pc, True, target,
+                                              is_cond=False)
+            self.decode_queue.append(uop)
+
+    def _predecode(self, raw: int) -> tuple:
+        """Decode + classify a raw word once; cached by word value."""
+        try:
+            instr = decode_word(raw)
+        except IllegalInstructionError:
+            return (None, False, False, False, False, None, (), 0)
+        srcs = ((arch_regs.RETURN_REG,) if instr.is_syscall
+                else instr.src_regs())
+        mem_size = 1 if instr.opcode in (Opcode.LDRB, Opcode.STRB) \
+            else self.word_size
+        return (instr, instr.is_load, instr.is_store, instr.is_control,
+                instr.is_syscall, instr.dest_reg(), srcs, mem_size)
+
+    # --------------------------------------------------------------- rename
+
+    def _rename(self) -> None:
+        budget = self.config.fetch_width
+        while budget > 0 and self.decode_queue:
+            uop = self.decode_queue[0]
+            if not self.rob.has_space():
+                return
+            if uop.instr is None:
+                # Fetch fault or illegal instruction: occupies only a ROB
+                # slot and is complete the moment it is dispatched.
+                uop.rob_index = self.rob.allocate(uop)
+                entry = self.rob.entries[uop.rob_index]
+                entry.set_flag(FLAG_DONE)
+                entry.set_flag(FLAG_EXCEPTION)
+                uop.done = True
+                self.decode_queue.popleft()
+                budget -= 1
+                continue
+            if not self.iq.has_space():
+                return
+            if uop.is_load and not self.lq.has_space():
+                return
+            if uop.is_store and not self.sq.has_space():
+                return
+            if uop.arch_dest is not None and self.prf.free_count == 0:
+                return
+            srcs = uop.arch_srcs
+            src_tags = [self.prf.lookup(r) for r in srcs]
+            src_ready = [self.prf.ready[t] for t in src_tags]
+            uop.src_tags = src_tags
+            if uop.arch_dest is not None:
+                new_phys = self.prf.allocate()
+                uop.phys_dest = new_phys
+                uop.old_phys_dest = self.prf.remap(uop.arch_dest, new_phys)
+            uop.rob_index = self.rob.allocate(uop)
+            if uop.is_load:
+                uop.lq_index = self.lq.insert(uop)
+                lq_entry = self.lq.entries[uop.lq_index]
+                lq_entry.dest_tag = uop.phys_dest or 0
+                lq_entry.size = uop.mem_size
+            if uop.is_store:
+                uop.sq_index = self.sq.insert(uop)
+                self.sq.entries[uop.sq_index].size = uop.mem_size
+            self.iq.insert(uop, src_tags, src_ready, uop.phys_dest)
+            self.decode_queue.popleft()
+            budget -= 1
+
+    # ---------------------------------------------------------------- issue
+
+    def _issue(self) -> None:
+        budget = self.config.execute_width
+        for entry in self.iq.ready_entries():
+            if budget == 0:
+                break
+            uop = entry.uop
+            assert uop is not None
+            a = b = 0
+            if entry.uses_src1:
+                a = self.prf.read(entry.src1_tag, "issue operand")
+                self.stats.prf_reads += 1
+            if entry.uses_src2:
+                b = self.prf.read(entry.src2_tag, "issue operand")
+                self.stats.prf_reads += 1
+            uop.wb_tag = entry.dst_tag if uop.arch_dest is not None else None
+            self.iq.release(entry)
+            uop.issued = True
+            self._execute(uop, a, b)
+            budget -= 1
+
+    def _execute(self, uop: MicroOp, a: int, b: int) -> None:
+        instr = uop.instr
+        assert instr is not None
+        fmt = instr.format
+        latency = self.config.exec_latency.get(instr.exec_class, 1)
+        try:
+            if fmt is Format.R:
+                uop.result = semantics.alu(instr.opcode, a, b, self.xlen)
+            elif fmt is Format.I:
+                imm = instr.imm & self.mask
+                uop.result = semantics.alu(instr.opcode, a, imm, self.xlen)
+            elif fmt is Format.LI:
+                uop.result = semantics.mov_result(instr, a, self.xlen)
+            elif fmt is Format.LOAD:
+                addr = (a + instr.imm) & self.mask
+                lq_entry = self.lq.entries[uop.lq_index]
+                if not lq_entry.valid or lq_entry.seq != uop.seq:
+                    raise SimAssertError("load queue entry mismatch")
+                lq_entry.addr = addr
+                lq_entry.addr_known = True
+                uop.finish_at = None  # completed by the memory stage
+                return
+            elif fmt is Format.STORE:
+                addr = (a + instr.imm) & self.mask
+                sq_entry = self.sq.entries[uop.sq_index]
+                if not sq_entry.valid or sq_entry.seq != uop.seq:
+                    raise SimAssertError("store queue entry mismatch")
+                sq_entry.addr = addr
+                sq_entry.data = b & self.mask
+                sq_entry.addr_known = True
+                sq_entry.ready = True
+            elif fmt is Format.BC:
+                taken = semantics.branch_taken(instr.opcode, a, b, self.xlen)
+                uop.actual_next = (uop.pc + 4 * instr.imm if taken
+                                   else uop.pc + 4) & self._pc_mask
+            elif fmt is Format.J:
+                # resolved at decode; BL writes the link register
+                if instr.opcode is Opcode.BL:
+                    uop.result = (uop.pc + 4) & self.mask
+            elif fmt is Format.JR:
+                uop.actual_next = a & self._pc_mask
+            elif instr.opcode is Opcode.SVC:
+                uop.syscall_arg = a
+            # NOP: nothing
+        except SimCrashError as exc:
+            uop.exception = exc
+        uop.finish_at = self.cycle + latency
+        self.inflight.append(uop)
+
+    # --------------------------------------------------------------- memory
+
+    def _memory(self) -> None:
+        port_budget = 1
+        entries = sorted(
+            (e for e in self.lq.entries
+             if e.valid and e.addr_known and not e.accessed),
+            key=lambda e: e.seq)
+        for entry in entries:
+            if port_budget == 0:
+                break
+            uop = entry.uop
+            assert uop is not None
+            older = self.sq.older_stores(entry.seq)
+            if any(not st.addr_known for st in older):
+                continue
+            forwarded = None
+            blocked = False
+            lo, hi = entry.addr, entry.addr + entry.size
+            for st in older:  # youngest first
+                st_lo, st_hi = st.addr, st.addr + st.size
+                if st_hi <= lo or st_lo >= hi:
+                    continue
+                if st_lo <= lo and st_hi >= hi and st.ready:
+                    offset = lo - st_lo
+                    forwarded = (st.data >> (8 * offset)) & (
+                        (1 << (8 * entry.size)) - 1)
+                else:
+                    blocked = True
+                break
+            if blocked:
+                continue
+            if forwarded is not None:
+                uop.result = forwarded
+                uop.finish_at = self.cycle + 1
+            else:
+                try:
+                    self.system_map.check_data_access(
+                        entry.addr, entry.size, store=False)
+                    value, latency = self.hierarchy.read(entry.addr,
+                                                         entry.size)
+                    uop.result = value
+                    uop.finish_at = self.cycle + latency
+                except SimCrashError as exc:
+                    uop.exception = exc
+                    uop.finish_at = self.cycle + 1
+            entry.accessed = True
+            self.stats.loads += 1
+            self.inflight.append(uop)
+            port_budget -= 1
+
+    # ------------------------------------------------------------ writeback
+
+    def _writeback(self) -> None:
+        finished = sorted(
+            (u for u in self.inflight
+             if u.finish_at is not None and u.finish_at <= self.cycle),
+            key=lambda u: (u.finish_at, u.seq))
+        budget = self.config.writeback_width
+        for uop in finished:
+            if budget == 0:
+                break
+            if uop.squashed:
+                # A squash earlier in this very cycle may already have
+                # dropped the uop from the in-flight list.
+                if uop in self.inflight:
+                    self.inflight.remove(uop)
+                continue
+            self.inflight.remove(uop)
+            budget -= 1
+            entry = self.rob.entries[uop.rob_index]
+            if entry.uop is not uop:
+                raise SimAssertError("reorder buffer entry mismatch "
+                                     "at writeback")
+            if uop.exception is not None:
+                entry.set_flag(FLAG_EXCEPTION)
+                entry.set_flag(FLAG_DONE)
+                uop.done = True
+                continue
+            if uop.is_load:
+                lq_entry = self.lq.entries[uop.lq_index]
+                tag = lq_entry.dest_tag
+                if uop.arch_dest is not None:
+                    self.prf.write(tag, uop.result or 0, "load writeback")
+                    self.stats.prf_writes += 1
+                    self.iq.wakeup(tag)
+            elif uop.wb_tag is not None:
+                self.prf.write(uop.wb_tag, uop.result or 0, "writeback")
+                self.stats.prf_writes += 1
+                self.iq.wakeup(uop.wb_tag)
+            entry.set_flag(FLAG_DONE)
+            uop.done = True
+            if uop.is_branch:
+                self._resolve_branch(uop)
+
+    def _resolve_branch(self, uop: MicroOp) -> None:
+        instr = uop.instr
+        assert instr is not None and uop.actual_next is not None
+        self.stats.branches += 1
+        is_cond = instr.is_cond_branch
+        taken = uop.actual_next != (uop.pc + 4) & self._pc_mask
+        self.predictor.update(uop.pc, taken, uop.actual_next, is_cond)
+        if uop.actual_next != uop.predicted_next:
+            self.stats.mispredicts += 1
+            self.predictor.mispredicts += 1
+            self._squash_after(uop)
+
+    def _squash_after(self, uop: MicroOp) -> None:
+        """Flush everything younger than ``uop`` and redirect fetch."""
+        boundary = uop.seq
+        while self.rob.count:
+            tail_entry = next(self.rob.walk_from_tail())
+            victim = tail_entry.uop
+            assert victim is not None
+            if victim.seq <= boundary:
+                break
+            victim.squashed = True
+            self.stats.squashed += 1
+            if tail_entry.flag(FLAG_HAS_DEST):
+                self.prf.remap(tail_entry.arch_dest, tail_entry.old_phys,
+                               "squash")
+                self.prf.free(tail_entry.new_phys, "squash")
+            self.rob.pop_tail()
+        self.iq.squash_younger(boundary)
+        self.lq.squash_younger(boundary)
+        self.sq.squash_younger(boundary)
+        self.inflight = [u for u in self.inflight if u.seq <= boundary]
+        for queued in list(self.fetch_queue) + list(self.decode_queue):
+            queued.squashed = True
+        self.fetch_queue.clear()
+        self.decode_queue.clear()
+        self.fetch_poisoned = False
+        assert uop.actual_next is not None
+        self.fetch_pc = uop.actual_next
+        self.fetch_busy_until = self.cycle + self.config.mispredict_penalty
+
+    # --------------------------------------------------------------- commit
+
+    def _commit(self) -> None:
+        if self.cycle < self.commit_stall_until:
+            return
+        budget = self.config.writeback_width
+        while budget > 0:
+            entry = self.rob.head_entry()
+            if entry is None:
+                return
+            uop = entry.uop
+            assert uop is not None
+            if not entry.flag(FLAG_DONE):
+                return
+            if entry.seq != (uop.seq & self._seq_mask):
+                raise SimAssertError(
+                    f"ROB seq field mismatch at commit "
+                    f"({entry.seq} != {uop.seq & self._seq_mask})")
+            if entry.pc != (uop.pc & self._pc_mask):
+                raise SimAssertError("ROB pc field mismatch at commit")
+            if entry.flag(FLAG_EXCEPTION):
+                if uop.exception is not None:
+                    raise uop.exception
+                raise SimAssertError("spurious exception flag at commit")
+            if uop.exception is not None:
+                raise SimAssertError("lost exception flag at commit")
+            if entry.flag(FLAG_STORE) != uop.is_store:
+                raise SimAssertError("ROB store flag mismatch at commit")
+            if entry.flag(FLAG_SYSCALL) != uop.is_syscall:
+                raise SimAssertError("ROB syscall flag mismatch at commit")
+            if entry.flag(FLAG_BRANCH) != uop.is_branch:
+                raise SimAssertError("ROB branch flag mismatch at commit")
+            if uop.is_store:
+                sq_entry = self.sq.pop_head(uop.seq)
+                if not sq_entry.ready:
+                    raise SimAssertError(
+                        "commit of store with incomplete store-queue entry")
+                self.system_map.check_data_access(
+                    sq_entry.addr, sq_entry.size, store=True)
+                self.hierarchy.write(sq_entry.addr, sq_entry.data,
+                                     sq_entry.size)
+                self.stats.stores += 1
+            if uop.is_load:
+                self.lq.release(uop.lq_index, uop.seq)
+            if uop.is_syscall:
+                assert uop.instr is not None
+                self.stats.syscalls += 1
+                self.handler.handle(uop.instr.imm, uop.syscall_arg,
+                                    self.kernel_port)
+                self.commit_stall_until = (self.cycle
+                                           + self.config.syscall_overhead)
+                budget = 1  # serialize: nothing else commits this cycle
+            if entry.flag(FLAG_HAS_DEST):
+                if not 0 <= entry.arch_dest < arch_regs.NUM_REGS:
+                    raise SimAssertError(
+                        "ROB architectural destination out of range")
+                self.prf.free(entry.old_phys, "commit")
+            self.rob.pop_head()
+            self.stats.committed += 1
+            budget -= 1
+
+    # ------------------------------------------------------------ snapshot
+
+    def get_state(self) -> dict:
+        return {
+            "prf": self.prf.get_state(),
+            "iq": self.iq.get_state(),
+            "lq": self.lq.get_state(),
+            "sq": self.sq.get_state(),
+            "rob": self.rob.get_state(),
+            "predictor": self.predictor.get_state(),
+            "fetch_pc": self.fetch_pc,
+            "fetch_busy_until": self.fetch_busy_until,
+            "fetch_poisoned": self.fetch_poisoned,
+            "fetch_queue": list(self.fetch_queue),
+            "decode_queue": list(self.decode_queue),
+            "inflight": list(self.inflight),
+            "commit_stall_until": self.commit_stall_until,
+            "next_seq": self.next_seq,
+            "cycle": self.cycle,
+            "stats": {name: getattr(self.stats, name)
+                      for name in CoreStats.__slots__},
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.prf.set_state(state["prf"])
+        self.iq.set_state(state["iq"])
+        self.lq.set_state(state["lq"])
+        self.sq.set_state(state["sq"])
+        self.rob.set_state(state["rob"])
+        self.predictor.set_state(state["predictor"])
+        self.fetch_pc = state["fetch_pc"]
+        self.fetch_busy_until = state["fetch_busy_until"]
+        self.fetch_poisoned = state["fetch_poisoned"]
+        self.fetch_queue = deque(state["fetch_queue"])
+        self.decode_queue = deque(state["decode_queue"])
+        self.inflight = list(state["inflight"])
+        self.commit_stall_until = state["commit_stall_until"]
+        self.next_seq = state["next_seq"]
+        self.cycle = state["cycle"]
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)

@@ -1,0 +1,148 @@
+"""Fault-injection surface of the microarchitecture.
+
+Every injectable hardware structure field registers a :class:`FaultField`
+with the simulator's :class:`FieldCatalog`. A field has a fixed geometry
+(``bit_count`` never changes during a run) and a ``flip_bit`` operation
+that mutates whatever state currently occupies that bit -- flips landing
+on unoccupied storage are inherently masked, exactly as on real SRAM.
+
+The fifteen fields (paper Section III-A: 8 components, 15 sub-arrays):
+
+====================  =================================================
+field                 contents
+====================  =================================================
+l1i.data / l1i.tag    instruction cache line bytes / tag+valid bits
+l1d.data / l1d.tag    data cache line bytes / tag+valid+dirty bits
+l2.data  / l2.tag     unified L2, same layout
+prf                   physical register file payload bits
+lq                    load-queue entries: address | dest phys tag
+sq                    store-queue entries: address | data
+iq.src                issue-queue source operand tags + ready bits
+iq.dst                issue-queue destination tags
+rob.pc / rob.dest /   reorder buffer: fetch PC | (arch, new phys, old
+rob.flags / rob.seq   phys) | status flags | sequence number
+====================  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+
+class FaultField(Protocol):
+    """One injectable bit array of a hardware structure.
+
+    ``bit_count``/``flip_bit`` address the full storage array (uniform
+    sampling); ``live_bit_count``/``flip_live_bit`` address only bits
+    currently backed by live state, enabling the occupancy-weighted
+    importance sampler (weight = live/total) used to get low-variance AVF
+    estimates for large, sparsely utilized arrays such as the L2.
+    """
+
+    @property
+    def field_name(self) -> str: ...
+
+    def bit_count(self) -> int: ...
+
+    def flip_bit(self, index: int) -> bool:
+        """Flip one bit; returns True if live state was modified."""
+
+    def live_bit_count(self) -> int: ...
+
+    def flip_live_bit(self, index: int) -> bool: ...
+
+
+class LambdaField:
+    """Adapter building a :class:`FaultField` from closures."""
+
+    def __init__(self, field_name: str, bit_count: Callable[[], int],
+                 flip_bit: Callable[[int], bool],
+                 live_bit_count: Callable[[], int] | None = None,
+                 flip_live_bit: Callable[[int], bool] | None = None) -> None:
+        self._name = field_name
+        self._bit_count = bit_count
+        self._flip = flip_bit
+        self._live_count = live_bit_count
+        self._live_flip = flip_live_bit
+
+    @property
+    def field_name(self) -> str:
+        return self._name
+
+    def bit_count(self) -> int:
+        return self._bit_count()
+
+    def flip_bit(self, index: int) -> bool:
+        return self._flip(index)
+
+    def live_bit_count(self) -> int:
+        if self._live_count is None:
+            return self._bit_count()
+        return self._live_count()
+
+    def flip_live_bit(self, index: int) -> bool:
+        if self._live_flip is None:
+            return self._flip(index)
+        return self._live_flip(index)
+
+
+class FieldCatalog:
+    """Registry of all injectable fields of one simulator instance."""
+
+    def __init__(self) -> None:
+        self._fields: dict[str, FaultField] = {}
+
+    def register(self, field: FaultField) -> None:
+        if field.field_name in self._fields:
+            raise ValueError(f"duplicate fault field {field.field_name!r}")
+        self._fields[field.field_name] = field
+
+    def names(self) -> list[str]:
+        return sorted(self._fields)
+
+    def get(self, name: str) -> FaultField:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault field {name!r}; have {self.names()}"
+            ) from None
+
+    def bit_count(self, name: str) -> int:
+        return self.get(name).bit_count()
+
+    def flip(self, name: str, bit_index: int) -> bool:
+        field = self.get(name)
+        count = field.bit_count()
+        if not 0 <= bit_index < count:
+            raise ValueError(
+                f"bit index {bit_index} out of range for {name} ({count})")
+        return field.flip_bit(bit_index)
+
+    def live_bit_count(self, name: str) -> int:
+        return self.get(name).live_bit_count()
+
+    def flip_live(self, name: str, bit_index: int) -> bool:
+        field = self.get(name)
+        count = field.live_bit_count()
+        if not 0 <= bit_index < count:
+            raise ValueError(
+                f"live bit index {bit_index} out of range for {name} "
+                f"({count})")
+        return field.flip_live_bit(bit_index)
+
+
+# Component grouping used by the analysis layer (paper's 8 components).
+COMPONENT_FIELDS: dict[str, tuple[str, ...]] = {
+    "l1i": ("l1i.data", "l1i.tag"),
+    "l1d": ("l1d.data", "l1d.tag"),
+    "l2": ("l2.data", "l2.tag"),
+    "prf": ("prf",),
+    "lq": ("lq",),
+    "sq": ("sq",),
+    "iq": ("iq.src", "iq.dst"),
+    "rob": ("rob.pc", "rob.dest", "rob.flags", "rob.seq"),
+}
+
+ALL_FIELDS: tuple[str, ...] = tuple(
+    name for fields in COMPONENT_FIELDS.values() for name in fields)

@@ -1,0 +1,625 @@
+"""Pipeline queue structures: issue queue, load/store queues, reorder
+buffer -- each with fixed storage geometry and an injectable fault
+surface.
+
+Entries are fixed-slot objects with a ``valid`` flag. Flips address a
+(slot, field-bit) pair; a flip into an invalid slot is masked (the slot's
+payload is rewritten on allocation). Payload layouts:
+
+* IQ source field: ``[src1 tag | src1 ready | src2 tag | src2 ready]``
+* IQ dest field:   ``[dst tag]``
+* LQ entry:        ``[address (xlen) | dest phys tag]``
+* SQ entry:        ``[address (xlen) | data (xlen)]``
+* ROB pc field:    32 bits
+* ROB dest field:  ``[arch reg (6) | new phys tag | old phys tag]``
+* ROB flags field: ``[done | is_store | is_syscall | exception | has_dest
+  | is_branch]``
+* ROB seq field:   16 bits
+"""
+
+from __future__ import annotations
+
+from ..errors import SimAssertError
+from .config import CoreConfig
+from .faults import FieldCatalog, LambdaField
+from .uop import MicroOp
+
+
+# --------------------------------------------------------------------- IQ
+
+class IQEntry:
+    __slots__ = ("valid", "seq", "uop", "src1_tag", "src1_ready",
+                 "src2_tag", "src2_ready", "dst_tag", "uses_src1",
+                 "uses_src2")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.seq = 0
+        self.uop: MicroOp | None = None
+        self.src1_tag = 0
+        self.src1_ready = True
+        self.src2_tag = 0
+        self.src2_ready = True
+        self.dst_tag = 0
+        self.uses_src1 = False
+        self.uses_src2 = False
+
+
+class IssueQueue:
+    """Out-of-order scheduler window."""
+
+    def __init__(self, config: CoreConfig,
+                 catalog: FieldCatalog | None = None) -> None:
+        self.size = config.iq_entries
+        self.tag_bits = config.phys_tag_bits
+        self.tag_mask = (1 << self.tag_bits) - 1
+        self.entries = [IQEntry() for _ in range(self.size)]
+        if catalog is not None:
+            catalog.register(LambdaField(
+                "iq.src", self.src_bit_count, self.flip_src_bit,
+                self.live_src_bit_count, self.flip_live_src_bit))
+            catalog.register(LambdaField(
+                "iq.dst", self.dst_bit_count, self.flip_dst_bit,
+                self.live_dst_bit_count, self.flip_live_dst_bit))
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for e in self.entries if e.valid)
+
+    def has_space(self) -> bool:
+        return any(not e.valid for e in self.entries)
+
+    def insert(self, uop: MicroOp, src_tags: list[int],
+               src_ready: list[bool], dst_tag: int | None) -> None:
+        for entry in self.entries:
+            if not entry.valid:
+                entry.valid = True
+                entry.seq = uop.seq
+                entry.uop = uop
+                entry.uses_src1 = len(src_tags) > 0
+                entry.uses_src2 = len(src_tags) > 1
+                entry.src1_tag = src_tags[0] if entry.uses_src1 else 0
+                entry.src1_ready = (src_ready[0] if entry.uses_src1
+                                    else True)
+                entry.src2_tag = src_tags[1] if entry.uses_src2 else 0
+                entry.src2_ready = (src_ready[1] if entry.uses_src2
+                                    else True)
+                entry.dst_tag = dst_tag if dst_tag is not None else 0
+                return
+        raise SimAssertError("issue queue overflow")
+
+    def wakeup(self, tag: int) -> None:
+        """Broadcast a completed physical tag to waiting entries."""
+        for entry in self.entries:
+            if not entry.valid:
+                continue
+            if entry.src1_tag == tag:
+                entry.src1_ready = True
+            if entry.src2_tag == tag:
+                entry.src2_ready = True
+
+    def ready_entries(self) -> list[IQEntry]:
+        """Ready entries, oldest first."""
+        ready = [e for e in self.entries
+                 if e.valid and e.src1_ready and e.src2_ready]
+        ready.sort(key=lambda e: e.seq)
+        return ready
+
+    def release(self, entry: IQEntry) -> None:
+        entry.valid = False
+        entry.uop = None
+
+    def squash_younger(self, seq: int) -> None:
+        for entry in self.entries:
+            if entry.valid and entry.seq > seq:
+                entry.valid = False
+                entry.uop = None
+
+    # ------------------------------------------------------- fault surface
+
+    def src_bit_count(self) -> int:
+        return self.size * 2 * (self.tag_bits + 1)
+
+    def flip_src_bit(self, index: int) -> bool:
+        per_entry = 2 * (self.tag_bits + 1)
+        slot, bit = divmod(index, per_entry)
+        entry = self.entries[slot]
+        if not entry.valid:
+            return False
+        which, field_bit = divmod(bit, self.tag_bits + 1)
+        if which == 0:
+            if field_bit < self.tag_bits:
+                entry.src1_tag ^= 1 << field_bit
+            else:
+                entry.src1_ready = not entry.src1_ready
+        else:
+            if field_bit < self.tag_bits:
+                entry.src2_tag ^= 1 << field_bit
+            else:
+                entry.src2_ready = not entry.src2_ready
+        return True
+
+    def dst_bit_count(self) -> int:
+        return self.size * self.tag_bits
+
+    def flip_dst_bit(self, index: int) -> bool:
+        slot, bit = divmod(index, self.tag_bits)
+        entry = self.entries[slot]
+        if not entry.valid:
+            return False
+        entry.dst_tag ^= 1 << bit
+        return True
+
+    def _valid_slots(self) -> list[int]:
+        return [i for i, e in enumerate(self.entries) if e.valid]
+
+    def live_src_bit_count(self) -> int:
+        return len(self._valid_slots()) * 2 * (self.tag_bits + 1)
+
+    def flip_live_src_bit(self, index: int) -> bool:
+        per_entry = 2 * (self.tag_bits + 1)
+        which, bit = divmod(index, per_entry)
+        slot = self._valid_slots()[which]
+        return self.flip_src_bit(slot * per_entry + bit)
+
+    def live_dst_bit_count(self) -> int:
+        return len(self._valid_slots()) * self.tag_bits
+
+    def flip_live_dst_bit(self, index: int) -> bool:
+        which, bit = divmod(index, self.tag_bits)
+        slot = self._valid_slots()[which]
+        return self.flip_dst_bit(slot * self.tag_bits + bit)
+
+    # ------------------------------------------------------------ snapshot
+
+    def get_state(self) -> list[tuple]:
+        return [(e.valid, e.seq, e.src1_tag, e.src1_ready, e.src2_tag,
+                 e.src2_ready, e.dst_tag, e.uses_src1, e.uses_src2, e.uop)
+                for e in self.entries]
+
+    def set_state(self, state: list[tuple]) -> None:
+        for entry, row in zip(self.entries, state):
+            (entry.valid, entry.seq, entry.src1_tag, entry.src1_ready,
+             entry.src2_tag, entry.src2_ready, entry.dst_tag,
+             entry.uses_src1, entry.uses_src2, entry.uop) = row
+
+
+# ------------------------------------------------------------------ LQ/SQ
+
+class LQEntry:
+    __slots__ = ("valid", "seq", "uop", "addr", "addr_known", "dest_tag",
+                 "size", "accessed")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.seq = 0
+        self.uop: MicroOp | None = None
+        self.addr = 0
+        self.addr_known = False
+        self.dest_tag = 0
+        self.size = 0
+        self.accessed = False
+
+
+class LoadQueue:
+    """In-order load tracking; entry payload = address | dest tag."""
+
+    def __init__(self, config: CoreConfig,
+                 catalog: FieldCatalog | None = None) -> None:
+        self.size = config.lq_entries
+        self.xlen = config.xlen
+        self.tag_bits = config.phys_tag_bits
+        self.entries = [LQEntry() for _ in range(self.size)]
+        if catalog is not None:
+            catalog.register(LambdaField("lq", self.bit_count,
+                                         self.flip_bit,
+                                         self.live_bit_count,
+                                         self.flip_live_bit))
+
+    def has_space(self) -> bool:
+        return any(not e.valid for e in self.entries)
+
+    def insert(self, uop: MicroOp) -> int:
+        for index, entry in enumerate(self.entries):
+            if not entry.valid:
+                entry.valid = True
+                entry.seq = uop.seq
+                entry.uop = uop
+                entry.addr = 0
+                entry.addr_known = False
+                entry.dest_tag = 0
+                entry.size = 0
+                entry.accessed = False
+                return index
+        raise SimAssertError("load queue overflow")
+
+    def release(self, index: int, seq: int) -> None:
+        entry = self.entries[index]
+        if not entry.valid or entry.seq != seq:
+            raise SimAssertError("load queue release mismatch")
+        entry.valid = False
+        entry.uop = None
+
+    def squash_younger(self, seq: int) -> None:
+        for entry in self.entries:
+            if entry.valid and entry.seq > seq:
+                entry.valid = False
+                entry.uop = None
+
+    def bit_count(self) -> int:
+        return self.size * (self.xlen + self.tag_bits)
+
+    def flip_bit(self, index: int) -> bool:
+        per_entry = self.xlen + self.tag_bits
+        slot, bit = divmod(index, per_entry)
+        entry = self.entries[slot]
+        if not entry.valid:
+            return False
+        if bit < self.xlen:
+            entry.addr ^= 1 << bit
+        else:
+            entry.dest_tag ^= 1 << (bit - self.xlen)
+        return True
+
+    def live_bit_count(self) -> int:
+        per_entry = self.xlen + self.tag_bits
+        return sum(1 for e in self.entries if e.valid) * per_entry
+
+    def flip_live_bit(self, index: int) -> bool:
+        per_entry = self.xlen + self.tag_bits
+        which, bit = divmod(index, per_entry)
+        slots = [i for i, e in enumerate(self.entries) if e.valid]
+        return self.flip_bit(slots[which] * per_entry + bit)
+
+    def get_state(self) -> list[tuple]:
+        return [(e.valid, e.seq, e.addr, e.addr_known, e.dest_tag, e.size,
+                 e.accessed, e.uop) for e in self.entries]
+
+    def set_state(self, state: list[tuple]) -> None:
+        for entry, row in zip(self.entries, state):
+            (entry.valid, entry.seq, entry.addr, entry.addr_known,
+             entry.dest_tag, entry.size, entry.accessed, entry.uop) = row
+
+
+class SQEntry:
+    __slots__ = ("valid", "seq", "uop", "addr", "addr_known", "data",
+                 "size", "ready")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.seq = 0
+        self.uop: MicroOp | None = None
+        self.addr = 0
+        self.addr_known = False
+        self.data = 0
+        self.size = 0
+        self.ready = False
+
+
+class StoreQueue:
+    """In-order store buffer; entry payload = address | data.
+
+    Kept as a circular FIFO so commit drains in program order.
+    """
+
+    def __init__(self, config: CoreConfig,
+                 catalog: FieldCatalog | None = None) -> None:
+        self.size = config.sq_entries
+        self.xlen = config.xlen
+        self.mask = (1 << config.xlen) - 1
+        self.entries = [SQEntry() for _ in range(self.size)]
+        self.head = 0
+        self.tail = 0
+        self.count = 0
+        if catalog is not None:
+            catalog.register(LambdaField("sq", self.bit_count,
+                                         self.flip_bit,
+                                         self.live_bit_count,
+                                         self.flip_live_bit))
+
+    def has_space(self) -> bool:
+        return self.count < self.size
+
+    def insert(self, uop: MicroOp) -> int:
+        if self.count >= self.size:
+            raise SimAssertError("store queue overflow")
+        index = self.tail
+        entry = self.entries[index]
+        entry.valid = True
+        entry.seq = uop.seq
+        entry.uop = uop
+        entry.addr = 0
+        entry.addr_known = False
+        entry.data = 0
+        entry.size = 0
+        entry.ready = False
+        self.tail = (self.tail + 1) % self.size
+        self.count += 1
+        return index
+
+    def pop_head(self, seq: int) -> SQEntry:
+        if self.count == 0:
+            raise SimAssertError("store queue underflow at commit")
+        entry = self.entries[self.head]
+        if not entry.valid or entry.seq != seq:
+            raise SimAssertError(
+                f"store queue head mismatch (head seq {entry.seq}, "
+                f"committing {seq})")
+        entry.valid = False
+        entry.uop = None
+        self.head = (self.head + 1) % self.size
+        self.count -= 1
+        return entry
+
+    def squash_younger(self, seq: int) -> None:
+        while self.count:
+            last = (self.tail - 1) % self.size
+            entry = self.entries[last]
+            if entry.valid and entry.seq > seq:
+                entry.valid = False
+                entry.uop = None
+                self.tail = last
+                self.count -= 1
+            else:
+                break
+
+    def older_stores(self, seq: int) -> list[SQEntry]:
+        """Valid entries older than ``seq``, youngest first."""
+        out = []
+        index = self.head
+        for _ in range(self.count):
+            entry = self.entries[index]
+            if entry.valid and entry.seq < seq:
+                out.append(entry)
+            index = (index + 1) % self.size
+        out.reverse()
+        return out
+
+    def bit_count(self) -> int:
+        return self.size * 2 * self.xlen
+
+    def flip_bit(self, index: int) -> bool:
+        slot, bit = divmod(index, 2 * self.xlen)
+        entry = self.entries[slot]
+        if not entry.valid:
+            return False
+        if bit < self.xlen:
+            entry.addr ^= 1 << bit
+        else:
+            entry.data = (entry.data ^ (1 << (bit - self.xlen))) & self.mask
+        return True
+
+    def live_bit_count(self) -> int:
+        return sum(1 for e in self.entries if e.valid) * 2 * self.xlen
+
+    def flip_live_bit(self, index: int) -> bool:
+        per_entry = 2 * self.xlen
+        which, bit = divmod(index, per_entry)
+        slots = [i for i, e in enumerate(self.entries) if e.valid]
+        return self.flip_bit(slots[which] * per_entry + bit)
+
+    def get_state(self) -> dict:
+        return {
+            "rows": [(e.valid, e.seq, e.addr, e.addr_known, e.data, e.size,
+                      e.ready, e.uop) for e in self.entries],
+            "head": self.head, "tail": self.tail, "count": self.count,
+        }
+
+    def set_state(self, state: dict) -> None:
+        for entry, row in zip(self.entries, state["rows"]):
+            (entry.valid, entry.seq, entry.addr, entry.addr_known,
+             entry.data, entry.size, entry.ready, entry.uop) = row
+        self.head = state["head"]
+        self.tail = state["tail"]
+        self.count = state["count"]
+
+
+# -------------------------------------------------------------------- ROB
+
+FLAG_DONE = 0
+FLAG_STORE = 1
+FLAG_SYSCALL = 2
+FLAG_EXCEPTION = 3
+FLAG_HAS_DEST = 4
+FLAG_BRANCH = 5
+NUM_FLAGS = 6
+
+PC_FIELD_BITS = 32
+ARCH_FIELD_BITS = 6
+
+
+class ROBEntry:
+    __slots__ = ("valid", "seq", "uop", "pc", "arch_dest", "new_phys",
+                 "old_phys", "flags")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.seq = 0
+        self.uop: MicroOp | None = None
+        self.pc = 0
+        self.arch_dest = 0
+        self.new_phys = 0
+        self.old_phys = 0
+        self.flags = 0
+
+    def flag(self, bit: int) -> bool:
+        return bool(self.flags & (1 << bit))
+
+    def set_flag(self, bit: int, value: bool = True) -> None:
+        if value:
+            self.flags |= 1 << bit
+        else:
+            self.flags &= ~(1 << bit)
+
+
+class ReorderBuffer:
+    """Circular in-order retirement buffer with four injectable fields."""
+
+    def __init__(self, config: CoreConfig,
+                 catalog: FieldCatalog | None = None) -> None:
+        self.size = config.rob_entries
+        self.tag_bits = config.phys_tag_bits
+        self.seq_bits = config.seq_bits
+        self.entries = [ROBEntry() for _ in range(self.size)]
+        self.head = 0
+        self.tail = 0
+        self.count = 0
+        if catalog is not None:
+            catalog.register(LambdaField(
+                "rob.pc", self.pc_bit_count, self.flip_pc_bit,
+                lambda: self._live_count(PC_FIELD_BITS),
+                lambda k: self._flip_live(k, PC_FIELD_BITS,
+                                          self.flip_pc_bit)))
+            dest_bits = ARCH_FIELD_BITS + 2 * self.tag_bits
+            catalog.register(LambdaField(
+                "rob.dest", self.dest_bit_count, self.flip_dest_bit,
+                lambda: self._live_count(dest_bits),
+                lambda k: self._flip_live(k, dest_bits,
+                                          self.flip_dest_bit)))
+            catalog.register(LambdaField(
+                "rob.flags", self.flags_bit_count, self.flip_flags_bit,
+                lambda: self._live_count(NUM_FLAGS),
+                lambda k: self._flip_live(k, NUM_FLAGS,
+                                          self.flip_flags_bit)))
+            catalog.register(LambdaField(
+                "rob.seq", self.seq_bit_count, self.flip_seq_bit,
+                lambda: self._live_count(self.seq_bits),
+                lambda k: self._flip_live(k, self.seq_bits,
+                                          self.flip_seq_bit)))
+
+    @property
+    def occupancy(self) -> int:
+        return self.count
+
+    def has_space(self) -> bool:
+        return self.count < self.size
+
+    def allocate(self, uop: MicroOp) -> int:
+        if self.count >= self.size:
+            raise SimAssertError("reorder buffer overflow")
+        index = self.tail
+        entry = self.entries[index]
+        entry.valid = True
+        entry.seq = uop.seq & ((1 << self.seq_bits) - 1)
+        entry.uop = uop
+        entry.pc = uop.pc & ((1 << PC_FIELD_BITS) - 1)
+        entry.flags = 0
+        if uop.arch_dest is not None:
+            entry.set_flag(FLAG_HAS_DEST)
+            entry.arch_dest = uop.arch_dest
+            entry.new_phys = uop.phys_dest or 0
+            entry.old_phys = uop.old_phys_dest or 0
+        else:
+            entry.arch_dest = 0
+            entry.new_phys = 0
+            entry.old_phys = 0
+        entry.set_flag(FLAG_STORE, uop.is_store)
+        entry.set_flag(FLAG_SYSCALL, uop.is_syscall)
+        entry.set_flag(FLAG_BRANCH, uop.is_branch)
+        self.tail = (self.tail + 1) % self.size
+        self.count += 1
+        return index
+
+    def head_entry(self) -> ROBEntry | None:
+        if self.count == 0:
+            return None
+        return self.entries[self.head]
+
+    def pop_head(self) -> None:
+        entry = self.entries[self.head]
+        entry.valid = False
+        entry.uop = None
+        self.head = (self.head + 1) % self.size
+        self.count -= 1
+
+    def walk_from_tail(self):
+        """Yield entries youngest-first (for squash walks)."""
+        index = (self.tail - 1) % self.size
+        for _ in range(self.count):
+            yield self.entries[index]
+            index = (index - 1) % self.size
+
+    def pop_tail(self) -> None:
+        self.tail = (self.tail - 1) % self.size
+        entry = self.entries[self.tail]
+        entry.valid = False
+        entry.uop = None
+        self.count -= 1
+
+    # ------------------------------------------------------- fault surface
+
+    def _live_count(self, per_entry: int) -> int:
+        return self.count * per_entry
+
+    def _flip_live(self, index: int, per_entry: int, flipper) -> bool:
+        which, bit = divmod(index, per_entry)
+        slots = [i for i, e in enumerate(self.entries) if e.valid]
+        return flipper(slots[which] * per_entry + bit)
+
+    def _entry_field_flip(self, index: int, per_entry: int):
+        slot, bit = divmod(index, per_entry)
+        entry = self.entries[slot]
+        return (entry, bit) if entry.valid else (None, bit)
+
+    def pc_bit_count(self) -> int:
+        return self.size * PC_FIELD_BITS
+
+    def flip_pc_bit(self, index: int) -> bool:
+        entry, bit = self._entry_field_flip(index, PC_FIELD_BITS)
+        if entry is None:
+            return False
+        entry.pc ^= 1 << bit
+        return True
+
+    def dest_bit_count(self) -> int:
+        return self.size * (ARCH_FIELD_BITS + 2 * self.tag_bits)
+
+    def flip_dest_bit(self, index: int) -> bool:
+        per_entry = ARCH_FIELD_BITS + 2 * self.tag_bits
+        entry, bit = self._entry_field_flip(index, per_entry)
+        if entry is None:
+            return False
+        if bit < ARCH_FIELD_BITS:
+            entry.arch_dest ^= 1 << bit
+        elif bit < ARCH_FIELD_BITS + self.tag_bits:
+            entry.new_phys ^= 1 << (bit - ARCH_FIELD_BITS)
+        else:
+            entry.old_phys ^= 1 << (bit - ARCH_FIELD_BITS - self.tag_bits)
+        return True
+
+    def flags_bit_count(self) -> int:
+        return self.size * NUM_FLAGS
+
+    def flip_flags_bit(self, index: int) -> bool:
+        entry, bit = self._entry_field_flip(index, NUM_FLAGS)
+        if entry is None:
+            return False
+        entry.flags ^= 1 << bit
+        return True
+
+    def seq_bit_count(self) -> int:
+        return self.size * self.seq_bits
+
+    def flip_seq_bit(self, index: int) -> bool:
+        entry, bit = self._entry_field_flip(index, self.seq_bits)
+        if entry is None:
+            return False
+        entry.seq ^= 1 << bit
+        return True
+
+    # ------------------------------------------------------------ snapshot
+
+    def get_state(self) -> dict:
+        return {
+            "rows": [(e.valid, e.seq, e.pc, e.arch_dest, e.new_phys,
+                      e.old_phys, e.flags, e.uop) for e in self.entries],
+            "head": self.head, "tail": self.tail, "count": self.count,
+        }
+
+    def set_state(self, state: dict) -> None:
+        for entry, row in zip(self.entries, state["rows"]):
+            (entry.valid, entry.seq, entry.pc, entry.arch_dest,
+             entry.new_phys, entry.old_phys, entry.flags, entry.uop) = row
+        self.head = state["head"]
+        self.tail = state["tail"]
+        self.count = state["count"]

@@ -1,0 +1,155 @@
+"""Physical register file, free list, and rename map.
+
+The PRF payload (``phys_regs`` x ``xlen`` bits) is an injectable fault
+field: flips mutate whatever value a register currently holds, whether it
+is architecturally mapped, in flight, or free -- a flip in a free register
+is masked organically when the register is re-allocated and overwritten
+before any read.
+
+Defensive checks mirror gem5-style panics and produce the paper's
+*Assert* class: out-of-range physical tags (possible on the A72 whose 192
+registers do not fill the 8-bit tag space), write-back to an unallocated
+register, and double-free.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimAssertError
+from ..isa import registers as arch_regs
+from .faults import FieldCatalog, LambdaField
+
+
+class PhysRegFile:
+    """Physical registers with an architectural rename map."""
+
+    def __init__(self, num_regs: int, xlen: int,
+                 catalog: FieldCatalog | None = None) -> None:
+        if num_regs < arch_regs.NUM_REGS:
+            raise ValueError("need at least one phys reg per arch reg")
+        self.num_regs = num_regs
+        self.xlen = xlen
+        self.mask = (1 << xlen) - 1
+        self.values = [0] * num_regs
+        self.allocated = [False] * num_regs
+        self.ready = [False] * num_regs
+        self.rename_map = list(range(arch_regs.NUM_REGS))
+        for i in range(arch_regs.NUM_REGS):
+            self.allocated[i] = True
+            self.ready[i] = True
+        self.free_list = list(range(arch_regs.NUM_REGS, num_regs))
+        if catalog is not None:
+            catalog.register(LambdaField("prf", self.bit_count,
+                                         self.flip_bit,
+                                         self.live_bit_count,
+                                         self.flip_live_bit))
+
+    # --------------------------------------------------------------- checks
+
+    def _check_tag(self, tag: int, context: str) -> None:
+        if not 0 <= tag < self.num_regs:
+            raise SimAssertError(
+                f"{context}: physical register tag {tag} out of range")
+
+    # ----------------------------------------------------------------- data
+
+    def read(self, tag: int, context: str = "read") -> int:
+        """Read a physical register (stale reads are organic, not errors)."""
+        self._check_tag(tag, context)
+        return self.values[tag]
+
+    def write(self, tag: int, value: int, context: str = "writeback") -> None:
+        self._check_tag(tag, context)
+        if not self.allocated[tag]:
+            raise SimAssertError(
+                f"{context}: write to unallocated physical register {tag}")
+        self.values[tag] = value & self.mask
+        self.ready[tag] = True
+
+    # --------------------------------------------------------------- rename
+
+    @property
+    def free_count(self) -> int:
+        return len(self.free_list)
+
+    def allocate(self) -> int:
+        if not self.free_list:
+            raise SimAssertError("rename: free list empty at allocate")
+        tag = self.free_list.pop(0)
+        if self.allocated[tag]:
+            raise SimAssertError(
+                f"rename: allocating already-allocated register {tag}")
+        self.allocated[tag] = True
+        self.ready[tag] = False
+        return tag
+
+    def free(self, tag: int, context: str = "commit") -> None:
+        self._check_tag(tag, context)
+        if not self.allocated[tag]:
+            raise SimAssertError(
+                f"{context}: double free of physical register {tag}")
+        self.allocated[tag] = False
+        self.ready[tag] = False
+        self.free_list.append(tag)
+
+    def lookup(self, arch_reg: int, context: str = "rename") -> int:
+        if not 0 <= arch_reg < arch_regs.NUM_REGS:
+            raise SimAssertError(
+                f"{context}: architectural register {arch_reg} out of range")
+        return self.rename_map[arch_reg]
+
+    def remap(self, arch_reg: int, tag: int, context: str = "rename") -> int:
+        """Point ``arch_reg`` at ``tag``; returns the previous mapping."""
+        if not 0 <= arch_reg < arch_regs.NUM_REGS:
+            raise SimAssertError(
+                f"{context}: architectural register {arch_reg} out of range")
+        self._check_tag(tag, context)
+        old = self.rename_map[arch_reg]
+        self.rename_map[arch_reg] = tag
+        return old
+
+    def set_initial(self, arch_reg: int, value: int) -> None:
+        """Loader hook: set a register before execution starts."""
+        self.values[self.rename_map[arch_reg]] = value & self.mask
+
+    # ------------------------------------------------------- fault surface
+
+    def bit_count(self) -> int:
+        return self.num_regs * self.xlen
+
+    def flip_bit(self, index: int) -> bool:
+        reg, bit = divmod(index, self.xlen)
+        self.values[reg] ^= 1 << bit
+        return True
+
+    def live_bit_count(self) -> int:
+        """Bits of currently allocated registers (occupancy sampling).
+
+        A flip in a free register is provably masked (the register is
+        rewritten at its next allocation before any architectural read),
+        so occupancy sampling restricts to allocated registers.
+        """
+        return sum(self.allocated) * self.xlen
+
+    def flip_live_bit(self, index: int) -> bool:
+        which, bit = divmod(index, self.xlen)
+        live = [r for r, used in enumerate(self.allocated) if used]
+        self.values[live[which]] ^= 1 << bit
+        return True
+
+    # ------------------------------------------------------------ snapshot
+
+    def get_state(self) -> dict:
+        return {
+            "values": list(self.values),
+            "allocated": list(self.allocated),
+            "ready": list(self.ready),
+            "rename_map": list(self.rename_map),
+            "free_list": list(self.free_list),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.values = list(state["values"])
+        self.allocated = list(state["allocated"])
+        self.ready = list(state["ready"])
+        self.rename_map = list(state["rename_map"])
+        self.free_list = list(state["free_list"])

@@ -1,0 +1,171 @@
+"""Full-system simulator: out-of-order core + caches + RAM + kernel.
+
+This is the object the fault injector drives::
+
+    sim = Simulator(program, CORTEX_A15)
+    result = sim.run(max_cycles=2_000_000)      # golden run
+    ...
+    sim = Simulator(program, CORTEX_A15)
+    sim.run_until(injection_cycle)
+    sim.flip("rob.pc", bit_index)
+    result = sim.run(max_cycles=2 * golden_cycles)
+
+Kernel (syscall) accesses are routed through the L1D/L2 hierarchy via
+:class:`CachedDataPort`, so resident kernel state is part of the fault
+surface and corrupting it produces kernel panics (system crashes), as in
+the paper's full-system campaigns.
+
+Snapshots (:meth:`Simulator.save_state` / :meth:`Simulator.load_state`)
+capture the complete machine state and are the basis of checkpoint-
+accelerated campaigns.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+from ..errors import SimTimeoutError
+from ..isa.program import Program
+from ..kernel.layout import SystemMap
+from ..kernel.loader import load
+from ..kernel.memory import MainMemory
+from ..kernel.syscalls import OutputCapture, ProgramExit, SyscallHandler
+from .caches import CacheHierarchy
+from .config import CoreConfig
+from .core import OoOCore
+from .faults import FieldCatalog
+
+
+class CachedDataPort:
+    """Kernel data port routed through the data-cache hierarchy."""
+
+    def __init__(self, hierarchy: CacheHierarchy, system_map: SystemMap,
+                 word_size: int) -> None:
+        self._hierarchy = hierarchy
+        self._map = system_map
+        self._size = word_size
+
+    def read_word(self, addr: int) -> int:
+        self._map.check_data_access(addr, self._size, store=False,
+                                    mode="kernel")
+        value, _latency = self._hierarchy.read(addr, self._size)
+        return value
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._map.check_data_access(addr, self._size, store=True,
+                                    mode="kernel")
+        self._hierarchy.write(addr, value, self._size)
+
+
+@dataclass
+class SimResult:
+    """Outcome of a completed (fault-free or faulty) simulation."""
+
+    output: OutputCapture
+    cycles: int
+    stats: dict[str, float]
+
+    @property
+    def exit_code(self) -> int | None:
+        return self.output.exit_code
+
+
+class Simulator:
+    """One bootable instance of the platform running one program."""
+
+    def __init__(self, program: Program, config: CoreConfig,
+                 system_map: SystemMap | None = None) -> None:
+        if program.xlen != config.xlen:
+            raise ValueError(
+                f"program is {program.xlen}-bit but core {config.name} "
+                f"is {config.xlen}-bit")
+        self.program = program
+        self.config = config
+        self.system_map = system_map or SystemMap()
+        self.memory = MainMemory(self.system_map.ram_size)
+        self.image = load(program, self.memory, self.system_map)
+        self.catalog = FieldCatalog()
+        self.hierarchy = CacheHierarchy(config, self.memory, self.catalog)
+        self.handler = SyscallHandler(self.system_map, config.xlen)
+        self.port = CachedDataPort(self.hierarchy, self.system_map,
+                                   config.word_size)
+        self.core = OoOCore(config, self.hierarchy, self.system_map,
+                            self.image.text_bytes, self.handler, self.port,
+                            self.catalog)
+        self.core.boot(self.image.entry_pc, self.image.initial_regs)
+        self.finished = False
+
+    # ------------------------------------------------------------------ run
+
+    @property
+    def cycle(self) -> int:
+        return self.core.cycle
+
+    @property
+    def output(self) -> OutputCapture:
+        return self.handler.output
+
+    def step(self) -> None:
+        self.core.step()
+
+    def run_until(self, cycle: int) -> bool:
+        """Advance to ``cycle`` (or completion); True if still running."""
+        try:
+            while self.core.cycle < cycle:
+                self.core.step()
+        except ProgramExit:
+            self.finished = True
+            return False
+        return True
+
+    def run(self, max_cycles: int) -> SimResult:
+        """Run to completion; :class:`SimTimeoutError` past ``max_cycles``.
+
+        Fault-induced failures (crash/assert) propagate as exceptions.
+        """
+        try:
+            while self.core.cycle < max_cycles:
+                self.core.step()
+            raise SimTimeoutError(max_cycles)
+        except ProgramExit:
+            self.finished = True
+        return self.result()
+
+    def result(self) -> SimResult:
+        return SimResult(output=self.handler.output,
+                         cycles=self.core.cycle,
+                         stats=self.core.stats.as_dict())
+
+    # --------------------------------------------------------------- faults
+
+    def fault_fields(self) -> list[str]:
+        return self.catalog.names()
+
+    def bit_count(self, field: str) -> int:
+        return self.catalog.bit_count(field)
+
+    def flip(self, field: str, bit_index: int) -> bool:
+        """Inject one single-bit fault right now; True if state changed."""
+        return self.catalog.flip(field, bit_index)
+
+    # ------------------------------------------------------------ snapshot
+
+    def save_state(self) -> bytes:
+        """Serialize the complete mutable machine state."""
+        state = {
+            "memory": self.memory.snapshot(),
+            "caches": self.hierarchy.get_state(),
+            "core": self.core.get_state(),
+            "output": self.handler.output.get_state(),
+            "finished": self.finished,
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def load_state(self, blob: bytes) -> None:
+        state = pickle.loads(blob)
+        self.memory.restore(state["memory"])
+        self.hierarchy.set_state(state["caches"])
+        self.core.set_state(state["core"])
+        self.handler.output.set_state(state["output"])
+        self.finished = state["finished"]

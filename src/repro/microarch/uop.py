@@ -1,0 +1,66 @@
+"""In-flight micro-op bookkeeping.
+
+A :class:`MicroOp` carries the *simulator's* private knowledge about an
+instruction (decoded form, assigned resources, computed results). The
+*injectable* copies of architectural metadata live in the hardware
+structures (ROB/IQ/LQ/SQ entries); cross-checking those against the
+micro-op is how the simulator detects states it cannot adjudicate.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..isa.instructions import Instruction
+
+
+class MicroOp:
+    """One instruction in flight."""
+
+    __slots__ = (
+        "seq", "pc", "raw", "instr", "illegal", "predicted_next",
+        "actual_next", "arch_dest", "arch_srcs", "phys_dest",
+        "old_phys_dest",
+        "src_tags", "src_imm", "uses_imm", "rob_index", "lq_index",
+        "sq_index", "exception", "done", "squashed", "issued",
+        "result", "wb_tag", "mem_addr", "mem_size", "store_data",
+        "syscall_arg", "finish_at", "is_load", "is_store", "is_branch",
+        "is_syscall",
+    )
+
+    def __init__(self, seq: int, pc: int, raw: int) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.raw = raw
+        self.instr: Instruction | None = None
+        self.illegal = False
+        self.predicted_next = pc + 4
+        self.actual_next: int | None = None
+        self.arch_dest: int | None = None
+        self.arch_srcs: tuple[int, ...] = ()
+        self.phys_dest: int | None = None
+        self.old_phys_dest: int | None = None
+        self.src_tags: list[int] = []
+        self.src_imm: int = 0
+        self.uses_imm = False
+        self.rob_index: int | None = None
+        self.lq_index: int | None = None
+        self.sq_index: int | None = None
+        self.exception: SimulationError | None = None
+        self.done = False
+        self.squashed = False
+        self.issued = False
+        self.result: int | None = None
+        self.wb_tag: int | None = None
+        self.mem_addr: int | None = None
+        self.mem_size: int = 0
+        self.store_data: int | None = None
+        self.syscall_arg: int = 0
+        self.finish_at: int | None = None
+        self.is_load = False
+        self.is_store = False
+        self.is_branch = False
+        self.is_syscall = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        what = str(self.instr) if self.instr else f"raw=0x{self.raw:08x}"
+        return f"<uop #{self.seq} pc=0x{self.pc:x} {what}>"

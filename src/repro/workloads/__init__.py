@@ -1,0 +1,26 @@
+"""The eight MiBench-analog benchmarks, written in MinC.
+
+``build_program(name, scale, opt_level, target_name)`` compiles any
+benchmark; ``expected_output`` gives the pure-Python oracle's predicted
+output bytes for validation.
+"""
+
+from .base import SCALES, Workload, lcg_stream
+from .registry import (
+    BENCHMARKS,
+    WORKLOADS,
+    build_program,
+    expected_output,
+    get_workload,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "SCALES",
+    "WORKLOADS",
+    "Workload",
+    "build_program",
+    "expected_output",
+    "get_workload",
+    "lcg_stream",
+]

@@ -1,0 +1,89 @@
+"""Workload plumbing shared by the eight MiBench-analog benchmarks.
+
+Each workload module provides MinC source text for a given *scale*
+(``micro``/``small``/``large``) plus a pure-Python reference that predicts
+the program's exact output bytes. The reference doubles as the compiler
+and simulator test oracle.
+
+Determinism convention: all inputs are derived from a 16-bit LCG
+(``x = (x * 25173 + 13849) & 0xFFFF``) whose products stay below 2^31, so
+the sequence is identical on armlet-32 and armlet-64. Program output is
+emitted via ``putint(v & 0x7fffffff)`` or ``puthex`` of 32-bit-masked
+values, making the output text width-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+SCALES = ("micro", "small", "large")
+
+LCG_MULT = 25173
+LCG_ADD = 13849
+LCG_MASK = 0xFFFF
+
+# MinC fragment implementing the shared input generator.
+LCG_MINC = """
+int lcg_state = %(seed)d;
+
+int rnd() {
+    lcg_state = (lcg_state * 25173 + 13849) & 65535;
+    return lcg_state;
+}
+"""
+
+
+def lcg_stream(seed: int):
+    """Python twin of the MinC ``rnd()`` generator."""
+    state = seed
+    while True:
+        state = (state * LCG_MULT + LCG_ADD) & LCG_MASK
+        yield state
+
+
+class OutputBuilder:
+    """Accumulates expected output exactly as the kernel would emit it."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+
+    def putint(self, value: int) -> None:
+        self._chunks.append(f"{value}\n".encode())
+
+    def puthex(self, value: int) -> None:
+        self._chunks.append(f"{value:x}\n".encode())
+
+    def putchar(self, value: int) -> None:
+        self._chunks.append(bytes([value & 0xFF]))
+
+    @property
+    def data(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: source generator plus reference oracle."""
+
+    name: str
+    description: str
+    source: Callable[[str], str]
+    reference: Callable[[str, int], bytes]
+    scales: tuple[str, ...] = SCALES
+
+    def check_scale(self, scale: str) -> str:
+        if scale not in self.scales:
+            raise ValueError(
+                f"{self.name}: unknown scale {scale!r}; "
+                f"available {self.scales}")
+        return scale
+
+
+def mask32(value: int) -> int:
+    return value & 0xFFFF_FFFF
+
+
+def out31(value: int) -> int:
+    """The width-independent output mask used by every workload."""
+    return value & 0x7FFF_FFFF

@@ -1,0 +1,178 @@
+"""blowfish: a Feistel block cipher with the exact Blowfish structure
+(MiBench blowfish analogue).
+
+Substitution: the canonical Blowfish initializes its P-array and S-boxes
+from the hexadecimal digits of pi; we fill them from the deterministic
+LCG instead (the table *contents* are irrelevant to the workload's
+microarchitectural character -- table lookups, xors, adds, rotations --
+and embedding 1042 pi-derived constants would add nothing). The key
+schedule (xor key into P, then re-key by encrypting a rolling zero block
+through P and the S-boxes) and the 16-round F-function datapath follow
+Blowfish exactly; the S-box size and re-key depth scale with the input
+class so the micro scale stays simulable.
+"""
+
+from __future__ import annotations
+
+from .base import LCG_MINC, OutputBuilder, Workload, lcg_stream, mask32
+
+# (sbox_size, rounds, rekey_pairs, blocks)
+_PARAMS = {
+    "micro": (32, 8, 2, 2),
+    "small": (128, 16, 18, 16),
+    "large": (256, 16, 64, 64),
+}
+_SEED = 43
+
+_SOURCE = LCG_MINC + """
+int p[%(p_len)d];
+int s[%(s_len)d];
+int feistel_l = 0;
+int feistel_r = 0;
+
+int rand32() {
+    int hi = rnd();
+    int lo = rnd();
+    return ((hi << 16) | lo) & 4294967295;
+}
+
+int ffunc(int x) {
+    int ss = %(sbox)d;
+    int a = ushr(x & 4294967295, 24) & (ss - 1);
+    int b = ushr(x & 4294967295, 16) & (ss - 1);
+    int c = ushr(x & 4294967295, 8) & (ss - 1);
+    int d = x & (ss - 1);
+    int y = (s[a] + s[ss + b]) & 4294967295;
+    y = y ^ s[2 * ss + c];
+    return (y + s[3 * ss + d]) & 4294967295;
+}
+
+void encrypt() {
+    int l = feistel_l;
+    int r = feistel_r;
+    for (int i = 0; i < %(rounds)d; i++) {
+        l = (l ^ p[i]) & 4294967295;
+        r = (r ^ ffunc(l)) & 4294967295;
+        int t = l;
+        l = r;
+        r = t;
+    }
+    int t = l;
+    l = r;
+    r = t;
+    r = (r ^ p[%(rounds)d]) & 4294967295;
+    l = (l ^ p[%(rounds)d + 1]) & 4294967295;
+    feistel_l = l;
+    feistel_r = r;
+}
+
+int main() {
+    int p_len = %(p_len)d;
+    int s_len = %(s_len)d;
+    for (int i = 0; i < p_len; i++) { p[i] = rand32(); }
+    for (int i = 0; i < s_len; i++) { s[i] = rand32(); }
+
+    int key0 = rand32();
+    int key1 = rand32();
+    for (int i = 0; i < p_len; i++) {
+        if (i %% 2 == 0) { p[i] = p[i] ^ key0; }
+        else { p[i] = p[i] ^ key1; }
+    }
+
+    feistel_l = 0;
+    feistel_r = 0;
+    for (int i = 0; i < %(rekey)d; i++) {
+        encrypt();
+        p[(2 * i) %% p_len] = feistel_l;
+        p[(2 * i + 1) %% p_len] = feistel_r;
+    }
+
+    int check = 0;
+    for (int blk = 0; blk < %(blocks)d; blk++) {
+        feistel_l = (feistel_l ^ rand32()) & 4294967295;
+        feistel_r = (feistel_r ^ rand32()) & 4294967295;
+        encrypt();
+        check = (check ^ feistel_l ^ feistel_r) & 4294967295;
+    }
+    puthex(check);
+    puthex(feistel_l);
+    puthex(feistel_r);
+    return 0;
+}
+"""
+
+
+def source(scale: str) -> str:
+    sbox, rounds, rekey, blocks = _PARAMS[scale]
+    return _SOURCE % {
+        "sbox": sbox, "s_len": 4 * sbox, "p_len": rounds + 2,
+        "rounds": rounds, "rekey": rekey, "blocks": blocks, "seed": _SEED,
+    }
+
+
+def reference(scale: str, xlen: int) -> bytes:
+    sbox, rounds, rekey, blocks = _PARAMS[scale]
+    rnd = lcg_stream(_SEED)
+
+    def rand32() -> int:
+        hi = next(rnd)
+        lo = next(rnd)
+        return mask32((hi << 16) | lo)
+
+    p_len = rounds + 2
+    p = [rand32() for _ in range(p_len)]
+    s = [rand32() for _ in range(4 * sbox)]
+
+    def ffunc(x: int) -> int:
+        a = (x >> 24) & (sbox - 1)
+        b = (x >> 16) & (sbox - 1)
+        c = (x >> 8) & (sbox - 1)
+        d = x & (sbox - 1)
+        y = mask32(s[a] + s[sbox + b])
+        y ^= s[2 * sbox + c]
+        return mask32(y + s[3 * sbox + d])
+
+    state = [0, 0]
+
+    def encrypt() -> None:
+        l, r = state
+        for i in range(rounds):
+            l = mask32(l ^ p[i])
+            r = mask32(r ^ ffunc(l))
+            l, r = r, l
+        l, r = r, l
+        r = mask32(r ^ p[rounds])
+        l = mask32(l ^ p[rounds + 1])
+        state[0], state[1] = l, r
+
+    key0 = rand32()
+    key1 = rand32()
+    for i in range(p_len):
+        p[i] ^= key0 if i % 2 == 0 else key1
+
+    state[0] = state[1] = 0
+    for i in range(rekey):
+        encrypt()
+        p[(2 * i) % p_len] = state[0]
+        p[(2 * i + 1) % p_len] = state[1]
+
+    check = 0
+    for _blk in range(blocks):
+        state[0] = mask32(state[0] ^ rand32())
+        state[1] = mask32(state[1] ^ rand32())
+        encrypt()
+        check = mask32(check ^ state[0] ^ state[1])
+    out = OutputBuilder()
+    out.puthex(check)
+    out.puthex(state[0])
+    out.puthex(state[1])
+    return out.data
+
+
+WORKLOAD = Workload(
+    name="blowfish",
+    description="Blowfish-structure Feistel cipher with LCG-seeded boxes "
+                "(MiBench blowfish)",
+    source=source,
+    reference=reference,
+)

@@ -1,0 +1,106 @@
+"""dijkstra: repeated single-source shortest paths over a dense random
+adjacency matrix (MiBench dijkstra analogue). Memory-scan and
+compare-heavy; the paper notes it optimizes extremely well."""
+
+from __future__ import annotations
+
+from .base import LCG_MINC, OutputBuilder, Workload, lcg_stream
+
+_PARAMS = {
+    "micro": (6, 2),
+    "small": (24, 4),
+    "large": (64, 8),
+}
+_SEED = 11
+_INF = 99999
+
+_SOURCE = LCG_MINC + """
+int graph[%(nn)d];
+int dist[%(n)d];
+int visited[%(n)d];
+
+int main() {
+    int n = %(n)d;
+    for (int i = 0; i < n * n; i++) {
+        int w = rnd() %% 16;
+        if (w == 0) { w = %(inf)d; }
+        graph[i] = w;
+    }
+    int total = 0;
+    for (int s = 0; s < %(sources)d; s++) {
+        for (int i = 0; i < n; i++) {
+            dist[i] = %(inf)d;
+            visited[i] = 0;
+        }
+        dist[s] = 0;
+        for (int round = 0; round < n; round++) {
+            int best = 0 - 1;
+            int bestd = %(inf)d + 1;
+            for (int i = 0; i < n; i++) {
+                if (!visited[i] && dist[i] < bestd) {
+                    bestd = dist[i];
+                    best = i;
+                }
+            }
+            if (best < 0) { break; }
+            visited[best] = 1;
+            for (int i = 0; i < n; i++) {
+                int nd = dist[best] + graph[best * n + i];
+                if (nd < dist[i]) { dist[i] = nd; }
+            }
+        }
+        for (int i = 0; i < n; i++) {
+            total = (total + dist[i]) & 16777215;
+        }
+    }
+    putint(total);
+    return 0;
+}
+"""
+
+
+def source(scale: str) -> str:
+    n, sources = _PARAMS[scale]
+    return _SOURCE % {"n": n, "nn": n * n, "sources": sources,
+                      "inf": _INF, "seed": _SEED}
+
+
+def reference(scale: str, xlen: int) -> bytes:
+    n, sources = _PARAMS[scale]
+    rnd = lcg_stream(_SEED)
+    graph = []
+    for _ in range(n * n):
+        w = next(rnd) % 16
+        graph.append(_INF if w == 0 else w)
+    total = 0
+    for s in range(sources):
+        dist = [_INF] * n
+        visited = [False] * n
+        dist[s] = 0
+        for _round in range(n):
+            best, bestd = -1, _INF + 1
+            for i in range(n):
+                if not visited[i] and dist[i] < bestd:
+                    bestd = dist[i]
+                    best = i
+            if best < 0:
+                break
+            visited[best] = True
+            for i in range(n):
+                nd = dist[best] + graph[best * n + i]
+                if nd < dist[i]:
+                    dist[i] = nd
+        for i in range(n):
+            total = (total + dist[i]) & 0xFFFFFF
+    out = OutputBuilder()
+    out.putint(total)
+    return out.data
+
+
+WORKLOAD = Workload(
+    name="dijkstra",
+    description="repeated shortest paths on a dense graph (MiBench "
+                "dijkstra)",
+    source=source,
+    reference=reference,
+)

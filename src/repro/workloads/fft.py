@@ -1,0 +1,152 @@
+"""fft: fixed-point radix-2 iterative FFT (MiBench fft analogue).
+
+Q14 twiddle factors come from a sine lookup table embedded in the data
+segment (generated at source-build time), giving the benchmark both a
+table-lookup component and multiply-dominated butterflies. Per-stage >>1
+scaling keeps every product below 2^31 so the computation is identical on
+armlet-32 and armlet-64.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import LCG_MINC, OutputBuilder, Workload, lcg_stream
+
+_PARAMS = {"micro": 16, "small": 64, "large": 256}
+_SEED = 23
+_Q = 14
+
+
+def _sine_table(n: int) -> list[int]:
+    return [round(math.sin(2 * math.pi * i / n) * (1 << _Q))
+            for i in range(n)]
+
+
+_SOURCE = LCG_MINC + """
+int sintab[%(n)d] = {%(sintab)s};
+int re[%(n)d];
+int im[%(n)d];
+
+int main() {
+    int n = %(n)d;
+    for (int i = 0; i < n; i++) {
+        re[i] = (rnd() & 4095) - 2048;
+        im[i] = 0;
+    }
+
+    int j = 0;
+    for (int i = 1; i < n; i++) {
+        int bit = n / 2;
+        while (j & bit) {
+            j = j ^ bit;
+            bit = bit / 2;
+        }
+        j = j | bit;
+        if (i < j) {
+            int t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }
+    }
+
+    int len = 2;
+    while (len <= n) {
+        int half = len / 2;
+        int step = n / len;
+        for (int base = 0; base < n; base += len) {
+            for (int k = 0; k < half; k++) {
+                int idx = k * step;
+                int wi = 0 - sintab[idx];
+                int ci = idx + n / 4;
+                if (ci >= n) { ci -= n; }
+                int wr = sintab[ci];
+                int xr = re[base + k + half];
+                int xi = im[base + k + half];
+                int vr = (xr * wr - xi * wi) >> %(q)d;
+                int vi = (xr * wi + xi * wr) >> %(q)d;
+                int ur = re[base + k];
+                int ui = im[base + k];
+                re[base + k] = (ur + vr) >> 1;
+                im[base + k] = (ui + vi) >> 1;
+                re[base + k + half] = (ur - vr) >> 1;
+                im[base + k + half] = (ui - vi) >> 1;
+            }
+        }
+        len = len * 2;
+    }
+
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum = (sum + re[i] * (i + 1) + im[i]) & 1048575;
+    }
+    putint(sum);
+    putint(re[0] & 65535);
+    putint(im[n / 2] & 65535);
+    return 0;
+}
+"""
+
+
+def source(scale: str) -> str:
+    n = _PARAMS[scale]
+    table = ", ".join(str(v) for v in _sine_table(n))
+    return _SOURCE % {"n": n, "sintab": table, "q": _Q, "seed": _SEED}
+
+
+def reference(scale: str, xlen: int) -> bytes:
+    n = _PARAMS[scale]
+    sintab = _sine_table(n)
+    rnd = lcg_stream(_SEED)
+    re = [(next(rnd) & 4095) - 2048 for _ in range(n)]
+    im = [0] * n
+
+    j = 0
+    for i in range(1, n):
+        bit = n // 2
+        while j & bit:
+            j ^= bit
+            bit //= 2
+        j |= bit
+        if i < j:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+
+    length = 2
+    while length <= n:
+        half = length // 2
+        step = n // length
+        for base in range(0, n, length):
+            for k in range(half):
+                idx = k * step
+                wi = -sintab[idx]
+                ci = idx + n // 4
+                if ci >= n:
+                    ci -= n
+                wr = sintab[ci]
+                xr, xi = re[base + k + half], im[base + k + half]
+                vr = (xr * wr - xi * wi) >> _Q
+                vi = (xr * wi + xi * wr) >> _Q
+                ur, ui = re[base + k], im[base + k]
+                re[base + k] = (ur + vr) >> 1
+                im[base + k] = (ui + vi) >> 1
+                re[base + k + half] = (ur - vr) >> 1
+                im[base + k + half] = (ui - vi) >> 1
+        length *= 2
+
+    total = 0
+    for i in range(n):
+        total = (total + re[i] * (i + 1) + im[i]) & 0xFFFFF
+    out = OutputBuilder()
+    out.putint(total)
+    out.putint(re[0] & 0xFFFF)
+    out.putint(im[n // 2] & 0xFFFF)
+    return out.data
+
+
+WORKLOAD = Workload(
+    name="fft",
+    description="fixed-point radix-2 FFT with Q14 twiddle table "
+                "(MiBench fft)",
+    source=source,
+    reference=reference,
+)

@@ -1,0 +1,146 @@
+"""gsm: GSM full-rate style LPC front end (MiBench gsm analogue).
+
+Per 160-sample frame: preemphasis, 9-lag autocorrelation, a fixed-point
+reflection-coefficient recursion with explicit integer divisions (the
+divide-heavy signature of the GSM encoder's short-term analysis), and
+log-area-ratio quantization. All arithmetic is pinned below 2^31 so the
+computation is width-independent.
+"""
+
+from __future__ import annotations
+
+from .base import LCG_MINC, OutputBuilder, Workload, lcg_stream
+
+_LAGS = 9
+# (frame length, frames); micro uses a shortened frame
+_PARAMS = {"micro": (48, 1), "small": (160, 2), "large": (160, 8)}
+_SEED = 57
+
+_SOURCE = LCG_MINC + """
+int samples[%(total)d];
+int acf[%(lags)d];
+int refl[%(lags)d];
+
+int main() {
+    int frames = %(frames)d;
+    int total = frames * %(frame)d;
+    for (int i = 0; i < total; i++) {
+        samples[i] = ((rnd() & 8191) - 4096) / 64;
+    }
+
+    int checksum = 0;
+    for (int f = 0; f < frames; f++) {
+        int base = f * %(frame)d;
+
+        // preemphasis: s[i] -= (7 * s[i-1]) / 8
+        int prev = 0;
+        for (int i = 0; i < %(frame)d; i++) {
+            int cur = samples[base + i];
+            samples[base + i] = cur - (7 * prev) / 8;
+            prev = cur;
+        }
+
+        // autocorrelation over 9 lags
+        for (int k = 0; k < %(lags)d; k++) {
+            int sum = 0;
+            for (int i = k; i < %(frame)d; i++) {
+                sum += samples[base + i] * samples[base + i - k];
+            }
+            acf[k] = sum;
+        }
+
+        // reflection coefficients (division-heavy fixed-point recursion)
+        int energy = acf[0];
+        if (energy < 1) { energy = 1; }
+        for (int k = 1; k < %(lags)d; k++) {
+            int num = acf[k] * 512;
+            refl[k] = num / energy;
+            if (refl[k] > 511) { refl[k] = 511; }
+            if (refl[k] < -511) { refl[k] = -511; }
+            energy = energy - (refl[k] * refl[k] * (energy / 512)) / 512;
+            if (energy < 1) { energy = 1; }
+        }
+
+        // log-area-ratio style quantization
+        for (int k = 1; k < %(lags)d; k++) {
+            int r = refl[k];
+            int lar;
+            if (r < 0) { lar = 0 - r; } else { lar = r; }
+            if (lar > 340) { lar = 2 * lar - 340; }
+            else if (lar > 170) { lar = lar + 170; }
+            else { lar = 2 * lar; }
+            if (r < 0) { lar = 0 - lar; }
+            checksum = (checksum + lar * k) & 16777215;
+        }
+    }
+    putint(checksum);
+    putint(acf[0] & 1048575);
+    putint(refl[%(lags)d - 1] & 1023);
+    return 0;
+}
+"""
+
+
+def source(scale: str) -> str:
+    frame, frames = _PARAMS[scale]
+    return _SOURCE % {"frames": frames, "frame": frame, "lags": _LAGS,
+                      "total": frames * frame, "seed": _SEED}
+
+
+def _cdiv(a: int, b: int) -> int:
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def reference(scale: str, xlen: int) -> bytes:
+    frame, frames = _PARAMS[scale]
+    rnd = lcg_stream(_SEED)
+    total = frames * frame
+    samples = [_cdiv((next(rnd) & 8191) - 4096, 64) for _ in range(total)]
+
+    checksum = 0
+    acf = [0] * _LAGS
+    refl = [0] * _LAGS
+    for f in range(frames):
+        base = f * frame
+        prev = 0
+        for i in range(frame):
+            cur = samples[base + i]
+            samples[base + i] = cur - _cdiv(7 * prev, 8)
+            prev = cur
+        for k in range(_LAGS):
+            acf[k] = sum(samples[base + i] * samples[base + i - k]
+                         for i in range(k, frame))
+        energy = max(acf[0], 1)
+        for k in range(1, _LAGS):
+            refl[k] = _cdiv(acf[k] * 512, energy)
+            refl[k] = max(-511, min(511, refl[k]))
+            energy -= _cdiv(refl[k] * refl[k] * _cdiv(energy, 512), 512)
+            energy = max(energy, 1)
+        for k in range(1, _LAGS):
+            r = refl[k]
+            lar = -r if r < 0 else r
+            if lar > 340:
+                lar = 2 * lar - 340
+            elif lar > 170:
+                lar = lar + 170
+            else:
+                lar = 2 * lar
+            if r < 0:
+                lar = -lar
+            checksum = (checksum + lar * k) & 0xFFFFFF
+    out = OutputBuilder()
+    out.putint(checksum)
+    out.putint(acf[0] & 0xFFFFF)
+    out.putint(refl[_LAGS - 1] & 1023)
+    return out.data
+
+
+WORKLOAD = Workload(
+    name="gsm",
+    description="GSM-style LPC analysis with fixed-point divisions "
+                "(MiBench gsm)",
+    source=source,
+    reference=reference,
+)

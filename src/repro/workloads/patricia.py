@@ -1,0 +1,125 @@
+"""patricia: bitwise trie insertion and lookup (MiBench patricia
+analogue). Pointer-chasing through node arrays with data-dependent
+branches -- the cache- and branch-unfriendly end of the suite.
+
+Nodes live in parallel global arrays (MinC has no malloc); children are
+node indices, with 0 as the null sentinel (node 0 is a reserved root).
+Keys are 16-bit values walked most-significant-bit first.
+"""
+
+from __future__ import annotations
+
+from .base import LCG_MINC, OutputBuilder, Workload, lcg_stream
+
+# (inserted keys, lookups)
+_PARAMS = {
+    "micro": (12, 24),
+    "small": (160, 320),
+    "large": (1024, 2048),
+}
+_SEED = 71
+_BITS = 16
+
+_SOURCE = LCG_MINC + """
+int node_left[%(max_nodes)d];
+int node_right[%(max_nodes)d];
+int node_key[%(max_nodes)d];
+int node_used[%(max_nodes)d];
+int node_count = 1;
+
+int insert(int key) {
+    int cur = 0;
+    for (int bit = %(bits)d - 1; bit >= 0; bit--) {
+        int side = ushr(key, bit) & 1;
+        int next;
+        if (side) { next = node_right[cur]; }
+        else { next = node_left[cur]; }
+        if (next == 0) {
+            next = node_count;
+            node_count++;
+            node_left[next] = 0;
+            node_right[next] = 0;
+            node_used[next] = 0;
+            if (side) { node_right[cur] = next; }
+            else { node_left[cur] = next; }
+        }
+        cur = next;
+    }
+    if (node_used[cur]) { return 0; }
+    node_used[cur] = 1;
+    node_key[cur] = key;
+    return 1;
+}
+
+int lookup(int key) {
+    int cur = 0;
+    for (int bit = %(bits)d - 1; bit >= 0; bit--) {
+        int side = ushr(key, bit) & 1;
+        if (side) { cur = node_right[cur]; }
+        else { cur = node_left[cur]; }
+        if (cur == 0) { return 0; }
+    }
+    return node_used[cur] && node_key[cur] == key;
+}
+
+int main() {
+    int inserted = 0;
+    for (int i = 0; i < %(keys)d; i++) {
+        inserted += insert(rnd());
+    }
+    int hits = 0;
+    for (int i = 0; i < %(lookups)d; i++) {
+        hits += lookup(rnd());
+    }
+    putint(inserted);
+    putint(node_count);
+    putint(hits);
+    return 0;
+}
+"""
+
+
+def source(scale: str) -> str:
+    keys, lookups = _PARAMS[scale]
+    max_nodes = keys * _BITS + 2
+    return _SOURCE % {"keys": keys, "lookups": lookups,
+                      "max_nodes": max_nodes, "bits": _BITS,
+                      "seed": _SEED}
+
+
+def reference(scale: str, xlen: int) -> bytes:
+    keys, lookups = _PARAMS[scale]
+    rnd = lcg_stream(_SEED)
+    stored: set[int] = set()
+    node_count = 1
+    # Count distinct trie nodes exactly as the program allocates them:
+    # one node per novel (bit-depth) prefix.
+    prefixes: set[tuple[int, int]] = set()
+    inserted = 0
+    for _ in range(keys):
+        key = next(rnd)
+        fresh = key not in stored
+        inserted += 1 if fresh else 0
+        stored.add(key)
+        for depth in range(1, _BITS + 1):
+            prefix = key >> (_BITS - depth)
+            if (depth, prefix) not in prefixes:
+                prefixes.add((depth, prefix))
+                node_count += 1
+    hits = 0
+    for _ in range(lookups):
+        hits += 1 if next(rnd) in stored else 0
+    out = OutputBuilder()
+    out.putint(inserted)
+    out.putint(node_count)
+    out.putint(hits)
+    return out.data
+
+
+WORKLOAD = Workload(
+    name="patricia",
+    description="bitwise trie insert/lookup over 16-bit keys "
+                "(MiBench patricia)",
+    source=source,
+    reference=reference,
+)

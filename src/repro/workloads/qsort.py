@@ -1,0 +1,78 @@
+"""qsort: recursive quicksort over an LCG-generated array (MiBench qsort
+analogue). Branch-heavy, recursion-heavy, pointer-based swaps."""
+
+from __future__ import annotations
+
+from .base import LCG_MINC, OutputBuilder, Workload, lcg_stream
+
+_PARAMS = {"micro": 24, "small": 160, "large": 768}
+_SEED = 7
+
+_SOURCE = LCG_MINC + """
+int data[%(n)d];
+
+void quicksort(int* a, int lo, int hi) {
+    if (lo >= hi) { return; }
+    int pivot = a[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) { i++; }
+        while (a[j] > pivot) { j--; }
+        if (i <= j) {
+            int t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i++;
+            j--;
+        }
+    }
+    quicksort(a, lo, j);
+    quicksort(a, i, hi);
+}
+
+int main() {
+    int n = %(n)d;
+    for (int k = 0; k < n; k++) { data[k] = rnd(); }
+    quicksort(data, 0, n - 1);
+    int sum = 0;
+    int unsorted = 0;
+    for (int k = 0; k < n; k++) {
+        sum = (sum * 31 + data[k]) & 1048575;
+        if (k > 0 && data[k] < data[k - 1]) { unsorted++; }
+    }
+    putint(sum);
+    putint(unsorted);
+    putint(data[0]);
+    putint(data[n - 1]);
+    return 0;
+}
+"""
+
+
+def source(scale: str) -> str:
+    n = _PARAMS[scale]
+    return _SOURCE % {"n": n, "seed": _SEED}
+
+
+def reference(scale: str, xlen: int) -> bytes:
+    n = _PARAMS[scale]
+    rnd = lcg_stream(_SEED)
+    data = sorted(next(rnd) for _ in range(n))
+    out = OutputBuilder()
+    total = 0
+    for value in data:
+        total = (total * 31 + value) & 0xFFFFF
+    out.putint(total)
+    out.putint(0)
+    out.putint(data[0])
+    out.putint(data[-1])
+    return out.data
+
+
+WORKLOAD = Workload(
+    name="qsort",
+    description="recursive quicksort over LCG data (MiBench qsort)",
+    source=source,
+    reference=reference,
+)

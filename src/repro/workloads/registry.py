@@ -1,0 +1,61 @@
+"""Workload registry and program builder with compile caching."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..compiler import TARGETS, Target, compile_source
+from ..isa.program import Program
+from .base import SCALES, Workload
+
+
+def _load_all() -> dict[str, Workload]:
+    from . import (
+        blowfish,
+        dijkstra,
+        fft,
+        gsm,
+        patricia,
+        qsort,
+        rijndael,
+        sha,
+    )
+
+    modules = (qsort, dijkstra, fft, sha, blowfish, gsm, patricia,
+               rijndael)
+    return {m.WORKLOAD.name: m.WORKLOAD for m in modules}
+
+
+WORKLOADS: dict[str, Workload] = _load_all()
+BENCHMARKS: tuple[str, ...] = tuple(WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available {sorted(WORKLOADS)}"
+        ) from None
+
+
+@lru_cache(maxsize=512)
+def build_program(name: str, scale: str, opt_level: str,
+                  target_name: str) -> Program:
+    """Compile one benchmark at one scale/level/target (cached)."""
+    workload = get_workload(name)
+    workload.check_scale(scale)
+    target: Target = TARGETS[target_name]
+    return compile_source(workload.source(scale), opt_level, target,
+                          name=f"{name}.{scale}")
+
+
+def expected_output(name: str, scale: str, xlen: int) -> bytes:
+    """Reference output bytes predicted by the Python oracle."""
+    workload = get_workload(name)
+    workload.check_scale(scale)
+    return workload.reference(scale, xlen)
+
+
+__all__ = ["BENCHMARKS", "SCALES", "WORKLOADS", "build_program",
+           "expected_output", "get_workload"]

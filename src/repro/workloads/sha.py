@@ -1,0 +1,126 @@
+"""sha: bit-exact SHA-1 over an LCG-generated message (MiBench sha).
+
+The implementation keeps all state in explicitly 32-bit-masked ints so
+output is identical on both cores, and the message lives in a byte array
+(exercising LDRB/STRB paths). The test suite validates the digest against
+:mod:`hashlib`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .base import LCG_MINC, OutputBuilder, Workload, lcg_stream
+
+# message length in bytes (any value; padding handled in-program)
+_PARAMS = {"micro": 40, "small": 256, "large": 2048}
+_SEED = 31
+
+_SOURCE = LCG_MINC + """
+char msg[%(padded)d];
+int w[80];
+int h[5];
+
+int rotl(int x, int k) {
+    return ((x << k) | ushr(x & 4294967295, 32 - k)) & 4294967295;
+}
+
+void sha1_block(char* block) {
+    for (int t = 0; t < 16; t++) {
+        w[t] = ((block[t * 4] << 24) | (block[t * 4 + 1] << 16)
+                | (block[t * 4 + 2] << 8) | block[t * 4 + 3])
+               & 4294967295;
+    }
+    for (int t = 16; t < 80; t++) {
+        w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    int a = h[0]; int b = h[1]; int c = h[2]; int d = h[3]; int e = h[4];
+    for (int t = 0; t < 80; t++) {
+        int f;
+        int k;
+        if (t < 20) {
+            f = (b & c) | (~b & d);
+            k = 1518500249;
+        } else if (t < 40) {
+            f = b ^ c ^ d;
+            k = 1859775393;
+        } else if (t < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 2400959708;
+        } else {
+            f = b ^ c ^ d;
+            k = 3395469782;
+        }
+        int tmp = (rotl(a, 5) + (f & 4294967295) + e + k + w[t])
+                  & 4294967295;
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = tmp;
+    }
+    h[0] = (h[0] + a) & 4294967295;
+    h[1] = (h[1] + b) & 4294967295;
+    h[2] = (h[2] + c) & 4294967295;
+    h[3] = (h[3] + d) & 4294967295;
+    h[4] = (h[4] + e) & 4294967295;
+}
+
+int main() {
+    int n = %(n)d;
+    for (int i = 0; i < n; i++) { msg[i] = rnd() & 255; }
+    // padding: 0x80, zeros, 64-bit big-endian bit length
+    int padded = %(padded)d;
+    msg[n] = 128;
+    for (int i = n + 1; i < padded; i++) { msg[i] = 0; }
+    int bits = n * 8;
+    msg[padded - 1] = bits & 255;
+    msg[padded - 2] = ushr(bits, 8) & 255;
+    msg[padded - 3] = ushr(bits, 16) & 255;
+    msg[padded - 4] = ushr(bits, 24) & 255;
+
+    h[0] = 1732584193;
+    h[1] = 4023233417;
+    h[2] = 2562383102;
+    h[3] = 271733878;
+    h[4] = 3285377520;
+    for (int off = 0; off < padded; off += 64) {
+        sha1_block(msg + off);
+    }
+    for (int i = 0; i < 5; i++) { puthex(h[i] & 4294967295); }
+    return 0;
+}
+"""
+
+
+def _padded_len(n: int) -> int:
+    padded = n + 1 + 8
+    if padded % 64:
+        padded += 64 - padded % 64
+    return padded
+
+
+def source(scale: str) -> str:
+    n = _PARAMS[scale]
+    return _SOURCE % {"n": n, "padded": _padded_len(n), "seed": _SEED}
+
+
+def message_bytes(scale: str) -> bytes:
+    rnd = lcg_stream(_SEED)
+    return bytes(next(rnd) & 255 for _ in range(_PARAMS[scale]))
+
+
+def reference(scale: str, xlen: int) -> bytes:
+    digest = hashlib.sha1(message_bytes(scale)).digest()
+    out = OutputBuilder()
+    for i in range(5):
+        out.puthex(int.from_bytes(digest[4 * i:4 * i + 4], "big"))
+    return out.data
+
+
+WORKLOAD = Workload(
+    name="sha",
+    description="bit-exact SHA-1 over an LCG message (MiBench sha)",
+    source=source,
+    reference=reference,
+)

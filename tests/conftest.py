@@ -1,0 +1,77 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import ARMLET32, ARMLET64, Target, compile_source
+from repro.kernel import MainMemory, load, run_functional
+from repro.microarch import CORTEX_A15, CORTEX_A72, Simulator
+
+
+def run_minc(source: str, opt_level: str = "O0", target: Target = ARMLET32,
+             max_instructions: int = 20_000_000):
+    """Compile and run MinC source on the functional reference CPU."""
+    program = compile_source(source, opt_level, target)
+    memory = MainMemory(4 * 1024 * 1024)
+    image = load(program, memory)
+    return run_functional(image, memory, max_instructions)
+
+
+def run_minc_all_levels(source: str, target: Target = ARMLET32):
+    """Run source at every optimization level; assert outputs agree.
+
+    Returns the common output bytes.
+    """
+    results = {
+        level: run_minc(source, level, target)
+        for level in ("O0", "O1", "O2", "O3")
+    }
+    outputs = {level: r.output.data for level, r in results.items()}
+    assert len(set(outputs.values())) == 1, outputs
+    exit_codes = {r.exit_code for r in results.values()}
+    assert exit_codes == {0}, exit_codes
+    return outputs["O0"]
+
+
+def run_ooo(source: str, opt_level: str = "O1", core=CORTEX_A15,
+            target: Target = ARMLET32, max_cycles: int = 5_000_000):
+    """Compile and run MinC source on the out-of-order simulator."""
+    program = compile_source(source, opt_level, target)
+    sim = Simulator(program, core)
+    return sim.run(max_cycles)
+
+
+@pytest.fixture(scope="session")
+def armlet32() -> Target:
+    return ARMLET32
+
+
+@pytest.fixture(scope="session")
+def armlet64() -> Target:
+    return ARMLET64
+
+
+@pytest.fixture(scope="session")
+def cortex_a15():
+    return CORTEX_A15
+
+
+@pytest.fixture(scope="session")
+def cortex_a72():
+    return CORTEX_A72
+
+
+SUM_LOOP = """
+int main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) { s += i * i; }
+    putint(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def sum_loop_source() -> str:
+    return SUM_LOOP

@@ -1,0 +1,151 @@
+"""AVF analytics: weighted AVF (eq. 1), FIT (eq. 2), FPE (eq. 3), ECC."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.avf import (
+    ECC_L1D_L2,
+    ECC_L2_ONLY,
+    ECC_NONE,
+    BenchmarkAVF,
+    cpu_fit,
+    cpu_fit_by_class,
+    execution_hours,
+    failures_per_execution,
+    field_bit_counts,
+    normalized_fpe,
+    structure_fit,
+    weighted_avf,
+    weighted_class_avf,
+)
+from repro.microarch import ALL_FIELDS, CORTEX_A15, CORTEX_A72
+
+
+class TestWeightedAVF:
+    def test_equation_one(self) -> None:
+        samples = [
+            BenchmarkAVF("a", 0.10, 100.0),
+            BenchmarkAVF("b", 0.30, 300.0),
+        ]
+        # (0.1*100 + 0.3*300) / 400 = 0.25
+        assert weighted_avf(samples) == pytest.approx(0.25)
+
+    def test_short_benchmarks_matter_less(self) -> None:
+        long_low = [BenchmarkAVF("long", 0.0, 1000.0),
+                    BenchmarkAVF("short", 1.0, 1.0)]
+        assert weighted_avf(long_low) < 0.01
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0, max_value=1),
+                  st.floats(min_value=0.1, max_value=1e6)),
+        min_size=1, max_size=10))
+    def test_bounded_by_extremes(self, rows) -> None:
+        samples = [BenchmarkAVF(f"b{i}", avf, t)
+                   for i, (avf, t) in enumerate(rows)]
+        value = weighted_avf(samples)
+        avfs = [s.avf for s in samples]
+        assert min(avfs) - 1e-12 <= value <= max(avfs) + 1e-12
+
+    def test_class_weighting_sums_to_total(self) -> None:
+        samples = {
+            "a": ({"sdc": 0.1, "assert": 0.2}, 100.0),
+            "b": ({"sdc": 0.3}, 300.0),
+        }
+        by_class = weighted_class_avf(samples)
+        totals = [BenchmarkAVF("a", 0.3, 100.0),
+                  BenchmarkAVF("b", 0.3, 300.0)]
+        assert sum(by_class.values()) == pytest.approx(
+            weighted_avf(totals))
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            weighted_avf([])
+        with pytest.raises(ValueError):
+            BenchmarkAVF("x", 1.5, 10.0)
+        with pytest.raises(ValueError):
+            BenchmarkAVF("x", 0.5, 0.0)
+
+
+class TestFIT:
+    def test_equation_two(self) -> None:
+        bits = field_bit_counts(CORTEX_A15)["prf"]
+        assert bits == 128 * 32
+        fit = structure_fit(CORTEX_A15, "prf", 0.25)
+        assert fit == pytest.approx(2.59e-5 * 128 * 32 * 0.25)
+
+    def test_bit_counts_cover_all_fields(self) -> None:
+        for config in (CORTEX_A15, CORTEX_A72):
+            counts = field_bit_counts(config)
+            assert set(counts) == set(ALL_FIELDS)
+            assert all(v > 0 for v in counts.values())
+
+    def test_cache_dominates_bit_budget(self) -> None:
+        counts = field_bit_counts(CORTEX_A15)
+        cache_bits = sum(v for k, v in counts.items()
+                         if k.startswith(("l1", "l2")))
+        # paper: caches are ~90-95% of the memory cells
+        assert cache_bits / sum(counts.values()) > 0.9
+
+    def test_cpu_fit_additive(self) -> None:
+        avfs = {field: 0.1 for field in ALL_FIELDS}
+        total = cpu_fit(CORTEX_A15, avfs)
+        assert total == pytest.approx(sum(
+            structure_fit(CORTEX_A15, f, 0.1) for f in ALL_FIELDS))
+
+    def test_ecc_removes_protected_contribution(self) -> None:
+        avfs = {field: 0.2 for field in ALL_FIELDS}
+        no_ecc = cpu_fit(CORTEX_A15, avfs, ECC_NONE)
+        l2_only = cpu_fit(CORTEX_A15, avfs, ECC_L2_ONLY)
+        full = cpu_fit(CORTEX_A15, avfs, ECC_L1D_L2)
+        assert no_ecc > l2_only > full
+        l2_bits = sum(field_bit_counts(CORTEX_A15)[f]
+                      for f in ("l2.data", "l2.tag"))
+        assert no_ecc - l2_only == pytest.approx(
+            2.59e-5 * l2_bits * 0.2)
+
+    def test_fit_by_class_sums_to_total(self) -> None:
+        field_class = {
+            field: {"sdc": 0.05, "assert": 0.02}
+            for field in ALL_FIELDS
+        }
+        by_class = cpu_fit_by_class(CORTEX_A15, field_class)
+        total = cpu_fit(CORTEX_A15, {f: 0.07 for f in ALL_FIELDS})
+        assert sum(by_class.values()) == pytest.approx(total)
+
+    def test_a72_lower_raw_fit(self) -> None:
+        avfs = {field: 0.1 for field in ALL_FIELDS}
+        # per *bit* the A72's newer process is less fault-prone even
+        # though it has more bits overall
+        a15 = cpu_fit(CORTEX_A15, avfs)
+        bits_a15 = sum(field_bit_counts(CORTEX_A15).values())
+        bits_a72 = sum(field_bit_counts(CORTEX_A72).values())
+        a72 = cpu_fit(CORTEX_A72, avfs)
+        assert a72 / bits_a72 < a15 / bits_a15
+
+
+class TestFPE:
+    def test_equation_three(self) -> None:
+        # FIT x hours / 1e9
+        fpe = failures_per_execution(fit=1000.0, cycles=3_600 * 10 ** 9,
+                                     clock_hz=1e9)
+        assert fpe == pytest.approx(1000.0 * 1.0 / 1e9)
+
+    def test_execution_hours(self) -> None:
+        assert execution_hours(3.6e12, 1e9) == pytest.approx(1.0)
+
+    def test_normalization(self) -> None:
+        fits = {"O0": 100.0, "O2": 150.0}
+        cycles = {"O0": 1000, "O2": 400}
+        norm = normalized_fpe(fits, cycles)
+        assert norm["O0"] == pytest.approx(1.0)
+        # O2: 1.5x FIT but 2.5x faster => wins
+        assert norm["O2"] == pytest.approx(150 * 400 / (100 * 1000))
+        assert norm["O2"] < 1.0
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            normalized_fpe({"O1": 1.0}, {"O1": 10})
+        with pytest.raises(ValueError):
+            execution_hours(-1)

@@ -1,0 +1,47 @@
+"""ADS metric (Jones et al. [11]): AVF-delay-square product."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avf import ads, ads_ranking, normalized_ads
+
+
+def test_ads_formula() -> None:
+    assert ads(0.5, 10.0) == pytest.approx(50.0)
+    assert ads(0.0, 100.0) == 0.0
+
+
+def test_ranking_prefers_fast_even_if_more_vulnerable() -> None:
+    # 2x AVF but 3x faster wins under delay-squared weighting
+    avfs = {"O0": 0.1, "O2": 0.2}
+    cycles = {"O0": 3000, "O2": 1000}
+    assert ads_ranking(avfs, cycles) == ["O2", "O0"]
+
+
+def test_ranking_penalizes_slow_more_than_fpe_would() -> None:
+    # equal AVF x delay product (same FPE), different delays:
+    # ADS prefers the faster one strictly
+    avfs = {"a": 0.1, "b": 0.2}
+    cycles = {"a": 2000, "b": 1000}
+    # FPE equal: 0.1*2000 == 0.2*1000; ADS: 0.1*4e6 > 0.2*1e6
+    assert ads_ranking(avfs, cycles) == ["b", "a"]
+
+
+def test_normalized_ads() -> None:
+    avfs = {"O0": 0.1, "O1": 0.1}
+    cycles = {"O0": 1000, "O1": 500}
+    norm = normalized_ads(avfs, cycles)
+    assert norm["O0"] == pytest.approx(1.0)
+    assert norm["O1"] == pytest.approx(0.25)
+
+
+def test_validation() -> None:
+    with pytest.raises(ValueError):
+        ads(1.5, 10)
+    with pytest.raises(ValueError):
+        ads(0.5, 0)
+    with pytest.raises(ValueError):
+        ads_ranking({"O0": 0.1}, {"O1": 10})
+    with pytest.raises(ValueError):
+        normalized_ads({"O1": 0.1}, {"O1": 10}, baseline="O0")

@@ -1,0 +1,90 @@
+"""Selective-protection planning over measured AVFs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.avf import (
+    fit_contributions,
+    plan_protection,
+    structure_fit,
+)
+from repro.microarch import ALL_FIELDS, CORTEX_A15
+
+
+def _avfs(value: float = 0.1) -> dict[str, float]:
+    return {field: value for field in ALL_FIELDS}
+
+
+def test_contributions_sorted_descending() -> None:
+    contributions = fit_contributions(CORTEX_A15, _avfs())
+    values = list(contributions.values())
+    assert values == sorted(values, reverse=True)
+    assert set(contributions) == set(ALL_FIELDS)
+    # equal AVFs: the biggest array contributes the most
+    assert next(iter(contributions)) == "l2.data"
+
+
+def test_full_reduction_protects_everything_contributing() -> None:
+    plan = plan_protection(CORTEX_A15, _avfs(), target_reduction=1.0)
+    assert plan.residual_fit == pytest.approx(0.0)
+    assert plan.fit_reduction == pytest.approx(1.0)
+    assert set(plan.protected) == set(ALL_FIELDS)
+
+
+def test_partial_target_reached_minimally() -> None:
+    avfs = _avfs(0.0)
+    avfs["l1d.data"] = 0.5   # dominant contributor
+    avfs["prf"] = 0.5
+    plan = plan_protection(CORTEX_A15, avfs, target_reduction=0.5)
+    assert plan.fit_reduction >= 0.5
+    # only contributing fields get protected
+    assert set(plan.protected) <= {"l1d.data", "prf"}
+
+
+def test_default_costs_rank_by_avf_density() -> None:
+    """With cost = bit count, FIT-per-cost reduces to raw_fit x AVF, so
+    the densest-vulnerability field is protected first regardless of
+    its size."""
+    avfs = _avfs(0.0)
+    avfs["prf"] = 0.6
+    avfs["l1d.data"] = 0.4
+    plan = plan_protection(CORTEX_A15, avfs, target_reduction=0.01)
+    assert plan.protected[0] == "prf"
+
+
+def test_cost_aware_choice() -> None:
+    """Explicit costs redirect the greedy pick toward cheap fields."""
+    avfs = _avfs(0.0)
+    avfs["prf"] = 0.4
+    avfs["l1d.data"] = 0.4
+    costs = {field: 1000 for field in ALL_FIELDS}
+    costs["prf"] = 10          # prf is cheap to protect
+    plan = plan_protection(CORTEX_A15, avfs, target_reduction=0.01,
+                           costs=costs)
+    assert plan.protected[0] == "prf"
+
+
+def test_zero_baseline() -> None:
+    plan = plan_protection(CORTEX_A15, _avfs(0.0), target_reduction=0.9)
+    assert plan.protected == ()
+    assert plan.baseline_fit == 0.0
+
+
+def test_validation() -> None:
+    with pytest.raises(ValueError):
+        plan_protection(CORTEX_A15, _avfs(), target_reduction=0.0)
+    with pytest.raises(ValueError):
+        plan_protection(CORTEX_A15, _avfs(), target_reduction=1.5)
+
+
+@given(st.dictionaries(st.sampled_from(ALL_FIELDS),
+                       st.floats(min_value=0, max_value=1),
+                       min_size=1))
+def test_residual_plus_removed_equals_baseline(avfs) -> None:
+    plan = plan_protection(CORTEX_A15, avfs, target_reduction=0.7)
+    removed = sum(structure_fit(CORTEX_A15, f, avfs[f])
+                  for f in plan.protected)
+    assert plan.residual_fit + removed == pytest.approx(plan.baseline_fit)
+    assert plan.residual_fit >= -1e-12

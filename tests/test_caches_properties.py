@@ -1,0 +1,100 @@
+"""Cache addressing and replacement properties."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.kernel import MainMemory
+from repro.microarch import CORTEX_A15, CORTEX_A72, SetAssocCache
+from repro.microarch.caches import CacheHierarchy
+from repro.microarch.config import CacheGeometry
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_split_line_address_roundtrip(addr: int) -> None:
+    cache = SetAssocCache("t", CacheGeometry("t", 32 * 1024, 2), 32)
+    tag, index, offset = cache.split(addr)
+    assert cache.line_address(tag, index) + offset == addr
+    assert 0 <= index < cache.geometry.num_sets
+    assert 0 <= offset < cache.line_bytes
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                min_size=1, max_size=40))
+def test_reads_always_return_memory_contents(addresses) -> None:
+    """Whatever the access pattern, a read returns what was last written
+    to that address through the hierarchy (coherence of one master)."""
+    memory = MainMemory(4 * 1024 * 1024)
+    hierarchy = CacheHierarchy(CORTEX_A15, memory)
+    shadow: dict[int, int] = {}
+    for i, raw in enumerate(addresses):
+        addr = 0x10_0000 + (raw & ~3)
+        if i % 2 == 0:
+            value = (i * 2654435761) & 0xFFFF_FFFF
+            hierarchy.write(addr, value, 4)
+            shadow[addr] = value
+        else:
+            value, _ = hierarchy.read(addr, 4)
+            assert value == shadow.get(addr, memory.read_word(addr, 4))
+
+
+def test_lru_evicts_least_recently_used() -> None:
+    memory = MainMemory(4 * 1024 * 1024)
+    hierarchy = CacheHierarchy(CORTEX_A15, memory)
+    l1d = hierarchy.l1d
+    base = 0x10_0000
+    stride = l1d.geometry.num_sets * l1d.line_bytes  # same set
+    hierarchy.read(base, 4)                 # way A
+    hierarchy.read(base + stride, 4)        # way B (set now full: 2-way)
+    hierarchy.read(base, 4)                 # touch A again
+    hierarchy.read(base + 2 * stride, 4)    # evicts B, not A
+    _, index, _ = l1d.split(base)
+    tags = {line.tag for (idx, _), line in l1d.lines.items()
+            if idx == index}
+    assert l1d.split(base)[0] in tags
+    assert l1d.split(base + stride)[0] not in tags
+
+
+def test_a72_l1i_three_way_geometry() -> None:
+    memory = MainMemory(4 * 1024 * 1024)
+    hierarchy = CacheHierarchy(CORTEX_A72, memory)
+    l1i = hierarchy.l1i
+    assert l1i.ways == 3
+    base = 0x1000
+    stride = l1i.geometry.num_sets * l1i.line_bytes
+    for way in range(3):
+        hierarchy.fetch_word(base + way * stride)
+    _, index, _ = l1i.split(base)
+    resident = [line for (idx, _), line in l1i.lines.items()
+                if idx == index]
+    assert len(resident) == 3
+
+
+def test_dirty_data_survives_through_l2_eviction_chain() -> None:
+    memory = MainMemory(4 * 1024 * 1024)
+    hierarchy = CacheHierarchy(CORTEX_A15, memory)
+    l1d = hierarchy.l1d
+    base = 0x10_0000
+    stride = l1d.geometry.num_sets * l1d.line_bytes
+    hierarchy.write(base, 0xFEEDFACE, 4)
+    # force eviction of the dirty line by filling its set: the dirty
+    # data must be written back into L2, not dropped
+    for way in range(1, l1d.ways + 1):
+        hierarchy.read(base + way * stride, 4)
+    assert l1d.lookup(base) is None          # really evicted from L1
+    value, latency = hierarchy.read(base, 4)
+    assert value == 0xFEEDFACE
+    assert latency == CORTEX_A15.l2_hit_latency  # served by L2
+
+    # RAM may still be stale: the write-back chain stops at L2
+    assert memory.read_word(base, 4) in (0, 0xFEEDFACE)
+
+
+def test_fetch_and_data_paths_are_separate_l1s() -> None:
+    memory = MainMemory(4 * 1024 * 1024)
+    hierarchy = CacheHierarchy(CORTEX_A15, memory)
+    memory.write_word(0x1000, 0x12345678, 4)
+    hierarchy.fetch_word(0x1000)
+    assert hierarchy.l1i.lines and not hierarchy.l1d.lines
+    hierarchy.read(0x10_0000, 4)
+    assert hierarchy.l1d.lines

@@ -1,0 +1,133 @@
+"""CFG analyses: reachability, dominators, liveness, natural loops."""
+
+from __future__ import annotations
+
+from repro.compiler import analysis, ir
+
+
+def _diamond() -> ir.Function:
+    """entry -> (left | right) -> join -> exit"""
+    func = ir.Function("f", [ir.VReg(0)], True)
+    entry = func.new_block("entry")
+    left = func.new_block("left")
+    right = func.new_block("right")
+    join = func.new_block("join")
+    entry.terminator = ir.CondJump("eq", ir.VReg(0), ir.Const(0),
+                                   left.name, right.name)
+    left.instrs = [ir.Move(ir.VReg(1), ir.Const(1))]
+    left.terminator = ir.Jump(join.name)
+    right.instrs = [ir.Move(ir.VReg(1), ir.Const(2))]
+    right.terminator = ir.Jump(join.name)
+    join.terminator = ir.Ret(ir.VReg(1))
+    func._next_vreg = 10
+    return func
+
+
+def _loop() -> ir.Function:
+    """entry -> head <-> body; head -> exit"""
+    func = ir.Function("f", [ir.VReg(0)], True)
+    entry = func.new_block("entry")
+    head = func.new_block("head")
+    body = func.new_block("body")
+    done = func.new_block("done")
+    entry.instrs = [ir.Move(ir.VReg(1), ir.Const(0))]
+    entry.terminator = ir.Jump(head.name)
+    head.terminator = ir.CondJump("lt", ir.VReg(1), ir.VReg(0),
+                                  body.name, done.name)
+    body.instrs = [ir.BinOp(ir.VReg(1), "add", ir.VReg(1), ir.Const(1))]
+    body.terminator = ir.Jump(head.name)
+    done.terminator = ir.Ret(ir.VReg(1))
+    func._next_vreg = 10
+    return func
+
+
+class TestReachability:
+    def test_all_reachable_in_diamond(self) -> None:
+        func = _diamond()
+        assert analysis.reachable_blocks(func) == \
+            {b.name for b in func.blocks}
+
+    def test_orphan_excluded(self) -> None:
+        func = _diamond()
+        orphan = func.new_block("orphan")
+        orphan.terminator = ir.Ret(ir.Const(9))
+        assert orphan.name not in analysis.reachable_blocks(func)
+
+    def test_postorder_entry_last(self) -> None:
+        func = _diamond()
+        order = analysis.postorder(func)
+        assert order[-1] == func.blocks[0].name
+        assert len(order) == 4
+
+
+class TestDominators:
+    def test_diamond(self) -> None:
+        func = _diamond()
+        dom = analysis.dominators(func)
+        entry, left, right, join = [b.name for b in func.blocks]
+        assert dom[entry] == {entry}
+        assert dom[left] == {entry, left}
+        assert dom[join] == {entry, join}  # neither branch dominates
+
+    def test_loop_header_dominates_body(self) -> None:
+        func = _loop()
+        dom = analysis.dominators(func)
+        entry, head, body, done = [b.name for b in func.blocks]
+        assert head in dom[body]
+        assert head in dom[done]
+
+
+class TestLoops:
+    def test_natural_loop_found(self) -> None:
+        func = _loop()
+        loops = analysis.find_loops(func)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == func.blocks[1].name
+        assert loop.body == {func.blocks[1].name, func.blocks[2].name}
+        assert loop.latches == [func.blocks[2].name]
+
+    def test_no_loops_in_diamond(self) -> None:
+        assert analysis.find_loops(_diamond()) == []
+
+    def test_nested_loops_sorted_innermost_first(self) -> None:
+        from repro.compiler import ARMLET32, compile_module
+
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 4; i++) {
+                for (int j = 0; j < 4; j++) { s += i * j; }
+            }
+            putint(s);
+            return 0;
+        }
+        """
+        result = compile_module(source, "O0", ARMLET32)
+        loops = analysis.find_loops(result.module.functions["main"])
+        assert len(loops) == 2
+        assert loops[0].size <= loops[1].size
+        assert loops[0].body < loops[1].body  # inner nested in outer
+
+
+class TestLiveness:
+    def test_branch_operand_live_into_block(self) -> None:
+        func = _loop()
+        live_in, live_out = analysis.liveness(func)
+        head = func.blocks[1].name
+        body = func.blocks[2].name
+        assert ir.VReg(0) in live_in[head]   # loop bound
+        assert ir.VReg(1) in live_in[head]   # induction variable
+        assert ir.VReg(1) in live_out[body]
+
+    def test_dead_after_last_use(self) -> None:
+        func = _diamond()
+        live_in, live_out = analysis.liveness(func)
+        join = func.blocks[3].name
+        assert ir.VReg(0) not in live_in[join]  # condition not used again
+
+    def test_single_def_detection(self) -> None:
+        func = _diamond()
+        singles = analysis.single_def_vregs(func)
+        assert ir.VReg(0) in singles      # param, never redefined
+        assert ir.VReg(1) not in singles  # defined in both arms

@@ -1,0 +1,220 @@
+"""Back end: register allocation and code generation specifics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import ARMLET32, ARMLET64, compile_module, \
+    compile_source
+from repro.compiler import ir
+from repro.compiler.regalloc import (
+    CALLEE_SAVED_POOL,
+    CALLER_SAVED_POOL,
+    SCRATCH,
+    allocate_linear,
+    allocate_stack,
+)
+from repro.isa import Opcode, registers
+
+from .conftest import run_minc
+
+
+def _linear_function() -> ir.Function:
+    """a small function with a call-crossing value."""
+    func = ir.Function("f", [ir.VReg(0)], True)
+    block = func.new_block("entry")
+    v1, v2, v3 = ir.VReg(1), ir.VReg(2), ir.VReg(3)
+    block.instrs = [
+        ir.BinOp(v1, "add", ir.VReg(0), ir.Const(1)),
+        ir.Call(v2, "g", [v1]),
+        ir.BinOp(v3, "add", v1, v2),   # v1 lives across the call
+    ]
+    block.terminator = ir.Ret(v3)
+    func._next_vreg = 10
+    return func
+
+
+class TestRegalloc:
+    def test_stack_mode_homes_everything(self) -> None:
+        func = _linear_function()
+        alloc = allocate_stack(func)
+        assert alloc.mode == "stack"
+        assert not alloc.assignment
+        assert set(alloc.spill_slots) >= {ir.VReg(0), ir.VReg(1),
+                                          ir.VReg(2), ir.VReg(3)}
+
+    def test_call_crossing_value_gets_callee_saved(self) -> None:
+        func = _linear_function()
+        alloc = allocate_linear(func)
+        v1 = ir.VReg(1)
+        location = alloc.location(v1)
+        if location[0] == "reg":
+            assert location[1] in CALLEE_SAVED_POOL, location
+        assert alloc.has_calls
+
+    def test_short_lived_values_prefer_caller_saved(self) -> None:
+        func = ir.Function("f", [ir.VReg(0)], True)
+        block = func.new_block("entry")
+        block.instrs = [ir.BinOp(ir.VReg(1), "add", ir.VReg(0),
+                                 ir.Const(1))]
+        block.terminator = ir.Ret(ir.VReg(1))
+        func._next_vreg = 5
+        alloc = allocate_linear(func)
+        assert alloc.assignment[ir.VReg(1)] in CALLER_SAVED_POOL
+
+    def test_pools_disjoint_from_scratch(self) -> None:
+        overlap = set(SCRATCH) & (set(CALLER_SAVED_POOL)
+                                  | set(CALLEE_SAVED_POOL))
+        assert not overlap
+        assert registers.ZERO not in CALLER_SAVED_POOL
+        assert not set(registers.ARG_REGS) & set(CALLER_SAVED_POOL)
+
+    def test_spilling_under_pressure(self) -> None:
+        # more simultaneously-live values than registers
+        func = ir.Function("f", [], True)
+        block = func.new_block("entry")
+        vregs = [ir.VReg(i + 1) for i in range(30)]
+        for v in vregs:
+            block.instrs.append(ir.Move(v, ir.Const(v.id)))
+        total = ir.VReg(100)
+        block.instrs.append(ir.Move(total, ir.Const(0)))
+        for v in vregs:
+            nxt = ir.VReg(100 + v.id)
+            block.instrs.append(ir.BinOp(nxt, "add", total, v))
+            total = nxt
+        block.terminator = ir.Ret(total)
+        func._next_vreg = 200
+        alloc = allocate_linear(func)
+        assert alloc.spill_slots  # something spilled
+        # every vreg has exactly one location
+        for v in vregs:
+            in_reg = v in alloc.assignment
+            in_slot = v in alloc.spill_slots
+            assert in_reg != in_slot
+
+
+class TestCodegen:
+    def test_o0_uses_frame_pointer_and_saves_lr(self) -> None:
+        program = compile_source("int main() { return 0; }", "O0",
+                                 ARMLET32)
+        text = [str(i) for i in program.text]
+        assert any("str fp" in t for t in text)
+        assert any("str lr" in t for t in text)
+
+    def test_o1_leaf_omits_lr_save(self) -> None:
+        program = compile_source("int main() { return 3; }", "O1",
+                                 ARMLET32)
+        text = [str(i) for i in program.text]
+        assert not any("str lr" in t for t in text)
+
+    def test_start_stub_calls_main_then_exits(self) -> None:
+        program = compile_source("int main() { return 5; }", "O1",
+                                 ARMLET32)
+        assert program.entry == program.text_symbols["_start"]
+        start = program.text[program.entry]
+        assert start.opcode is Opcode.BL
+        assert program.text[program.entry + 1].opcode is Opcode.SVC
+
+    def test_immediate_forms_used(self) -> None:
+        program = compile_source(
+            "int main() { int a = 5; return a + 3; }", "O1", ARMLET32)
+        opcodes = [i.opcode for i in program.text]
+        assert Opcode.ADDI in opcodes
+
+    def test_large_data_segment_addressing(self) -> None:
+        # data offsets beyond imm16 force the movw/movt + add gp path
+        source = """
+        int big_a[9000];
+        int big_b[9000];
+        int main() {
+            big_a[0] = 7;
+            big_b[8999] = big_a[0] + 1;
+            putint(big_b[8999]);
+            return 0;
+        }
+        """
+        for level in ("O0", "O2"):
+            result = run_minc(source, level)
+            assert result.output.data == b"8\n"
+
+    def test_frame_sizes_16_byte_aligned(self) -> None:
+        source = """
+        int f(int a) { int local[5]; local[0] = a; return local[0]; }
+        int main() { return f(0); }
+        """
+        result = compile_module(source, "O1", ARMLET32)
+        addi_sp = [i for i in result.program.text
+                   if i.opcode is Opcode.ADDI and i.rd == registers.SP
+                   and i.imm < 0]
+        assert addi_sp and all(i.imm % 16 == 0 for i in addi_sp)
+
+    def test_zero_register_for_zero_constants(self) -> None:
+        program = compile_source(
+            "int main() { putint(0); return 0; }", "O1", ARMLET32)
+        # moving 0 into a0 uses the zero register as source
+        assert any(i.opcode is Opcode.ADDI and i.rs1 == registers.ZERO
+                   for i in program.text)
+
+    def test_too_many_call_args_rejected(self) -> None:
+        from repro.errors import CompileError
+
+        args = ", ".join(f"int a{i}" for i in range(9))
+        vals = ", ".join(str(i) for i in range(9))
+        source = (f"int f({args}) {{ return a0; }}"
+                  f"int main() {{ return f({vals}); }}")
+        with pytest.raises(CompileError, match="parameters"):
+            compile_source(source, "O0", ARMLET32)
+
+    def test_64bit_constants_materialized(self) -> None:
+        source = """
+        int main() {
+            puthex(0x12345678 * 65536);
+            return 0;
+        }
+        """
+        from repro.kernel import MainMemory, load, run_functional
+
+        program = compile_source(source, "O0", ARMLET64)
+        memory = MainMemory(4 * 1024 * 1024)
+        result = run_functional(load(program, memory), memory)
+        assert result.output.data == b"123456780000\n"
+
+    def test_text_symbols_include_functions(self) -> None:
+        source = """
+        int helper(int x) { return x; }
+        int main() { return helper(0); }
+        """
+        program = compile_source(source, "O0", ARMLET32)
+        assert "helper" in program.text_symbols
+        assert "main" in program.text_symbols
+        listing = program.listing()
+        assert "helper:" in listing
+
+
+class TestIRContainers:
+    def test_dump_readable(self) -> None:
+        result = compile_module(
+            "int main() { return 1 + 2; }", "O0", ARMLET32)
+        dump = result.module.dump()
+        assert "func main" in dump and "ret" in dump
+
+    def test_predecessors(self) -> None:
+        func = ir.Function("f", [], True)
+        a = func.new_block("a")
+        b = func.new_block("b")
+        c = func.new_block("c")
+        a.terminator = ir.CondJump("eq", ir.Const(0), ir.Const(0),
+                                   b.name, c.name)
+        b.terminator = ir.Jump(c.name)
+        c.terminator = ir.Ret(ir.Const(0))
+        preds = func.predecessors()
+        assert preds[c.name] == [a.name, b.name]
+        assert preds[a.name] == []
+
+    def test_cond_ops_tables_consistent(self) -> None:
+        assert set(ir.NEGATED_COND) == ir.COND_OPS
+        assert set(ir.SWAPPED_COND) == ir.COND_OPS
+        for op, negated in ir.NEGATED_COND.items():
+            assert ir.NEGATED_COND[negated] == op
+        for op, swapped in ir.SWAPPED_COND.items():
+            assert ir.SWAPPED_COND[swapped] == op

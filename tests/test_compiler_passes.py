@@ -1,0 +1,426 @@
+"""Optimization passes: unit-level IR transforms plus semantic safety.
+
+The unit tests build small IR functions by hand and check the transform;
+the safety tests compile MinC programs at every level and require
+identical behaviour (the contract that actually matters for the study).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.passes import (
+    addrfold,
+    constfold,
+    copyprop,
+    cse,
+    dce,
+    inline,
+    licm,
+    schedule,
+    simplify_cfg,
+    strength,
+    unroll,
+)
+
+from .conftest import run_minc_all_levels
+
+
+def _module(xlen: int = 32) -> ir.Module:
+    return ir.Module("test", xlen // 8)
+
+
+def _single_block(instrs, terminator=None) -> ir.Function:
+    func = ir.Function("f", [], returns_value=True)
+    block = func.new_block("entry")
+    block.instrs = instrs
+    block.terminator = terminator or ir.Ret(ir.Const(0))
+    func._next_vreg = 100
+    return func
+
+
+def V(i: int) -> ir.VReg:
+    return ir.VReg(i)
+
+
+class TestConstFold:
+    def test_folds_constants_with_wrap(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(1), "add", ir.Const(0x7FFF_FFFF), ir.Const(1)),
+        ])
+        constfold.run(func, _module(32))
+        instr = func.blocks[0].instrs[0]
+        assert isinstance(instr, ir.Move)
+        assert instr.src == ir.Const(-(1 << 31))
+
+    def test_algebraic_identities(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(1), "add", V(0), ir.Const(0)),
+            ir.BinOp(V(2), "mul", V(0), ir.Const(0)),
+            ir.BinOp(V(3), "xor", V(0), V(0)),
+            ir.BinOp(V(4), "mul", V(0), ir.Const(1)),
+        ])
+        constfold.run(func, _module(32))
+        moves = func.blocks[0].instrs
+        assert all(isinstance(m, ir.Move) for m in moves)
+        assert moves[0].src == V(0)
+        assert moves[1].src == ir.Const(0)
+        assert moves[2].src == ir.Const(0)
+        assert moves[3].src == V(0)
+
+    def test_division_by_zero_not_folded(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(1), "div", ir.Const(5), ir.Const(0)),
+        ])
+        constfold.run(func, _module(32))
+        assert isinstance(func.blocks[0].instrs[0], ir.BinOp)
+
+    def test_const_condjump_folded(self) -> None:
+        func = ir.Function("f", [], True)
+        entry = func.new_block("entry")
+        t = func.new_block("t")
+        f = func.new_block("f")
+        entry.terminator = ir.CondJump("lt", ir.Const(1), ir.Const(2),
+                                       t.name, f.name)
+        t.terminator = ir.Ret(ir.Const(1))
+        f.terminator = ir.Ret(ir.Const(0))
+        constfold.run(func, _module(32))
+        assert isinstance(entry.terminator, ir.Jump)
+        assert entry.terminator.target == t.name
+
+    def test_commutative_canonicalization(self) -> None:
+        func = _single_block([ir.BinOp(V(1), "add", ir.Const(3), V(0))])
+        constfold.run(func, _module(32))
+        instr = func.blocks[0].instrs[0]
+        assert instr.a == V(0) and instr.b == ir.Const(3)
+
+
+class TestDCE:
+    def test_removes_dead_pure_chain(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(1), "add", ir.Const(1), ir.Const(2)),
+            ir.BinOp(V(2), "mul", V(1), ir.Const(3)),
+            ir.BinOp(V(3), "add", ir.Const(4), ir.Const(5)),
+        ], ir.Ret(V(3)))
+        dce.run(func, _module(32))
+        assert [i.defs() for i in func.blocks[0].instrs] == [V(3)]
+
+    def test_keeps_side_effects(self) -> None:
+        func = _single_block([
+            ir.Store(ir.Const(1), V(0), 0),
+            ir.Syscall(1, ir.Const(5)),
+            ir.Call(V(9), "g", [ir.Const(1)]),
+        ])
+        dce.run(func, _module(32))
+        assert len(func.blocks[0].instrs) == 3
+
+    def test_keeps_terminator_inputs(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(5), "add", ir.Const(1), ir.Const(2)),
+        ], ir.Ret(V(5)))
+        dce.run(func, _module(32))
+        assert len(func.blocks[0].instrs) == 1
+
+
+class TestCopyProp:
+    def test_local_chain(self) -> None:
+        func = _single_block([
+            ir.Move(V(1), ir.Const(7)),
+            ir.Move(V(2), V(1)),
+            ir.BinOp(V(3), "add", V(2), V(2)),
+        ], ir.Ret(V(3)))
+        copyprop.run(func, _module(32))
+        binop = func.blocks[0].instrs[2]
+        assert binop.a == ir.Const(7) and binop.b == ir.Const(7)
+
+    def test_redefinition_kills_copy(self) -> None:
+        # v0 is a parameter *and* redefined below, so it is multi-def:
+        # neither the global nor the local propagator may forward the
+        # copy past the redefinition.
+        func = _single_block([
+            ir.Move(V(1), V(0)),
+            ir.BinOp(V(0), "add", V(0), ir.Const(1)),  # v0 redefined
+            ir.BinOp(V(2), "add", V(1), ir.Const(0)),
+        ], ir.Ret(V(2)))
+        func.params = [V(0)]
+        copyprop.run(func, _module(32))
+        binop = func.blocks[0].instrs[2]
+        assert binop.a == V(1)
+
+    def test_single_def_source_safe_even_across_blocks(self) -> None:
+        # well-formed builder IR: the source's single definition precedes
+        # the copy, so forwarding is sound everywhere.
+        func = ir.Function("f", [V(0)], True)
+        entry = func.new_block("entry")
+        exit_block = func.new_block("exit")
+        entry.instrs = [
+            ir.BinOp(V(1), "add", V(0), ir.Const(2)),
+            ir.Move(V(2), V(1)),
+        ]
+        entry.terminator = ir.Jump(exit_block.name)
+        exit_block.terminator = ir.Ret(V(2))
+        func._next_vreg = 50
+        copyprop.run(func, _module(32))
+        assert exit_block.terminator.value == V(1)
+
+
+class TestCSE:
+    def test_repeated_expression_reused(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(1), "add", V(0), ir.Const(4)),
+            ir.BinOp(V(2), "add", V(0), ir.Const(4)),
+        ], ir.Ret(V(2)))
+        cse.run(func, _module(32))
+        second = func.blocks[0].instrs[1]
+        assert isinstance(second, ir.Move) and second.src == V(1)
+
+    def test_invalidated_by_operand_redefinition(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(1), "add", V(0), ir.Const(4)),
+            ir.BinOp(V(0), "add", V(0), ir.Const(1)),
+            ir.BinOp(V(2), "add", V(0), ir.Const(4)),
+        ], ir.Ret(V(2)))
+        cse.run(func, _module(32))
+        assert isinstance(func.blocks[0].instrs[2], ir.BinOp)
+
+    def test_loads_never_merged(self) -> None:
+        func = _single_block([
+            ir.Load(V(1), V(0), 0),
+            ir.Load(V(2), V(0), 0),
+        ], ir.Ret(V(2)))
+        cse.run(func, _module(32))
+        assert all(isinstance(i, ir.Load) for i in func.blocks[0].instrs)
+
+
+class TestStrength:
+    def test_mul_pow2_becomes_shift(self) -> None:
+        func = _single_block([ir.BinOp(V(1), "mul", V(0), ir.Const(8))])
+        strength.run(func, _module(32))
+        instr = func.blocks[0].instrs[0]
+        assert instr.op == "shl" and instr.b == ir.Const(3)
+
+    def test_mul_pow2_plus_minus_one(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(1), "mul", V(0), ir.Const(9)),
+            ir.BinOp(V(2), "mul", V(0), ir.Const(7)),
+        ])
+        strength.run(func, _module(32))
+        ops = [i.op for i in func.blocks[0].instrs]
+        assert ops == ["shl", "add", "shl", "sub"]
+
+    def test_div_pow2_sequence_emitted(self) -> None:
+        func = _single_block([ir.BinOp(V(1), "div", V(0), ir.Const(4))])
+        strength.run(func, _module(32))
+        ops = [i.op for i in func.blocks[0].instrs]
+        assert "div" not in ops and ops[-1] == "ashr"
+
+    def test_semantics_preserved(self) -> None:
+        # signed division/remainder by powers of two is the risky case
+        source = """
+        int main() {
+            int values[8] = {7, -7, 1, -1, 0, 100, -100, -8};
+            for (int i = 0; i < 8; i++) {
+                putint(values[i] / 4);
+                putint(values[i] % 4);
+                putint(values[i] * 12);
+            }
+            return 0;
+        }
+        """
+        run_minc_all_levels(source)
+
+
+class TestSimplifyCFG:
+    def test_unreachable_removed(self) -> None:
+        func = ir.Function("f", [], True)
+        entry = func.new_block("entry")
+        dead = func.new_block("dead")
+        entry.terminator = ir.Ret(ir.Const(0))
+        dead.terminator = ir.Ret(ir.Const(1))
+        simplify_cfg.run(func, _module(32))
+        assert [b.name for b in func.blocks] == [entry.name]
+
+    def test_empty_block_threaded(self) -> None:
+        func = ir.Function("f", [], True)
+        entry = func.new_block("entry")
+        hop = func.new_block("hop")
+        target = func.new_block("target")
+        entry.terminator = ir.Jump(hop.name)
+        hop.terminator = ir.Jump(target.name)
+        target.terminator = ir.Ret(ir.Const(0))
+        simplify_cfg.run(func, _module(32))
+        # entry now reaches target directly (hop merged or threaded away)
+        assert len(func.blocks) <= 2
+
+    def test_straight_line_merged(self) -> None:
+        func = ir.Function("f", [], True)
+        entry = func.new_block("entry")
+        tail = func.new_block("tail")
+        entry.terminator = ir.Jump(tail.name)
+        tail.instrs = [ir.Move(V(1), ir.Const(3))]
+        tail.terminator = ir.Ret(V(1))
+        simplify_cfg.run(func, _module(32))
+        assert len(func.blocks) == 1
+        assert isinstance(func.blocks[0].terminator, ir.Ret)
+
+
+class TestAddrFold:
+    def test_folds_into_offset(self) -> None:
+        func = _single_block([
+            ir.BinOp(V(1), "add", V(0), ir.Const(8)),
+            ir.Load(V(2), V(1), 4),
+        ], ir.Ret(V(2)))
+        func.params = [V(0)]
+        addrfold.run(func, _module(32))
+        load = func.blocks[0].instrs[1]
+        assert load.base == V(0) and load.offset == 12
+
+
+class TestLICM:
+    def test_hoists_invariant_computation(self) -> None:
+        source = """
+        int main() {
+            int n = 500;
+            int s = 0;
+            for (int i = 0; i < 20; i++) {
+                s += n * 3 + 7;     // invariant
+                s += i;
+            }
+            putint(s);
+            return 0;
+        }
+        """
+        run_minc_all_levels(source)
+
+    def test_no_speculative_division(self) -> None:
+        # the divide must NOT be hoisted out of the guarded branch
+        source = """
+        int main() {
+            int d = 0;
+            int s = 0;
+            for (int i = 0; i < 10; i++) {
+                if (d != 0) { s += 100 / d; }
+                s += i;
+            }
+            putint(s);
+            return 0;
+        }
+        """
+        run_minc_all_levels(source)
+
+
+class TestUnrollInline:
+    def test_unroll_preserves_any_trip_count(self) -> None:
+        source = """
+        int main() {
+            for (int n = 0; n < 6; n++) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s += i * 2 + 1; }
+                putint(s);
+            }
+            return 0;
+        }
+        """
+        run_minc_all_levels(source)
+
+    def test_unroll_grows_static_code(self) -> None:
+        from repro.compiler import ARMLET32, compile_module
+
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 50; i++) { s += i ^ (i << 1); }
+            putint(s);
+            return 0;
+        }
+        """
+        o2 = compile_module(source, "O2", ARMLET32)
+        o3 = compile_module(source, "O3", ARMLET32)
+        assert o3.text_size > o2.text_size
+
+    def test_inline_removes_call(self) -> None:
+        from repro.compiler import ARMLET32, compile_module
+
+        source = """
+        int square(int x) { return x * x; }
+        int main() { putint(square(9)); return 0; }
+        """
+        result = compile_module(source, "O3", ARMLET32)
+        assert "square" not in result.module.functions  # inlined + pruned
+        assert not any(
+            isinstance(i, ir.Call)
+            for i in result.module.functions["main"].instructions())
+
+    def test_recursion_never_inlined(self) -> None:
+        from repro.compiler import ARMLET32, compile_module
+
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { putint(fib(8)); return 0; }
+        """
+        result = compile_module(source, "O3", ARMLET32)
+        assert "fib" in result.module.functions
+
+    def test_inline_semantics(self) -> None:
+        source = """
+        int helper(int a, int b) {
+            int local[2] = {3, 4};
+            return local[a] * b;
+        }
+        int main() {
+            putint(helper(0, 10) + helper(1, 100));
+            return 0;
+        }
+        """
+        run_minc_all_levels(source)
+
+
+class TestSchedule:
+    def test_respects_dependences(self) -> None:
+        func = _single_block([
+            ir.Load(V(1), V(0), 0),
+            ir.BinOp(V(2), "add", V(1), ir.Const(1)),   # RAW on v1
+            ir.Store(V(2), V(0), 0),                     # after the load
+            ir.Load(V(3), V(0), 8),
+        ], ir.Ret(V(3)))
+        func.params = [V(0)]
+        schedule.run(func, _module(32))
+        instrs = func.blocks[0].instrs
+        positions = {id(i): n for n, i in enumerate(instrs)}
+        load1 = next(i for i in instrs
+                     if isinstance(i, ir.Load) and i.offset == 0)
+        add = next(i for i in instrs if isinstance(i, ir.BinOp))
+        store = next(i for i in instrs if isinstance(i, ir.Store))
+        assert positions[id(load1)] < positions[id(add)]
+        assert positions[id(add)] < positions[id(store)]
+
+    def test_deterministic(self) -> None:
+        def build():
+            return _single_block([
+                ir.Load(V(1), V(0), 0),
+                ir.Load(V(2), V(0), 8),
+                ir.BinOp(V(3), "add", V(1), V(2)),
+                ir.BinOp(V(4), "mul", V(3), ir.Const(3)),
+            ], ir.Ret(V(4)))
+
+        a, b = build(), build()
+        schedule.run(a, _module(32))
+        schedule.run(b, _module(32))
+        assert [str(i) for i in a.blocks[0].instrs] == \
+            [str(i) for i in b.blocks[0].instrs]
+
+
+def test_inline_module_pass_idempotent_semantics() -> None:
+    source = """
+    int twice(int x) { return x + x; }
+    int thrice(int x) { return twice(x) + x; }
+    int main() {
+        int s = 0;
+        for (int i = 0; i < 5; i++) { s += thrice(i); }
+        putint(s);
+        return 0;
+    }
+    """
+    run_minc_all_levels(source)

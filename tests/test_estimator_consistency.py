@@ -1,0 +1,89 @@
+"""Estimator soundness: the occupancy-weighted importance sampler must
+agree with the textbook uniform sampler within statistical error, and
+checkpoint selection must be exact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import ARMLET32, compile_source
+from repro.gefin import run_campaign, run_golden
+from repro.gefin.fault import FaultSpec
+from repro.gefin.injector import _restore_nearest
+from repro.microarch import CORTEX_A15, Simulator
+
+SOURCE = """
+int data[32];
+int main() {
+    for (int i = 0; i < 32; i++) { data[i] = i * 5 % 17; }
+    int s = 0;
+    for (int i = 0; i < 32; i++) { s += data[i]; }
+    putint(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, "O1", ARMLET32, name="estimator")
+
+
+@pytest.fixture(scope="module")
+def golden(program):
+    return run_golden(program, CORTEX_A15, snapshot_every=100)
+
+
+@pytest.mark.slow
+def test_occupancy_estimator_agrees_with_uniform(program, golden) -> None:
+    """Both samplers estimate the same quantity: AVF over the full
+    (bit x cycle) population. rob.flags is small and busy enough that
+    n=60 gives overlapping confidence intervals."""
+    uniform = run_campaign(program, CORTEX_A15, "rob.flags", n=60,
+                           seed=21, mode="uniform", golden=golden)
+    occupancy = run_campaign(program, CORTEX_A15, "rob.flags", n=60,
+                             seed=22, mode="occupancy", golden=golden)
+    # 99% margins of each estimate must overlap
+    gap = abs(uniform.avf - occupancy.avf)
+    assert gap <= uniform.margin() + occupancy.margin() + 0.05, (
+        uniform.avf, occupancy.avf)
+
+
+def test_occupancy_weights_shrink_variance_for_sparse_arrays(
+        program, golden) -> None:
+    """For the near-empty L2 the uniform sampler sees only masked runs
+    at small n, while occupancy sampling still resolves the tiny AVF
+    scale through its weights."""
+    occupancy = run_campaign(program, CORTEX_A15, "l2.data", n=10,
+                             seed=3, golden=golden, keep_results=True)
+    summary, results = occupancy
+    weights = [r.weight for r in results]
+    assert all(0.0 <= w < 0.05 for w in weights)  # live/total tiny
+    assert summary.avf <= max(weights)
+
+
+def test_restore_nearest_picks_latest_checkpoint(program, golden) -> None:
+    assert len(golden.snapshots) >= 2
+    target = golden.snapshots[1][0] + 1  # just past the second snapshot
+    sim = Simulator(program, CORTEX_A15)
+    _restore_nearest(sim, golden, target)
+    assert sim.cycle == golden.snapshots[1][0]
+    # restoring for a cycle before any snapshot leaves the boot state
+    sim2 = Simulator(program, CORTEX_A15)
+    _restore_nearest(sim2, golden, golden.snapshots[0][0])
+    assert sim2.cycle == 0
+
+
+def test_injection_before_first_snapshot_still_exact(program,
+                                                     golden) -> None:
+    """A fault cycle below the first checkpoint replays from boot and
+    must classify identically to a checkpoint-free golden run."""
+    from repro.gefin import inject_one, run_golden as rg
+
+    plain = rg(program, CORTEX_A15)
+    early = max(1, golden.snapshots[0][0] // 2)
+    spec = FaultSpec(field="prf", cycle=early, bit_index=40,
+                     mode="uniform")
+    a = inject_one(program, CORTEX_A15, golden, spec)
+    b = inject_one(program, CORTEX_A15, plain, spec)
+    assert a.outcome == b.outcome and a.cycles == b.cycles

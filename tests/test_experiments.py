@@ -1,0 +1,168 @@
+"""Experiments harness: grid caching, figure data generators, rendering.
+
+Uses a deliberately tiny grid (1-2 benchmarks, few injections) so the
+full figure pipeline is exercised quickly; the real campaign runs behind
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    CampaignGrid,
+    FIGURE_FIELDS,
+    GridSpec,
+    avf_figure,
+    fig1_performance,
+    fig9_wavf_difference,
+    fig10_fit_rates,
+    fig11_fpe,
+    fig12_ecc_fit,
+    format_table,
+    render_avf_figure,
+    render_fig1,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_table1,
+    table1_configurations,
+)
+
+
+@pytest.fixture(scope="module")
+def grid(tmp_path_factory) -> CampaignGrid:
+    spec = GridSpec(
+        benchmarks=("qsort", "dijkstra"),
+        levels=("O0", "O2"),
+        cores=("cortex-a15",),
+        fields=("rob.flags", "prf", "l1d.data"),
+        scale="micro",
+        injections=3,
+        seed=5,
+    )
+    return CampaignGrid(spec, tmp_path_factory.mktemp("grid"))
+
+
+def test_grid_caches_cells(grid) -> None:
+    ran = grid.ensure_all()
+    assert ran == grid.spec.cells == 12
+    assert grid.ensure_all() == 0  # everything cached now
+    assert grid.is_cached("cortex-a15", "qsort", "O0", "prf")
+
+
+def test_grid_results_are_stable_across_instances(grid) -> None:
+    grid.ensure_all()
+    clone = CampaignGrid(grid.spec, grid.store.root)
+    a = grid.result("cortex-a15", "qsort", "O2", "prf")
+    b = clone.result("cortex-a15", "qsort", "O2", "prf")
+    assert a.avf == b.avf and a.counts == b.counts
+
+
+def test_golden_cycles_cached(grid) -> None:
+    grid.ensure_all()
+    clone = CampaignGrid(grid.spec, grid.store.root)
+    cycles = clone.golden_cycles("cortex-a15", "qsort", "O0")
+    assert cycles > 0
+    assert not clone._golden  # answered from the JSON cache
+
+
+def test_table1(grid) -> None:
+    data = table1_configurations()
+    assert data["cortex-a15"]["Reorder Buffer"] == "40 entries"
+    assert data["cortex-a72"]["L2 Cache"].startswith("2 MB (16-way)")
+    text = render_table1(data)
+    assert "cortex-a15" in text and "Physical Register File" in text
+
+
+def test_fig1(grid) -> None:
+    grid.ensure_all()
+    data = fig1_performance(grid)
+    row = data["cortex-a15"]["qsort"]
+    assert row["O0"] == pytest.approx(1.0)
+    assert row["O2"] > 1.5  # optimization must actually speed things up
+    assert "qsort" in render_fig1(data)
+
+
+def test_avf_figures(grid) -> None:
+    grid.ensure_all()
+    data = avf_figure(grid, ("prf",))
+    panel = data["cortex-a15"]["prf"]
+    assert set(panel) == {"qsort", "dijkstra", "wAVF"}
+    for level_map in panel.values():
+        for classes in level_map.values():
+            for value in classes.values():
+                assert 0.0 <= value <= 1.0
+    text = render_avf_figure(data, 5, "Physical Register File")
+    assert "prf" in text and "wAVF" in text
+
+
+def test_fig9(grid) -> None:
+    grid.ensure_all()
+    data = fig9_wavf_difference(grid)
+    diffs = data["cortex-a15"]
+    assert set(diffs) == set(grid.spec.fields)
+    assert set(diffs["prf"]) == {"O2"}  # levels minus O0
+    assert "wAVF difference" in render_fig9(data)
+
+
+def test_fig10_fig11(grid) -> None:
+    grid.ensure_all()
+    fit = fig10_fit_rates(grid)
+    for bench_rows in fit["cortex-a15"].values():
+        for classes in bench_rows.values():
+            assert all(v >= 0 for v in classes.values())
+    fpe = fig11_fpe(grid)
+    for rows in fpe["cortex-a15"].values():
+        assert rows["O0"] == pytest.approx(1.0)
+    assert "FIT" in render_fig10(fit)
+    assert "failures per execution" in render_fig11(fpe)
+
+
+def test_fig12(grid) -> None:
+    grid.ensure_all()
+    data = fig12_ecc_fit(grid)
+    schemes = data["cortex-a15"]
+    for level in ("O0", "O2"):
+        assert schemes["no-ecc"][level] >= schemes["ecc-l2"][level]
+        assert schemes["ecc-l2"][level] >= schemes["ecc-l1d-l2"][level]
+    assert "ECC" in render_fig12(data)
+
+
+def test_figure_fields_cover_paper_structures() -> None:
+    shown = [f for fields in FIGURE_FIELDS.values() for f in fields]
+    assert len(shown) == 15
+    assert len(set(shown)) == 15
+
+
+def test_format_table_alignment() -> None:
+    text = format_table("t", ["a", "long"], [["xxxx", "1"]])
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert len({len(line) for line in lines[1:]}) == 1
+
+
+def test_parallel_ensure_matches_serial(tmp_path) -> None:
+    spec = GridSpec(benchmarks=("qsort",), cores=("cortex-a15",),
+                    levels=("O1",), fields=("rob.flags", "prf"),
+                    injections=2, scale="micro", seed=31)
+    parallel = CampaignGrid(spec, tmp_path / "par")
+    assert parallel.ensure_all(workers=2) == 2
+    assert parallel.ensure_all(workers=2) == 0
+    serial = CampaignGrid(spec, tmp_path / "ser")
+    serial.ensure_all()
+    for field in spec.fields:
+        a = parallel.result("cortex-a15", "qsort", "O1", field)
+        b = serial.result("cortex-a15", "qsort", "O1", field)
+        assert a.counts == b.counts
+
+
+def test_grid_spec_from_env(monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    monkeypatch.setenv("REPRO_INJECTIONS", "44")
+    monkeypatch.setenv("REPRO_SEED", "9")
+    spec = GridSpec.from_env()
+    assert spec.scale == "small"
+    assert spec.injections == 44
+    assert spec.seed == 9

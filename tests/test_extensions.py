@@ -1,0 +1,178 @@
+"""Extension features: ACE analytic estimates, multi-bit upsets, pass
+ablation, and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avf import ace_estimate
+from repro.cli import main as cli_main
+from repro.compiler import ARMLET32, PASS_REGISTRY, compile_custom, \
+    compile_source
+from repro.gefin import FaultSpec, run_campaign, run_golden
+from repro.kernel import MainMemory, load, run_functional
+from repro.microarch import CORTEX_A15, Simulator
+
+SOURCE = """
+int data[64];
+int main() {
+    for (int i = 0; i < 64; i++) { data[i] = i * 9 % 29; }
+    int s = 0;
+    for (int i = 0; i < 64; i++) { s += data[i] * 2; }
+    putint(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, "O1", ARMLET32, name="ext")
+
+
+@pytest.fixture(scope="module")
+def golden(program):
+    return run_golden(program, CORTEX_A15)
+
+
+class TestAce:
+    def test_estimates_bounded(self, program) -> None:
+        result = ace_estimate(program, CORTEX_A15, sample_every=20)
+        assert result.samples > 0
+        for name, value in result.estimates.items():
+            assert 0.0 <= value <= 1.0, name
+
+    def test_ace_pessimistic_for_rob(self, program, golden) -> None:
+        """ACE counts every live ROB bit as vulnerable; SFI observes
+        masking (squashed entries, never-read fields) -- so ACE >= SFI
+        minus sampling noise, usually by a wide margin for rob.seq."""
+        ace = ace_estimate(program, CORTEX_A15,
+                           fields=("rob.seq",), sample_every=20)
+        sfi = run_campaign(program, CORTEX_A15, "rob.seq", n=20,
+                           seed=4, golden=golden)
+        assert ace.estimates["rob.seq"] >= sfi.avf - sfi.margin()
+
+    def test_pessimism_report(self, program) -> None:
+        ace = ace_estimate(program, CORTEX_A15, fields=("prf", "lq"),
+                           sample_every=20)
+        gap = ace.pessimism_vs({"prf": 0.0, "lq": 0.0})
+        assert gap == ace.estimates
+
+    def test_validation(self, program) -> None:
+        with pytest.raises(ValueError):
+            ace_estimate(program, CORTEX_A15, sample_every=0)
+
+
+class TestMultiBit:
+    def test_burst_spec_validation(self) -> None:
+        with pytest.raises(ValueError):
+            FaultSpec(field="prf", cycle=1, burst=0)
+        assert FaultSpec(field="prf", cycle=1, burst=2).burst == 2
+
+    def test_double_bit_flip_mutates_two_bits(self, program) -> None:
+        sim = Simulator(program, CORTEX_A15)
+        sim.run_until(50)
+        before = list(sim.core.prf.values)
+        from repro.gefin.injector import inject_one
+
+        # directly flip two adjacent PRF bits and check the register
+        sim.flip("prf", 64)
+        sim.flip("prf", 65)
+        after = sim.core.prf.values
+        changed = [i for i, (a, b) in enumerate(zip(before, after))
+                   if a != b]
+        assert changed == [2]
+        assert before[2] ^ after[2] == 0b11
+
+    def test_burst_campaign_runs(self, program, golden) -> None:
+        single = run_campaign(program, CORTEX_A15, "prf", n=12, seed=8,
+                              golden=golden, burst=1)
+        double = run_campaign(program, CORTEX_A15, "prf", n=12, seed=8,
+                              golden=golden, burst=2)
+        assert single.n == double.n == 12
+        # same sampled (cycle, bit) stream, wider blast radius: the
+        # double-bit campaign can only fail at least as often here
+        assert double.avf >= single.avf - 1e-9
+
+
+class TestPassAblation:
+    def test_single_pass_pipelines_are_sound(self) -> None:
+        reference = None
+        for name in sorted(PASS_REGISTRY):
+            result = compile_custom(SOURCE, [name], ARMLET32)
+            memory = MainMemory(4 * 1024 * 1024)
+            run = run_functional(load(result.program, memory), memory)
+            assert run.exit_code == 0, name
+            if reference is None:
+                reference = run.output.data
+            assert run.output.data == reference, name
+
+    def test_inline_position_respected(self) -> None:
+        result = compile_custom(
+            "int sq(int v) { return v * v; }"
+            "int main() { putint(sq(7)); return 0; }",
+            ["constfold", "inline", "copyprop", "dce"], ARMLET32)
+        assert "custom" in result.opt_level
+        memory = MainMemory(4 * 1024 * 1024)
+        run = run_functional(load(result.program, memory), memory)
+        assert run.output.data == b"49\n"
+        assert "sq" not in result.module.functions
+
+    def test_empty_pass_list_is_o0_like(self) -> None:
+        result = compile_custom(SOURCE, [], ARMLET32,
+                                regalloc_mode="O0")
+        memory = MainMemory(4 * 1024 * 1024)
+        run = run_functional(load(result.program, memory), memory)
+        assert run.exit_code == 0
+
+    def test_unknown_pass_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown passes"):
+            compile_custom(SOURCE, ["vectorize"], ARMLET32)
+
+    def test_scheduling_only_ablation_changes_order_not_semantics(
+            self) -> None:
+        baseline = compile_custom(SOURCE, [], ARMLET32)
+        scheduled = compile_custom(SOURCE, ["schedule"], ARMLET32)
+        memory = MainMemory(4 * 1024 * 1024)
+        a = run_functional(load(baseline.program, memory), memory)
+        memory2 = MainMemory(4 * 1024 * 1024)
+        b = run_functional(load(scheduled.program, memory2), memory2)
+        assert a.output.data == b.output.data
+
+
+class TestCli:
+    def test_compile_command(self, capsys) -> None:
+        assert cli_main(["compile", "qsort", "--opt", "O1"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+
+    def test_run_command(self, capsys) -> None:
+        assert cli_main(["run", "qsort", "--opt", "O2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out and "exit code: 0" in out
+
+    def test_fields_command(self, capsys) -> None:
+        assert cli_main(["fields", "qsort"]) == 0
+        out = capsys.readouterr().out
+        assert "rob.pc" in out and "total" in out
+
+    def test_inject_command(self, capsys) -> None:
+        assert cli_main(["inject", "qsort", "--field", "rob.flags",
+                         "-n", "4", "--no-snapshots"]) == 0
+        out = capsys.readouterr().out
+        assert "AVF(rob.flags)" in out
+
+    def test_ace_command(self, capsys) -> None:
+        assert cli_main(["ace", "qsort", "--sample-every", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "ACE-AVF" in out
+
+    def test_minc_file_input(self, tmp_path, capsys) -> None:
+        path = tmp_path / "prog.mc"
+        path.write_text("int main() { putint(11); return 0; }")
+        assert cli_main(["run", str(path)]) == 0
+        assert "11" in capsys.readouterr().out
+
+    def test_bad_program_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            cli_main(["run", "not-a-benchmark"])

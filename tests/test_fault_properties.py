@@ -1,0 +1,121 @@
+"""Property-based tests on the fault-injection surface.
+
+Key invariants:
+
+* **involution** -- flipping the same bit twice restores the exact
+  machine state (byte-identical snapshot);
+* **geometry stability** -- bit counts never change during a run;
+* **live-index consistency** -- occupancy-mode flips address the same
+  storage the uniform flips do.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler import ARMLET32, compile_source
+from repro.microarch import ALL_FIELDS, CORTEX_A15, Simulator
+
+SOURCE = """
+int data[40];
+int main() {
+    for (int i = 0; i < 40; i++) { data[i] = i * 3 + 1; }
+    int s = 0;
+    for (int i = 0; i < 40; i++) { s += data[i]; }
+    putint(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, "O1", ARMLET32)
+
+
+@pytest.fixture(scope="module")
+def warm_state(program):
+    sim = Simulator(program, CORTEX_A15)
+    sim.run_until(400)
+    return sim.save_state()
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_double_flip_is_identity(program, warm_state, data) -> None:
+    field = data.draw(st.sampled_from(ALL_FIELDS))
+    sim = Simulator(program, CORTEX_A15)
+    sim.load_state(warm_state)
+    baseline = sim.save_state()
+    bit = data.draw(st.integers(min_value=0,
+                                max_value=sim.bit_count(field) - 1))
+    changed_first = sim.flip(field, bit)
+    changed_second = sim.flip(field, bit)
+    assert changed_first == changed_second
+    assert sim.save_state() == baseline
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_live_flip_double_is_identity(program, warm_state, data) -> None:
+    field = data.draw(st.sampled_from(ALL_FIELDS))
+    sim = Simulator(program, CORTEX_A15)
+    sim.load_state(warm_state)
+    live = sim.catalog.live_bit_count(field)
+    if live == 0:
+        return
+    baseline = sim.save_state()
+    bit = data.draw(st.integers(min_value=0, max_value=live - 1))
+    assert sim.catalog.flip_live(field, bit)
+    assert sim.catalog.flip_live(field, bit)
+    assert sim.save_state() == baseline
+
+
+def test_bit_counts_constant_during_run(program) -> None:
+    sim = Simulator(program, CORTEX_A15)
+    before = {f: sim.bit_count(f) for f in ALL_FIELDS}
+    sim.run_until(600)
+    after = {f: sim.bit_count(f) for f in ALL_FIELDS}
+    assert before == after
+
+
+def test_live_never_exceeds_total(program) -> None:
+    sim = Simulator(program, CORTEX_A15)
+    for _ in range(12):
+        sim.run_until(sim.cycle + 100)
+        for field in ALL_FIELDS:
+            live = sim.catalog.live_bit_count(field)
+            assert 0 <= live <= sim.bit_count(field), field
+
+
+def test_out_of_range_flip_rejected(program) -> None:
+    sim = Simulator(program, CORTEX_A15)
+    with pytest.raises(ValueError, match="out of range"):
+        sim.flip("prf", sim.bit_count("prf"))
+    with pytest.raises(ValueError, match="unknown fault field"):
+        sim.flip("tlb", 0)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_flip_then_continue_is_deterministic(program, warm_state,
+                                             data) -> None:
+    """Two simulators given the same flip diverge identically."""
+    field = data.draw(st.sampled_from(
+        ["prf", "rob.pc", "iq.src", "l1d.data"]))
+    outcomes = []
+    for _ in range(2):
+        sim = Simulator(program, CORTEX_A15)
+        sim.load_state(warm_state)
+        bit = 5 % sim.bit_count(field)
+        sim.flip(field, bit)
+        try:
+            result = sim.run(6000)
+            outcomes.append(("done", result.output.data))
+        except Exception as exc:  # noqa: BLE001 - compare any outcome
+            outcomes.append((type(exc).__name__, str(exc)))
+    assert outcomes[0] == outcomes[1]

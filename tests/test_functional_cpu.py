@@ -1,0 +1,103 @@
+"""Functional reference CPU: direct interpreter-level checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimTimeoutError
+from repro.isa import assemble
+from repro.kernel import (
+    FunctionalCPU,
+    MainMemory,
+    load,
+    run_functional,
+)
+
+
+def _boot(source: str):
+    program = assemble(source, xlen=32)
+    memory = MainMemory(4 * 1024 * 1024)
+    image = load(program, memory)
+    return FunctionalCPU(image, memory, 32), memory
+
+
+def test_register_zero_is_hardwired() -> None:
+    cpu, _ = _boot("""
+    _start:
+        movw zero, 55
+        add a0, zero, zero
+        svc 1
+        movw a0, 0
+        svc 0
+    """)
+    result = cpu.run()
+    assert result.output.data == b"0\n"
+
+
+def test_instruction_mix_counted() -> None:
+    cpu, _ = _boot("""
+    _start:
+        movw t0, 3
+        movw t1, 4
+        mul a0, t0, t1
+        li t2, 0x00100000
+        str a0, [t2, 0]
+        ldr a1, [t2, 0]
+        beq a0, a1, ok
+    ok:
+        svc 1
+        movw a0, 0
+        svc 0
+    """)
+    result = cpu.run()
+    assert result.output.data == b"12\n"
+    assert result.mix["mul"] == 1
+    assert result.mix["mem"] == 2
+    assert result.mix["branch"] >= 1
+
+
+def test_instruction_budget_enforced() -> None:
+    cpu, _ = _boot("_start: b _start")
+    with pytest.raises(SimTimeoutError):
+        cpu.run(max_instructions=500)
+
+
+def test_xlen_mismatch_rejected() -> None:
+    program = assemble("_start: svc 0", xlen=64)
+    memory = MainMemory(4 * 1024 * 1024)
+    image = load(program, memory)
+    with pytest.raises(ValueError, match="xlen"):
+        FunctionalCPU(image, memory, 32)
+
+
+def test_call_and_return_stack_discipline() -> None:
+    cpu, _ = _boot("""
+    _start:
+        movw a0, 2
+        bl double
+        bl double
+        bl double
+        svc 1
+        movw a0, 0
+        svc 0
+    double:
+        add a0, a0, a0
+        br lr
+    """)
+    result = cpu.run()
+    assert result.output.data == b"16\n"
+
+
+def test_run_functional_wrapper() -> None:
+    program = assemble("""
+    _start:
+        movw a0, 65
+        svc 2
+        movw a0, 10
+        svc 2
+        movw a0, 0
+        svc 0
+    """, xlen=32)
+    memory = MainMemory(4 * 1024 * 1024)
+    result = run_functional(load(program, memory), memory)
+    assert result.output.data == b"A\n"

@@ -1,0 +1,242 @@
+"""GeFIN framework: outcome classification, statistics, injections,
+campaigns, and result storage."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.compiler import ARMLET32, compile_source
+from repro.errors import (
+    SimAssertError,
+    SimCrashError,
+    SimTimeoutError,
+)
+from repro.gefin import (
+    CampaignResult,
+    FaultSpec,
+    Outcome,
+    ResultStore,
+    classify_completion,
+    classify_exception,
+    derive_rng,
+    error_margin,
+    fault_population,
+    inject_one,
+    required_sample_size,
+    result_key,
+    run_campaign,
+    run_golden,
+    z_score,
+)
+from repro.microarch import CORTEX_A15
+
+SOURCE = """
+int data[48];
+int main() {
+    for (int i = 0; i < 48; i++) { data[i] = i * 11 % 31; }
+    int s = 0;
+    for (int i = 0; i < 48; i++) { s += data[i]; }
+    putint(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, "O1", ARMLET32, name="gefin-test")
+
+
+@pytest.fixture(scope="module")
+def golden(program):
+    return run_golden(program, CORTEX_A15)
+
+
+class TestOutcomes:
+    def test_exception_mapping(self) -> None:
+        assert classify_exception(SimCrashError("x")) is \
+            Outcome.CRASH_PROCESS
+        assert classify_exception(SimCrashError("x", kind="system")) is \
+            Outcome.CRASH_SYSTEM
+        assert classify_exception(SimAssertError("x")) is Outcome.ASSERT
+        assert classify_exception(SimTimeoutError(5)) is Outcome.TIMEOUT
+
+    def test_completion_classification(self, program, golden) -> None:
+        from repro.microarch import Simulator
+
+        result = Simulator(program, CORTEX_A15).run(golden.timeout_cycles)
+        assert classify_completion(result, golden.output_data,
+                                   golden.exit_code) is Outcome.MASKED
+        assert classify_completion(result, b"other",
+                                   golden.exit_code) is Outcome.SDC
+
+    def test_masked_not_failure(self) -> None:
+        assert not Outcome.MASKED.is_failure
+        assert Outcome.SDC.is_failure
+
+
+class TestSampling:
+    def test_paper_setting(self) -> None:
+        """2,000 faults => ~2.88% margin at 99% confidence (paper III-A)."""
+        population = 10 ** 12
+        margin = error_margin(population, 2000, confidence=0.99)
+        assert margin == pytest.approx(0.0288, abs=0.0002)
+
+    def test_inverse_consistency(self) -> None:
+        population = 10 ** 9
+        n = required_sample_size(population, 0.05, 0.99)
+        achieved = error_margin(population, n, 0.99)
+        assert achieved <= 0.05
+        assert error_margin(population, n - 50, 0.99) > 0.049
+
+    def test_z_scores(self) -> None:
+        assert z_score(0.99) == pytest.approx(2.5758, abs=1e-3)
+        assert z_score(0.95) == pytest.approx(1.96, abs=1e-3)
+        # arbitrary level via scipy
+        assert z_score(0.98) == pytest.approx(2.326, abs=1e-2)
+
+    def test_full_census_has_no_error(self) -> None:
+        assert error_margin(100, 100) == 0.0
+
+    def test_population(self) -> None:
+        assert fault_population(1000, 5000) == 5_000_000
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            required_sample_size(0, 0.05)
+        with pytest.raises(ValueError):
+            error_margin(100, 0)
+        with pytest.raises(ValueError):
+            z_score(1.5)
+
+
+class TestGolden:
+    def test_golden_run_properties(self, golden) -> None:
+        assert golden.cycles > 0
+        assert golden.exit_code == 0
+        assert golden.output_data.endswith(b"\n")
+        assert golden.timeout_cycles == 2 * golden.cycles
+
+    def test_snapshots(self, program) -> None:
+        golden = run_golden(program, CORTEX_A15, snapshot_every=500)
+        assert len(golden.snapshots) >= 1
+        assert all(cycle % 500 == 0 for cycle, _ in golden.snapshots)
+
+    def test_nonzero_exit_rejected(self) -> None:
+        bad = compile_source("int main() { return 3; }", "O0", ARMLET32)
+        with pytest.raises(Exception, match="exited with 3"):
+            run_golden(bad, CORTEX_A15)
+
+
+class TestInjection:
+    def test_known_bit_flip_reproducible(self, program, golden) -> None:
+        spec = FaultSpec(field="prf", cycle=golden.cycles // 2,
+                         bit_index=100, mode="uniform")
+        first = inject_one(program, CORTEX_A15, golden, spec)
+        second = inject_one(program, CORTEX_A15, golden, spec)
+        assert first.outcome == second.outcome
+        assert first.cycles == second.cycles
+
+    def test_snapshot_acceleration_equivalent(self, program) -> None:
+        plain = run_golden(program, CORTEX_A15)
+        fast = run_golden(program, CORTEX_A15,
+                          snapshot_every=max(200, plain.cycles // 4))
+        spec = FaultSpec(field="rob.flags", cycle=plain.cycles * 3 // 4,
+                         bit_index=7, mode="uniform")
+        slow_result = inject_one(program, CORTEX_A15, plain, spec)
+        fast_result = inject_one(program, CORTEX_A15, fast, spec)
+        assert slow_result.outcome == fast_result.outcome
+        assert slow_result.cycles == fast_result.cycles
+
+    def test_occupancy_weight_bounds(self, program, golden) -> None:
+        rng = derive_rng(1, "l1d.data", 0)
+        spec = FaultSpec(field="l1d.data", cycle=golden.cycles // 2,
+                         mode="occupancy")
+        result = inject_one(program, CORTEX_A15, golden, spec, rng)
+        assert 0.0 <= result.weight <= 1.0
+
+    def test_bad_spec_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            FaultSpec(field="prf", cycle=0)
+        with pytest.raises(ValueError):
+            FaultSpec(field="prf", cycle=1, mode="weird")
+
+
+class TestCampaign:
+    def test_reproducible(self, program, golden) -> None:
+        a = run_campaign(program, CORTEX_A15, "rob.flags", n=6, seed=3,
+                         golden=golden)
+        b = run_campaign(program, CORTEX_A15, "rob.flags", n=6, seed=3,
+                         golden=golden)
+        assert a.counts == b.counts
+        assert a.avf_by_class == b.avf_by_class
+
+    def test_seed_changes_sample(self, program, golden) -> None:
+        a = run_campaign(program, CORTEX_A15, "rob.flags", n=8, seed=1,
+                         golden=golden, keep_results=True)
+        b = run_campaign(program, CORTEX_A15, "rob.flags", n=8, seed=2,
+                         golden=golden, keep_results=True)
+        bits_a = [r.bit_index for r in a[1]]
+        bits_b = [r.bit_index for r in b[1]]
+        assert bits_a != bits_b
+
+    def test_avf_is_sum_of_classes(self, program, golden) -> None:
+        result = run_campaign(program, CORTEX_A15, "iq.src", n=10,
+                              golden=golden)
+        assert result.avf == pytest.approx(
+            sum(result.avf_by_class.values()))
+        assert 0.0 <= result.avf <= 1.0
+        assert sum(result.counts.values()) == result.n == 10
+
+    def test_uniform_mode_weights_are_one(self, program, golden) -> None:
+        summary, results = run_campaign(
+            program, CORTEX_A15, "rob.pc", n=5, golden=golden,
+            mode="uniform", keep_results=True)
+        assert all(r.weight == 1.0 for r in results)
+        failures = sum(1 for r in results if r.failed)
+        assert summary.avf == pytest.approx(failures / 5)
+
+    def test_margin_decreases_with_n(self, program, golden) -> None:
+        small = run_campaign(program, CORTEX_A15, "rob.pc", n=4,
+                             golden=golden)
+        assert small.margin(0.99) > 0
+        assert small.margin(0.99) > error_margin(
+            fault_population(small.bit_count, golden.cycles), 100)
+
+    def test_serialization_roundtrip(self, program, golden) -> None:
+        result = run_campaign(program, CORTEX_A15, "lq", n=4,
+                              golden=golden)
+        clone = CampaignResult.from_dict(result.to_dict())
+        assert clone.avf == result.avf
+        assert clone.counts == result.counts
+        assert clone.margin() == result.margin()
+
+
+class TestStorage:
+    def test_store_roundtrip(self, tmp_path, program, golden) -> None:
+        store = ResultStore(tmp_path)
+        result = run_campaign(program, CORTEX_A15, "sq", n=3,
+                              golden=golden)
+        key = result_key("cortex-a15", "t", "O1", "sq", "micro", 3, 0,
+                         "occupancy")
+        assert store.load(key) is None
+        store.save(key, result)
+        assert key in store
+        loaded = store.load(key)
+        assert loaded is not None and loaded.avf == result.avf
+
+    def test_extra_payloads(self, tmp_path) -> None:
+        store = ResultStore(tmp_path)
+        store.save_extra("golden__x", {"cycles": 123})
+        assert store.load_extra("golden__x") == {"cycles": 123}
+        assert store.load_extra("missing") is None
+
+
+def test_derive_rng_stable() -> None:
+    a = derive_rng(7, "prf", 3).random()
+    b = derive_rng(7, "prf", 3).random()
+    c = derive_rng(7, "prf", 4).random()
+    assert a == b != c
+    assert not math.isnan(a)

@@ -1,0 +1,135 @@
+"""Assembler: syntax, labels, pseudo-instructions, data directives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Instruction, Opcode, assemble, expand_li, registers
+from repro.kernel import MainMemory, load, run_functional
+
+
+def test_basic_program_runs() -> None:
+    program = assemble("""
+    _start:
+        li a0, 6
+        li a1, 7
+        mul a0, a0, a1
+        svc 1
+        movw a0, 0
+        svc 0
+    """)
+    memory = MainMemory(4 * 1024 * 1024)
+    result = run_functional(load(program, memory), memory)
+    assert result.output.data == b"42\n"
+    assert result.exit_code == 0
+
+
+def test_labels_and_branches() -> None:
+    program = assemble("""
+    _start:
+        movw a0, 0
+        movw t0, 5
+    loop:
+        add a0, a0, t0
+        addi t0, t0, -1
+        bne t0, zero, loop
+        svc 1
+        movw a0, 0
+        svc 0
+    """)
+    memory = MainMemory(4 * 1024 * 1024)
+    result = run_functional(load(program, memory), memory)
+    assert result.output.data == b"15\n"
+
+
+def test_branch_displacement_resolution() -> None:
+    program = assemble("""
+    _start:
+        b skip
+        svc 0
+    skip:
+        movw a0, 0
+        svc 0
+    """)
+    assert program.text[0] == Instruction(Opcode.B, imm=2)
+
+
+def test_data_directives() -> None:
+    program = assemble("""
+    _start:
+        svc 0
+    .data
+    buf: .space 8
+    tbl: .word 1, -2, 3
+    raw: .byte 10, 20
+    """, xlen=32)
+    assert program.data_symbols == {"buf": 0, "tbl": 8, "raw": 20}
+    assert len(program.data) == 22
+    assert int.from_bytes(program.data[12:16], "little") == (1 << 32) - 2
+
+
+def test_memory_operands() -> None:
+    program = assemble("""
+    _start:
+        ldr a0, [sp, 8]
+        str a1, [sp]
+        ldrb a2, [a0, -1]
+        svc 0
+    """)
+    assert program.text[0] == Instruction(Opcode.LDR, rd=1,
+                                          rs1=registers.SP, imm=8)
+    assert program.text[1] == Instruction(Opcode.STR, rs2=2,
+                                          rs1=registers.SP, imm=0)
+    assert program.text[2].imm == -1
+
+
+def test_ret_pseudo() -> None:
+    program = assemble("_start: ret")
+    assert program.text[0] == Instruction(Opcode.BR, rs1=registers.LR)
+
+
+def test_comments_and_blank_lines() -> None:
+    program = assemble("""
+    ; full line comment
+    _start:            # another
+        nop            ; trailing
+    """)
+    assert program.text == [Instruction(Opcode.NOP)]
+
+
+@pytest.mark.parametrize("bad, message", [
+    ("_start: frob a0, a1", "unknown mnemonic"),
+    ("_start: add a0, a1", "expects 3 operands"),
+    ("_start: b nowhere", "undefined label"),
+    ("_start: ldr a0, [sp", "bad memory operand"),
+    ("x: x: nop", "duplicate label"),
+])
+def test_errors(bad: str, message: str) -> None:
+    with pytest.raises(AssemblyError, match=message):
+        assemble(bad)
+
+
+@pytest.mark.parametrize("value, count", [
+    (0, 1), (0xFFFF, 1), (0x10000, 2), (0xFFFF_FFFF, 2),
+])
+def test_expand_li_32(value: int, count: int) -> None:
+    seq = expand_li(5, value, 32)
+    assert len(seq) == count
+
+
+def test_expand_li_64_wide() -> None:
+    seq = expand_li(5, 0x1234_5678_9ABC_DEF0, 64)
+    assert [i.opcode for i in seq] == [Opcode.MOVW, Opcode.MOVT,
+                                       Opcode.MOVT2, Opcode.MOVT3]
+
+
+def test_expand_li_64_sparse_halves() -> None:
+    # zero 16-bit chunks are skipped
+    seq = expand_li(5, 0x1234_0000_0000_5678, 64)
+    assert [i.opcode for i in seq] == [Opcode.MOVW, Opcode.MOVT3]
+
+
+def test_entry_defaults_to_zero_without_start() -> None:
+    program = assemble("nop\nnop")
+    assert program.entry == 0

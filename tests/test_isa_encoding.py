@@ -1,0 +1,107 @@
+"""Encoding/decoding: roundtrips, illegal-word rejection, field limits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, IllegalInstructionError
+from repro.isa import Instruction, Opcode, decode, encode
+from repro.isa.instructions import Format
+
+_R_OPS = [op for op in Opcode if Instruction(op).format is Format.R]
+_I_OPS = [op for op in Opcode if Instruction(op).format is Format.I]
+_BC_OPS = [op for op in Opcode if Instruction(op).format is Format.BC]
+
+regs = st.integers(min_value=0, max_value=31)
+imm16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+imm26 = st.integers(min_value=-(1 << 25), max_value=(1 << 25) - 1)
+uimm16 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    opcode = draw(st.sampled_from(list(Opcode)))
+    fmt = Instruction(opcode).format
+    if fmt is Format.R:
+        return Instruction(opcode, rd=draw(regs), rs1=draw(regs),
+                           rs2=draw(regs))
+    if fmt in (Format.I, Format.LOAD):
+        return Instruction(opcode, rd=draw(regs), rs1=draw(regs),
+                           imm=draw(imm16))
+    if fmt is Format.LI:
+        return Instruction(opcode, rd=draw(regs), imm=draw(uimm16))
+    if fmt is Format.STORE:
+        return Instruction(opcode, rs2=draw(regs), rs1=draw(regs),
+                           imm=draw(imm16))
+    if fmt is Format.BC:
+        return Instruction(opcode, rs1=draw(regs), rs2=draw(regs),
+                           imm=draw(imm16))
+    if fmt is Format.J:
+        return Instruction(opcode, imm=draw(imm26))
+    if fmt is Format.JR:
+        return Instruction(opcode, rs1=draw(regs))
+    if opcode is Opcode.SVC:
+        return Instruction(opcode, imm=draw(imm16))
+    return Instruction(opcode)
+
+
+@given(instructions())
+def test_roundtrip(instr: Instruction) -> None:
+    assert decode(encode(instr)) == instr
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF_FFFF))
+def test_decode_total(word: int) -> None:
+    """decode either returns an Instruction or raises the illegal error --
+    never anything else -- and legal decodes re-encode to the same word."""
+    try:
+        instr = decode(word)
+    except IllegalInstructionError:
+        return
+    assert encode(instr) == word
+
+
+def test_all_zero_word_is_illegal() -> None:
+    with pytest.raises(IllegalInstructionError):
+        decode(0)
+
+
+def test_unknown_opcode_is_illegal() -> None:
+    with pytest.raises(IllegalInstructionError):
+        decode(63 << 26)
+
+
+def test_r_format_must_be_zero_padded() -> None:
+    word = encode(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+    with pytest.raises(IllegalInstructionError):
+        decode(word | 1)
+
+
+def test_imm_overflow_rejected() -> None:
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1 << 20))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.MOVW, rd=1, imm=-1))
+
+
+def test_register_out_of_range_rejected() -> None:
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADD, rd=32, rs1=0, rs2=0))
+
+
+def test_negative_branch_displacement() -> None:
+    instr = Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=-5)
+    assert decode(encode(instr)).imm == -5
+
+
+def test_jump_displacement_26_bits() -> None:
+    instr = Instruction(Opcode.B, imm=-(1 << 25))
+    assert decode(encode(instr)).imm == -(1 << 25)
+
+
+def test_pc_attached_to_error() -> None:
+    with pytest.raises(IllegalInstructionError) as info:
+        decode(0, pc=0x1234)
+    assert info.value.pc == 0x1234
+    assert "0x1234" in str(info.value)

@@ -1,0 +1,70 @@
+"""Instruction metadata: formats, source/dest reporting, classification."""
+
+from __future__ import annotations
+
+from repro.isa import Instruction, Opcode, registers
+from repro.isa.instructions import Format
+
+
+def test_dest_reg_zero_register_discarded() -> None:
+    assert Instruction(Opcode.ADD, rd=0, rs1=1, rs2=2).dest_reg() is None
+    assert Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2).dest_reg() == 3
+
+
+def test_bl_writes_link_register() -> None:
+    assert Instruction(Opcode.BL, imm=4).dest_reg() == registers.LR
+
+
+def test_store_has_no_dest() -> None:
+    assert Instruction(Opcode.STR, rs2=3, rs1=2).dest_reg() is None
+
+
+def test_src_regs_by_format() -> None:
+    assert Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).src_regs() == (2, 3)
+    assert Instruction(Opcode.ADDI, rd=1, rs1=2).src_regs() == (2,)
+    assert Instruction(Opcode.LDR, rd=1, rs1=2).src_regs() == (2,)
+    assert Instruction(Opcode.STR, rs2=3, rs1=2).src_regs() == (2, 3)
+    assert Instruction(Opcode.BEQ, rs1=4, rs2=5).src_regs() == (4, 5)
+    assert Instruction(Opcode.BR, rs1=30).src_regs() == (30,)
+    assert Instruction(Opcode.MOVW, rd=7).src_regs() == ()
+    # MOVT merges into the old value, so it reads its own destination.
+    assert Instruction(Opcode.MOVT, rd=7).src_regs() == (7,)
+    assert Instruction(Opcode.B).src_regs() == ()
+
+
+def test_exec_classes() -> None:
+    assert Instruction(Opcode.ADD).exec_class == "alu"
+    assert Instruction(Opcode.MUL).exec_class == "mul"
+    assert Instruction(Opcode.DIV).exec_class == "div"
+    assert Instruction(Opcode.REM).exec_class == "div"
+    assert Instruction(Opcode.LDR).exec_class == "mem"
+    assert Instruction(Opcode.STR).exec_class == "mem"
+    assert Instruction(Opcode.BEQ).exec_class == "branch"
+    assert Instruction(Opcode.SVC).exec_class == "system"
+
+
+def test_classification_flags() -> None:
+    load = Instruction(Opcode.LDRB, rd=1, rs1=2)
+    assert load.is_load and load.is_mem and not load.is_store
+    store = Instruction(Opcode.STRB, rs2=1, rs1=2)
+    assert store.is_store and store.is_mem and not store.is_load
+    assert Instruction(Opcode.BEQ).is_cond_branch
+    assert Instruction(Opcode.B).is_jump
+    assert Instruction(Opcode.BL).is_call
+    assert Instruction(Opcode.BR).is_control
+    assert Instruction(Opcode.SVC).is_syscall
+
+
+def test_format_coverage() -> None:
+    # Every opcode has a format and a string rendering.
+    for opcode in Opcode:
+        instr = Instruction(opcode, rd=1, rs1=2, rs2=3)
+        assert isinstance(instr.format, Format)
+        assert str(instr)
+
+
+def test_register_names_roundtrip() -> None:
+    for number in range(registers.NUM_REGS):
+        assert registers.reg_number(registers.reg_name(number)) == number
+    assert registers.reg_name(registers.SP) == "sp"
+    assert registers.reg_number("r17") == 17

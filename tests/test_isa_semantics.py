@@ -1,0 +1,145 @@
+"""Functional semantics: ALU ops, branches, and constant materialization
+checked against plain-Python models, at both data widths."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimCrashError
+from repro.isa import Instruction, Opcode, semantics
+
+XLENS = (32, 64)
+values32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+values64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def _vals(xlen: int):
+    return values32 if xlen == 32 else values64
+
+
+@pytest.mark.parametrize("xlen", XLENS)
+@given(data=st.data())
+def test_add_sub_wrap(xlen: int, data) -> None:
+    a = data.draw(_vals(xlen))
+    b = data.draw(_vals(xlen))
+    mask = (1 << xlen) - 1
+    assert semantics.alu(Opcode.ADD, a, b, xlen) == (a + b) & mask
+    assert semantics.alu(Opcode.SUB, a, b, xlen) == (a - b) & mask
+
+
+@pytest.mark.parametrize("xlen", XLENS)
+@given(data=st.data())
+def test_bitwise(xlen: int, data) -> None:
+    a = data.draw(_vals(xlen))
+    b = data.draw(_vals(xlen))
+    assert semantics.alu(Opcode.AND, a, b, xlen) == a & b
+    assert semantics.alu(Opcode.ORR, a, b, xlen) == a | b
+    assert semantics.alu(Opcode.EOR, a, b, xlen) == a ^ b
+
+
+@pytest.mark.parametrize("xlen", XLENS)
+@given(data=st.data())
+def test_shifts_use_masked_amount(xlen: int, data) -> None:
+    a = data.draw(_vals(xlen))
+    amount = data.draw(st.integers(min_value=0, max_value=255))
+    mask = (1 << xlen) - 1
+    eff = amount & (xlen - 1)
+    assert semantics.alu(Opcode.LSL, a, amount, xlen) == (a << eff) & mask
+    assert semantics.alu(Opcode.LSR, a, amount, xlen) == a >> eff
+    expected_asr = (semantics.to_signed(a, xlen) >> eff) & mask
+    assert semantics.alu(Opcode.ASR, a, amount, xlen) == expected_asr
+
+
+@pytest.mark.parametrize("xlen", XLENS)
+@given(data=st.data())
+def test_div_rem_truncate_toward_zero(xlen: int, data) -> None:
+    a = data.draw(_vals(xlen))
+    b = data.draw(_vals(xlen))
+    sa, sb = semantics.to_signed(a, xlen), semantics.to_signed(b, xlen)
+    if sb == 0:
+        with pytest.raises(SimCrashError):
+            semantics.alu(Opcode.DIV, a, b, xlen)
+        return
+    quotient = semantics.to_signed(
+        semantics.alu(Opcode.DIV, a, b, xlen), xlen)
+    remainder = semantics.to_signed(
+        semantics.alu(Opcode.REM, a, b, xlen), xlen)
+    # C semantics: truncation toward zero and the div/rem identity.
+    expected_q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        expected_q = -expected_q
+    assert quotient == semantics.to_signed(
+        semantics.wrap(expected_q, xlen), xlen)
+    assert semantics.wrap(quotient * sb + remainder, xlen) == a
+    if remainder != 0:
+        assert (remainder < 0) == (sa < 0)
+
+
+@pytest.mark.parametrize("xlen", XLENS)
+def test_div_specific_cases(xlen: int) -> None:
+    m = semantics.mask(xlen)
+
+    def s2u(v: int) -> int:
+        return v & m
+
+    cases = [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1),
+             (-7, -2, 3, -1)]
+    for a, b, q, r in cases:
+        assert semantics.alu(Opcode.DIV, s2u(a), s2u(b), xlen) == s2u(q)
+        assert semantics.alu(Opcode.REM, s2u(a), s2u(b), xlen) == s2u(r)
+
+
+@pytest.mark.parametrize("xlen", XLENS)
+@given(data=st.data())
+def test_mulh(xlen: int, data) -> None:
+    a = data.draw(_vals(xlen))
+    b = data.draw(_vals(xlen))
+    sa, sb = semantics.to_signed(a, xlen), semantics.to_signed(b, xlen)
+    expected = ((sa * sb) >> xlen) & semantics.mask(xlen)
+    assert semantics.alu(Opcode.MULH, a, b, xlen) == expected
+
+
+@pytest.mark.parametrize("xlen", XLENS)
+@given(data=st.data())
+def test_slt(xlen: int, data) -> None:
+    a = data.draw(_vals(xlen))
+    b = data.draw(_vals(xlen))
+    sa, sb = semantics.to_signed(a, xlen), semantics.to_signed(b, xlen)
+    assert semantics.alu(Opcode.SLT, a, b, xlen) == int(sa < sb)
+    assert semantics.alu(Opcode.SLTU, a, b, xlen) == int(a < b)
+
+
+@pytest.mark.parametrize("xlen", XLENS)
+@given(data=st.data())
+def test_branches(xlen: int, data) -> None:
+    a = data.draw(_vals(xlen))
+    b = data.draw(_vals(xlen))
+    sa, sb = semantics.to_signed(a, xlen), semantics.to_signed(b, xlen)
+    assert semantics.branch_taken(Opcode.BEQ, a, b, xlen) == (a == b)
+    assert semantics.branch_taken(Opcode.BNE, a, b, xlen) == (a != b)
+    assert semantics.branch_taken(Opcode.BLT, a, b, xlen) == (sa < sb)
+    assert semantics.branch_taken(Opcode.BGE, a, b, xlen) == (sa >= sb)
+    assert semantics.branch_taken(Opcode.BLTU, a, b, xlen) == (a < b)
+    assert semantics.branch_taken(Opcode.BGEU, a, b, xlen) == (a >= b)
+
+
+def test_mov_results_32() -> None:
+    movw = Instruction(Opcode.MOVW, rd=1, imm=0xBEEF)
+    assert semantics.mov_result(movw, 0xFFFF_FFFF, 32) == 0xBEEF
+    movt = Instruction(Opcode.MOVT, rd=1, imm=0xDEAD)
+    assert semantics.mov_result(movt, 0xBEEF, 32) == 0xDEAD_BEEF
+
+
+def test_mov_results_64() -> None:
+    value = 0
+    for opcode, imm in ((Opcode.MOVW, 0x1111), (Opcode.MOVT, 0x2222),
+                        (Opcode.MOVT2, 0x3333), (Opcode.MOVT3, 0x4444)):
+        value = semantics.mov_result(Instruction(opcode, rd=1, imm=imm),
+                                     value, 64)
+    assert value == 0x4444_3333_2222_1111
+
+
+def test_movt2_traps_on_32bit() -> None:
+    with pytest.raises(SimCrashError):
+        semantics.mov_result(Instruction(Opcode.MOVT2, rd=1, imm=1), 0, 32)

@@ -1,0 +1,207 @@
+"""Kernel substrate: system map crash semantics, RAM, loader, syscalls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, SimCrashError
+from repro.isa import Instruction, Opcode, Program
+from repro.kernel import (
+    MainMemory,
+    OutputCapture,
+    ProgramExit,
+    SyscallHandler,
+    SystemMap,
+    load,
+)
+from repro.kernel.functional import DirectDataPort
+from repro.kernel.syscalls import KERNEL_MAGIC
+
+
+@pytest.fixture
+def system_map() -> SystemMap:
+    return SystemMap()
+
+
+class TestSystemMap:
+    def test_regions(self, system_map: SystemMap) -> None:
+        assert system_map.region_of(0) == "null"
+        assert system_map.region_of(system_map.text_base) == "text"
+        assert system_map.region_of(system_map.kernel_base) == "kernel"
+        assert system_map.region_of(system_map.data_base) == "user"
+        assert system_map.region_of(system_map.stack_top) == "user"
+        assert system_map.region_of(system_map.ram_size) == "unmapped"
+        assert system_map.region_of(-1) == "unmapped"
+
+    def test_null_deref_is_segfault(self, system_map: SystemMap) -> None:
+        with pytest.raises(SimCrashError, match="segmentation fault"):
+            system_map.check_data_access(0, 4, store=False)
+
+    def test_misaligned_access(self, system_map: SystemMap) -> None:
+        with pytest.raises(SimCrashError, match="misaligned"):
+            system_map.check_data_access(system_map.data_base + 2, 4,
+                                         store=False)
+
+    def test_store_to_text_crashes(self, system_map: SystemMap) -> None:
+        with pytest.raises(SimCrashError, match="read-only text"):
+            system_map.check_data_access(system_map.text_base, 4,
+                                         store=True)
+        # loads from text are fine (constant pools)
+        system_map.check_data_access(system_map.text_base, 4, store=False)
+
+    def test_kernel_memory_protected(self, system_map: SystemMap) -> None:
+        addr = system_map.kernel_base
+        with pytest.raises(SimCrashError, match="kernel memory"):
+            system_map.check_data_access(addr, 4, store=False)
+        system_map.check_data_access(addr, 4, store=False, mode="kernel")
+
+    def test_bus_error_past_ram(self, system_map: SystemMap) -> None:
+        with pytest.raises(SimCrashError, match="bus error"):
+            system_map.check_data_access(system_map.ram_size, 4,
+                                         store=False)
+
+    def test_fetch_checks(self, system_map: SystemMap) -> None:
+        system_map.check_fetch(system_map.text_base, 8)
+        with pytest.raises(SimCrashError, match="misaligned fetch"):
+            system_map.check_fetch(system_map.text_base + 2, 8)
+        with pytest.raises(SimCrashError, match="outside text"):
+            system_map.check_fetch(system_map.text_base + 8, 8)
+        with pytest.raises(SimCrashError, match="outside text"):
+            system_map.check_fetch(0, 8)
+
+    def test_bad_layout_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            SystemMap(text_base=0x2000, kernel_base=0x1000)
+
+
+class TestMainMemory:
+    def test_word_roundtrip(self) -> None:
+        memory = MainMemory(4096)
+        memory.write_word(16, 0xDEADBEEF, 4)
+        assert memory.read_word(16, 4) == 0xDEADBEEF
+        assert memory.read_bytes(16, 4) == b"\xef\xbe\xad\xde"
+
+    def test_bounds(self) -> None:
+        memory = MainMemory(4096)
+        with pytest.raises(SimCrashError, match="bus error"):
+            memory.read_word(4096, 4)
+        with pytest.raises(SimCrashError, match="bus error"):
+            memory.write_word(-4, 0, 4)
+
+    def test_snapshot_restore(self) -> None:
+        memory = MainMemory(4096)
+        memory.write_word(0, 123, 4)
+        image = memory.snapshot()
+        memory.write_word(0, 456, 4)
+        memory.restore(image)
+        assert memory.read_word(0, 4) == 123
+
+    def test_size_validation(self) -> None:
+        with pytest.raises(ValueError):
+            MainMemory(1000)
+
+
+def _tiny_program(xlen: int = 32) -> Program:
+    return Program(text=[Instruction(Opcode.SVC, imm=0)], xlen=xlen)
+
+
+class TestLoader:
+    def test_load_places_segments(self) -> None:
+        program = _tiny_program()
+        program.data.extend(b"\x01\x02\x03\x04")
+        memory = MainMemory(4 * 1024 * 1024)
+        image = load(program, memory)
+        sm = image.system_map
+        assert memory.read_word(sm.text_base, 4) == \
+            program.encoded_text()[0]
+        assert memory.read_bytes(sm.data_base, 4) == b"\x01\x02\x03\x04"
+        assert memory.read_word(sm.kernel_base, 4) == KERNEL_MAGIC
+        assert image.entry_pc == sm.text_base
+
+    def test_initial_registers(self) -> None:
+        from repro.isa import registers
+
+        memory = MainMemory(4 * 1024 * 1024)
+        image = load(_tiny_program(), memory)
+        assert registers.SP in image.initial_regs
+        assert image.initial_regs[registers.GP] == \
+            image.system_map.data_base
+
+    def test_oversized_text_rejected(self) -> None:
+        program = Program(
+            text=[Instruction(Opcode.NOP)] * (0x80000 // 4), xlen=32)
+        memory = MainMemory(4 * 1024 * 1024)
+        with pytest.raises(ReproError, match="text segment too large"):
+            load(program, memory)
+
+
+class TestSyscalls:
+    def _handler(self, memory: MainMemory, sm: SystemMap):
+        handler = SyscallHandler(sm, 32)
+        port = DirectDataPort(memory, sm, 4)
+        memory.write_word(sm.kernel_base, KERNEL_MAGIC, 4)
+        memory.write_word(sm.kernel_base + 4, 0, 4)
+        memory.write_word(sm.kernel_base + 8, 0, 4)
+        return handler, port
+
+    def test_putint_and_exit(self) -> None:
+        sm = SystemMap()
+        memory = MainMemory(sm.ram_size)
+        handler, port = self._handler(memory, sm)
+        handler.handle(1, (-7) & 0xFFFF_FFFF, port)
+        assert handler.output.data == b"-7\n"
+        with pytest.raises(ProgramExit) as info:
+            handler.handle(0, 3, port)
+        assert info.value.code == 3
+        assert handler.output.exit_code == 3
+
+    def test_puthex_putchar(self) -> None:
+        sm = SystemMap()
+        memory = MainMemory(sm.ram_size)
+        handler, port = self._handler(memory, sm)
+        handler.handle(3, 0xBEEF, port)
+        handler.handle(2, ord("A"), port)
+        assert handler.output.data == b"beef\nA"
+
+    def test_unknown_syscall_crashes(self) -> None:
+        sm = SystemMap()
+        memory = MainMemory(sm.ram_size)
+        handler, port = self._handler(memory, sm)
+        with pytest.raises(SimCrashError, match="bad syscall"):
+            handler.handle(99, 0, port)
+
+    def test_corrupted_canary_is_kernel_panic(self) -> None:
+        sm = SystemMap()
+        memory = MainMemory(sm.ram_size)
+        handler, port = self._handler(memory, sm)
+        memory.write_word(sm.kernel_base, KERNEL_MAGIC ^ 1, 4)
+        with pytest.raises(SimCrashError) as info:
+            handler.handle(1, 5, port)
+        assert info.value.kind == "system"
+
+    def test_corrupted_ledger_is_kernel_panic(self) -> None:
+        sm = SystemMap()
+        memory = MainMemory(sm.ram_size)
+        handler, port = self._handler(memory, sm)
+        handler.handle(1, 5, port)
+        memory.write_word(sm.kernel_base + 8, 77, 4)
+        with pytest.raises(SimCrashError) as info:
+            handler.handle(1, 6, port)
+        assert info.value.kind == "system"
+
+    def test_syscall_counter_increments(self) -> None:
+        sm = SystemMap()
+        memory = MainMemory(sm.ram_size)
+        handler, port = self._handler(memory, sm)
+        handler.handle(1, 1, port)
+        handler.handle(1, 2, port)
+        assert memory.read_word(sm.kernel_base + 4, 4) == 2
+
+
+def test_output_capture_equality() -> None:
+    a, b = OutputCapture(), OutputCapture()
+    a.append_int(5)
+    b.append_int(5)
+    assert a == b
+    b.append_byte(0)
+    assert a != b

@@ -1,0 +1,181 @@
+"""MinC front end: lexer, parser, semantic analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import analyze, ast_nodes as ast, parse, tokenize
+from repro.lang.tokens import TokenKind
+
+
+class TestLexer:
+    def test_numbers(self) -> None:
+        tokens = tokenize("123 0x1F 'a' '\\n'")
+        values = [t.value for t in tokens if t.kind is TokenKind.NUMBER]
+        assert values == [123, 31, 97, 10]
+
+    def test_keywords_vs_identifiers(self) -> None:
+        tokens = tokenize("int inty for fortune")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [(TokenKind.KEYWORD, "int"),
+                         (TokenKind.IDENT, "inty"),
+                         (TokenKind.KEYWORD, "for"),
+                         (TokenKind.IDENT, "fortune")]
+
+    def test_longest_match_punctuation(self) -> None:
+        tokens = tokenize("a <<= b << c < d")
+        puncts = [t.text for t in tokens if t.kind is TokenKind.PUNCT]
+        assert puncts == ["<<=", "<<", "<"]
+
+    def test_comments(self) -> None:
+        tokens = tokenize("1 // line\n/* block\nstill */ 2")
+        values = [t.value for t in tokens if t.kind is TokenKind.NUMBER]
+        assert values == [1, 2]
+
+    def test_line_numbers(self) -> None:
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens if t.kind is TokenKind.IDENT]
+        assert lines == [1, 2, 4]
+
+    def test_errors(self) -> None:
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a @ b")
+        with pytest.raises(CompileError, match="unterminated block"):
+            tokenize("/* nope")
+
+
+class TestParser:
+    def test_precedence(self) -> None:
+        module = parse("int main() { return 1 + 2 * 3; }")
+        ret = module.functions[0].body.stmts[0]
+        assert isinstance(ret, ast.Return)
+        add = ret.value
+        assert isinstance(add, ast.Binary) and add.op == "+"
+        assert isinstance(add.right, ast.Binary) and add.right.op == "*"
+
+    def test_assignment_right_associative(self) -> None:
+        module = parse("int main() { int a; int b; a = b = 1; return a; }")
+        stmt = module.functions[0].body.stmts[2]
+        assert isinstance(stmt, ast.ExprStmt)
+        outer = stmt.expr
+        assert isinstance(outer, ast.Assign)
+        assert isinstance(outer.value, ast.Assign)
+
+    def test_global_array_with_init(self) -> None:
+        module = parse("int t[] = {1, 2, -3}; int main() { return 0; }")
+        gvar = module.globals[0]
+        assert gvar.ty.kind == "array" and gvar.ty.size == 3
+        assert gvar.init == [1, 2, -3]
+
+    def test_char_pointer_param_forms(self) -> None:
+        module = parse("""
+        int f(char* p, char q[]) { return p[0] + q[0]; }
+        int main() { return 0; }
+        """)
+        params = module.functions[0].params
+        assert all(p.ty.kind == "ptr" and p.ty.base == "char"
+                   for p in params)
+
+    def test_for_with_decl(self) -> None:
+        module = parse(
+            "int main() { for (int i = 0; i < 4; i++) { } return 0; }")
+        loop = module.functions[0].body.stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+
+    def test_dangling_else(self) -> None:
+        module = parse("""
+        int main() {
+            if (1) if (2) return 1; else return 2;
+            return 3;
+        }
+        """)
+        outer = module.functions[0].body.stmts[0]
+        assert isinstance(outer, ast.If)
+        assert outer.other is None
+        inner = outer.then
+        assert isinstance(inner, ast.If) and inner.other is not None
+
+    def test_ternary(self) -> None:
+        module = parse("int main() { return 1 ? 2 : 3; }")
+        ret = module.functions[0].body.stmts[0]
+        assert isinstance(ret.value, ast.Cond)
+
+    @pytest.mark.parametrize("bad", [
+        "int main() { return 1 }",
+        "int main() { int 3x; }",
+        "int main( {}",
+        "void main() {} extra",
+    ])
+    def test_syntax_errors(self, bad: str) -> None:
+        with pytest.raises(CompileError):
+            parse(bad)
+
+
+class TestSema:
+    def _analyze(self, body: str, prelude: str = ""):
+        return analyze(parse(f"{prelude}\nint main() {{ {body} }}"))
+
+    def test_undefined_variable(self) -> None:
+        with pytest.raises(CompileError, match="undefined variable"):
+            self._analyze("return missing;")
+
+    def test_undefined_function(self) -> None:
+        with pytest.raises(CompileError, match="undefined function"):
+            self._analyze("frob(1); return 0;")
+
+    def test_arg_count(self) -> None:
+        with pytest.raises(CompileError, match="expects 1 argument"):
+            self._analyze("putint(1, 2); return 0;")
+
+    def test_pointer_type_mismatch(self) -> None:
+        with pytest.raises(CompileError, match="type mismatch"):
+            self._analyze("f(c); return 0;",
+                          prelude="char c[4];\n"
+                                  "int f(int* p) { return p[0]; }")
+
+    def test_array_not_assignable(self) -> None:
+        with pytest.raises(CompileError, match="cannot assign"):
+            self._analyze("int a[4]; a = 0; return 0;")
+
+    def test_index_requires_pointer(self) -> None:
+        with pytest.raises(CompileError, match="cannot index"):
+            self._analyze("int x; return x[0];")
+
+    def test_break_outside_loop(self) -> None:
+        with pytest.raises(CompileError, match="break outside loop"):
+            self._analyze("break; return 0;")
+
+    def test_void_return_rules(self) -> None:
+        with pytest.raises(CompileError, match="returns a value"):
+            analyze(parse(
+                "void f() { return 1; } int main() { return 0; }"))
+        with pytest.raises(CompileError, match="returns nothing"):
+            analyze(parse("int main() { return; }"))
+
+    def test_shadowing_allowed_in_nested_scope(self) -> None:
+        info = self._analyze(
+            "int x = 1; { int x = 2; putint(x); } return x;")
+        assert len(info.locals["main"]) == 2
+
+    def test_redeclaration_same_scope_rejected(self) -> None:
+        with pytest.raises(CompileError, match="redeclaration"):
+            self._analyze("int x; int x; return 0;")
+
+    def test_requires_main(self) -> None:
+        with pytest.raises(CompileError, match="no main"):
+            analyze(parse("int f() { return 0; }"))
+
+    def test_duplicate_function(self) -> None:
+        with pytest.raises(CompileError, match="duplicate function"):
+            analyze(parse(
+                "int main() { return 0; } int main() { return 1; }"))
+
+    def test_pointer_arithmetic_types(self) -> None:
+        info = analyze(parse("""
+        int g[8];
+        int f(int* p) { return (p + 1)[0]; }
+        int main() { return f(g + 2); }
+        """))
+        assert info.functions["f"].params[0].kind == "ptr"

@@ -1,0 +1,145 @@
+"""Directed core tests with hand-assembled programs -- covers paths the
+typed MinC front end cannot produce (mixed-width aliasing, indirect
+jumps, deliberately odd code)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimCrashError
+from repro.isa import assemble
+from repro.kernel import MainMemory, load, run_functional
+from repro.microarch import CORTEX_A15, Simulator
+
+
+def _run_both(source: str):
+    """Run assembled source functionally and on the OoO core; compare."""
+    program = assemble(source, xlen=32)
+    memory = MainMemory(4 * 1024 * 1024)
+    functional = run_functional(load(program, memory), memory)
+    ooo = Simulator(program, CORTEX_A15).run(2_000_000)
+    assert ooo.output.data == functional.output.data
+    assert ooo.exit_code == functional.exit_code
+    return ooo
+
+
+def test_byte_store_word_load_partial_overlap() -> None:
+    """STRB into the middle of a word, then LDR of the word: the load
+    partially overlaps the store and must wait for the drain."""
+    result = _run_both("""
+    _start:
+        li t0, 0x00100000      ; data base
+        li t1, 0x11223344
+        str t1, [t0, 0]
+        movw t2, 0xaa
+        strb t2, [t0, 1]       ; overwrite byte 1
+        ldr a0, [t0, 0]        ; must see 0x1122aa44
+        svc 3
+        movw a0, 0
+        svc 0
+    """)
+    assert result.output.data == b"1122aa44\n"
+
+
+def test_word_store_byte_load_contained_forwarding() -> None:
+    result = _run_both("""
+    _start:
+        li t0, 0x00100000
+        li t1, 0xcafebabe
+        str t1, [t0, 0]
+        ldrb a0, [t0, 2]       ; contained: forwardable byte 0xfe
+        svc 3
+        movw a0, 0
+        svc 0
+    """)
+    assert result.output.data == b"fe\n"
+
+
+def test_indirect_jump_through_register() -> None:
+    result = _run_both("""
+    _start:
+        bl get_pc              ; lr points after this call
+    after:
+        movw a0, 7
+        svc 1
+        movw a0, 0
+        svc 0
+    get_pc:
+        br lr                  ; indirect return, BTB-predicted
+    """)
+    assert result.output.data == b"7\n"
+
+
+def test_jump_to_unmapped_address_crashes() -> None:
+    program = assemble("""
+    _start:
+        li t0, 0x00300000      ; valid RAM, but outside the text segment
+        br t0
+    """, xlen=32)
+    with pytest.raises(SimCrashError, match="outside text"):
+        Simulator(program, CORTEX_A15).run(100_000)
+
+
+def test_misaligned_load_crashes() -> None:
+    program = assemble("""
+    _start:
+        li t0, 0x00100002
+        ldr a0, [t0, 0]
+        svc 0
+    """, xlen=32)
+    with pytest.raises(SimCrashError, match="misaligned"):
+        Simulator(program, CORTEX_A15).run(100_000)
+
+
+def test_division_by_zero_crashes_at_commit() -> None:
+    program = assemble("""
+    _start:
+        movw t0, 10
+        movw t1, 0
+        div a0, t0, t1
+        svc 1
+        svc 0
+    """, xlen=32)
+    with pytest.raises(SimCrashError, match="division by zero"):
+        Simulator(program, CORTEX_A15).run(100_000)
+
+
+def test_wrong_path_division_by_zero_is_squashed() -> None:
+    """A div-by-zero on the mispredicted path must vanish with the
+    squash instead of crashing the run."""
+    result = _run_both("""
+    _start:
+        movw t0, 0
+        movw t1, 5
+        beq t1, zero, poison   ; never taken, predicted unknown
+        movw a0, 42
+        svc 1
+        movw a0, 0
+        svc 0
+    poison:
+        div a0, t1, t0         ; would trap if (mis)executed to commit
+        svc 1
+        movw a0, 0
+        svc 0
+    """)
+    assert result.output.data == b"42\n"
+
+
+def test_store_to_kernel_region_crashes() -> None:
+    program = assemble("""
+    _start:
+        li t0, 0x00080000      ; kernel block
+        movw t1, 1
+        str t1, [t0, 0]
+        svc 0
+    """, xlen=32)
+    with pytest.raises(SimCrashError, match="kernel memory"):
+        Simulator(program, CORTEX_A15).run(100_000)
+
+
+def test_tight_self_loop_hits_timeout() -> None:
+    from repro.errors import SimTimeoutError
+
+    program = assemble("_start: b _start", xlen=32)
+    with pytest.raises(SimTimeoutError):
+        Simulator(program, CORTEX_A15).run(5_000)

@@ -1,0 +1,137 @@
+"""Out-of-order core: equivalence with the functional reference, timing
+sanity, snapshot determinism, and fault-surface consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avf import field_bit_counts
+from repro.compiler import ARMLET32, ARMLET64, compile_source
+from repro.kernel import MainMemory, load, run_functional
+from repro.microarch import (
+    ALL_FIELDS,
+    COMPONENT_FIELDS,
+    CORTEX_A15,
+    CORTEX_A72,
+    Simulator,
+)
+
+SOURCE = """
+int table[32];
+int scale(int x) { return x * 3 - 1; }
+int main() {
+    for (int i = 0; i < 32; i++) { table[i] = scale(i) % 19; }
+    int best = 0;
+    for (int i = 1; i < 32; i++) {
+        if (table[i] > table[best]) { best = i; }
+    }
+    putint(best);
+    putint(table[best]);
+    int acc = 0;
+    int x = 200;
+    while (x > 0) { acc += x / 3; x -= 7; }
+    putint(acc);
+    return 0;
+}
+"""
+
+
+@pytest.mark.parametrize("core,target", [(CORTEX_A15, ARMLET32),
+                                         (CORTEX_A72, ARMLET64)])
+@pytest.mark.parametrize("level", ["O0", "O1", "O2", "O3"])
+def test_matches_functional_reference(core, target, level) -> None:
+    program = compile_source(SOURCE, level, target)
+    memory = MainMemory(4 * 1024 * 1024)
+    functional = run_functional(load(program, memory), memory)
+    result = Simulator(program, core).run(5_000_000)
+    assert result.output.data == functional.output.data
+    assert result.exit_code == functional.exit_code == 0
+    assert result.stats["committed"] >= functional.instructions
+
+
+def test_core_program_width_mismatch_rejected() -> None:
+    program = compile_source(SOURCE, "O1", ARMLET32)
+    with pytest.raises(ValueError, match="32-bit"):
+        Simulator(program, CORTEX_A72)
+
+
+def test_o0_slower_than_o2() -> None:
+    cycles = {}
+    for level in ("O0", "O2"):
+        program = compile_source(SOURCE, level, ARMLET32)
+        cycles[level] = Simulator(program, CORTEX_A15).run(5_000_000).cycles
+    assert cycles["O0"] > 2 * cycles["O2"]
+
+
+def test_deterministic_runs() -> None:
+    program = compile_source(SOURCE, "O2", ARMLET32)
+    first = Simulator(program, CORTEX_A15).run(5_000_000)
+    second = Simulator(program, CORTEX_A15).run(5_000_000)
+    assert first.cycles == second.cycles
+    assert first.stats == second.stats
+
+
+def test_snapshot_restore_resumes_identically() -> None:
+    program = compile_source(SOURCE, "O2", ARMLET32)
+    reference = Simulator(program, CORTEX_A15).run(5_000_000)
+
+    sim = Simulator(program, CORTEX_A15)
+    assert sim.run_until(reference.cycles // 2)
+    blob = sim.save_state()
+
+    resumed = Simulator(program, CORTEX_A15)
+    resumed.load_state(blob)
+    result = resumed.run(5_000_000)
+    assert result.cycles == reference.cycles
+    assert result.output.data == reference.output.data
+
+
+def test_snapshot_restore_midway_equals_straight_run() -> None:
+    program = compile_source(SOURCE, "O1", ARMLET32)
+    sim = Simulator(program, CORTEX_A15)
+    sim.run_until(100)
+    blob = sim.save_state()
+    sim.run_until(200)
+    state_a = sim.core.stats.committed
+
+    sim2 = Simulator(program, CORTEX_A15)
+    sim2.load_state(blob)
+    sim2.run_until(200)
+    assert sim2.core.stats.committed == state_a
+
+
+def test_fault_field_catalog_matches_analytics() -> None:
+    """The simulator's injectable bit counts must equal the analytic
+    bit counts FIT computations use."""
+    for core, target in ((CORTEX_A15, ARMLET32), (CORTEX_A72, ARMLET64)):
+        program = compile_source(SOURCE, "O1", target)
+        sim = Simulator(program, core)
+        analytic = field_bit_counts(core)
+        assert set(sim.fault_fields()) == set(ALL_FIELDS)
+        for field in ALL_FIELDS:
+            assert sim.bit_count(field) == analytic[field], field
+
+
+def test_component_field_grouping_covers_all() -> None:
+    grouped = [f for fields in COMPONENT_FIELDS.values() for f in fields]
+    assert sorted(grouped) == sorted(ALL_FIELDS)
+    assert len(grouped) == 15  # the paper's 960 = 64 programs x 15 fields
+
+
+def test_stats_populated() -> None:
+    program = compile_source(SOURCE, "O1", ARMLET32)
+    stats = Simulator(program, CORTEX_A15).run(5_000_000).stats
+    assert stats["loads"] > 0
+    assert stats["stores"] > 0
+    assert stats["branches"] > 0
+    assert stats["syscalls"] == 4  # 3 putint + exit
+    assert 0 < stats["ipc"] < 6
+
+
+def test_timeout_raised_at_cycle_limit() -> None:
+    from repro.errors import SimTimeoutError
+
+    source = "int main() { while (1) { } return 0; }"
+    program = compile_source(source, "O0", ARMLET32)
+    with pytest.raises(SimTimeoutError):
+        Simulator(program, CORTEX_A15).run(3000)

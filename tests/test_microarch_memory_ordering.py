@@ -1,0 +1,159 @@
+"""Memory ordering in the OoO core: store-to-load forwarding, partial
+overlaps, and commit-order draining -- checked end to end via programs
+whose results depend on correct ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import ARMLET32, compile_source
+from repro.microarch import CORTEX_A15, Simulator
+
+from .conftest import run_minc
+
+
+def _run_ooo(source: str, level: str = "O2"):
+    program = compile_source(source, level, ARMLET32)
+    return Simulator(program, CORTEX_A15).run(5_000_000)
+
+
+def test_store_then_load_same_address() -> None:
+    source = """
+    int slot[1];
+    int main() {
+        for (int i = 0; i < 20; i++) {
+            slot[0] = i * 3;
+            putint(slot[0]);     // must observe the store just above
+        }
+        return 0;
+    }
+    """
+    expected = run_minc(source).output.data
+    assert _run_ooo(source).output.data == expected
+
+
+def test_byte_store_word_load_overlap() -> None:
+    # partial overlap: the load must wait for the store to drain
+    source = """
+    int words[2];
+    int main() {
+        words[0] = 0x01020304;
+        for (int i = 0; i < 8; i++) {
+            words[0] = words[0] + 0x01010101;
+            words[1] = words[0];
+            putint(words[1] & 0xffff);
+        }
+        return 0;
+    }
+    """
+    expected = run_minc(source).output.data
+    assert _run_ooo(source).output.data == expected
+
+
+def test_word_store_byte_load_forwarding() -> None:
+    source = """
+    int words[4];
+    int main() {
+        int s = 0;
+        for (int i = 0; i < 4; i++) { words[i] = i * 0x11223344; }
+        for (int i = 0; i < 4; i++) { s ^= words[i]; }
+        putint(s & 0x7fffffff);
+        return 0;
+    }
+    """
+    expected = run_minc(source, "O2").output.data
+    assert _run_ooo(source).output.data == expected
+
+
+def test_store_queue_pressure() -> None:
+    # more stores in flight than SQ entries: dispatch must stall, not drop
+    writes = "\n".join(f"buf[{i}] = {i * 7};" for i in range(24))
+    reads = "\n".join(f"s += buf[{i}];" for i in range(24))
+    source = f"""
+    int buf[24];
+    int main() {{
+        int s = 0;
+        {writes}
+        {reads}
+        putint(s);
+        return 0;
+    }}
+    """
+    expected = run_minc(source).output.data
+    for level in ("O0", "O2"):
+        result = _run_ooo(source, level)
+        assert result.output.data == expected
+
+
+def test_load_queue_pressure() -> None:
+    loads = " + ".join(f"buf[{i}]" for i in range(20))
+    source = f"""
+    int buf[20];
+    int main() {{
+        for (int i = 0; i < 20; i++) {{ buf[i] = i + 1; }}
+        putint({loads});
+        return 0;
+    }}
+    """
+    expected = run_minc(source).output.data
+    assert _run_ooo(source).output.data == expected
+
+
+def test_aliased_pointers_agree_with_functional() -> None:
+    source = """
+    int data[8];
+    void bump(int* p, int k) { p[k] = p[k] + 1; }
+    int main() {
+        for (int i = 0; i < 8; i++) { data[i] = i; }
+        for (int round = 0; round < 5; round++) {
+            bump(data, round % 8);
+            bump(data + 1, round % 7);
+        }
+        int s = 0;
+        for (int i = 0; i < 8; i++) { s = s * 10 + data[i]; }
+        putint(s);
+        return 0;
+    }
+    """
+    expected = run_minc(source).output.data
+    for level in ("O0", "O1", "O2", "O3"):
+        assert _run_ooo(source, level).output.data == expected
+
+
+def test_kernel_syscall_sees_committed_stores() -> None:
+    # the syscall's cached kernel port shares L1D with the program; the
+    # putint argument must reflect all older committed stores
+    source = """
+    int flag[1];
+    int main() {
+        for (int i = 0; i < 10; i++) {
+            flag[0] = i;
+            if (flag[0] != i) { putint(-1); }
+        }
+        putint(flag[0]);
+        return 0;
+    }
+    """
+    assert _run_ooo(source).output.data == b"9\n"
+
+
+@pytest.mark.parametrize("level", ["O0", "O2"])
+def test_mispredict_squash_preserves_memory_state(level: str) -> None:
+    # data-dependent branches force mispredicts; squashed wrong-path
+    # stores must never reach memory
+    source = """
+    int data[32];
+    int hits[1];
+    int main() {
+        for (int i = 0; i < 32; i++) { data[i] = (i * 17) % 13; }
+        for (int i = 0; i < 32; i++) {
+            if (data[i] > 6) { hits[0] = hits[0] + 1; }
+        }
+        putint(hits[0]);
+        return 0;
+    }
+    """
+    expected = run_minc(source, level).output.data
+    result = _run_ooo(source, level)
+    assert result.output.data == expected
+    assert result.stats["mispredicts"] > 0

@@ -1,0 +1,347 @@
+"""Microarchitectural structures: configs, caches, PRF, queues, predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimAssertError
+from repro.kernel import MainMemory
+from repro.microarch import (
+    CORTEX_A15,
+    CORTEX_A72,
+    BranchPredictor,
+    CacheHierarchy,
+    FieldCatalog,
+    PhysRegFile,
+)
+from repro.microarch.config import CacheGeometry
+from repro.microarch.queues import (
+    IssueQueue,
+    LoadQueue,
+    ReorderBuffer,
+    StoreQueue,
+)
+from repro.microarch.uop import MicroOp
+
+
+class TestConfig:
+    def test_table1_geometries(self) -> None:
+        a15, a72 = CORTEX_A15, CORTEX_A72
+        assert a15.l1d.size_bytes == 32 * 1024 and a15.l1d.ways == 2
+        assert a72.l1i.size_bytes == 48 * 1024 and a72.l1i.ways == 3
+        assert a15.l2.size_bytes == 1024 * 1024 and a15.l2.ways == 8
+        assert a72.l2.size_bytes == 2 * 1024 * 1024 and a72.l2.ways == 16
+        assert (a15.phys_regs, a72.phys_regs) == (128, 192)
+        assert (a15.iq_entries, a72.iq_entries) == (32, 64)
+        assert (a15.rob_entries, a72.rob_entries) == (40, 128)
+        assert a15.fetch_width == a72.fetch_width == 3
+        assert a15.execute_width == a72.execute_width == 6
+        assert a15.writeback_width == a72.writeback_width == 8
+
+    def test_raw_fit_constants(self) -> None:
+        assert CORTEX_A15.raw_fit_per_bit == pytest.approx(2.59e-5)
+        assert CORTEX_A72.raw_fit_per_bit == pytest.approx(9.39e-6)
+
+    def test_geometry_validation(self) -> None:
+        with pytest.raises(ValueError):
+            CacheGeometry("bad", 1000, 3)
+
+    def test_tag_bits(self) -> None:
+        geometry = CacheGeometry("l1", 32 * 1024, 2, 64)
+        # 32KB/2-way/64B => 256 sets => 8 index + 6 offset bits
+        assert geometry.num_sets == 256
+        assert geometry.tag_bits(32) == 32 - 8 - 6 + 2
+
+
+def _hierarchy(config=CORTEX_A15):
+    memory = MainMemory(4 * 1024 * 1024)
+    catalog = FieldCatalog()
+    return CacheHierarchy(config, memory, catalog), memory, catalog
+
+
+class TestCaches:
+    def test_read_miss_then_hit(self) -> None:
+        hierarchy, memory, _ = _hierarchy()
+        memory.write_word(0x10_0000, 0xABCD, 4)
+        value, latency = hierarchy.read(0x10_0000, 4)
+        assert value == 0xABCD
+        assert latency == CORTEX_A15.memory_latency
+        value, latency = hierarchy.read(0x10_0000, 4)
+        assert latency == CORTEX_A15.l1_hit_latency
+        # second miss in the same region hits L2
+        _, latency = hierarchy.read(0x10_0000 + 64 * 1024, 4)
+        assert latency == CORTEX_A15.memory_latency
+        hierarchy.l1d.invalidate_all()
+        _, latency = hierarchy.read(0x10_0000, 4)
+        assert latency == CORTEX_A15.l2_hit_latency
+
+    def test_write_back_on_eviction(self) -> None:
+        hierarchy, memory, _ = _hierarchy()
+        base = 0x10_0000
+        hierarchy.write(base, 0x1234, 4)
+        # evict by filling the set: same index bits, different tags
+        set_stride = (CORTEX_A15.l1d.num_sets
+                      * CORTEX_A15.l1d.line_bytes)
+        for way in range(1, CORTEX_A15.l1d.ways + 1):
+            hierarchy.read(base + way * set_stride, 4)
+        # dirty line landed in L2 (not yet necessarily in RAM)
+        hierarchy.l1d.invalidate_all()
+        value, _ = hierarchy.read(base, 4)
+        assert value == 0x1234
+
+    def test_data_flip_corrupts_reads(self) -> None:
+        hierarchy, memory, catalog = _hierarchy()
+        memory.write_word(0x10_0000, 0, 4)
+        hierarchy.read(0x10_0000, 4)
+        live = catalog.live_bit_count("l1d.data")
+        assert live == len(hierarchy.l1d.lines) * 64 * 8
+        # flip every live bit of the first line's first word until one
+        # lands in our word
+        changed = catalog.flip_live("l1d.data", 0)
+        assert changed
+
+    def test_tag_flip_loses_line(self) -> None:
+        hierarchy, memory, catalog = _hierarchy()
+        memory.write_word(0x10_0000, 77, 4)
+        hierarchy.read(0x10_0000, 4)
+        line = next(iter(hierarchy.l1d.lines.values()))
+        original_tag = line.tag
+        catalog.flip_live("l1d.tag", 0)
+        assert line.tag != original_tag
+        # original address now misses and refills from L2/RAM
+        value, latency = hierarchy.read(0x10_0000, 4)
+        assert value == 77
+        assert latency > CORTEX_A15.l1_hit_latency
+
+    def test_flip_on_empty_cache_is_masked(self) -> None:
+        hierarchy, _, catalog = _hierarchy()
+        assert catalog.flip("l1d.data", 123) is False
+        assert catalog.live_bit_count("l1d.data") == 0
+
+    def test_duplicate_tag_asserts(self) -> None:
+        hierarchy, memory, _ = _hierarchy()
+        set_stride = CORTEX_A15.l1d.num_sets * CORTEX_A15.l1d.line_bytes
+        hierarchy.read(0x10_0000, 4)
+        hierarchy.read(0x10_0000 + set_stride, 4)
+        lines = list(hierarchy.l1d.lines.values())
+        lines[1].tag = lines[0].tag
+        with pytest.raises(SimAssertError, match="duplicate tag"):
+            hierarchy.l1d.lookup(0x10_0000)
+
+    def test_writeback_outside_map_asserts(self) -> None:
+        hierarchy, memory, _ = _hierarchy()
+        hierarchy.write(0x10_0000, 5, 4)
+        line = next(iter(hierarchy.l1d.lines.values()))
+        line.tag |= 1 << 24  # now reconstructs to an address > RAM
+        set_stride = CORTEX_A15.l1d.num_sets * CORTEX_A15.l1d.line_bytes
+        with pytest.raises(SimAssertError, match="outside system map"):
+            for way in range(1, CORTEX_A15.l1d.ways + 2):
+                hierarchy.read(0x10_0000 + way * set_stride, 4)
+
+    def test_line_crossing_access(self) -> None:
+        hierarchy, memory, _ = _hierarchy()
+        memory.write_bytes(0x10_0000 + 62, (0x1122334455667788)
+                           .to_bytes(8, "little"))
+        value, _ = hierarchy.read(0x10_0000 + 62, 8)
+        assert value == 0x1122334455667788
+        hierarchy.write(0x10_0000 + 62, 0xAABBCCDDEEFF0011, 8)
+        value, _ = hierarchy.read(0x10_0000 + 62, 8)
+        assert value == 0xAABBCCDDEEFF0011
+
+    def test_snapshot_roundtrip(self) -> None:
+        hierarchy, memory, _ = _hierarchy()
+        hierarchy.write(0x10_0000, 42, 4)
+        state = hierarchy.get_state()
+        hierarchy.write(0x10_0000, 99, 4)
+        hierarchy.set_state(state)
+        value, _ = hierarchy.read(0x10_0000, 4)
+        assert value == 42
+
+
+class TestPhysRegFile:
+    def test_rename_allocate_free_cycle(self) -> None:
+        prf = PhysRegFile(40, 32)
+        tag = prf.allocate()
+        assert tag >= 32 and prf.allocated[tag] and not prf.ready[tag]
+        old = prf.remap(5, tag)
+        assert old == 5
+        prf.write(tag, 123)
+        assert prf.ready[tag]
+        assert prf.read(tag) == 123
+        prf.free(old)
+        assert not prf.allocated[old]
+
+    def test_out_of_range_tag_asserts(self) -> None:
+        prf = PhysRegFile(40, 32)
+        with pytest.raises(SimAssertError, match="out of range"):
+            prf.read(40)
+        with pytest.raises(SimAssertError, match="out of range"):
+            prf.write(99, 0)
+
+    def test_write_unallocated_asserts(self) -> None:
+        prf = PhysRegFile(40, 32)
+        with pytest.raises(SimAssertError, match="unallocated"):
+            prf.write(39, 1)
+
+    def test_double_free_asserts(self) -> None:
+        prf = PhysRegFile(40, 32)
+        tag = prf.allocate()
+        prf.free(tag)
+        with pytest.raises(SimAssertError, match="double free"):
+            prf.free(tag)
+
+    def test_flip_bits(self) -> None:
+        prf = PhysRegFile(40, 32)
+        assert prf.bit_count() == 40 * 32
+        prf.flip_bit(5 * 32 + 7)
+        assert prf.values[5] == 1 << 7
+
+    def test_live_bits_track_allocation(self) -> None:
+        prf = PhysRegFile(40, 32)
+        assert prf.live_bit_count() == 32 * 32
+        prf.allocate()
+        assert prf.live_bit_count() == 33 * 32
+
+    def test_values_wrap_to_xlen(self) -> None:
+        prf = PhysRegFile(40, 32)
+        tag = prf.allocate()
+        prf.write(tag, 1 << 40)
+        assert prf.read(tag) == 0
+
+
+def _uop(seq: int, dest: int | None = None, store: bool = False) -> MicroOp:
+    uop = MicroOp(seq, 0x1000 + 4 * seq, 0)
+    uop.arch_dest = dest
+    uop.phys_dest = 32 + seq if dest is not None else None
+    uop.old_phys_dest = dest
+    uop.is_store = store
+    return uop
+
+
+class TestQueues:
+    def test_iq_wakeup_and_issue_order(self) -> None:
+        iq = IssueQueue(CORTEX_A15)
+        young = _uop(7, dest=1)
+        old = _uop(3, dest=2)
+        iq.insert(young, [40], [False], 50)
+        iq.insert(old, [41], [False], 51)
+        assert iq.ready_entries() == []
+        iq.wakeup(41)
+        ready = iq.ready_entries()
+        assert len(ready) == 1 and ready[0].uop is old
+        iq.wakeup(40)
+        ready = iq.ready_entries()
+        assert [e.seq for e in ready] == [3, 7]  # oldest first
+
+    def test_iq_squash(self) -> None:
+        iq = IssueQueue(CORTEX_A15)
+        iq.insert(_uop(3), [], [], None)
+        iq.insert(_uop(9), [], [], None)
+        iq.squash_younger(5)
+        assert [e.seq for e in iq.ready_entries()] == [3]
+
+    def test_iq_src_flip_changes_ready(self) -> None:
+        iq = IssueQueue(CORTEX_A15)
+        iq.insert(_uop(1), [40, 41], [True, True], 50)
+        per_entry = 2 * (iq.tag_bits + 1)
+        iq.flip_src_bit(iq.tag_bits)  # the src1 ready bit of slot 0
+        assert iq.entries[0].src1_ready is False
+        iq.flip_src_bit(0)
+        assert iq.entries[0].src1_tag == 41  # 40 ^ 1
+        assert iq.src_bit_count() == iq.size * per_entry
+
+    def test_sq_fifo_and_mismatch(self) -> None:
+        sq = StoreQueue(CORTEX_A15)
+        first = _uop(1, store=True)
+        second = _uop(2, store=True)
+        sq.insert(first)
+        sq.insert(second)
+        with pytest.raises(SimAssertError, match="head mismatch"):
+            sq.pop_head(2)
+
+    def test_sq_squash_pops_tail_only(self) -> None:
+        sq = StoreQueue(CORTEX_A15)
+        sq.insert(_uop(1, store=True))
+        sq.insert(_uop(5, store=True))
+        sq.squash_younger(2)
+        assert sq.count == 1
+        entry = sq.pop_head(1)
+        assert entry.seq == 1
+
+    def test_sq_older_stores_youngest_first(self) -> None:
+        sq = StoreQueue(CORTEX_A15)
+        for seq in (1, 3, 5):
+            sq.insert(_uop(seq, store=True))
+        older = sq.older_stores(5)
+        assert [e.seq for e in older] == [3, 1]
+
+    def test_lq_release_mismatch_asserts(self) -> None:
+        lq = LoadQueue(CORTEX_A15)
+        index = lq.insert(_uop(4))
+        with pytest.raises(SimAssertError, match="release mismatch"):
+            lq.release(index, 9)
+
+    def test_rob_flags_and_fields(self) -> None:
+        rob = ReorderBuffer(CORTEX_A15)
+        uop = _uop(1, dest=5)
+        index = rob.allocate(uop)
+        entry = rob.entries[index]
+        assert entry.pc == uop.pc
+        assert entry.arch_dest == 5
+        from repro.microarch.queues import FLAG_HAS_DEST
+
+        assert entry.flag(FLAG_HAS_DEST)
+
+    def test_rob_flip_fields(self) -> None:
+        rob = ReorderBuffer(CORTEX_A15)
+        rob.allocate(_uop(1, dest=5))
+        entry = rob.entries[0]
+        pc_before = entry.pc
+        rob.flip_pc_bit(3)
+        assert entry.pc == pc_before ^ 8
+        rob.flip_dest_bit(0)
+        assert entry.arch_dest == 4  # 5 ^ 1
+        rob.flip_seq_bit(1)
+        assert entry.seq == 1 ^ 2
+
+    def test_rob_flip_invalid_slot_masked(self) -> None:
+        rob = ReorderBuffer(CORTEX_A15)
+        assert rob.flip_pc_bit(50) is False
+
+    def test_rob_overflow_asserts(self) -> None:
+        rob = ReorderBuffer(CORTEX_A15)
+        for seq in range(rob.size):
+            rob.allocate(_uop(seq))
+        with pytest.raises(SimAssertError, match="overflow"):
+            rob.allocate(_uop(999))
+
+    def test_rob_walk_from_tail_order(self) -> None:
+        rob = ReorderBuffer(CORTEX_A15)
+        for seq in range(5):
+            rob.allocate(_uop(seq))
+        seqs = [e.seq for e in rob.walk_from_tail()]
+        assert seqs == [4, 3, 2, 1, 0]
+
+
+class TestBranchPredictor:
+    def test_bimodal_learns_direction(self) -> None:
+        predictor = BranchPredictor()
+        pc, target = 0x1000, 0x2000
+        assert predictor.predict(pc) == pc + 4  # no BTB entry yet
+        for _ in range(3):
+            predictor.update(pc, True, target, is_cond=True)
+        assert predictor.predict(pc) == target
+        for _ in range(4):
+            predictor.update(pc, False, target, is_cond=True)
+        assert predictor.predict(pc) == pc + 4
+
+    def test_unconditional_always_taken_on_btb_hit(self) -> None:
+        predictor = BranchPredictor()
+        predictor.update(0x1000, True, 0x3000, is_cond=False)
+        assert predictor.predict(0x1000) == 0x3000
+
+    def test_btb_capacity_bounded(self) -> None:
+        predictor = BranchPredictor(btb_size=16)
+        for i in range(64):
+            predictor.update(0x1000 + 4 * i, True, 0x2000, is_cond=False)
+        assert len(predictor.btb) <= 16

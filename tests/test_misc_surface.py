@@ -1,0 +1,104 @@
+"""Small public-surface checks: errors, Program container, IR cloning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import ir
+from repro.errors import (
+    CompileError,
+    SimCrashError,
+    SimTimeoutError,
+)
+from repro.isa import Instruction, Opcode, Program, encode
+
+
+class TestErrors:
+    def test_compile_error_line_prefix(self) -> None:
+        assert "line 7" in str(CompileError("bad", line=7))
+        assert CompileError("bad").line is None
+
+    def test_crash_kinds(self) -> None:
+        assert SimCrashError("x").kind == "process"
+        assert SimCrashError("x", kind="system").kind == "system"
+        with pytest.raises(ValueError):
+            SimCrashError("x", kind="alien")
+
+    def test_timeout_records_limit(self) -> None:
+        assert SimTimeoutError(500).limit == 500
+
+
+class TestProgram:
+    def _program(self) -> Program:
+        return Program(
+            text=[Instruction(Opcode.MOVW, rd=1, imm=5),
+                  Instruction(Opcode.SVC, imm=0)],
+            text_symbols={"_start": 0},
+            xlen=32,
+        )
+
+    def test_encoded_text(self) -> None:
+        program = self._program()
+        words = program.encoded_text()
+        assert words == [encode(i) for i in program.text]
+
+    def test_listing_marks_entry_and_labels(self) -> None:
+        listing = self._program().listing()
+        assert "_start:" in listing
+        assert "<- entry" in listing
+
+    def test_len_and_bytes(self) -> None:
+        program = self._program()
+        assert len(program) == 2
+        assert program.text_bytes == 8
+
+    def test_bad_xlen_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Program(xlen=48)
+
+
+class TestIrCloning:
+    def test_clone_call_copies_args_list(self) -> None:
+        call = ir.Call(ir.VReg(1), "f", [ir.Const(1), ir.VReg(2)])
+        clone = ir.clone_instr(call)
+        clone.args.append(ir.Const(9))
+        assert len(call.args) == 2
+
+    def test_clone_terminator_independent(self) -> None:
+        term = ir.CondJump("lt", ir.VReg(1), ir.Const(0), "a", "b")
+        clone = ir.clone_terminator(term)
+        clone.if_true = "elsewhere"
+        assert term.if_true == "a"
+
+    def test_instr_str_forms(self) -> None:
+        samples = [
+            ir.BinOp(ir.VReg(1), "add", ir.VReg(2), ir.Const(3)),
+            ir.Move(ir.VReg(1), ir.Const(0)),
+            ir.Load(ir.VReg(1), ir.VReg(2), 4, "byte"),
+            ir.Store(ir.Const(7), ir.VReg(2), 0),
+            ir.La(ir.VReg(1), "table"),
+            ir.SlotAddr(ir.VReg(1), 0),
+            ir.Call(None, "f", []),
+            ir.Syscall(1, ir.VReg(1)),
+        ]
+        for instr in samples:
+            assert str(instr)
+
+    def test_value_str(self) -> None:
+        assert str(ir.VReg(3, "acc")) == "%3.acc"
+        assert str(ir.Const(-5)) == "-5"
+
+
+def test_uop_repr() -> None:
+    from repro.microarch.uop import MicroOp
+
+    uop = MicroOp(7, 0x1000, 0)
+    assert "#7" in repr(uop)
+    uop.instr = Instruction(Opcode.NOP)
+    assert "nop" in repr(uop)
+
+
+def test_version_exposed() -> None:
+    import repro
+
+    assert repro.__version__

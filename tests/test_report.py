@@ -1,0 +1,49 @@
+"""EXPERIMENTS.md report generation from a tiny grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import CampaignGrid, GridSpec
+from repro.experiments.report import generate
+
+
+@pytest.fixture(scope="module")
+def tiny_grid(tmp_path_factory) -> CampaignGrid:
+    spec = GridSpec(
+        benchmarks=("qsort",),
+        levels=("O0", "O1", "O2", "O3"),
+        cores=("cortex-a15",),
+        fields=("rob.flags", "prf", "l1d.data", "l1i.data", "iq.src",
+                "lq", "sq", "l1d.tag", "l1i.tag", "l2.data", "l2.tag",
+                "iq.dst", "rob.pc", "rob.dest", "rob.seq"),
+        scale="micro",
+        injections=2,
+        seed=13,
+    )
+    grid = CampaignGrid(spec, tmp_path_factory.mktemp("report-grid"))
+    grid.ensure_all()
+    return grid
+
+
+def test_report_contains_every_section(tiny_grid) -> None:
+    text = generate(tiny_grid)
+    assert "# EXPERIMENTS" in text
+    assert "## Table I" in text
+    for figure in range(1, 13):
+        assert f"## Fig. {figure} " in text, figure
+    assert "Paper shape:" in text
+    assert "Headline observations" in text
+
+
+def test_report_records_grid_parameters(tiny_grid) -> None:
+    text = generate(tiny_grid)
+    assert "injections per cell=2" in text
+    assert "seed=13" in text
+    assert "scale=micro" in text
+
+
+def test_report_headlines_mention_rob_and_rf(tiny_grid) -> None:
+    text = generate(tiny_grid)
+    assert "ROB(flags) wAVF" in text
+    assert "RF wAVF" in text

@@ -1,0 +1,134 @@
+"""Workloads: oracle agreement on every (benchmark, level, target) at
+micro scale, plus deep validation of the crypto kernels."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.kernel import MainMemory, load, run_functional
+from repro.workloads import (
+    BENCHMARKS,
+    SCALES,
+    WORKLOADS,
+    build_program,
+    expected_output,
+    get_workload,
+)
+from repro.workloads import rijndael, sha
+from repro.workloads.base import LCG_MASK, lcg_stream
+
+_TARGETS = (("armlet32", 32), ("armlet64", 64))
+_LEVELS = ("O0", "O1", "O2", "O3")
+
+
+def test_registry_has_the_eight_mibench_analogues() -> None:
+    assert set(BENCHMARKS) == {
+        "qsort", "dijkstra", "fft", "sha", "blowfish", "gsm", "patricia",
+        "rijndael",
+    }
+    for workload in WORKLOADS.values():
+        assert workload.scales == SCALES
+        assert workload.description
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+@pytest.mark.parametrize("target,xlen", _TARGETS)
+def test_micro_outputs_match_oracle_every_level(name, target, xlen) -> None:
+    ref = expected_output(name, "micro", xlen)
+    assert ref  # oracle produces something
+    for level in _LEVELS:
+        program = build_program(name, "micro", level, target)
+        memory = MainMemory(4 * 1024 * 1024)
+        result = run_functional(load(program, memory), memory,
+                                max_instructions=30_000_000)
+        assert result.exit_code == 0, (name, level)
+        assert result.output.data == ref, (name, level)
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_sources_compile_at_every_scale(name) -> None:
+    workload = get_workload(name)
+    for scale in SCALES:
+        source = workload.source(scale)
+        assert "int main()" in source
+        # larger scales really are larger programs or datasets
+    micro = len(workload.source("micro"))
+    large = len(workload.source("large"))
+    assert large >= micro
+
+
+def test_unknown_workload_rejected() -> None:
+    with pytest.raises(ValueError, match="unknown workload"):
+        get_workload("specint")
+    with pytest.raises(ValueError, match="unknown scale"):
+        get_workload("qsort").check_scale("huge")
+
+
+def test_lcg_is_width_independent() -> None:
+    stream = lcg_stream(7)
+    values = [next(stream) for _ in range(1000)]
+    assert all(0 <= v <= LCG_MASK for v in values)
+    # multiplication never exceeds 2^31, so 32-bit cores compute the
+    # same sequence
+    assert max(values) * 25173 + 13849 < 2 ** 31
+
+
+class TestShaOracle:
+    def test_digest_matches_hashlib(self) -> None:
+        message = sha.message_bytes("micro")
+        digest = hashlib.sha1(message).hexdigest()
+        expected = expected_output("sha", "micro", 32).decode()
+        words = [int(line, 16) for line in expected.strip().split("\n")]
+        reconstructed = "".join(f"{w:08x}" for w in words)
+        assert reconstructed == digest
+
+    def test_simulated_sha1_is_real_sha1(self) -> None:
+        program = build_program("sha", "micro", "O2", "armlet32")
+        memory = MainMemory(4 * 1024 * 1024)
+        result = run_functional(load(program, memory), memory)
+        words = [int(line, 16)
+                 for line in result.output.data.decode().strip().split()]
+        digest = "".join(f"{w:08x}" for w in words)
+        assert digest == hashlib.sha1(sha.message_bytes("micro")).hexdigest()
+
+
+class TestAesOracle:
+    def test_fips197_vector(self) -> None:
+        key = bytes(range(16))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        ciphertext = rijndael.encrypt_block(plaintext,
+                                            rijndael.expand_key(key))
+        assert ciphertext.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_sbox_known_entries(self) -> None:
+        sbox = rijndael.make_sbox()
+        assert sbox[0x00] == 0x63
+        assert sbox[0x01] == 0x7C
+        assert sbox[0x53] == 0xED
+        assert sorted(sbox) == list(range(256))  # a permutation
+
+
+def test_qsort_output_is_sorted_checksum() -> None:
+    # the in-simulator sort must report zero unsorted adjacent pairs
+    out = expected_output("qsort", "micro", 32).decode().split()
+    assert out[1] == "0"
+
+
+def test_patricia_oracle_counts_nodes_like_the_program() -> None:
+    program = build_program("patricia", "micro", "O1", "armlet32")
+    memory = MainMemory(4 * 1024 * 1024)
+    result = run_functional(load(program, memory), memory)
+    assert result.output.data == expected_output("patricia", "micro", 32)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_small_scale_outputs_match_oracle(name) -> None:
+    ref = expected_output(name, "small", 32)
+    program = build_program(name, "small", "O2", "armlet32")
+    memory = MainMemory(4 * 1024 * 1024)
+    result = run_functional(load(program, memory), memory,
+                            max_instructions=80_000_000)
+    assert result.output.data == ref
