@@ -1,0 +1,66 @@
+"""Extension bench: static vulnerability bounds vs dynamic ACE cost.
+
+The point of the static analyzer is that it prices a campaign gate at
+compile time: no simulation, so it must be dramatically cheaper than
+even one dynamic ACE pass while still dominating it. This bench times
+both on the same program and asserts a >= 10x speedup, then renders the
+bound-vs-estimate table the speedup buys.
+"""
+
+import time
+
+import pytest
+
+from repro.avf import ace_estimate, static_ace_estimate
+from repro.microarch import CONFIGS
+from repro.workloads import build_program
+
+from conftest import emit
+
+FIELDS = ("rob.seq", "prf", "iq.src", "lq", "l1i.data", "l1d.data")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = build_program("sha", "micro", "O2", "armlet32")
+    return program, CONFIGS["cortex-a15"]
+
+
+def test_static_analysis_speedup(benchmark, setup) -> None:
+    program, config = setup
+
+    static = benchmark.pedantic(
+        lambda: static_ace_estimate(program, config),
+        rounds=3, iterations=1)
+
+    started = time.perf_counter()
+    static_elapsed = 0.0
+    for _ in range(3):
+        t0 = time.perf_counter()
+        static_ace_estimate(program, config)
+        static_elapsed = max(static_elapsed, time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    dynamic = ace_estimate(program, config)
+    dynamic_elapsed = time.perf_counter() - t0
+    total = time.perf_counter() - started
+
+    speedup = dynamic_elapsed / max(static_elapsed, 1e-9)
+    assert speedup >= 10.0, (
+        f"static analysis only {speedup:.1f}x faster than one dynamic "
+        f"ACE pass ({static_elapsed * 1e3:.1f} ms vs "
+        f"{dynamic_elapsed * 1e3:.1f} ms)")
+
+    lines = [
+        "static AVF bound vs dynamic ACE estimate (sha O2, A15)",
+        f"static {static_elapsed * 1e3:8.2f} ms   "
+        f"dynamic {dynamic_elapsed * 1e3:8.2f} ms   "
+        f"speedup {speedup:7.1f}x   (wall {total:.2f} s)",
+        f"{'field':10s} {'static':>8s} {'dynamic':>8s} {'slack':>8s}",
+    ]
+    for field in FIELDS:
+        bound = static.estimates[field]
+        est = dynamic.estimates[field]
+        assert bound >= est - 1e-12
+        lines.append(f"{field:10s} {bound:8.4f} {est:8.4f} "
+                     f"{bound - est:+8.4f}")
+    emit("static_ace_speedup", "\n".join(lines))

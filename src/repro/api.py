@@ -7,16 +7,25 @@
     golden = golden_run(program, core="cortex-a72")
     result = run_campaign(program, "rob.pc", n=100, core="cortex-a72",
                           golden=golden)
+
+Campaigns can be gated on a verified binary and pre-screened without a
+simulation::
+
+    verify_workload("sha", opt_level="O3")          # raises on miscompile
+    bounds = static_ace(program, core="cortex-a72")  # static AVF bounds
 """
 
 from __future__ import annotations
 
+from .avf import StaticAceResult
+from .avf import static_ace_estimate as _static_ace_estimate
+from .compiler import TARGETS, CompileResult, compile_module
 from .gefin import CampaignResult, GoldenRun
 from .gefin import run_campaign as _run_campaign
 from .gefin import run_golden as _run_golden
 from .isa.program import Program
 from .microarch import CONFIGS, Simulator
-from .workloads import build_program
+from .workloads import build_program, get_workload
 
 _CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
 
@@ -35,6 +44,28 @@ def compile_workload(name: str, opt_level: str = "O2",
     """Compile one of the eight benchmarks for ``core``."""
     _config(core)
     return build_program(name, scale, opt_level, _CORE_TO_TARGET[core])
+
+
+def verify_workload(name: str, opt_level: str = "O2",
+                    core: str = "cortex-a15",
+                    scale: str = "micro") -> CompileResult:
+    """Compile a benchmark with per-pass IR verification.
+
+    Raises :class:`~repro.errors.IRVerificationError` naming the pass,
+    function, block, and rule if any optimization pass breaks an IR
+    invariant; returns the verified :class:`CompileResult` otherwise.
+    """
+    _config(core)
+    target = TARGETS[_CORE_TO_TARGET[core]]
+    source = get_workload(name).source(scale)
+    return compile_module(source, opt_level, target,
+                          name=f"{name}.{scale}", verify_ir=True)
+
+
+def static_ace(program: Program,
+               core: str = "cortex-a15") -> StaticAceResult:
+    """Simulation-free per-structure static AVF upper bounds."""
+    return _static_ace_estimate(program, _config(core))
 
 
 def build_simulator(program: Program, core: str = "cortex-a15") -> Simulator:

@@ -1,8 +1,15 @@
 """AVF analytics: weighted AVF (eq. 1), FIT (eq. 2), FPE (eq. 3), ECC,
-and an ACE-style analytic estimator for pessimism comparisons."""
+an ACE-style analytic estimator for pessimism comparisons, and a fully
+static (simulation-free) per-structure vulnerability bound."""
 
 from .ace import AceResult, ace_estimate
 from .ads import ads, ads_ranking, normalized_ads
+from .static_ace import (
+    InstructionVulnerability,
+    StaticAceResult,
+    instruction_report,
+    static_ace_estimate,
+)
 from .protection import (
     ProtectionPlan,
     fit_contributions,
@@ -30,7 +37,11 @@ from .weighted import BenchmarkAVF, weighted_avf, weighted_class_avf
 __all__ = [
     "AceResult",
     "BenchmarkAVF",
+    "InstructionVulnerability",
+    "StaticAceResult",
     "ace_estimate",
+    "instruction_report",
+    "static_ace_estimate",
     "ads",
     "ads_ranking",
     "normalized_ads",

@@ -1,0 +1,198 @@
+"""Static ACE-style vulnerability bounds -- no simulation required.
+
+:func:`static_ace_estimate` derives, for every injectable structure
+field, an upper bound on the occupancy-based live-bit fraction that the
+dynamic :func:`~repro.avf.ace.ace_estimate` measures over a fault-free
+run. Where the dynamic estimator needs a full simulation per program,
+the static analyzer needs only the linked binary and the core geometry,
+making it cheap enough to gate every campaign on.
+
+Soundness argument per field class (the tests enforce the resulting
+``static >= dynamic-ACE >= SFI`` pessimism ordering):
+
+capacity bounds (``rob.*``, ``iq.*``, ``lq``, ``sq``, ``prf``)
+    a queue can never be more than full, so occupancy is bounded by 1.0
+    -- refined to 0.0 when the program provably cannot allocate an entry
+    (e.g. a load queue with no load instructions), and for the PRF by
+    ``(arch regs + ROB entries) / phys regs``: every allocated physical
+    register beyond the 32 architecturally mapped ones belongs to an
+    in-flight instruction, of which there are at most ``rob_entries``;
+
+footprint bounds (``l1i.*``, ``l1d.*``, ``l2.*``)
+    a cache line becomes resident only when its address is touched, and
+    a memory-safe armlet program can only touch the text segment
+    (fetch), its data segment, the kernel block (syscall state), and the
+    stack down to the statically derived worst-case depth (recursion
+    widens this to the whole user stack region). The bound is the
+    line-count of that reachable footprint over the cache's capacity.
+
+The per-register liveness analysis (:mod:`repro.compiler.lifetimes`)
+additionally yields a per-instruction vulnerability report -- live
+architectural registers at each slot, Jaulmes-style lifetime intervals,
+and register-pressure statistics -- exposed via ``repro lint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from ..compiler import lifetimes as lifetimes_mod
+from ..isa import registers
+from ..isa.program import Program
+from ..kernel.layout import SystemMap
+from ..microarch.config import CacheGeometry, CoreConfig
+
+
+@dataclass
+class StaticAceResult:
+    """Per-structure static AVF upper bounds for one program."""
+
+    config_name: str
+    program_name: str
+    estimates: dict[str, float] = dataclass_field(default_factory=dict)
+    derivations: dict[str, str] = dataclass_field(default_factory=dict)
+    lifetimes: lifetimes_mod.Lifetimes | None = None
+
+    def pessimism_vs(self, dynamic: dict[str, float]) -> dict[str, float]:
+        """Static bound minus a dynamic estimate, per shared field."""
+        return {
+            name: self.estimates[name] - dynamic[name]
+            for name in self.estimates if name in dynamic
+        }
+
+
+def _span_lines(lo: int, hi: int, line_bytes: int) -> int:
+    """Distinct cache lines covering the byte span ``[lo, hi)``."""
+    if hi <= lo:
+        return 0
+    first = lo // line_bytes
+    last = (hi - 1) // line_bytes
+    return last - first + 1
+
+
+def _footprint_fraction(geometry: CacheGeometry,
+                        spans: list[tuple[int, int]]) -> float:
+    lines = sum(_span_lines(lo, hi, geometry.line_bytes)
+                for lo, hi in spans)
+    return min(1.0, lines / geometry.num_lines)
+
+
+def _data_spans(program: Program, system_map: SystemMap,
+                stack_bound: int | None) -> list[tuple[int, int]]:
+    """Byte spans a memory-safe run can touch through the data path."""
+    spans = [
+        (system_map.kernel_base, system_map.kernel_end),
+        (system_map.data_base, system_map.data_base + len(program.data)),
+    ]
+    if stack_bound is None:
+        # recursion: the stack may legally grow through the user region
+        spans.append((system_map.heap_base, system_map.stack_top))
+    else:
+        spans.append((system_map.stack_top - stack_bound,
+                      system_map.stack_top))
+    return spans
+
+
+def static_ace_estimate(program: Program, config: CoreConfig,
+                        system_map: SystemMap | None = None
+                        ) -> StaticAceResult:
+    """Static per-structure AVF upper bounds for ``program`` on ``config``."""
+    system_map = system_map or SystemMap()
+    life = lifetimes_mod.analyze_program(program)
+
+    has_dest = any(i.dest_reg() is not None for i in program.text)
+    has_src = any(i.src_regs() for i in program.text)
+    has_load = any(i.is_load for i in program.text)
+    has_store = any(i.is_store for i in program.text)
+    occupied = 1.0 if program.text else 0.0
+
+    text_span = (system_map.text_base,
+                 system_map.text_base + program.text_bytes)
+    data_spans = _data_spans(program, system_map, life.stack.bound_bytes)
+
+    prf_bound = min(1.0, (registers.NUM_REGS + config.rob_entries)
+                    / config.phys_regs)
+
+    result = StaticAceResult(config_name=config.name,
+                             program_name=program.name,
+                             lifetimes=life)
+
+    def put(name: str, bound: float, how: str) -> None:
+        result.estimates[name] = bound
+        result.derivations[name] = how
+
+    rob = f"capacity: <= {config.rob_entries} in-flight entries"
+    put("rob.pc", occupied, rob)
+    put("rob.seq", occupied, rob)
+    put("rob.dest", occupied, rob)
+    put("rob.flags", occupied, rob)
+    put("iq.src", 1.0 if has_src else 0.0,
+        "capacity, 0 if no instruction reads a register")
+    put("iq.dst", 1.0 if has_dest else 0.0,
+        "capacity, 0 if no instruction writes a register")
+    put("lq", 1.0 if has_load else 0.0,
+        "capacity, 0 if the program has no loads")
+    put("sq", 1.0 if has_store else 0.0,
+        "capacity, 0 if the program has no stores")
+    put("prf", prf_bound,
+        f"(arch {registers.NUM_REGS} + rob {config.rob_entries}) / "
+        f"phys {config.phys_regs}")
+
+    l1i_frac = _footprint_fraction(config.l1i, [text_span])
+    put("l1i.data", l1i_frac,
+        f"text footprint {program.text_bytes} B over "
+        f"{config.l1i.num_lines} lines")
+    put("l1i.tag", l1i_frac, "same resident-line bound as l1i.data")
+
+    l1d_frac = _footprint_fraction(config.l1d, data_spans)
+    put("l1d.data", l1d_frac,
+        "data+stack+kernel footprint over L1D lines")
+    put("l1d.tag", l1d_frac, "same resident-line bound as l1d.data")
+
+    l2_frac = _footprint_fraction(config.l2, [text_span] + data_spans)
+    put("l2.data", l2_frac,
+        "text+data+stack+kernel footprint over L2 lines")
+    put("l2.tag", l2_frac, "same resident-line bound as l2.data")
+
+    return result
+
+
+# --------------------------------------------------- per-instruction report
+
+@dataclass(frozen=True)
+class InstructionVulnerability:
+    """Static vulnerability summary of one instruction slot."""
+
+    index: int
+    labels: tuple[str, ...]
+    text: str
+    live_regs: tuple[int, ...]
+
+    @property
+    def live_count(self) -> int:
+        return len(self.live_regs)
+
+    def reg_names(self) -> tuple[str, ...]:
+        return tuple(registers.reg_name(r) for r in self.live_regs)
+
+
+def instruction_report(life: lifetimes_mod.Lifetimes
+                       ) -> list[InstructionVulnerability]:
+    """Per-slot live-register exposure, program order.
+
+    The live-register count entering a slot is the number of
+    architectural registers whose corruption at that point can change
+    the architecturally correct execution -- the per-instruction
+    analogue of the register-file ACE bound.
+    """
+    program = life.program
+    by_index = program.labels_by_index()
+    rows = []
+    for index, instr in enumerate(program.text):
+        rows.append(InstructionVulnerability(
+            index=index,
+            labels=tuple(by_index.get(index, ())),
+            text=str(instr),
+            live_regs=life.live_regs_at(index),
+        ))
+    return rows

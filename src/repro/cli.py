@@ -4,6 +4,8 @@
 command   what it does
 ========  ==========================================================
 compile   compile a benchmark (or a MinC file) and print stats/listing
+verify    compile with the IR verifier after every optimization pass
+lint      static vulnerability analysis (no simulation)
 run       fault-free simulation with cycle counts and instruction mix
 inject    statistical fault-injection campaign against one field
 ace       ACE-style analytic AVF estimate for comparison with SFI
@@ -17,31 +19,50 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
-from .avf import ace_estimate
-from .compiler import TARGETS, compile_source
+from .avf import ace_estimate, instruction_report, static_ace_estimate
+from .compiler import TARGETS, compile_module, compile_source
+from .errors import IRVerificationError
 from .gefin import run_campaign, run_golden
 from .microarch import CONFIGS, Simulator
-from .workloads import BENCHMARKS, build_program
+from .workloads import BENCHMARKS, build_program, get_workload
 
 _CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
 
 
+def _resolve_opt(args) -> str:
+    """Honour the ``-O3``-style shorthand over the ``--opt`` default."""
+    short = getattr(args, "opt_short", None)
+    if short is not None:
+        args.opt = f"O{short}"
+    return args.opt
+
+
+def _load_source(args) -> tuple[str, str]:
+    """(MinC source, program name) for a benchmark or a file path."""
+    if args.program in BENCHMARKS:
+        return get_workload(args.program).source(args.scale), args.program
+    path = Path(args.program)
+    if not path.exists():
+        raise SystemExit(
+            f"{args.program!r} is neither a benchmark "
+            f"({', '.join(BENCHMARKS)}) nor a MinC file")
+    return path.read_text(), path.stem
+
+
 def _load_program(args):
+    _resolve_opt(args)
     core = CONFIGS[args.core]
     if args.program in BENCHMARKS:
         program = build_program(args.program, args.scale, args.opt,
                                 _CORE_TO_TARGET[args.core])
     else:
-        path = Path(args.program)
-        if not path.exists():
-            raise SystemExit(
-                f"{args.program!r} is neither a benchmark "
-                f"({', '.join(BENCHMARKS)}) nor a MinC file")
+        source, name = _load_source(args)
         program = compile_source(
-            path.read_text(), args.opt,
-            TARGETS[_CORE_TO_TARGET[args.core]], name=path.stem)
+            source, args.opt, TARGETS[_CORE_TO_TARGET[args.core]],
+            name=name)
     return program, core
 
 
@@ -52,6 +73,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=sorted(CONFIGS))
     parser.add_argument("--opt", default="O2",
                         choices=["O0", "O1", "O2", "O3"])
+    parser.add_argument("-O", dest="opt_short", choices=["0", "1", "2", "3"],
+                        help="shorthand for --opt O<n>")
     parser.add_argument("--scale", default="micro",
                         choices=["micro", "small", "large"])
 
@@ -62,6 +85,57 @@ def cmd_compile(args) -> int:
           f"{len(program.data)} data bytes, entry at #{program.entry}")
     if args.listing:
         print(program.listing())
+    return 0
+
+
+def cmd_verify(args) -> int:
+    _resolve_opt(args)
+    source, name = _load_source(args)
+    target = TARGETS[_CORE_TO_TARGET[args.core]]
+    try:
+        result = compile_module(source, args.opt, target, name=name,
+                                verify_ir=True)
+    except IRVerificationError as err:
+        print(f"FAIL {name} at {args.opt}: {err}")
+        return 1
+    module = result.module
+    blocks = sum(len(f.blocks) for f in module.functions.values())
+    instrs = sum(len(b.instrs) + 1 for f in module.functions.values()
+                 for b in f.blocks)
+    print(f"OK {name} at {args.opt} ({target.name}): "
+          f"{len(module.functions)} functions, {blocks} blocks, "
+          f"{instrs} IR instructions verified after every pass")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    program, core = _load_program(args)
+    started = time.perf_counter()
+    result = static_ace_estimate(program, core)
+    elapsed = time.perf_counter() - started
+    life = result.lifetimes
+    print(f"{program.name} on {core.name}: static analysis of "
+          f"{len(program.text)} instructions in {elapsed * 1e3:.1f} ms")
+    print("per-structure static AVF upper bounds:")
+    for field_name, bound in sorted(result.estimates.items()):
+        print(f"  {field_name:10s} <= {bound:.4f}  "
+              f"[{result.derivations[field_name]}]")
+    stack = life.stack
+    if stack.bound_bytes is None:
+        print("stack: recursive call graph, depth statically unbounded")
+    else:
+        print(f"stack: worst-case depth {stack.bound_bytes} bytes over "
+              f"{len(stack.frame_bytes)} functions")
+    print(f"register pressure: mean {life.mean_pressure:.2f}, "
+          f"max {life.max_pressure} of {32} live; "
+          f"{len(life.intervals)} live intervals")
+    rows = sorted(instruction_report(life),
+                  key=lambda r: r.live_count, reverse=True)[:args.top]
+    print(f"top {len(rows)} most vulnerable instruction slots:")
+    for row in rows:
+        names = ",".join(row.reg_names())
+        print(f"  #{row.index:5d} live={row.live_count:2d} "
+              f"{row.text:32s} [{names}]")
     return 0
 
 
@@ -128,6 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--listing", action="store_true")
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("verify",
+                       help="compile with per-pass IR verification")
+    _add_common(p)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("lint",
+                       help="static vulnerability analysis (no simulation)")
+    _add_common(p)
+    p.add_argument("--top", type=int, default=10,
+                   help="instruction slots to show in the report")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("run", help="fault-free simulation")
     _add_common(p)

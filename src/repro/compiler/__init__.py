@@ -7,7 +7,7 @@ Public entry points: :func:`~repro.compiler.driver.compile_source` /
 optimization levels ``O0``-``O3`` (see :mod:`repro.compiler.pipeline`).
 """
 
-from . import analysis, ir
+from . import analysis, ir, lifetimes, verify
 from .driver import (
     ARMLET32,
     ARMLET64,
@@ -24,6 +24,7 @@ from .pipeline import (
     normalize_level,
     optimize_custom,
 )
+from .verify import verify_function, verify_module
 
 __all__ = [
     "ARMLET32",
@@ -38,6 +39,10 @@ __all__ = [
     "compile_module",
     "compile_source",
     "ir",
+    "lifetimes",
     "normalize_level",
     "optimize_custom",
+    "verify",
+    "verify_function",
+    "verify_module",
 ]

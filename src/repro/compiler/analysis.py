@@ -5,7 +5,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import IRVerificationError
 from . import ir
+
+
+def terminator_of(func: ir.Function, block: ir.Block) -> ir.Terminator:
+    """The block's terminator, or a structured error naming the block.
+
+    The CFG analyses are only well-defined on terminated blocks; a
+    missing terminator is a compiler bug, reported as an
+    :class:`~repro.errors.IRVerificationError` rather than a bare
+    ``assert`` (which vanishes under ``python -O``).
+    """
+    term = block.terminator
+    if term is None:
+        raise IRVerificationError("cfg", "block has no terminator",
+                                  function=func.name, block=block.name)
+    return term
 
 
 def reachable_blocks(func: ir.Function) -> set[str]:
@@ -20,8 +36,7 @@ def reachable_blocks(func: ir.Function) -> set[str]:
         if name in seen:
             continue
         seen.add(name)
-        term = blocks[name].terminator
-        assert term is not None
+        term = terminator_of(func, blocks[name])
         stack.extend(s for s in term.successors() if s not in seen)
     return seen
 
@@ -37,7 +52,7 @@ def postorder(func: ir.Function) -> list[str]:
     visited.add(entry)
     while stack:
         name, index = stack[-1]
-        succs = blocks[name].terminator.successors()  # type: ignore
+        succs = terminator_of(func, blocks[name]).successors()
         if index < len(succs):
             stack[-1] = (name, index + 1)
             succ = succs[index]
@@ -100,8 +115,7 @@ def find_loops(func: ir.Function) -> list[Loop]:
     loops: dict[str, Loop] = {}
     preds = func.predecessors()
     for name in dom:  # reachable blocks only
-        term = blocks[name].terminator
-        assert term is not None
+        term = terminator_of(func, blocks[name])
         for succ in term.successors():
             if succ in dom.get(name, ()):  # back edge name -> succ
                 loop = loops.setdefault(succ, Loop(succ, {succ}))
@@ -129,8 +143,11 @@ def block_defs_uses(block: ir.Block) -> tuple[set[ir.VReg], set[ir.VReg]]:
         dst = instr.defs()
         if dst is not None:
             defs.add(dst)
-    assert block.terminator is not None
-    for value in block.terminator.uses():
+    term = block.terminator
+    if term is None:
+        raise IRVerificationError("cfg", "block has no terminator",
+                                  block=block.name)
+    for value in term.uses():
         if isinstance(value, ir.VReg) and value not in defs:
             uses.add(value)
     return defs, uses
@@ -150,8 +167,7 @@ def liveness(func: ir.Function) -> tuple[dict[str, set[ir.VReg]],
     while changed:
         changed = False
         for block in reversed(func.blocks):
-            term = block.terminator
-            assert term is not None
+            term = terminator_of(func, block)
             out: set[ir.VReg] = set()
             for succ in term.successors():
                 out |= live_in[succ]

@@ -10,7 +10,7 @@ from dataclasses import dataclass
 
 from ..isa.program import Program
 from ..lang import analyze, parse
-from . import codegen, ir, irbuilder, pipeline, regalloc
+from . import codegen, ir, irbuilder, pipeline, regalloc, verify
 
 
 @dataclass(frozen=True)
@@ -46,14 +46,24 @@ class CompileResult:
 
 
 def compile_module(source: str, opt_level: str | int,
-                   target: Target, name: str = "prog") -> CompileResult:
-    """Compile MinC ``source`` and keep the IR around."""
+                   target: Target, name: str = "prog",
+                   verify_ir: bool = False) -> CompileResult:
+    """Compile MinC ``source`` and keep the IR around.
+
+    With ``verify_ir`` the IR verifier checks the freshly built module,
+    re-checks after every optimization pass (attributing violations to
+    the pass that caused them), and checks the final pre-allocation IR.
+    """
     level = pipeline.normalize_level(opt_level)
     module_ast = parse(source)
     info = analyze(module_ast)
     module = irbuilder.build_module(module_ast, info, target.word_size,
                                     name=name)
-    pipeline.optimize(module, level)
+    if verify_ir:
+        verify.verify_module(module)
+    pipeline.optimize(module, level, verify_each_pass=verify_ir)
+    if verify_ir:
+        verify.verify_module(module)
     allocations = {
         fname: regalloc.allocate(func, level)
         for fname, func in module.functions.items()
@@ -66,14 +76,16 @@ def compile_module(source: str, opt_level: str | int,
 
 def compile_source(source: str, opt_level: str | int = "O0",
                    target: Target = ARMLET32,
-                   name: str = "prog") -> Program:
+                   name: str = "prog", verify_ir: bool = False) -> Program:
     """Compile MinC ``source`` to a linked :class:`Program`."""
-    return compile_module(source, opt_level, target, name).program
+    return compile_module(source, opt_level, target, name,
+                          verify_ir=verify_ir).program
 
 
 def compile_custom(source: str, pass_names: list[str],
                    target: Target = ARMLET32, name: str = "prog",
-                   regalloc_mode: str = "O1") -> CompileResult:
+                   regalloc_mode: str = "O1",
+                   verify_ir: bool = False) -> CompileResult:
     """Compile with an explicit pass list (ablation studies).
 
     ``regalloc_mode`` picks the allocator personality: ``"O0"`` for
@@ -84,7 +96,12 @@ def compile_custom(source: str, pass_names: list[str],
     info = analyze(module_ast)
     module = irbuilder.build_module(module_ast, info, target.word_size,
                                     name=name)
-    pipeline.optimize_custom(module, pass_names)
+    if verify_ir:
+        verify.verify_module(module)
+    pipeline.optimize_custom(module, pass_names,
+                             verify_each_pass=verify_ir)
+    if verify_ir:
+        verify.verify_module(module)
     level = "O0" if regalloc_mode == "O0" else "O1"
     allocations = {
         fname: regalloc.allocate(func, level)

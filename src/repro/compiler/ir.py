@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Union
 
+from ..errors import IRVerificationError
+
 
 @dataclass(frozen=True, slots=True)
 class VReg:
@@ -374,8 +376,12 @@ class Function:
     def predecessors(self) -> dict[str, list[str]]:
         preds: dict[str, list[str]] = {b.name: [] for b in self.blocks}
         for block in self.blocks:
-            assert block.terminator is not None, block.name
-            for succ in block.terminator.successors():
+            term = block.terminator
+            if term is None:
+                raise IRVerificationError(
+                    "cfg", "block has no terminator",
+                    function=self.name, block=block.name)
+            for succ in term.successors():
                 preds[succ].append(block.name)
         return preds
 

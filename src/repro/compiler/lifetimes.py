@@ -1,0 +1,306 @@
+"""Static register/stack lifetime analysis over linked armlet programs.
+
+Works directly on the compiled ISA text -- no simulation -- in the style
+of ARMORY's exhaustive static fault reasoning and Jaulmes et al.'s
+liveness-interval vulnerability metrics:
+
+* an instruction-level CFG is recovered from branch displacements;
+* backward dataflow computes, per instruction slot, the set of
+  architectural registers that are *live* (may be read before being
+  overwritten on some path);
+* live sets are folded into per-register live intervals and
+  register-pressure statistics;
+* function frames are discovered from prologue ``sp`` adjustments and
+  the ``bl`` call graph, giving a worst-case static stack bound (or
+  ``None`` when recursion makes the depth unbounded).
+
+Calls are modelled interprocedurally by union (a ``bl`` flows both into
+the callee and to its return point) and returns conservatively keep the
+ABI-visible registers (return value, callee-saved, ``sp``/``gp``/``fp``)
+alive, so the computed live sets *over*-approximate true liveness --
+the direction a vulnerability upper bound needs.
+
+All register sets are 32-bit masks over the architectural register file;
+the hardwired zero register is excluded (its value is immutable
+architecturally, so it carries no live interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import registers
+from ..isa.instructions import Format, Instruction, Opcode
+from ..isa.program import Program
+
+# Registers the ABI keeps meaningful across a return (modelled as live at
+# every indirect jump, which codegen emits only as `br lr`): the return
+# value, the callee-saved file, and the frame/global/stack pointers.
+_RETURN_LIVE_MASK = (
+    (1 << registers.RETURN_REG)
+    | (1 << registers.SP)
+    | (1 << registers.GP)
+    | (1 << registers.FP)
+    | sum(1 << r for r in registers.SAVED_REGS)
+)
+
+_ZERO_MASK = ~(1 << registers.ZERO)
+
+
+def _mask_of(regs: tuple[int, ...]) -> int:
+    mask = 0
+    for reg in regs:
+        mask |= 1 << reg
+    return mask & _ZERO_MASK
+
+
+def _regs_of(mask: int) -> tuple[int, ...]:
+    return tuple(r for r in range(registers.NUM_REGS) if mask >> r & 1)
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """One maximal span of instruction slots where a register is live."""
+
+    reg: int
+    start: int
+    end: int  # inclusive
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
+@dataclass
+class StackModel:
+    """Static stack usage recovered from prologues and the call graph."""
+
+    frame_bytes: dict[int, int] = field(default_factory=dict)
+    call_edges: dict[int, set[int]] = field(default_factory=dict)
+    recursive: bool = False
+    bound_bytes: int | None = None
+
+
+@dataclass
+class Lifetimes:
+    """Full static lifetime analysis of one program."""
+
+    program: Program
+    successors: list[tuple[int, ...]]
+    live_in: list[int]   # register bitmask per instruction slot
+    live_out: list[int]
+    intervals: list[LiveInterval]
+    stack: StackModel
+
+    @property
+    def live_counts(self) -> list[int]:
+        """Number of live registers entering each instruction slot."""
+        return [mask.bit_count() for mask in self.live_in]
+
+    @property
+    def max_pressure(self) -> int:
+        return max(self.live_counts, default=0)
+
+    @property
+    def mean_pressure(self) -> float:
+        counts = self.live_counts
+        return sum(counts) / len(counts) if counts else 0.0
+
+    def live_regs_at(self, index: int) -> tuple[int, ...]:
+        """Architectural registers live entering slot ``index``."""
+        return _regs_of(self.live_in[index])
+
+    def intervals_of(self, reg: int) -> list[LiveInterval]:
+        return [iv for iv in self.intervals if iv.reg == reg]
+
+    @property
+    def ever_live_mask(self) -> int:
+        mask = 0
+        for live in self.live_in:
+            mask |= live
+        return mask
+
+
+def instruction_flow(instr: Instruction, index: int,
+                     size: int) -> tuple[int, ...]:
+    """Successor slots of ``instr`` at ``index`` in a ``size``-slot text.
+
+    ``br`` (used only for returns) has no static successors; the return
+    convention is modelled in the liveness transfer instead. Targets
+    outside the text (a toolchain bug) are dropped rather than crashing
+    so the analyzer can still report on a damaged binary.
+    """
+    fmt = instr.format
+    succs: list[int] = []
+    if fmt is Format.J:
+        succs.append(index + instr.imm)
+        if instr.opcode is Opcode.BL:
+            succs.append(index + 1)  # return point
+    elif fmt is Format.BC:
+        succs.append(index + instr.imm)
+        succs.append(index + 1)
+    elif fmt is Format.JR:
+        pass
+    else:
+        succs.append(index + 1)
+    return tuple(s for s in succs if 0 <= s < size)
+
+
+def _uses_mask(instr: Instruction) -> int:
+    mask = _mask_of(instr.src_regs())
+    if instr.format is Format.JR:
+        mask |= _RETURN_LIVE_MASK
+    elif instr.is_syscall:
+        mask |= 1 << registers.ARG_REGS[0]  # SVC argument in a0
+    return mask
+
+
+def _defs_mask(instr: Instruction) -> int:
+    dest = instr.dest_reg()
+    return (1 << dest) & _ZERO_MASK if dest is not None else 0
+
+
+def _liveness(text: list[Instruction],
+              successors: list[tuple[int, ...]]) -> tuple[list[int],
+                                                          list[int]]:
+    size = len(text)
+    uses = [_uses_mask(i) for i in text]
+    defs = [_defs_mask(i) for i in text]
+    live_in = [0] * size
+    live_out = [0] * size
+    preds: list[list[int]] = [[] for _ in range(size)]
+    for index, succs in enumerate(successors):
+        for succ in succs:
+            preds[succ].append(index)
+    worklist = list(reversed(range(size)))
+    in_worklist = [True] * size
+    while worklist:
+        index = worklist.pop()
+        in_worklist[index] = False
+        out = 0
+        for succ in successors[index]:
+            out |= live_in[succ]
+        live_out[index] = out
+        new_in = uses[index] | (out & ~defs[index])
+        if new_in != live_in[index]:
+            live_in[index] = new_in
+            for pred in preds[index]:
+                if not in_worklist[pred]:
+                    in_worklist[pred] = True
+                    worklist.append(pred)
+    return live_in, live_out
+
+
+def _intervals(live_in: list[int]) -> list[LiveInterval]:
+    intervals: list[LiveInterval] = []
+    for reg in range(1, registers.NUM_REGS):
+        start: int | None = None
+        for index, mask in enumerate(live_in):
+            if mask >> reg & 1:
+                if start is None:
+                    start = index
+            elif start is not None:
+                intervals.append(LiveInterval(reg, start, index - 1))
+                start = None
+        if start is not None:
+            intervals.append(LiveInterval(reg, start, len(live_in) - 1))
+    intervals.sort(key=lambda iv: (iv.start, iv.reg))
+    return intervals
+
+
+# ------------------------------------------------------------------ stack
+
+def _function_entries(program: Program) -> list[int]:
+    entries = {program.entry}
+    for index, instr in enumerate(program.text):
+        if instr.opcode is Opcode.BL:
+            target = index + instr.imm
+            if 0 <= target < len(program.text):
+                entries.add(target)
+    return sorted(entries)
+
+
+def analyze_stack(program: Program) -> StackModel:
+    """Worst-case stack depth from prologues and the ``bl`` call graph.
+
+    Frame bytes per function are the negative ``addi sp, sp, imm``
+    adjustments observed in its extent; the bound is the longest
+    frame-weighted path through the call DAG. A cycle (recursion) makes
+    the depth statically unbounded (``bound_bytes=None``).
+    """
+    model = StackModel()
+    entries = _function_entries(program)
+    if not entries:
+        return model
+    size = len(program.text)
+    extent_end = {entry: size for entry in entries}
+    for prev, nxt in zip(entries, entries[1:]):
+        extent_end[prev] = nxt
+
+    def owner(index: int) -> int:
+        best = entries[0]
+        for entry in entries:
+            if entry <= index:
+                best = entry
+            else:
+                break
+        return best
+
+    for entry in entries:
+        frame = 0
+        for index in range(entry, extent_end[entry]):
+            instr = program.text[index]
+            if (instr.opcode is Opcode.ADDI and instr.rd == registers.SP
+                    and instr.rs1 == registers.SP and instr.imm < 0):
+                frame = max(frame, -instr.imm)
+        model.frame_bytes[entry] = frame
+        model.call_edges[entry] = set()
+
+    for index, instr in enumerate(program.text):
+        if instr.opcode is Opcode.BL:
+            target = index + instr.imm
+            if 0 <= target < size:
+                model.call_edges[owner(index)].add(target)
+
+    # longest frame-weighted path; cycle detection via DFS colors
+    depth: dict[int, int | None] = {}
+    on_path: set[int] = set()
+
+    def longest(entry: int) -> int | None:
+        if entry in on_path:
+            return None  # recursion
+        if entry in depth:
+            return depth[entry]
+        on_path.add(entry)
+        best = 0
+        for callee in model.call_edges.get(entry, ()):
+            sub = longest(callee)
+            if sub is None:
+                model.recursive = True
+                on_path.discard(entry)
+                depth[entry] = None
+                return None
+            best = max(best, sub)
+        on_path.discard(entry)
+        total = model.frame_bytes.get(entry, 0) + best
+        depth[entry] = total
+        return total
+
+    model.bound_bytes = longest(program.entry)
+    return model
+
+
+def analyze_program(program: Program) -> Lifetimes:
+    """Run the full static lifetime analysis over ``program``."""
+    size = len(program.text)
+    successors = [instruction_flow(instr, index, size)
+                  for index, instr in enumerate(program.text)]
+    live_in, live_out = _liveness(program.text, successors)
+    return Lifetimes(
+        program=program,
+        successors=successors,
+        live_in=live_in,
+        live_out=live_out,
+        intervals=_intervals(live_in),
+        stack=analyze_stack(program),
+    )

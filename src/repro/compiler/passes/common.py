@@ -1,11 +1,30 @@
 """Shared helpers for optimization passes: constant evaluation matching
-the armlet datapath, and condition evaluation for branch folding."""
+the armlet datapath, condition evaluation for branch folding, and the
+diagnostic naming hook the pipeline's verifier uses to attribute an
+invariant violation to the pass that caused it."""
 
 from __future__ import annotations
+
+from typing import Callable
 
 from ...isa import semantics
 from ...isa.instructions import Opcode
 from .. import ir
+
+
+def pass_label(pass_fn: Callable) -> str:
+    """Diagnostic name of a pass callable.
+
+    Passes are module-level ``run`` functions, so the defining module's
+    basename (``repro.compiler.passes.cse`` -> ``cse``) is the name the
+    registry and the ablation CLI use; fall back to ``__name__`` for
+    ad-hoc callables in tests.
+    """
+    module = getattr(pass_fn, "__module__", "") or ""
+    label = module.rsplit(".", 1)[-1]
+    if label in ("", "common"):
+        label = getattr(pass_fn, "__name__", repr(pass_fn))
+    return label
 
 _IR_TO_OPCODE = {
     "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,

@@ -11,13 +11,20 @@ O3  O2 + function inlining and loop unrolling (code-size-increasing)
 
 Each scalar pipeline is iterated until a fixpoint (bounded), because the
 passes enable each other (e.g. strength reduction exposes folds).
+
+With ``verify_each_pass=True`` the IR verifier (:mod:`.verify`) runs
+after every pass application, so a pass that breaks a CFG or def-use
+invariant is *named* in the raised
+:class:`~repro.errors.IRVerificationError` instead of surfacing later as
+a miscompiled program and a corrupted AVF number.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from . import ir
+from ..errors import IRVerificationError
+from . import ir, verify
 from .passes import (
     addrfold,
     constfold,
@@ -31,6 +38,7 @@ from .passes import (
     strength,
     unroll,
 )
+from .passes.common import pass_label
 
 OPT_LEVELS = ("O0", "O1", "O2", "O3")
 
@@ -81,13 +89,16 @@ MODULE_PASSES = {"inline"}
 
 
 def optimize_custom(module: ir.Module, pass_names: list[str],
-                    iterate: bool = True) -> None:
+                    iterate: bool = True,
+                    verify_each_pass: bool = False) -> None:
     """Run an explicit pass list (ablation mode).
 
     ``pass_names`` may include ``"inline"`` (a module pass, applied once
     in sequence position) and any :data:`PASS_REGISTRY` name. With
     ``iterate`` the scalar suffix after the last module pass is repeated
-    to a bounded fixpoint, as the standard pipelines do.
+    to a bounded fixpoint, as the standard pipelines do. With
+    ``verify_each_pass`` the IR verifier runs after every application and
+    attributes any invariant violation to the offending pass.
     """
     unknown = [n for n in pass_names
                if n not in PASS_REGISTRY and n not in MODULE_PASSES]
@@ -98,22 +109,44 @@ def optimize_custom(module: ir.Module, pass_names: list[str],
     for name in pass_names:
         if name == "inline":
             if scalar:
-                _run_scalar_once(module, scalar)
-            inline.run_module(module)
+                _run_scalar_once(module, scalar, verify_each_pass)
+            _run_inline(module, verify_each_pass)
             continue
         scalar.append(PASS_REGISTRY[name])
     if not scalar:
         return
     if iterate:
-        _run_scalar(module, scalar)
+        _run_scalar(module, scalar, verify_each_pass)
     else:
-        _run_scalar_once(module, scalar)
+        _run_scalar_once(module, scalar, verify_each_pass)
 
 
-def _run_scalar_once(module: ir.Module, pipeline: list[FuncPass]) -> None:
+def _apply(pass_fn: FuncPass, func: ir.Function, module: ir.Module,
+           verify_each_pass: bool) -> bool:
+    """Run one pass on one function, verifying the result if asked."""
+    changed = pass_fn(func, module)
+    if verify_each_pass:
+        try:
+            verify.verify_function(func, module)
+        except IRVerificationError as err:
+            raise err.with_pass(pass_label(pass_fn)) from None
+    return changed
+
+
+def _run_inline(module: ir.Module, verify_each_pass: bool) -> None:
+    inline.run_module(module)
+    if verify_each_pass:
+        try:
+            verify.verify_module(module)
+        except IRVerificationError as err:
+            raise err.with_pass("inline") from None
+
+
+def _run_scalar_once(module: ir.Module, pipeline: list[FuncPass],
+                     verify_each_pass: bool = False) -> None:
     for func in module.functions.values():
         for pass_fn in pipeline:
-            pass_fn(func, module)
+            _apply(pass_fn, func, module, verify_each_pass)
 
 
 def normalize_level(level: str | int) -> str:
@@ -129,36 +162,40 @@ def normalize_level(level: str | int) -> str:
     return text
 
 
-def _run_scalar(module: ir.Module, pipeline: list[FuncPass]) -> None:
+def _run_scalar(module: ir.Module, pipeline: list[FuncPass],
+                verify_each_pass: bool = False) -> None:
     for func in module.functions.values():
         for _ in range(_MAX_ITERATIONS):
             changed = False
             for pass_fn in pipeline:
-                changed |= pass_fn(func, module)
+                changed |= _apply(pass_fn, func, module, verify_each_pass)
             if not changed:
                 break
 
 
-def optimize(module: ir.Module, level: str | int) -> str:
+def optimize(module: ir.Module, level: str | int,
+             verify_each_pass: bool = False) -> str:
     """Run the pass pipeline for ``level`` on ``module``; returns the
-    canonical level name."""
+    canonical level name. With ``verify_each_pass`` every pass
+    application is followed by a full IR verification, and a violation
+    is raised naming the offending pass."""
     level = normalize_level(level)
     if level == "O0":
         return level
     if level == "O1":
-        _run_scalar(module, _O1_SCALAR)
+        _run_scalar(module, _O1_SCALAR, verify_each_pass)
         return level
     if level == "O2":
-        _run_scalar(module, _O2_SCALAR)
+        _run_scalar(module, _O2_SCALAR, verify_each_pass)
         for func in module.functions.values():
-            schedule.run(func, module)
+            _apply(schedule.run, func, module, verify_each_pass)
         return level
     # O3
-    inline.run_module(module)
-    _run_scalar(module, _O2_SCALAR)
+    _run_inline(module, verify_each_pass)
+    _run_scalar(module, _O2_SCALAR, verify_each_pass)
     for func in module.functions.values():
-        unroll.run(func, module)
-    _run_scalar(module, _O2_SCALAR)
+        _apply(unroll.run, func, module, verify_each_pass)
+    _run_scalar(module, _O2_SCALAR, verify_each_pass)
     for func in module.functions.values():
-        schedule.run(func, module)
+        _apply(schedule.run, func, module, verify_each_pass)
     return level

@@ -1,0 +1,291 @@
+"""IR verifier: pass-pipeline invariant checking for the MinC compiler.
+
+Every AVF/FIT number in the reproduction rests on the compiler emitting
+correct code at all four O-levels, so a silent miscompile at O2/O3 would
+corrupt the central compiler-contrast result without any dynamic test
+noticing. The verifier makes the IR contract explicit and checkable
+between passes:
+
+``cfg``
+    every block carries exactly one terminator, the body holds only
+    non-terminator instructions, and block names are unique;
+``dangling-successor``
+    every successor label named by a terminator resolves to a block;
+``entry``
+    the function has an entry block (``blocks[0]``);
+``use-before-def``
+    dominance-respecting definite assignment: on *every* path from the
+    entry to a use of a virtual register there is a prior definition
+    (parameters are defined at entry);
+``operand`` / ``const-width`` / ``mem-size``
+    operands are ``VReg``/``Const`` with constants representable at the
+    module word width, opcodes drawn from the IR's closed op sets, and
+    load/store sizes valid;
+``stack-slot`` / ``unknown-global``
+    address materialization refers to declared slots and globals;
+``unknown-callee`` / ``call-arity`` / ``call-result`` / ``ret-value``
+    the static call graph is sane: callees exist with matching arity,
+    a result is only captured from value-returning callees, and returns
+    match the function signature.
+
+Violations raise :class:`~repro.errors.IRVerificationError` naming the
+rule, function, block, and instruction index; the pipeline's
+``verify_each_pass`` mode additionally names the offending pass.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRVerificationError
+from . import ir
+
+_VALID_MEM_SIZES = ("word", "byte")
+
+
+def _fail(rule: str, detail: str, func: ir.Function | None = None,
+          block: ir.Block | None = None,
+          instr_index: int | None = None) -> IRVerificationError:
+    return IRVerificationError(
+        rule, detail,
+        function=func.name if func is not None else None,
+        block=block.name if block is not None else None,
+        instr_index=instr_index)
+
+
+class _FunctionVerifier:
+    """Single-function verification state."""
+
+    def __init__(self, func: ir.Function, module: ir.Module) -> None:
+        self.func = func
+        self.module = module
+        self.globals = {g.name for g in module.globals}
+
+    # ------------------------------------------------------------ structure
+
+    def check_structure(self) -> None:
+        func = self.func
+        if not func.blocks:
+            raise _fail("entry", "function has no blocks", func)
+        seen: set[str] = set()
+        for block in func.blocks:
+            if block.name in seen:
+                raise _fail("cfg", f"duplicate block name {block.name!r}",
+                            func, block)
+            seen.add(block.name)
+            term = block.terminator
+            if term is None:
+                raise _fail("cfg", "block has no terminator", func, block)
+            if not isinstance(term, ir.Terminator):
+                raise _fail("cfg",
+                            f"terminator slot holds {type(term).__name__}",
+                            func, block)
+            for index, instr in enumerate(block.instrs):
+                if isinstance(instr, ir.Terminator):
+                    raise _fail(
+                        "cfg",
+                        f"terminator {instr} in block body "
+                        "(single-terminator discipline)",
+                        func, block, index)
+                if not isinstance(instr, ir.Instr):
+                    raise _fail(
+                        "cfg",
+                        f"non-instruction {type(instr).__name__} in body",
+                        func, block, index)
+        names = seen
+        for block in func.blocks:
+            for succ in block.terminator.successors():  # type: ignore[union-attr]
+                if succ not in names:
+                    raise _fail("dangling-successor",
+                                f"terminator targets unknown block {succ!r}",
+                                func, block)
+
+    # ------------------------------------------------------------- operands
+
+    def _check_value(self, value: object, what: str, block: ir.Block,
+                     index: int | None) -> None:
+        if isinstance(value, ir.Const):
+            xlen = self.module.xlen
+            lo, hi = -(1 << (xlen - 1)), (1 << xlen) - 1
+            if not lo <= value.value <= hi:
+                raise _fail(
+                    "const-width",
+                    f"constant {value.value} not representable in "
+                    f"{xlen} bits ({what})",
+                    self.func, block, index)
+        elif not isinstance(value, ir.VReg):
+            raise _fail("operand",
+                        f"{what} is {type(value).__name__}, "
+                        "expected VReg or Const",
+                        self.func, block, index)
+
+    def check_instructions(self) -> None:
+        for block in self.func.blocks:
+            for index, instr in enumerate(block.instrs):
+                self._check_instr(instr, block, index)
+            self._check_terminator(block)
+
+    def _check_instr(self, instr: ir.Instr, block: ir.Block,
+                     index: int) -> None:
+        func = self.func
+        for pos, value in enumerate(instr.uses()):
+            self._check_value(value, f"operand {pos} of {instr}", block,
+                              index)
+        if isinstance(instr, ir.BinOp):
+            if instr.op not in ir.BIN_OPS:
+                raise _fail("operand", f"unknown binary op {instr.op!r}",
+                            func, block, index)
+        elif isinstance(instr, (ir.Load, ir.Store)):
+            if instr.size not in _VALID_MEM_SIZES:
+                raise _fail("mem-size",
+                            f"invalid access size {instr.size!r}",
+                            func, block, index)
+        elif isinstance(instr, ir.La):
+            if instr.symbol not in self.globals:
+                raise _fail("unknown-global",
+                            f"la of undeclared global {instr.symbol!r}",
+                            func, block, index)
+        elif isinstance(instr, ir.SlotAddr):
+            if not 0 <= instr.slot < len(func.slots):
+                raise _fail("stack-slot",
+                            f"slot_addr #{instr.slot} out of range "
+                            f"(function has {len(func.slots)} slots)",
+                            func, block, index)
+        elif isinstance(instr, ir.Call):
+            callee = self.module.functions.get(instr.func)
+            if callee is None:
+                raise _fail("unknown-callee",
+                            f"call to undefined function {instr.func!r}",
+                            func, block, index)
+            if len(instr.args) != len(callee.params):
+                raise _fail(
+                    "call-arity",
+                    f"call to {instr.func!r} passes {len(instr.args)} "
+                    f"args, expected {len(callee.params)}",
+                    func, block, index)
+            if instr.dst is not None and not callee.returns_value:
+                raise _fail(
+                    "call-result",
+                    f"result captured from void function {instr.func!r}",
+                    func, block, index)
+
+    def _check_terminator(self, block: ir.Block) -> None:
+        term = block.terminator
+        for pos, value in enumerate(term.uses()):  # type: ignore[union-attr]
+            self._check_value(value, f"operand {pos} of {term}", block, None)
+        if isinstance(term, ir.CondJump) and term.op not in ir.COND_OPS:
+            raise _fail("operand", f"unknown condition {term.op!r}",
+                        self.func, block)
+        if isinstance(term, ir.Ret):
+            if self.func.returns_value and term.value is None:
+                raise _fail("ret-value",
+                            "bare ret in value-returning function",
+                            self.func, block)
+            if not self.func.returns_value and term.value is not None:
+                raise _fail("ret-value",
+                            f"ret {term.value} in void function",
+                            self.func, block)
+
+    # ------------------------------------------------------ def-before-use
+
+    def check_definite_assignment(self) -> None:
+        """Every vreg use must be dominated by a definition.
+
+        Forward must-assign dataflow over the reachable CFG: a register
+        is *definitely assigned* at a point if every path from entry
+        assigns it first. A use outside that set means some path reaches
+        the use with the register undefined -- the non-SSA equivalent of
+        SSA's "definition dominates use" rule.
+        """
+        func = self.func
+        blocks = func.block_map()
+        entry = func.blocks[0].name
+
+        reachable: set[str] = set()
+        stack = [entry]
+        while stack:
+            name = stack.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            stack.extend(blocks[name].terminator.successors())  # type: ignore[union-attr]
+
+        preds: dict[str, list[str]] = {name: [] for name in reachable}
+        for name in reachable:
+            for succ in blocks[name].terminator.successors():  # type: ignore[union-attr]
+                preds[succ].append(name)
+
+        block_defs: dict[str, set[ir.VReg]] = {}
+        universe: set[ir.VReg] = set(func.params)
+        for name in reachable:
+            defs: set[ir.VReg] = set()
+            for instr in blocks[name].instrs:
+                dst = instr.defs()
+                if dst is not None:
+                    defs.add(dst)
+            block_defs[name] = defs
+            universe |= defs
+
+        assigned_in = {name: set(universe) for name in reachable}
+        assigned_in[entry] = set(func.params)
+        worklist = [b.name for b in func.blocks if b.name in reachable]
+        while worklist:
+            changed = False
+            for name in worklist:
+                if name == entry:
+                    continue
+                incoming = [assigned_in[p] | block_defs[p]
+                            for p in preds[name]]
+                new = set.intersection(*incoming) if incoming else set()
+                if new != assigned_in[name]:
+                    assigned_in[name] = new
+                    changed = True
+            if not changed:
+                break
+
+        for name in reachable:
+            block = blocks[name]
+            defined = set(assigned_in[name])
+            for index, instr in enumerate(block.instrs):
+                self._check_uses(instr.uses(), defined, block, index)
+                dst = instr.defs()
+                if dst is not None:
+                    defined.add(dst)
+            self._check_uses(block.terminator.uses(), defined, block, None)  # type: ignore[union-attr]
+
+    def _check_uses(self, uses: tuple[ir.Value, ...],
+                    defined: set[ir.VReg], block: ir.Block,
+                    index: int | None) -> None:
+        for value in uses:
+            if isinstance(value, ir.VReg) and value not in defined:
+                raise _fail(
+                    "use-before-def",
+                    f"{value} used without a dominating definition",
+                    self.func, block, index)
+
+
+def verify_function(func: ir.Function, module: ir.Module) -> None:
+    """Check one function against every IR invariant; raise on violation."""
+    checker = _FunctionVerifier(func, module)
+    checker.check_structure()
+    checker.check_instructions()
+    checker.check_definite_assignment()
+
+
+def verify_module(module: ir.Module) -> None:
+    """Verify every function plus module-level invariants."""
+    seen_globals: set[str] = set()
+    for g in module.globals:
+        if g.name in seen_globals:
+            raise IRVerificationError(
+                "unknown-global", f"duplicate global {g.name!r}")
+        seen_globals.add(g.name)
+        if g.size_bytes <= 0:
+            raise IRVerificationError(
+                "unknown-global",
+                f"global {g.name!r} has non-positive size {g.size_bytes}")
+    for name, func in module.functions.items():
+        if func.name != name:
+            raise IRVerificationError(
+                "cfg",
+                f"module maps name {name!r} to function {func.name!r}",
+                function=func.name)
+        verify_function(func, module)

@@ -25,6 +25,46 @@ class CompileError(ReproError):
         super().__init__(message)
 
 
+class IRVerificationError(CompileError):
+    """The IR verifier found a broken compiler invariant.
+
+    Unlike :class:`CompileError` proper (bad *input*), this signals a bug
+    in the compiler itself: an optimization pass (or the IR builder)
+    produced a module violating a structural rule. The fields pin the
+    failure down to the pass, function, block, and instruction so a
+    miscompile is named instead of silently corrupting downstream AVF
+    numbers.
+    """
+
+    def __init__(self, rule: str, detail: str,
+                 function: str | None = None,
+                 block: str | None = None,
+                 instr_index: int | None = None,
+                 pass_name: str | None = None) -> None:
+        self.rule = rule
+        self.detail = detail
+        self.function = function
+        self.block = block
+        self.instr_index = instr_index
+        self.pass_name = pass_name
+        where = []
+        if pass_name is not None:
+            where.append(f"after pass {pass_name!r}")
+        if function is not None:
+            where.append(f"in function {function!r}")
+        if block is not None:
+            where.append(f"block {block!r}")
+        if instr_index is not None:
+            where.append(f"instruction #{instr_index}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"[{rule}] {detail}{suffix}")
+
+    def with_pass(self, pass_name: str) -> "IRVerificationError":
+        """A copy of this error attributed to the pass that caused it."""
+        return IRVerificationError(self.rule, self.detail, self.function,
+                                   self.block, self.instr_index, pass_name)
+
+
 class AssemblyError(ReproError):
     """Assembler input was malformed (bad mnemonic, operand, or label)."""
 

@@ -47,14 +47,21 @@ class Program:
         """Encode the text segment into 32-bit words."""
         return [encode(instr) for instr in self.text]
 
-    def listing(self) -> str:
-        """Human-readable disassembly with symbol annotations."""
+    def labels_by_index(self) -> dict[int, list[str]]:
+        """Reverse text symbol table: instruction index -> sorted labels."""
         by_index: dict[int, list[str]] = {}
         for label, index in self.text_symbols.items():
             by_index.setdefault(index, []).append(label)
+        for labels in by_index.values():
+            labels.sort()
+        return by_index
+
+    def listing(self) -> str:
+        """Human-readable disassembly with symbol annotations."""
+        by_index = self.labels_by_index()
         lines = []
         for i, instr in enumerate(self.text):
-            for label in sorted(by_index.get(i, ())):
+            for label in by_index.get(i, ()):
                 lines.append(f"{label}:")
             marker = " <- entry" if i == self.entry else ""
             lines.append(f"  {i:5d}: {instr}{marker}")

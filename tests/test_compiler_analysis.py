@@ -110,6 +110,98 @@ class TestLoops:
         assert loops[0].body < loops[1].body  # inner nested in outer
 
 
+class TestLoopEdgeCases:
+    def test_empty_function_body_has_no_loops(self) -> None:
+        func = ir.Function("f", [], False)
+        block = func.new_block("entry")
+        block.terminator = ir.Ret()
+        assert analysis.find_loops(func) == []
+        assert analysis.reachable_blocks(func) == {block.name}
+
+    def test_function_without_blocks(self) -> None:
+        func = ir.Function("f", [], False)
+        assert analysis.reachable_blocks(func) == set()
+
+    def test_self_loop_block(self) -> None:
+        func = ir.Function("f", [ir.VReg(0)], False)
+        entry = func.new_block("entry")
+        spin = func.new_block("spin")
+        entry.terminator = ir.Jump(spin.name)
+        spin.terminator = ir.CondJump("lt", ir.VReg(0), ir.Const(3),
+                                      spin.name, entry.name + "_done")
+        done = func.new_block("entry_done")
+        done.name = entry.name + "_done"
+        done.terminator = ir.Ret()
+        loops = analysis.find_loops(func)
+        self_loops = [lp for lp in loops if lp.header == spin.name]
+        assert len(self_loops) == 1
+        assert self_loops[0].body == {spin.name}
+        assert self_loops[0].latches == [spin.name]
+
+    def test_shared_header_loops_merged(self) -> None:
+        """Two back edges to the same header yield ONE merged loop with
+        both latches, not two separate loops."""
+        func = ir.Function("f", [ir.VReg(0)], False)
+        entry = func.new_block("entry")
+        head = func.new_block("head")
+        latch_a = func.new_block("latch_a")
+        latch_b = func.new_block("latch_b")
+        done = func.new_block("done")
+        entry.terminator = ir.Jump(head.name)
+        head.terminator = ir.CondJump("eq", ir.VReg(0), ir.Const(0),
+                                      latch_a.name, latch_b.name)
+        latch_a.terminator = ir.CondJump("lt", ir.VReg(0), ir.Const(9),
+                                         head.name, done.name)
+        latch_b.terminator = ir.Jump(head.name)
+        done.terminator = ir.Ret()
+        loops = analysis.find_loops(func)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == head.name
+        assert set(loop.latches) == {latch_a.name, latch_b.name}
+        assert loop.body == {head.name, latch_a.name, latch_b.name}
+
+
+class TestSingleDefEdgeCases:
+    def test_empty_function_only_params_single_def(self) -> None:
+        func = ir.Function("f", [ir.VReg(0), ir.VReg(1)], False)
+        block = func.new_block("entry")
+        block.terminator = ir.Ret()
+        assert analysis.single_def_vregs(func) == {ir.VReg(0), ir.VReg(1)}
+
+    def test_param_redefined_in_body_is_multi_def(self) -> None:
+        func = ir.Function("f", [ir.VReg(0)], False)
+        block = func.new_block("entry")
+        block.instrs = [ir.Move(ir.VReg(0), ir.Const(7))]
+        block.terminator = ir.Ret()
+        assert ir.VReg(0) not in analysis.single_def_vregs(func)
+
+    def test_self_loop_redefinition_is_multi_def(self) -> None:
+        func = ir.Function("f", [], False)
+        block = func.new_block("entry")
+        block.instrs = [
+            ir.Move(ir.VReg(1), ir.Const(0)),
+            ir.BinOp(ir.VReg(1), "add", ir.VReg(1), ir.Const(1)),
+        ]
+        block.terminator = ir.Ret()
+        singles = analysis.single_def_vregs(func)
+        assert ir.VReg(1) not in singles
+
+    def test_hint_does_not_affect_identity(self) -> None:
+        """VReg equality is by id+hint (frozen dataclass); the analysis
+        must treat %1 defined twice under the same hint as multi-def."""
+        func = ir.Function("f", [], False)
+        block = func.new_block("entry")
+        block.instrs = [
+            ir.Move(ir.VReg(2, "x"), ir.Const(0)),
+            ir.Move(ir.VReg(3, "y"), ir.VReg(2, "x")),
+        ]
+        block.terminator = ir.Ret()
+        singles = analysis.single_def_vregs(func)
+        assert ir.VReg(2, "x") in singles
+        assert ir.VReg(3, "y") in singles
+
+
 class TestLiveness:
     def test_branch_operand_live_into_block(self) -> None:
         func = _loop()

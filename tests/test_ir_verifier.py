@@ -1,0 +1,361 @@
+"""IR verifier: every invariant rule, pass attribution, and a
+hypothesis net checking that real compilations stay verified after
+every pass at all O-levels."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler import (
+    ARMLET32,
+    ARMLET64,
+    compile_module,
+    ir,
+    pipeline,
+    verify_function,
+    verify_module,
+)
+from repro.errors import IRVerificationError
+
+from .test_compiler_differential import minc_programs
+
+LEVELS = ("O0", "O1", "O2", "O3")
+
+
+def _module(word_size: int = 4) -> ir.Module:
+    return ir.Module("test", word_size)
+
+
+def _simple_func(name: str = "f") -> ir.Function:
+    """ret 0 -- the smallest verifiable value-returning function."""
+    func = ir.Function(name, [], True)
+    block = func.new_block("entry")
+    block.terminator = ir.Ret(ir.Const(0))
+    return func
+
+
+def _verify(func: ir.Function,
+            module: ir.Module | None = None) -> IRVerificationError:
+    """Run the verifier expecting a failure; return the error."""
+    module = module or _module()
+    module.functions.setdefault(func.name, func)
+    with pytest.raises(IRVerificationError) as excinfo:
+        verify_function(func, module)
+    return excinfo.value
+
+
+class TestStructureRules:
+    def test_valid_function_passes(self) -> None:
+        module = _module()
+        func = _simple_func()
+        module.functions["f"] = func
+        verify_function(func, module)  # should not raise
+
+    def test_no_blocks(self) -> None:
+        err = _verify(ir.Function("f", [], True))
+        assert err.rule == "entry"
+
+    def test_missing_terminator(self) -> None:
+        func = ir.Function("f", [], True)
+        func.new_block("entry")  # terminator left None
+        err = _verify(func)
+        assert err.rule == "cfg"
+        assert err.function == "f"
+        assert "entry" in err.block
+
+    def test_duplicate_block_names(self) -> None:
+        func = ir.Function("f", [], True)
+        a = func.new_block("entry")
+        b = func.new_block("dup")
+        b.name = a.name
+        a.terminator = ir.Jump(a.name)
+        b.terminator = ir.Ret(ir.Const(0))
+        err = _verify(func)
+        assert err.rule == "cfg"
+        assert "duplicate" in err.detail
+
+    def test_terminator_in_block_body(self) -> None:
+        func = _simple_func()
+        func.blocks[0].instrs = [ir.Ret(ir.Const(1))]
+        err = _verify(func)
+        assert err.rule == "cfg"
+        assert err.instr_index == 0
+
+    def test_dangling_successor_named(self) -> None:
+        func = ir.Function("f", [], True)
+        block = func.new_block("entry")
+        block.terminator = ir.Jump("nowhere")
+        err = _verify(func)
+        assert err.rule == "dangling-successor"
+        assert "nowhere" in err.detail
+        assert err.block == block.name
+
+    def test_dangling_condjump_arm(self) -> None:
+        func = ir.Function("f", [ir.VReg(0)], True)
+        entry = func.new_block("entry")
+        done = func.new_block("done")
+        entry.terminator = ir.CondJump("eq", ir.VReg(0), ir.Const(0),
+                                       done.name, "missing_arm")
+        done.terminator = ir.Ret(ir.Const(0))
+        err = _verify(func)
+        assert err.rule == "dangling-successor"
+        assert "missing_arm" in err.detail
+
+
+class TestOperandRules:
+    def test_const_too_wide_for_32(self) -> None:
+        func = _simple_func()
+        func.blocks[0].instrs = [
+            ir.Move(ir.VReg(1), ir.Const(1 << 40))]
+        err = _verify(func)
+        assert err.rule == "const-width"
+
+    def test_wide_const_fine_at_64(self) -> None:
+        module = _module(word_size=8)
+        func = _simple_func()
+        func.blocks[0].instrs = [
+            ir.Move(ir.VReg(1), ir.Const(1 << 40))]
+        module.functions["f"] = func
+        verify_function(func, module)
+
+    def test_unknown_binop(self) -> None:
+        func = _simple_func()
+        func.blocks[0].instrs = [
+            ir.BinOp(ir.VReg(1), "frobnicate", ir.Const(1), ir.Const(2))]
+        err = _verify(func)
+        assert err.rule == "operand"
+        assert "frobnicate" in err.detail
+
+    def test_unknown_cond_op(self) -> None:
+        func = ir.Function("f", [ir.VReg(0)], True)
+        entry = func.new_block("entry")
+        done = func.new_block("done")
+        entry.terminator = ir.CondJump("approx", ir.VReg(0), ir.Const(0),
+                                       done.name, done.name)
+        done.terminator = ir.Ret(ir.Const(0))
+        err = _verify(func)
+        assert err.rule == "operand"
+
+    def test_bad_mem_size(self) -> None:
+        func = ir.Function("f", [ir.VReg(0)], True)
+        block = func.new_block("entry")
+        block.instrs = [ir.Load(ir.VReg(1), ir.VReg(0), 0, "dword")]
+        block.terminator = ir.Ret(ir.VReg(1))
+        err = _verify(func)
+        assert err.rule == "mem-size"
+
+    def test_unknown_global(self) -> None:
+        func = _simple_func()
+        func.blocks[0].instrs = [ir.La(ir.VReg(1), "ghost")]
+        err = _verify(func)
+        assert err.rule == "unknown-global"
+
+    def test_declared_global_ok(self) -> None:
+        module = _module()
+        module.add_global("table", 32, b"\0" * 32, 4)
+        func = _simple_func()
+        func.blocks[0].instrs = [ir.La(ir.VReg(1), "table")]
+        module.functions["f"] = func
+        verify_function(func, module)
+
+    def test_stack_slot_out_of_range(self) -> None:
+        func = _simple_func()
+        func.blocks[0].instrs = [ir.SlotAddr(ir.VReg(1), 3)]
+        err = _verify(func)
+        assert err.rule == "stack-slot"
+
+
+class TestCallRules:
+    def test_unknown_callee(self) -> None:
+        func = _simple_func()
+        func.blocks[0].instrs = [ir.Call(None, "phantom", [])]
+        err = _verify(func)
+        assert err.rule == "unknown-callee"
+
+    def test_call_arity_mismatch(self) -> None:
+        module = _module()
+        callee = ir.Function("callee", [ir.VReg(0), ir.VReg(1)], True)
+        cb = callee.new_block("entry")
+        cb.terminator = ir.Ret(ir.Const(0))
+        module.functions["callee"] = callee
+        func = _simple_func()
+        func.blocks[0].instrs = [
+            ir.Call(ir.VReg(1), "callee", [ir.Const(1)])]
+        module.functions["f"] = func
+        with pytest.raises(IRVerificationError) as excinfo:
+            verify_function(func, module)
+        assert excinfo.value.rule == "call-arity"
+
+    def test_result_from_void_callee(self) -> None:
+        module = _module()
+        callee = ir.Function("callee", [], False)
+        cb = callee.new_block("entry")
+        cb.terminator = ir.Ret()
+        module.functions["callee"] = callee
+        func = _simple_func()
+        func.blocks[0].instrs = [ir.Call(ir.VReg(1), "callee", [])]
+        module.functions["f"] = func
+        with pytest.raises(IRVerificationError) as excinfo:
+            verify_function(func, module)
+        assert excinfo.value.rule == "call-result"
+
+    def test_bare_ret_in_value_function(self) -> None:
+        func = ir.Function("f", [], True)
+        block = func.new_block("entry")
+        block.terminator = ir.Ret()
+        err = _verify(func)
+        assert err.rule == "ret-value"
+
+    def test_valued_ret_in_void_function(self) -> None:
+        func = ir.Function("f", [], False)
+        block = func.new_block("entry")
+        block.terminator = ir.Ret(ir.Const(1))
+        err = _verify(func)
+        assert err.rule == "ret-value"
+
+
+class TestDefiniteAssignment:
+    def test_use_before_def_straightline(self) -> None:
+        func = ir.Function("f", [], True)
+        block = func.new_block("entry")
+        block.instrs = [ir.Move(ir.VReg(2), ir.VReg(1))]
+        block.terminator = ir.Ret(ir.VReg(2))
+        err = _verify(func)
+        assert err.rule == "use-before-def"
+        assert err.instr_index == 0
+
+    def test_one_armed_definition_rejected(self) -> None:
+        """%1 is defined on only one path into the join -- the classic
+        dominance violation in non-SSA form."""
+        func = ir.Function("f", [ir.VReg(0)], True)
+        entry = func.new_block("entry")
+        left = func.new_block("left")
+        join = func.new_block("join")
+        entry.terminator = ir.CondJump("eq", ir.VReg(0), ir.Const(0),
+                                       left.name, join.name)
+        left.instrs = [ir.Move(ir.VReg(1), ir.Const(1))]
+        left.terminator = ir.Jump(join.name)
+        join.terminator = ir.Ret(ir.VReg(1))
+        err = _verify(func)
+        assert err.rule == "use-before-def"
+        assert err.block == join.name
+
+    def test_both_arms_definition_accepted(self) -> None:
+        module = _module()
+        func = ir.Function("f", [ir.VReg(0)], True)
+        entry = func.new_block("entry")
+        left = func.new_block("left")
+        right = func.new_block("right")
+        join = func.new_block("join")
+        entry.terminator = ir.CondJump("eq", ir.VReg(0), ir.Const(0),
+                                       left.name, right.name)
+        left.instrs = [ir.Move(ir.VReg(1), ir.Const(1))]
+        left.terminator = ir.Jump(join.name)
+        right.instrs = [ir.Move(ir.VReg(1), ir.Const(2))]
+        right.terminator = ir.Jump(join.name)
+        join.terminator = ir.Ret(ir.VReg(1))
+        module.functions["f"] = func
+        verify_function(func, module)
+
+    def test_loop_carried_definition_accepted(self) -> None:
+        module = _module()
+        func = ir.Function("f", [ir.VReg(0)], True)
+        entry = func.new_block("entry")
+        head = func.new_block("head")
+        body = func.new_block("body")
+        done = func.new_block("done")
+        entry.instrs = [ir.Move(ir.VReg(1), ir.Const(0))]
+        entry.terminator = ir.Jump(head.name)
+        head.terminator = ir.CondJump("lt", ir.VReg(1), ir.VReg(0),
+                                      body.name, done.name)
+        body.instrs = [
+            ir.BinOp(ir.VReg(1), "add", ir.VReg(1), ir.Const(1))]
+        body.terminator = ir.Jump(head.name)
+        done.terminator = ir.Ret(ir.VReg(1))
+        module.functions["f"] = func
+        verify_function(func, module)
+
+    def test_unreachable_block_not_checked(self) -> None:
+        """Dead code may use undefined vregs (DCE will drop it); the
+        definite-assignment check is scoped to reachable blocks."""
+        module = _module()
+        func = _simple_func()
+        orphan = func.new_block("orphan")
+        orphan.instrs = [ir.Move(ir.VReg(5), ir.VReg(4))]
+        orphan.terminator = ir.Ret(ir.VReg(5))
+        module.functions["f"] = func
+        verify_function(func, module)
+
+    def test_param_use_accepted(self) -> None:
+        module = _module()
+        func = ir.Function("f", [ir.VReg(0)], True)
+        block = func.new_block("entry")
+        block.terminator = ir.Ret(ir.VReg(0))
+        module.functions["f"] = func
+        verify_function(func, module)
+
+
+class TestModuleRules:
+    def test_duplicate_global(self) -> None:
+        module = _module()
+        module.add_global("g", 4, b"\0" * 4, 4)
+        module.add_global("g", 8, b"\0" * 8, 4)
+        with pytest.raises(IRVerificationError) as excinfo:
+            verify_module(module)
+        assert "duplicate" in excinfo.value.detail
+
+    def test_name_mapping_mismatch(self) -> None:
+        module = _module()
+        module.functions["alias"] = _simple_func("actual")
+        with pytest.raises(IRVerificationError) as excinfo:
+            verify_module(module)
+        assert excinfo.value.rule == "cfg"
+
+
+class TestPassAttribution:
+    def test_broken_pass_named_in_error(self) -> None:
+        """pipeline._apply must re-raise the violation attributed to the
+        pass that produced the broken IR."""
+        module = _module()
+        func = _simple_func()
+        module.functions["f"] = func
+
+        def run(func: ir.Function, module: ir.Module) -> bool:
+            func.blocks[0].terminator = ir.Jump("gone")
+            return True
+
+        with pytest.raises(IRVerificationError) as excinfo:
+            pipeline._apply(run, func, module, verify_each_pass=True)
+        err = excinfo.value
+        assert err.rule == "dangling-successor"
+        assert err.pass_name is not None
+        assert err.pass_name in str(err)
+
+    def test_real_pass_label_is_module_basename(self) -> None:
+        from repro.compiler.passes import cse
+        from repro.compiler.passes.common import pass_label
+
+        assert pass_label(cse.run) == "cse"
+
+    def test_with_pass_preserves_location(self) -> None:
+        err = IRVerificationError("cfg", "boom", function="f",
+                                  block="bb1", instr_index=3)
+        attributed = err.with_pass("dce")
+        assert attributed.pass_name == "dce"
+        assert attributed.function == "f"
+        assert attributed.block == "bb1"
+        assert attributed.instr_index == 3
+        assert "after pass 'dce'" in str(attributed)
+
+
+# --------------------------------------------------------- property net
+
+@settings(max_examples=20, deadline=None)
+@given(minc_programs())
+def test_random_programs_verify_after_every_pass(source) -> None:
+    """Whatever the generator produces must stay invariant-clean after
+    every optimization pass at every level on both targets."""
+    for target in (ARMLET32, ARMLET64):
+        for level in LEVELS:
+            compile_module(source, level, target, verify_ir=True)

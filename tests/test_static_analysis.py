@@ -1,0 +1,169 @@
+"""Static-analysis gate: every bundled workload must verify at every
+O-level, and the static AVF bounds must dominate the dynamic ACE
+estimates (the ``static >= dynamic-ACE`` leg of the pessimism chain)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api, cli
+from repro.avf import ace_estimate, instruction_report, static_ace_estimate
+from repro.compiler import TARGETS, compile_module, ir, verify_module
+from repro.compiler.lifetimes import analyze_program
+from repro.errors import IRVerificationError
+from repro.microarch import CONFIGS
+from repro.workloads import BENCHMARKS, build_program, get_workload
+
+LEVELS = ("O0", "O1", "O2", "O3")
+GRID = [(name, level) for name in BENCHMARKS for level in LEVELS]
+
+
+# ------------------------------------------------------------ verify gate
+
+@pytest.mark.parametrize("name,level", GRID,
+                         ids=[f"{n}-{o}" for n, o in GRID])
+def test_workload_verifies_after_every_pass(name, level) -> None:
+    source = get_workload(name).source("micro")
+    for target_name in ("armlet32", "armlet64"):
+        compile_module(source, level, TARGETS[target_name],
+                       name=name, verify_ir=True)
+
+
+def test_api_verify_workload() -> None:
+    result = api.verify_workload("sha", opt_level="O3", core="cortex-a72")
+    assert "main" in result.module.functions
+
+
+def test_corrupted_cfg_rejected_with_location() -> None:
+    """A dangling successor injected into compiled IR must be rejected
+    naming the rule and the offending block."""
+    source = get_workload("fft").source("micro")
+    module = compile_module(source, "O2", TARGETS["armlet32"]).module
+    func = module.functions["main"]
+    victim = next(b for b in func.blocks if b.terminator.successors())
+    term = victim.terminator
+    if isinstance(term, ir.Jump):
+        term.target = "no_such_block"
+    else:
+        term.if_true = "no_such_block"
+    with pytest.raises(IRVerificationError) as excinfo:
+        verify_module(module)
+    err = excinfo.value
+    assert err.rule == "dangling-successor"
+    assert err.block == victim.name
+    assert victim.name in str(err)
+    assert "no_such_block" in str(err)
+
+
+# ----------------------------------------------------- pessimism ordering
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name,level", GRID,
+                         ids=[f"{n}-{o}" for n, o in GRID])
+def test_static_bound_dominates_dynamic_ace_a15(name, level) -> None:
+    program = build_program(name, "micro", level, "armlet32")
+    config = CONFIGS["cortex-a15"]
+    static = static_ace_estimate(program, config)
+    dynamic = ace_estimate(program, config)
+    for field_name, dyn in dynamic.estimates.items():
+        assert field_name in static.estimates, field_name
+        bound = static.estimates[field_name]
+        assert bound >= dyn - 1e-12, (
+            f"{name}@{level}: static bound {bound:.4f} below dynamic "
+            f"ACE {dyn:.4f} for {field_name} "
+            f"[{static.derivations[field_name]}]")
+    slack = static.pessimism_vs(dynamic.estimates)
+    assert all(gap >= -1e-12 for gap in slack.values())
+
+
+@pytest.mark.slow
+def test_static_bound_dominates_dynamic_ace_a72() -> None:
+    program = build_program("qsort", "micro", "O3", "armlet64")
+    config = CONFIGS["cortex-a72"]
+    static = static_ace_estimate(program, config)
+    dynamic = ace_estimate(program, config)
+    for field_name, dyn in dynamic.estimates.items():
+        assert static.estimates[field_name] >= dyn - 1e-12, field_name
+
+
+# ----------------------------------------------------- analysis sanity
+
+def test_static_estimate_covers_all_injectable_fields() -> None:
+    program = build_program("sha", "micro", "O2", "armlet32")
+    static = static_ace_estimate(program, CONFIGS["cortex-a15"])
+    expected = {"rob.pc", "rob.seq", "rob.dest", "rob.flags",
+                "iq.src", "iq.dst", "lq", "sq", "prf",
+                "l1i.data", "l1i.tag", "l1d.data", "l1d.tag",
+                "l2.data", "l2.tag"}
+    assert set(static.estimates) == expected
+    assert set(static.derivations) == expected
+    assert all(0.0 <= v <= 1.0 for v in static.estimates.values())
+
+
+def test_prf_bound_tightens_with_larger_regfile() -> None:
+    p32 = build_program("sha", "micro", "O2", "armlet32")
+    p64 = build_program("sha", "micro", "O2", "armlet64")
+    a15 = static_ace_estimate(p32, CONFIGS["cortex-a15"])
+    a72 = static_ace_estimate(p64, CONFIGS["cortex-a72"])
+    # A15: (32+40)/128; A72: (32+128)/192 -- both strictly below 1
+    assert a15.estimates["prf"] == pytest.approx(72 / 128)
+    assert a72.estimates["prf"] == pytest.approx(160 / 192)
+
+
+def test_recursion_widens_data_footprint() -> None:
+    """qsort recurses, so its stack depth is statically unbounded and
+    the data-side footprint must cover the whole user region."""
+    qsort = build_program("qsort", "micro", "O2", "armlet32")
+    crc = build_program("sha", "micro", "O2", "armlet32")
+    q_life = analyze_program(qsort)
+    c_life = analyze_program(crc)
+    assert q_life.stack.recursive
+    assert q_life.stack.bound_bytes is None
+    assert not c_life.stack.recursive
+    assert c_life.stack.bound_bytes is not None
+    assert c_life.stack.bound_bytes > 0
+    config = CONFIGS["cortex-a15"]
+    q = static_ace_estimate(qsort, config).estimates
+    c = static_ace_estimate(crc, config).estimates
+    assert q["l1d.data"] >= c["l1d.data"]
+
+
+def test_instruction_report_covers_program() -> None:
+    program = build_program("blowfish", "micro", "O1", "armlet32")
+    life = analyze_program(program)
+    rows = instruction_report(life)
+    assert len(rows) == len(program.text)
+    assert any("main" in row.labels for row in rows)
+    assert max(row.live_count for row in rows) == life.max_pressure
+    entry_live = set(rows[program.entry].live_regs)
+    assert all(0 < r < 32 for row in rows for r in row.live_regs)
+    assert entry_live == set(life.live_regs_at(program.entry))
+
+
+def test_api_static_ace_roundtrip() -> None:
+    program = api.compile_workload("patricia", opt_level="O1")
+    result = api.static_ace(program, core="cortex-a15")
+    assert result.program_name == program.name
+    assert result.config_name == "cortex-a15"
+    assert result.lifetimes is not None
+
+
+# --------------------------------------------------------------- CLI
+
+def test_cli_verify_exit_zero() -> None:
+    assert cli.main(["verify", "sha", "-O3"]) == 0
+
+
+def test_cli_verify_long_opt(capsys) -> None:
+    assert cli.main(["verify", "dijkstra", "--opt", "O1"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("OK dijkstra at O1")
+    assert "verified after every pass" in out
+
+
+def test_cli_lint_exit_zero(capsys) -> None:
+    assert cli.main(["lint", "qsort", "-O2", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "static AVF upper bounds" in out
+    assert "prf" in out
+    assert "stack: recursive call graph" in out
