@@ -1,0 +1,98 @@
+"""Platform benchmark: trial-sharded parallel campaigns.
+
+Not a paper figure -- this guards the two throughput mechanisms the
+campaign engine stacks on top of the serial seed path:
+
+* **trial sharding** across a process pool (near-linear scaling with
+  workers, bit-exact results for any worker count), and
+* **snapshot warm-starts** (auto-checkpointed golden runs let every
+  trial resume from the nearest snapshot instead of booting from
+  cycle 0).
+
+The scaling assertion only fires when the machine actually has >= 4
+usable cores; the bit-exactness assertions always fire.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import emit
+from repro.gefin import run_campaign, run_golden, run_golden_auto
+from repro.microarch import CORTEX_A15
+from repro.workloads import build_program
+
+N = 48
+SEED = 17
+FIELD = "rob.flags"
+
+
+def _program():
+    return build_program("qsort", "micro", "O1", "armlet32")
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_campaign_scaling() -> None:
+    program = _program()
+    golden = run_golden_auto(program, CORTEX_A15)
+
+    timings: dict[int, float] = {}
+    results = {}
+    for workers in (1, 2, 4):
+        start = time.perf_counter()
+        results[workers] = run_campaign(program, CORTEX_A15, FIELD, n=N,
+                                        seed=SEED, golden=golden,
+                                        workers=workers, shard_size=3)
+        timings[workers] = time.perf_counter() - start
+
+    assert results[2] == results[1]
+    assert results[4] == results[1]
+
+    cpus = _usable_cpus()
+    lines = [f"parallel campaign scaling ({N} injections, qsort micro O1, "
+             f"{cpus} usable cpus)"]
+    for workers, elapsed in timings.items():
+        lines.append(f"  workers={workers}  {elapsed:6.2f}s  "
+                     f"{N / elapsed:7.1f} inj/s  "
+                     f"speedup {timings[1] / elapsed:4.2f}x")
+    emit("parallel_campaign_scaling", "\n".join(lines))
+
+    if cpus < 4:
+        pytest.skip(f"scaling assertion needs >= 4 cpus, have {cpus}")
+    assert timings[1] / timings[4] >= 2.0
+
+
+def test_snapshot_warm_start() -> None:
+    program = _program()
+
+    start = time.perf_counter()
+    cold_golden = run_golden(program, CORTEX_A15)  # no snapshots
+    cold = run_campaign(program, CORTEX_A15, FIELD, n=24, seed=SEED,
+                        golden=cold_golden)
+    cold_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_golden = run_golden_auto(program, CORTEX_A15)
+    warm = run_campaign(program, CORTEX_A15, FIELD, n=24, seed=SEED,
+                        golden=warm_golden)
+    warm_time = time.perf_counter() - start
+
+    # Warm-starting must not change the physics, only the wall clock.
+    assert warm == cold
+    speedup = cold_time / warm_time
+    emit("parallel_campaign_warmstart",
+         "snapshot warm-start (24 injections incl. golden run)\n"
+         f"  cold (boot from cycle 0)   {cold_time:6.2f}s\n"
+         f"  warm ({len(warm_golden.snapshots)} auto-snapshots)"
+         f"       {warm_time:6.2f}s\n"
+         f"  speedup {speedup:4.2f}x")
+    assert speedup >= 1.1

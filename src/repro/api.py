@@ -17,12 +17,15 @@ simulation::
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from .avf import StaticAceResult
 from .avf import static_ace_estimate as _static_ace_estimate
 from .compiler import TARGETS, CompileResult, compile_module
-from .gefin import CampaignResult, GoldenRun
+from .gefin import CampaignCheckpoint, CampaignResult, GoldenRun
 from .gefin import run_campaign as _run_campaign
 from .gefin import run_golden as _run_golden
+from .gefin import run_golden_auto as _run_golden_auto
 from .isa.program import Program
 from .microarch import CONFIGS, Simulator
 from .workloads import build_program, get_workload
@@ -74,8 +77,19 @@ def build_simulator(program: Program, core: str = "cortex-a15") -> Simulator:
 
 
 def golden_run(program: Program, core: str = "cortex-a15",
-               snapshot_every: int | None = None) -> GoldenRun:
-    """Fault-free reference run (optionally checkpointed)."""
+               snapshot_every: int | None = None,
+               auto_snapshots: bool = False) -> GoldenRun:
+    """Fault-free reference run (optionally checkpointed).
+
+    ``auto_snapshots=True`` discovers the checkpoint interval online, so
+    the program simulates exactly once whatever its length; otherwise
+    pass an explicit ``snapshot_every`` (or neither, for no snapshots).
+    """
+    if auto_snapshots:
+        if snapshot_every is not None:
+            raise ValueError(
+                "auto_snapshots and snapshot_every are exclusive")
+        return _run_golden_auto(program, _config(core))
     return _run_golden(program, _config(core),
                        snapshot_every=snapshot_every)
 
@@ -83,7 +97,19 @@ def golden_run(program: Program, core: str = "cortex-a15",
 def run_campaign(program: Program, field: str, n: int,
                  core: str = "cortex-a15", seed: int = 0,
                  mode: str = "occupancy",
-                 golden: GoldenRun | None = None) -> CampaignResult:
-    """Statistical fault-injection campaign against one structure field."""
+                 golden: GoldenRun | None = None, burst: int = 1,
+                 workers: int | None = None,
+                 checkpoint: CampaignCheckpoint | str | Path | None = None,
+                 progress=None) -> CampaignResult:
+    """Statistical fault-injection campaign against one structure field.
+
+    When ``golden`` is omitted the reference run auto-snapshots so every
+    trial warm-starts from the nearest checkpoint. ``workers`` shards
+    the trials across processes (bit-exact for any count; defaults to
+    the ``REPRO_WORKERS`` env knob) and ``checkpoint`` persists finished
+    shards so an interrupted campaign resumes where it left off.
+    """
     return _run_campaign(program, _config(core), field, n, seed=seed,
-                         mode=mode, golden=golden)
+                         mode=mode, golden=golden, burst=burst,
+                         workers=workers, checkpoint=checkpoint,
+                         progress=progress)

@@ -156,12 +156,42 @@ def cmd_run(args) -> int:
 
 def cmd_inject(args) -> int:
     program, core = _load_program(args)
-    golden = run_golden(program, core,
-                        snapshot_every=None if args.no_snapshots else 2000)
-    print(f"golden: {golden.cycles} cycles")
+    golden = None
+    if args.no_snapshots:
+        # Explicitly cold: every trial re-simulates from boot. The
+        # default (golden=None) auto-snapshots one instrumented golden
+        # run so trials warm-start from the nearest checkpoint.
+        golden = run_golden(program, core)
+        print(f"golden: {golden.cycles} cycles (no snapshots)")
+
+    checkpoint = None
+    if args.resume:
+        from .experiments.grid import default_cache_dir
+        from .gefin import CampaignCheckpoint, result_key
+
+        key = result_key(core.name, program.name, args.opt, args.field,
+                         args.scale, args.n, args.seed, args.mode)
+        checkpoint = CampaignCheckpoint.for_key(
+            default_cache_dir(), f"{key}__b{args.burst}")
+        print(f"checkpoint: {checkpoint.path}")
+
+    start = time.perf_counter()
+
+    def progress(done: int, total: int) -> None:
+        elapsed = time.perf_counter() - start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = f"{(total - done) / rate:6.1f}s" if rate > 0 else "   ?"
+        print(f"  {done:5d}/{total} injections | {rate:7.1f} inj/s | "
+              f"ETA {eta}", flush=True)
+
     result = run_campaign(program, core, args.field, args.n,
                           seed=args.seed, mode=args.mode, golden=golden,
-                          burst=args.burst)
+                          burst=args.burst, workers=args.workers,
+                          checkpoint=checkpoint, progress=progress)
+    elapsed = time.perf_counter() - start
+    print(f"golden: {result.golden_cycles} cycles; campaign: "
+          f"{result.n} injections in {elapsed:.1f}s "
+          f"({result.n / elapsed:.1f} inj/s)")
     print(f"AVF({args.field}) = {result.avf:.4f} "
           f"(+/- {result.margin():.4f} at 99% confidence, n={result.n})")
     for cls, avf in sorted(result.avf_by_class.items()):
@@ -230,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--burst", type=int, default=1,
                    help="adjacent bits per fault (multi-bit upsets)")
     p.add_argument("--no-snapshots", action="store_true")
+    p.add_argument("--workers", "-j", type=int, default=None,
+                   help="shard trials across this many worker processes "
+                        "(default: REPRO_WORKERS)")
+    p.add_argument("--resume", action="store_true",
+                   help="checkpoint finished shards under REPRO_CACHE_DIR "
+                        "and resume an interrupted campaign")
     p.set_defaults(func=cmd_inject)
 
     p = sub.add_parser("ace", help="ACE-style analytic AVF estimate")
@@ -242,7 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fields)
 
     p = sub.add_parser("grid", help="populate the campaign grid")
-    p.set_defaults(func=lambda args: _run_grid())
+    p.add_argument("--workers", "-j", type=int, default=None,
+                   help="worker processes (default: REPRO_WORKERS)")
+    p.add_argument("--no-resume", action="store_true",
+                   help="ignore shard checkpoints of interrupted runs")
+    p.set_defaults(func=_run_grid)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p.add_argument("output", nargs="?", default="EXPERIMENTS.md")
@@ -251,10 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_grid() -> int:
+def _run_grid(args) -> int:
     from .experiments.run_grid import main
 
-    return main()
+    argv: list[str] = []
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    if args.no_resume:
+        argv.append("--no-resume")
+    return main(argv)
 
 
 def _run_report(args) -> int:

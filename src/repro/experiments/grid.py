@@ -6,6 +6,14 @@ number of injections per cell. :class:`CampaignGrid` materializes that
 grid with on-disk JSON caching so the twelve figure benches share one
 set of campaigns.
 
+With ``workers > 1``, :meth:`CampaignGrid.ensure_all` schedules at two
+levels: every pending cell is split into trial shards (see
+:mod:`repro.gefin.parallel`) and the (program x shard) tasks are fanned
+out over one process pool. Worker processes cache the golden run of the
+program they are currently injecting into, the parent appends finished
+shards to per-cell checkpoints, and a killed grid resumes from those
+checkpoints without re-running completed work.
+
 Environment knobs (see DESIGN.md):
 
 * ``REPRO_SCALE``      -- workload input scale (micro/small/large)
@@ -13,6 +21,7 @@ Environment knobs (see DESIGN.md):
 * ``REPRO_SEED``       -- campaign seed
 * ``REPRO_MODE``       -- uniform | occupancy sampling
 * ``REPRO_CACHE_DIR``  -- cache directory
+* ``REPRO_WORKERS``    -- default worker-process count
 """
 
 from __future__ import annotations
@@ -22,13 +31,22 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..gefin import (
+    CampaignCheckpoint,
     CampaignResult,
     GoldenRun,
     ResultStore,
+    Shard,
+    ShardRecord,
+    aggregate,
+    plan_shards,
+    resolve_workers,
     result_key,
     run_campaign,
     run_golden,
+    run_golden_auto,
+    run_shard,
 )
+from ..gefin.injector import InjectionResult
 from ..microarch import ALL_FIELDS, CONFIGS, CoreConfig
 from ..workloads import BENCHMARKS, build_program
 
@@ -37,8 +55,19 @@ CORES = ("cortex-a15", "cortex-a72")
 
 _CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
 
-DEFAULT_CACHE_DIR = Path(
-    os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".repro_cache"))
+Cell = tuple[str, str, str, str]
+
+
+def default_cache_dir() -> Path:
+    """Resolve ``REPRO_CACHE_DIR`` at call time, not import time.
+
+    A module-level constant would freeze whatever the env var (and the
+    working directory) happened to be when ``repro.experiments`` was
+    first imported, silently ignoring later monkeypatching in tests and
+    CLI overrides.
+    """
+    configured = os.environ.get("REPRO_CACHE_DIR", "")
+    return Path(configured) if configured else Path.cwd() / ".repro_cache"
 
 
 @dataclass(frozen=True)
@@ -75,7 +104,7 @@ class CampaignGrid:
     def __init__(self, spec: GridSpec | None = None,
                  cache_dir: str | Path | None = None) -> None:
         self.spec = spec or GridSpec.from_env()
-        self.store = ResultStore(cache_dir or DEFAULT_CACHE_DIR)
+        self.store = ResultStore(cache_dir or default_cache_dir())
         self._golden: dict[tuple[str, str, str], GoldenRun] = {}
 
     # ------------------------------------------------------------- building
@@ -96,11 +125,13 @@ class CampaignGrid:
             return cached
         program = self.program(core, benchmark, level)
         config = self.config(core)
-        golden = run_golden(program, config)
-        if snapshots and golden.cycles > 2000:
-            golden = run_golden(program, config,
-                                snapshot_every=max(1000,
-                                                   golden.cycles // 8))
+        if snapshots:
+            # One instrumented simulation with online interval discovery
+            # -- short programs (< min_interval cycles) get no snapshots
+            # and pay nothing.
+            golden = run_golden_auto(program, config, min_interval=1000)
+        else:
+            golden = run_golden(program, config)
         self._golden[key] = golden
         self._save_golden_stats(core, benchmark, level, golden)
         return golden
@@ -160,16 +191,31 @@ class CampaignGrid:
                   field: str) -> bool:
         return self._cell_key(core, benchmark, level, field) in self.store
 
-    def ensure_all(self, progress=None, workers: int = 1) -> int:
+    def _pending_cells(self) -> list[Cell]:
+        spec = self.spec
+        return [
+            (core, benchmark, level, field)
+            for core in spec.cores
+            for benchmark in spec.benchmarks
+            for level in spec.levels
+            for field in spec.fields
+            if not self.is_cached(core, benchmark, level, field)
+        ]
+
+    def ensure_all(self, progress=None, workers: int | None = None,
+                   resume: bool = True) -> int:
         """Materialize every cell; returns the number of cells run.
 
-        With ``workers > 1`` the grid is partitioned by program (one
-        worker task per (core, benchmark, level), sharing that program's
-        golden run across its 15 field campaigns); each worker writes
-        its own cache files, so parallelism is safe and resumable.
+        With ``workers > 1`` every pending cell's trials are sharded and
+        the (program x shard) tasks run on one shared process pool --
+        two-level scheduling, so even a grid of few programs with many
+        injections keeps every worker busy. Finished shards are
+        checkpointed per cell; with ``resume`` (the default) a re-run
+        picks up exactly where an interrupted one stopped.
         """
+        workers = resolve_workers(workers)
         if workers > 1:
-            return self._ensure_parallel(progress, workers)
+            return self._ensure_parallel(progress, workers, resume=resume)
         ran = 0
         spec = self.spec
         for core in spec.cores:
@@ -186,34 +232,109 @@ class CampaignGrid:
                     self._golden.pop((core, benchmark, level), None)
         return ran
 
-    def _pending_programs(self) -> list[tuple[str, str, str]]:
-        spec = self.spec
-        return [
-            (core, benchmark, level)
-            for core in spec.cores
-            for benchmark in spec.benchmarks
-            for level in spec.levels
-            if any(not self.is_cached(core, benchmark, level, field)
-                   for field in spec.fields)
-        ]
+    # ------------------------------------------------- two-level scheduling
 
-    def _ensure_parallel(self, progress, workers: int) -> int:
+    def _cell_meta(self, cell: Cell, shards: list[Shard]) -> dict:
+        """Checkpoint header for one grid cell's shard set."""
+        core, benchmark, level, field = cell
+        spec = self.spec
+        return {
+            "config": core,
+            "benchmark": benchmark,
+            "level": level,
+            "field": field,
+            "scale": spec.scale,
+            "n": spec.injections,
+            "seed": spec.seed,
+            "mode": spec.mode,
+            "burst": 1,
+            "shards": [[shard.start, shard.stop] for shard in shards],
+        }
+
+    def _cell_checkpoint(self, cell: Cell) -> CampaignCheckpoint:
+        return CampaignCheckpoint.for_key(self.store.root,
+                                          self._cell_key(*cell))
+
+    def _finalize_cell(self, cell: Cell, shards: list[Shard],
+                       records: dict[int, ShardRecord]) -> CampaignResult:
+        """Aggregate a cell's completed shards and publish the result."""
+        core, _benchmark, _level, field = cell
+        ordered = [result for shard in shards
+                   for result in records[shard.index].results]
+        sample = records[shards[0].index] if shards else None
+        result = aggregate(
+            field,
+            sample.program_name if sample else "",
+            self.config(core).name,
+            self.spec.mode,
+            self.spec.seed,
+            sample.golden_cycles if sample else 0,
+            sample.bit_count if sample else 0,
+            ordered,
+        )
+        self.store.save(self._cell_key(*cell), result)
+        self._cell_checkpoint(cell).clear()
+        return result
+
+    def _ensure_parallel(self, progress, workers: int,
+                         resume: bool = True) -> int:
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
-        pending = self._pending_programs()
+        spec = self.spec
+        shards = plan_shards(spec.injections)
         ran = 0
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        state: dict[Cell, dict[int, ShardRecord]] = {}
+        pending: list[tuple[Cell, Shard]] = []
+        for cell in self._pending_cells():
+            if not shards:  # degenerate n=0 grid: fall back to serial
+                self.result(*cell)
+                ran += 1
+                continue
+            checkpoint = self._cell_checkpoint(cell)
+            meta = self._cell_meta(cell, shards)
+            completed = checkpoint.load(meta, shards) if resume else {}
+            checkpoint.begin(meta)
+            state[cell] = completed
+            if len(completed) == len(shards):
+                # The previous run died between the last shard and the
+                # final store.save; nothing left to simulate.
+                self._finalize_cell(cell, shards, completed)
+                ran += 1
+                if progress is not None:
+                    progress(*cell, ran)
+                continue
+            pending.extend((cell, shard) for shard in shards
+                           if shard.index not in completed)
+        if not pending:
+            return ran
+
+        # Tasks are submitted grouped by (core, benchmark, level), so a
+        # worker's per-process golden cache (see _cell_shard_task) hits
+        # for runs of consecutive shards of the same program.
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))) as pool:
             futures = {
-                pool.submit(_run_program_cells, self.spec,
-                            str(self.store.root), core, benchmark,
-                            level): (core, benchmark, level)
-                for core, benchmark, level in pending
+                pool.submit(_cell_shard_task, spec, *cell, shard):
+                    (cell, shard)
+                for cell, shard in pending
             }
             for future in as_completed(futures):
-                core, benchmark, level = futures[future]
-                ran += future.result()
-                if progress is not None:
-                    progress(core, benchmark, level, "*", ran)
+                cell, shard = futures[future]
+                program_name, golden_cycles, bit_count, raw = future.result()
+                record = ShardRecord(
+                    shard,
+                    [InjectionResult.from_dict(entry) for entry in raw],
+                    golden_cycles, bit_count, program_name)
+                self._cell_checkpoint(cell).record(
+                    shard, golden_cycles, bit_count, record.results,
+                    program_name=program_name)
+                records = state[cell]
+                records[shard.index] = record
+                if len(records) == len(shards):
+                    self._finalize_cell(cell, shards, records)
+                    ran += 1
+                    if progress is not None:
+                        progress(*cell, ran)
         return ran
 
     # ------------------------------------------------------------- queries
@@ -229,14 +350,43 @@ class CampaignGrid:
         return dict(self.result(core, benchmark, level, field).avf_by_class)
 
 
-def _run_program_cells(spec: GridSpec, store_root: str, core: str,
-                       benchmark: str, level: str) -> int:
-    """Worker entry point: run all uncached fields of one program."""
-    grid = CampaignGrid(spec, store_root)
-    ran = 0
-    for field in spec.fields:
-        if grid.is_cached(core, benchmark, level, field):
-            continue
-        grid.result(core, benchmark, level, field)
-        ran += 1
-    return ran
+# ------------------------------------------------------- worker-side state
+
+# Per worker process: the golden runs (plus per-field bit counts) of the
+# programs this worker has recently injected into. Bounded so that a
+# grid walking many programs does not pin every snapshot set in memory.
+_WORKER_GOLDENS: dict[tuple[str, str, str, str], tuple] = {}
+_WORKER_GOLDEN_LIMIT = 2
+
+
+def _worker_program(spec: GridSpec, core: str, benchmark: str, level: str):
+    key = (core, benchmark, level, spec.scale)
+    entry = _WORKER_GOLDENS.get(key)
+    if entry is None:
+        if len(_WORKER_GOLDENS) >= _WORKER_GOLDEN_LIMIT:
+            _WORKER_GOLDENS.pop(next(iter(_WORKER_GOLDENS)))
+        program = build_program(benchmark, spec.scale, level,
+                                _CORE_TO_TARGET[core])
+        config = CONFIGS[core]
+        golden = run_golden_auto(program, config, min_interval=1000)
+        entry = (program, config, golden, {})
+        _WORKER_GOLDENS[key] = entry
+    return entry
+
+
+def _cell_shard_task(spec: GridSpec, core: str, benchmark: str, level: str,
+                     field: str, shard: Shard,
+                     ) -> tuple[str, int, int, list[dict]]:
+    """Pool entry point: run one shard of one grid cell."""
+    program, config, golden, bit_counts = _worker_program(
+        spec, core, benchmark, level)
+    bit_count = bit_counts.get(field)
+    if bit_count is None:
+        from ..microarch import Simulator
+
+        bit_count = Simulator(program, config).bit_count(field)
+        bit_counts[field] = bit_count
+    results = run_shard(program, config, golden, field, shard, spec.seed,
+                        mode=spec.mode, bit_count=bit_count)
+    return (program.name, golden.cycles, bit_count,
+            [result.to_dict() for result in results])

@@ -1,39 +1,50 @@
 """Command-line campaign-grid runner.
 
-    python -m repro.experiments.run_grid
+    python -m repro.experiments.run_grid [--workers K] [--no-resume]
 
 Respects the ``REPRO_*`` environment knobs and caches into
 ``REPRO_CACHE_DIR``; safe to interrupt and resume (each cell is cached
-independently).
+independently, and with ``--workers`` partially-run cells resume from
+their shard checkpoints).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
+from ..gefin import resolve_workers
 from .grid import CampaignGrid, GridSpec
 
 
-def main() -> int:
-    import os
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: REPRO_WORKERS)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="ignore shard checkpoints of interrupted runs")
+    args = parser.parse_args(argv)
 
     spec = GridSpec.from_env()
     grid = CampaignGrid(spec)
     total = spec.cells
-    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    workers = resolve_workers(args.workers)
     start = time.time()
 
     def progress(core: str, bench: str, level: str, field: str,
                  ran: int) -> None:
         elapsed = time.time() - start
+        rate = ran * spec.injections / elapsed if elapsed > 0 else 0.0
         print(f"[{elapsed:7.1f}s] {ran:5d} cells run | "
-              f"{core} {bench} {level} {field}", flush=True)
+              f"{rate:7.1f} inj/s | {core} {bench} {level} {field}",
+              flush=True)
 
     print(f"grid: {total} cells, scale={spec.scale} "
           f"n={spec.injections} seed={spec.seed} mode={spec.mode} "
           f"workers={workers}", flush=True)
-    ran = grid.ensure_all(progress, workers=workers)
+    ran = grid.ensure_all(progress, workers=workers,
+                          resume=not args.no_resume)
     print(f"done: {ran} cells run, {total - ran} cached, "
           f"{time.time() - start:.1f}s", flush=True)
     return 0

@@ -6,16 +6,30 @@ Workflow::
     result = run_campaign(program, CORTEX_A15, "rob.pc", n=200,
                           golden=golden)
     print(result.avf, result.avf_by_class, result.margin())
+
+Campaigns shard their trials across worker processes (``workers=k`` or
+the ``REPRO_WORKERS`` env knob) with bit-exact results for any ``k``,
+and persist completed shards to a :class:`CampaignCheckpoint` so an
+interrupted campaign resumes where it left off.
 """
 
 from .campaign import (
     CampaignResult,
+    DEFAULT_SNAPSHOT_COUNT,
     aggregate,
+    campaign_meta,
     derive_rng,
     run_campaign,
     run_field_campaigns,
 )
-from .fault import FaultSpec, GoldenRun, run_golden
+from .fault import (
+    FaultSpec,
+    GoldenRun,
+    compress_snapshot,
+    decompress_snapshot,
+    run_golden,
+    run_golden_auto,
+)
 from .injector import InjectionResult, inject_one
 from .outcomes import (
     ALL_OUTCOMES,
@@ -23,6 +37,15 @@ from .outcomes import (
     Outcome,
     classify_completion,
     classify_exception,
+)
+from .parallel import (
+    CampaignCheckpoint,
+    Shard,
+    ShardRecord,
+    plan_shards,
+    resolve_workers,
+    run_shard,
+    sample_cycle,
 )
 from .sampling import (
     error_margin,
@@ -34,24 +57,36 @@ from .storage import ResultStore, result_key
 
 __all__ = [
     "ALL_OUTCOMES",
+    "CampaignCheckpoint",
     "CampaignResult",
+    "DEFAULT_SNAPSHOT_COUNT",
     "FAILURE_OUTCOMES",
     "FaultSpec",
     "GoldenRun",
     "InjectionResult",
     "Outcome",
     "ResultStore",
+    "Shard",
+    "ShardRecord",
     "aggregate",
+    "campaign_meta",
     "classify_completion",
     "classify_exception",
+    "compress_snapshot",
+    "decompress_snapshot",
     "derive_rng",
     "error_margin",
     "fault_population",
     "inject_one",
+    "plan_shards",
     "required_sample_size",
+    "resolve_workers",
     "result_key",
     "run_campaign",
     "run_field_campaigns",
     "run_golden",
+    "run_golden_auto",
+    "run_shard",
+    "sample_cycle",
     "z_score",
 ]

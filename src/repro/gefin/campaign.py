@@ -11,31 +11,49 @@ estimator (2,000 such samples is the paper's setting). With
 ``mode="occupancy"`` faults are drawn among *live* bits and weighted by
 live/total occupancy, an unbiased importance-sampling variant that gives
 usable estimates for large sparse arrays (the L2) at small n.
+
+Campaigns are embarrassingly parallel at the trial level: each trial's
+RNG stream depends only on ``(seed, field, trial)``, so ``workers > 1``
+shards the trials across a process pool (see :mod:`.parallel`) and the
+result is bit-exact equal to the serial run. A ``checkpoint`` persists
+completed shards so an interrupted campaign resumes where it left off.
 """
 
 from __future__ import annotations
 
-import hashlib
-import random
+from collections.abc import Callable
 from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
 
+from ..isa.program import Program
 from ..microarch.config import CoreConfig
-from .fault import FaultSpec, GoldenRun, run_golden
-from .injector import InjectionResult, inject_one
-from .outcomes import ALL_OUTCOMES, FAILURE_OUTCOMES, Outcome
+from .fault import DEFAULT_AUTO_SNAPSHOTS, GoldenRun, run_golden_auto
+from .injector import InjectionResult
+from .outcomes import ALL_OUTCOMES, FAILURE_OUTCOMES
+from .parallel import (
+    CampaignCheckpoint,
+    Shard,
+    _shard_task,
+    derive_rng,
+    plan_shards,
+    resolve_workers,
+    run_shard,
+)
 from .sampling import error_margin, fault_population
 
-DEFAULT_SNAPSHOT_COUNT = 8
+DEFAULT_SNAPSHOT_COUNT = DEFAULT_AUTO_SNAPSHOTS
 
+__all__ = [
+    "CampaignResult",
+    "DEFAULT_SNAPSHOT_COUNT",
+    "aggregate",
+    "campaign_meta",
+    "derive_rng",
+    "run_campaign",
+    "run_field_campaigns",
+]
 
-def derive_rng(seed: int, field: str, trial: int) -> random.Random:
-    """Per-injection RNG, reproducible across processes.
-
-    Derives the stream from a SHA-256 of (seed, field, trial) rather than
-    Python's randomized string hashing, so campaigns replay bit-exactly.
-    """
-    digest = hashlib.sha256(f"{seed}:{field}:{trial}".encode()).digest()
-    return random.Random(int.from_bytes(digest[:8], "big"))
+ProgressFn = Callable[[int, int], None]
 
 
 @dataclass
@@ -97,9 +115,14 @@ class CampaignResult:
 
 
 def aggregate(field: str, program_name: str, config_name: str, mode: str,
-              seed: int, golden: GoldenRun, bit_count: int,
+              seed: int, golden_cycles: int, bit_count: int,
               results: list[InjectionResult]) -> CampaignResult:
-    """Fold raw injection results into a :class:`CampaignResult`."""
+    """Fold raw injection results into a :class:`CampaignResult`.
+
+    ``results`` must be in trial order: the weighted sums are folded in
+    list order, so a permutation could perturb the float accumulation
+    and break bit-exact serial/parallel equality.
+    """
     n = len(results)
     counts = {o.value: 0 for o in ALL_OUTCOMES}
     weighted = {o.value: 0.0 for o in ALL_OUTCOMES}
@@ -112,59 +135,142 @@ def aggregate(field: str, program_name: str, config_name: str, mode: str,
     }
     return CampaignResult(
         field=field, program_name=program_name, config_name=config_name,
-        mode=mode, n=n, seed=seed, golden_cycles=golden.cycles,
+        mode=mode, n=n, seed=seed, golden_cycles=golden_cycles,
         bit_count=bit_count, counts=counts, avf_by_class=avf_by_class)
 
 
-def run_campaign(program, config: CoreConfig, field: str, n: int,
+def campaign_meta(program_name: str, config_name: str, field: str, n: int,
+                  seed: int, mode: str, burst: int,
+                  shards: list[Shard]) -> dict:
+    """Checkpoint header: everything that pins the sampled fault set."""
+    return {
+        "program": program_name,
+        "config": config_name,
+        "field": field,
+        "n": n,
+        "seed": seed,
+        "mode": mode,
+        "burst": burst,
+        "shards": [[shard.start, shard.stop] for shard in shards],
+    }
+
+
+def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
                  seed: int = 0, mode: str = "occupancy",
                  golden: GoldenRun | None = None,
                  keep_results: bool = False, burst: int = 1,
+                 workers: int | None = None,
+                 shard_size: int | None = None,
+                 checkpoint: CampaignCheckpoint | str | Path | None = None,
+                 snapshot_count: int = DEFAULT_SNAPSHOT_COUNT,
+                 progress: ProgressFn | None = None,
                  ) -> CampaignResult | tuple[CampaignResult,
                                              list[InjectionResult]]:
     """Run an ``n``-fault campaign against one structure field.
 
     ``burst`` > 1 selects the multi-bit upset model (that many adjacent
     bits flipped per fault).
+
+    When ``golden`` is omitted the reference run is simulated once with
+    automatic checkpoints (:func:`run_golden_auto`), so every trial
+    warm-starts from the nearest snapshot instead of cycle 0.
+
+    ``workers`` > 1 (default: the ``REPRO_WORKERS`` environment knob)
+    fans the trial shards out over a process pool; results are bit-exact
+    equal to the serial run for any worker count. ``checkpoint`` names a
+    :class:`CampaignCheckpoint` (or its path): completed shards are
+    persisted as they finish and an interrupted campaign resumes without
+    re-running them. ``progress`` is called as ``progress(done_trials,
+    n)`` after every completed shard.
     """
+    workers = resolve_workers(workers)
     if golden is None:
-        golden = run_golden(program, config)
+        golden = run_golden_auto(program, config,
+                                 snapshot_count=snapshot_count)
     from ..microarch.simulator import Simulator
 
     probe = Simulator(program, config)
     bit_count = probe.bit_count(field)
     del probe
 
-    results: list[InjectionResult] = []
-    for trial in range(n):
-        rng = derive_rng(seed, field, trial)
-        cycle = rng.randrange(1, max(2, golden.cycles))
-        if mode == "occupancy":
-            spec = FaultSpec(field=field, cycle=cycle, mode="occupancy",
-                             burst=burst)
-        else:
-            spec = FaultSpec(field=field, cycle=cycle,
-                             bit_index=rng.randrange(bit_count),
-                             burst=burst)
-        results.append(inject_one(program, config, golden, spec, rng))
+    shards = plan_shards(n, shard_size)
+    by_shard: dict[int, list[InjectionResult]] = {}
 
+    ck: CampaignCheckpoint | None = None
+    if checkpoint is not None:
+        ck = (checkpoint if isinstance(checkpoint, CampaignCheckpoint)
+              else CampaignCheckpoint(checkpoint))
+        meta = campaign_meta(program.name, config.name, field, n, seed,
+                             mode, burst, shards)
+        for record in ck.load(meta, shards).values():
+            # A record from a different golden run (changed simulator,
+            # stale cache dir) would silently skew the sample; rerun it.
+            if (record.golden_cycles == golden.cycles
+                    and record.bit_count == bit_count):
+                by_shard[record.shard.index] = record.results
+        ck.begin(meta)
+
+    done = sum(len(results) for results in by_shard.values())
+    if progress is not None and done:
+        progress(done, n)
+
+    def finish(shard: Shard, results: list[InjectionResult]) -> None:
+        nonlocal done
+        by_shard[shard.index] = results
+        done += len(results)
+        if ck is not None:
+            ck.record(shard, golden.cycles, bit_count, results,
+                      program_name=program.name)
+        if progress is not None:
+            progress(done, n)
+
+    pending = [shard for shard in shards if shard.index not in by_shard]
+    if workers <= 1 or len(pending) <= 1:
+        for shard in pending:
+            finish(shard, run_shard(program, config, golden, field, shard,
+                                    seed, mode=mode, burst=burst,
+                                    bit_count=bit_count))
+    else:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(_shard_task, program, config, golden, field,
+                            shard, seed, mode, burst, bit_count): shard
+                for shard in pending
+            }
+            for future in as_completed(futures):
+                shard = futures[future]
+                _index, records = future.result()
+                finish(shard, [InjectionResult.from_dict(raw)
+                               for raw in records])
+
+    results = [result for shard in shards for result in by_shard[shard.index]]
     summary = aggregate(field, program.name, config.name, mode, seed,
-                        golden, bit_count, results)
+                        golden.cycles, bit_count, results)
+    if ck is not None:
+        ck.clear()
     if keep_results:
         return summary, results
     return summary
 
 
-def run_field_campaigns(program, config: CoreConfig, fields: list[str],
+def run_field_campaigns(program: Program, config: CoreConfig,
+                        fields: list[str],
                         n: int, seed: int = 0, mode: str = "occupancy",
                         snapshot_count: int = DEFAULT_SNAPSHOT_COUNT,
+                        workers: int | None = None,
                         ) -> dict[str, CampaignResult]:
-    """Campaigns for several fields sharing one golden (+ checkpoints)."""
-    probe_golden = run_golden(program, config)
-    snapshot_every = max(1, probe_golden.cycles // max(1, snapshot_count))
-    golden = run_golden(program, config, snapshot_every=snapshot_every)
+    """Campaigns for several fields sharing one golden (+ checkpoints).
+
+    The golden reference is simulated exactly once, with checkpoint
+    intervals discovered online (:func:`run_golden_auto`) instead of a
+    throwaway full run to learn the cycle count first.
+    """
+    golden = run_golden_auto(program, config, snapshot_count=snapshot_count)
     return {
         field: run_campaign(program, config, field, n, seed=seed,
-                            mode=mode, golden=golden)
+                            mode=mode, golden=golden, workers=workers)
         for field in fields
     }

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from ..errors import ReproError
@@ -10,6 +11,10 @@ from ..microarch.config import CoreConfig
 from ..microarch.simulator import SimResult, Simulator
 
 DEFAULT_MAX_CYCLES = 50_000_000
+
+#: Target number of auto-snapshots per golden run (the list may briefly
+#: hold up to twice this many before :func:`run_golden_auto` thins it).
+DEFAULT_AUTO_SNAPSHOTS = 8
 
 
 @dataclass(frozen=True)
@@ -40,10 +45,49 @@ class FaultSpec:
         if self.burst < 1:
             raise ValueError("burst must be >= 1")
 
+    def to_dict(self) -> dict:
+        return {"field": self.field, "cycle": self.cycle,
+                "bit_index": self.bit_index, "mode": self.mode,
+                "burst": self.burst}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(field=data["field"], cycle=data["cycle"],
+                   bit_index=data["bit_index"], mode=data["mode"],
+                   burst=data["burst"])
+
+
+def compress_snapshot(blob: bytes) -> bytes:
+    """Compress a machine-state blob for retention in a GoldenRun.
+
+    Raw snapshots are dominated by the (mostly zero) RAM image -- ~4 MB
+    each -- while compressing ~200x in a few milliseconds. Compressed
+    snapshots make it cheap to keep several per golden run and to ship
+    a golden run to campaign worker processes.
+    """
+    return zlib.compress(blob, 1)
+
+
+def decompress_snapshot(blob: bytes) -> bytes:
+    """Inverse of :func:`compress_snapshot`; raw blobs pass through.
+
+    Pickle streams start with ``b"\\x80"`` while zlib streams start with
+    ``b"\\x78"``, so uncompressed snapshots (older checkpoints, direct
+    ``Simulator.save_state`` output) are recognized and returned as-is.
+    """
+    if blob[:1] == b"\x78":
+        return zlib.decompress(blob)
+    return blob
+
 
 @dataclass
 class GoldenRun:
-    """Reference (fault-free) execution of one program on one core."""
+    """Reference (fault-free) execution of one program on one core.
+
+    ``snapshots`` holds ``(cycle, compressed_state)`` checkpoints (see
+    :func:`compress_snapshot`); the injector restores from the nearest
+    one below its injection cycle.
+    """
 
     program: Program
     config_name: str
@@ -57,6 +101,22 @@ class GoldenRun:
     def timeout_cycles(self) -> int:
         """The paper's timeout threshold: 2x the fault-free time."""
         return 2 * self.cycles
+
+
+def _finish_golden(program: Program, config: CoreConfig, result: SimResult,
+                   snapshots: list[tuple[int, bytes]]) -> GoldenRun:
+    if result.exit_code != 0:
+        raise ReproError(
+            f"golden run of {program.name} exited with {result.exit_code}")
+    return GoldenRun(
+        program=program,
+        config_name=config.name,
+        cycles=result.cycles,
+        output_data=result.output.data,
+        exit_code=result.exit_code,
+        stats=result.stats,
+        snapshots=snapshots,
+    )
 
 
 def run_golden(program: Program, config: CoreConfig,
@@ -84,16 +144,43 @@ def run_golden(program: Program, config: CoreConfig,
             if not sim.run_until(target):
                 result = sim.result()
                 break
-            snapshots.append((sim.cycle, sim.save_state()))
-    if result.exit_code != 0:
-        raise ReproError(
-            f"golden run of {program.name} exited with {result.exit_code}")
-    return GoldenRun(
-        program=program,
-        config_name=config.name,
-        cycles=result.cycles,
-        output_data=result.output.data,
-        exit_code=result.exit_code,
-        stats=result.stats,
-        snapshots=snapshots,
-    )
+            snapshots.append((sim.cycle,
+                              compress_snapshot(sim.save_state())))
+    return _finish_golden(program, config, result, snapshots)
+
+
+def run_golden_auto(program: Program, config: CoreConfig,
+                    max_cycles: int = DEFAULT_MAX_CYCLES,
+                    snapshot_count: int = DEFAULT_AUTO_SNAPSHOTS,
+                    min_interval: int = 512) -> GoldenRun:
+    """Golden run with automatic checkpoints from ONE simulation.
+
+    ``run_golden(snapshot_every=...)`` needs the final cycle count up
+    front to pick a sensible interval, which costs a throwaway full
+    simulation first. This variant discovers the interval online:
+    snapshot every ``min_interval`` cycles, and whenever more than
+    ``2 x snapshot_count`` checkpoints accumulate, drop every other one
+    and double the interval. The program runs exactly once and ends with
+    between ``snapshot_count`` and ``2 x snapshot_count`` roughly evenly
+    spaced checkpoints, whatever its length turns out to be.
+    """
+    if snapshot_count < 1:
+        raise ReproError("snapshot_count must be >= 1")
+    if min_interval < 1:
+        raise ReproError("min_interval must be >= 1")
+    sim = Simulator(program, config)
+    snapshots: list[tuple[int, bytes]] = []
+    interval = min_interval
+    while True:
+        target = sim.cycle + interval
+        if target > max_cycles:
+            result = sim.run(max_cycles)
+            break
+        if not sim.run_until(target):
+            result = sim.result()
+            break
+        snapshots.append((sim.cycle, compress_snapshot(sim.save_state())))
+        if len(snapshots) >= 2 * snapshot_count:
+            snapshots = snapshots[1::2]
+            interval *= 2
+    return _finish_golden(program, config, result, snapshots)

@@ -6,9 +6,10 @@ import random
 from dataclasses import dataclass
 
 from ..errors import SimulationError
+from ..isa.program import Program
 from ..microarch.config import CoreConfig
 from ..microarch.simulator import Simulator
-from .fault import FaultSpec, GoldenRun
+from .fault import FaultSpec, GoldenRun, decompress_snapshot
 from .outcomes import Outcome, classify_completion, classify_exception
 
 
@@ -32,6 +33,25 @@ class InjectionResult:
     def failed(self) -> bool:
         return self.outcome.is_failure
 
+    def to_dict(self) -> dict:
+        """JSON-ready record, exact enough to replay aggregation.
+
+        Weights survive the JSON round trip bit-for-bit (``json`` emits
+        ``repr``-precision floats), so results recovered from a
+        checkpoint aggregate to the same ``CampaignResult`` the live run
+        would have produced.
+        """
+        return {"spec": self.spec.to_dict(), "outcome": self.outcome.value,
+                "weight": self.weight, "bit_index": self.bit_index,
+                "detail": self.detail, "cycles": self.cycles}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InjectionResult":
+        return cls(spec=FaultSpec.from_dict(data["spec"]),
+                   outcome=Outcome(data["outcome"]),
+                   weight=data["weight"], bit_index=data["bit_index"],
+                   detail=data["detail"], cycles=data["cycles"])
+
 
 def _restore_nearest(sim: Simulator, golden: GoldenRun, cycle: int) -> None:
     """Fast-forward ``sim`` using the latest checkpoint below ``cycle``."""
@@ -40,10 +60,10 @@ def _restore_nearest(sim: Simulator, golden: GoldenRun, cycle: int) -> None:
         if snap_cycle < cycle and (best is None or snap_cycle > best[0]):
             best = (snap_cycle, blob)
     if best is not None:
-        sim.load_state(best[1])
+        sim.load_state(decompress_snapshot(best[1]))
 
 
-def inject_one(program, config: CoreConfig, golden: GoldenRun,
+def inject_one(program: Program, config: CoreConfig, golden: GoldenRun,
                spec: FaultSpec,
                rng: random.Random | None = None) -> InjectionResult:
     """Run one end-to-end injection and classify its outcome."""

@@ -1,0 +1,289 @@
+"""Trial-sharded parallel campaign execution with checkpointed resume.
+
+A campaign's ``n`` trials are split into contiguous shards. Every trial
+derives its RNG stream from ``(seed, field, trial)`` alone (a SHA-256
+stream, see :func:`derive_rng`), so the partition of trials into shards
+-- and the process a shard happens to run in -- cannot change the
+sampled faults. Shards therefore execute in any order across a
+``ProcessPoolExecutor`` and re-assemble into the exact serial result.
+
+Completed shards are appended to a :class:`CampaignCheckpoint`, a
+JSON-lines file living next to the campaign's ``ResultStore`` entry:
+one header line pinning the sampling parameters, then one line per
+finished shard carrying its serialized :class:`InjectionResult` records.
+An interrupted campaign re-loads the file, validates the header against
+its own parameters, and only runs the shards that are missing. Torn
+trailing lines (the write the crash interrupted) parse as garbage and
+are skipped, so a checkpoint is never worse than starting over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..isa.program import Program
+from ..microarch.config import CoreConfig
+from .fault import FaultSpec, GoldenRun
+from .injector import InjectionResult, inject_one
+
+#: Upper bound on the number of shards a campaign is split into. The
+#: plan depends only on ``n`` (never on the worker count), so a campaign
+#: checkpointed under one ``--workers`` resumes under any other.
+DEFAULT_MAX_SHARDS = 16
+
+CHECKPOINT_SUFFIX = ".ckpt.jsonl"
+
+
+def derive_rng(seed: int, field: str, trial: int) -> random.Random:
+    """Per-injection RNG, reproducible across processes.
+
+    Derives the stream from a SHA-256 of (seed, field, trial) rather than
+    Python's randomized string hashing, so campaigns replay bit-exactly.
+    """
+    digest = hashlib.sha256(f"{seed}:{field}:{trial}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def sample_cycle(rng: random.Random, cycles: int) -> int:
+    """Uniform injection cycle over the full ``[1, cycles]`` window.
+
+    The fault population is ``bits x cycles`` (every (bit, cycle) pair,
+    :func:`~repro.gefin.sampling.fault_population`), so the final golden
+    cycle is a legal target and must be sampled with the same
+    probability as every other.
+    """
+    return rng.randrange(1, max(1, cycles) + 1)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Worker count: explicit argument, else ``REPRO_WORKERS``, else 1."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous range of campaign trials: ``[start, stop)``."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"bad shard range [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(n: int, shard_size: int | None = None) -> list[Shard]:
+    """Split ``n`` trials into contiguous shards.
+
+    The default size targets :data:`DEFAULT_MAX_SHARDS` shards and is a
+    function of ``n`` only, keeping the plan (and hence any checkpoint
+    written against it) stable across worker counts.
+    """
+    if n <= 0:
+        return []
+    if shard_size is None:
+        shard_size = max(1, math.ceil(n / DEFAULT_MAX_SHARDS))
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    return [Shard(index, start, min(n, start + shard_size))
+            for index, start in enumerate(range(0, n, shard_size))]
+
+
+def run_shard(program: Program, config: CoreConfig, golden: GoldenRun,
+              field: str, shard: Shard, seed: int,
+              mode: str = "occupancy", burst: int = 1,
+              bit_count: int | None = None) -> list[InjectionResult]:
+    """Run one shard's trials in-process, in trial order.
+
+    This is *the* trial loop: the serial path runs it over every shard
+    in order, the parallel path fans shards out to worker processes.
+    """
+    if bit_count is None:
+        from ..microarch.simulator import Simulator
+
+        probe = Simulator(program, config)
+        bit_count = probe.bit_count(field)
+        del probe
+    results: list[InjectionResult] = []
+    for trial in range(shard.start, shard.stop):
+        rng = derive_rng(seed, field, trial)
+        cycle = sample_cycle(rng, golden.cycles)
+        if mode == "occupancy":
+            spec = FaultSpec(field=field, cycle=cycle, mode="occupancy",
+                             burst=burst)
+        else:
+            spec = FaultSpec(field=field, cycle=cycle,
+                             bit_index=rng.randrange(bit_count),
+                             burst=burst)
+        results.append(inject_one(program, config, golden, spec, rng))
+    return results
+
+
+def _shard_task(program: Program, config: CoreConfig, golden: GoldenRun,
+                field: str, shard: Shard, seed: int, mode: str, burst: int,
+                bit_count: int) -> tuple[int, list[dict]]:
+    """Pool entry point: run a shard, return JSON-ready records."""
+    results = run_shard(program, config, golden, field, shard, seed,
+                        mode=mode, burst=burst, bit_count=bit_count)
+    return shard.index, [r.to_dict() for r in results]
+
+
+@dataclass
+class ShardRecord:
+    """One completed shard as recovered from (or bound for) a checkpoint."""
+
+    shard: Shard
+    results: list[InjectionResult]
+    golden_cycles: int
+    bit_count: int
+    program_name: str | None = None
+
+
+class CampaignCheckpoint:
+    """Append-only JSON-lines record of completed campaign shards.
+
+    Line 0 is a header pinning the sampling parameters (``meta``); every
+    further line is one completed shard. Appends are flushed and
+    fsynced, so after a crash at most the line being written is lost --
+    and a torn line simply fails to parse and is dropped on load.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_key(cls, root: str | Path, key: str) -> "CampaignCheckpoint":
+        """Checkpoint co-located with a ``ResultStore`` entry."""
+        return cls(Path(root) / f"{key}{CHECKPOINT_SUFFIX}")
+
+    # -------------------------------------------------------------- reading
+
+    def _lines(self) -> list[str]:
+        try:
+            return self.path.read_text().splitlines()
+        except (OSError, UnicodeDecodeError):
+            return []
+
+    def _header_matches(self, meta: dict) -> bool:
+        lines = self._lines()
+        if not lines:
+            return False
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return False
+        return (isinstance(header, dict)
+                and header.get("kind") == "campaign-checkpoint"
+                and header.get("version") == self.VERSION
+                and header.get("meta") == _jsonify(meta))
+
+    def load(self, meta: dict,
+             shards: Sequence[Shard]) -> dict[int, ShardRecord]:
+        """Completed shards recorded under a matching header.
+
+        Returns ``{}`` when the file is missing, unreadable, or was
+        written for different sampling parameters; skips unparseable or
+        inconsistent shard lines instead of failing.
+        """
+        if not self._header_matches(meta):
+            return {}
+        expected = {shard.index: shard for shard in shards}
+        completed: dict[int, ShardRecord] = {}
+        for line in self._lines()[1:]:
+            record = self._parse_shard_line(line, expected)
+            if record is not None:
+                completed[record.shard.index] = record
+        return completed
+
+    @staticmethod
+    def _parse_shard_line(line: str,
+                          expected: dict[int, Shard]) -> ShardRecord | None:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            return None  # torn tail write from an interrupted run
+        if not isinstance(entry, dict):
+            return None
+        shard = expected.get(entry.get("shard"))
+        if (shard is None or entry.get("start") != shard.start
+                or entry.get("stop") != shard.stop):
+            return None
+        try:
+            results = [InjectionResult.from_dict(raw)
+                       for raw in entry["results"]]
+            golden_cycles = int(entry["golden_cycles"])
+            bit_count = int(entry["bit_count"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if len(results) != shard.size:
+            return None
+        return ShardRecord(shard, results, golden_cycles, bit_count,
+                           entry.get("program"))
+
+    # -------------------------------------------------------------- writing
+
+    def begin(self, meta: dict) -> None:
+        """Start (or continue) a checkpoint for these parameters.
+
+        An existing file with a matching header is left alone so its
+        shard lines keep accumulating; anything else is overwritten.
+        """
+        if self._header_matches(meta):
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"kind": "campaign-checkpoint", "version": self.VERSION,
+                  "meta": _jsonify(meta)}
+        with self.path.open("w") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def record(self, shard: Shard, golden_cycles: int, bit_count: int,
+               results: Sequence[InjectionResult],
+               program_name: str | None = None) -> None:
+        """Append one completed shard (flushed + fsynced)."""
+        entry = {
+            "shard": shard.index,
+            "start": shard.start,
+            "stop": shard.stop,
+            "golden_cycles": golden_cycles,
+            "bit_count": bit_count,
+            "results": [r.to_dict() for r in results],
+        }
+        if program_name is not None:
+            entry["program"] = program_name
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Delete the checkpoint (the campaign completed)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _jsonify(meta: dict) -> dict:
+    """Normalize ``meta`` through JSON so tuple/list mismatches cannot
+    defeat the header equality check."""
+    return json.loads(json.dumps(meta, sort_keys=True))

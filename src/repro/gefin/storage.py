@@ -3,11 +3,19 @@
 The experiments harness caches one :class:`~repro.gefin.campaign.
 CampaignResult` per (core, benchmark, opt-level, field) so that every
 figure bench reads a shared grid instead of re-running injections.
+
+Writes are atomic (write to a per-process unique temp name, then
+``rename``) so concurrent grids sharing one cache directory can never
+publish a torn file; reads treat unparseable or partial JSON as a cache
+miss rather than an error, so a file torn by an older writer or a died
+process just gets regenerated.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import uuid
 from pathlib import Path
 
 from .campaign import CampaignResult
@@ -21,6 +29,34 @@ def result_key(config_name: str, benchmark: str, opt_level: str,
             f"__{scale}__n{n}__s{seed}__{mode}")
 
 
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Publish ``payload`` at ``path`` via write-to-temp + atomic rename.
+
+    The temp name embeds the pid and a random token: a fixed, predictable
+    ``<key>.tmp`` would let two concurrent writers (parallel benches
+    sharing a cache dir) interleave into one temp file and publish torn
+    JSON.
+    """
+    tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    try:
+        with tmp.open("w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _read_json(path: Path) -> dict | None:
+    """Parse ``path`` as JSON; any missing/partial/corrupt file is None."""
+    try:
+        with path.open() as handle:
+            data = json.load(handle)
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
 class ResultStore:
     """Directory of JSON campaign results keyed by :func:`result_key`."""
 
@@ -32,33 +68,25 @@ class ResultStore:
         return self.root / f"{key}.json"
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        # Existence is not enough: a torn file must read as a miss, or
+        # the grid would treat a corrupt cell as materialized forever.
+        return self.load(key) is not None
 
     def load(self, key: str) -> CampaignResult | None:
-        path = self._path(key)
-        if not path.exists():
+        data = _read_json(self._path(key))
+        if data is None:
             return None
-        with path.open() as handle:
-            return CampaignResult.from_dict(json.load(handle))
+        try:
+            return CampaignResult.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
 
     def save(self, key: str, result: CampaignResult) -> None:
-        path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("w") as handle:
-            json.dump(result.to_dict(), handle, indent=1, sort_keys=True)
-        tmp.replace(path)
+        _atomic_write_json(self._path(key), result.to_dict())
 
     def save_extra(self, key: str, payload: dict) -> None:
         """Persist auxiliary JSON (e.g. golden-run statistics)."""
-        path = self.root / f"{key}.json"
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("w") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-        tmp.replace(path)
+        _atomic_write_json(self.root / f"{key}.json", payload)
 
     def load_extra(self, key: str) -> dict | None:
-        path = self.root / f"{key}.json"
-        if not path.exists():
-            return None
-        with path.open() as handle:
-            return json.load(handle)
+        return _read_json(self.root / f"{key}.json")

@@ -158,6 +158,22 @@ def test_parallel_ensure_matches_serial(tmp_path) -> None:
         assert a.counts == b.counts
 
 
+def test_cache_dir_env_resolved_lazily(monkeypatch, tmp_path) -> None:
+    """REPRO_CACHE_DIR is read at CampaignGrid construction, not frozen
+    at import time, so test monkeypatching and CLI overrides work."""
+    from repro.experiments.grid import default_cache_dir
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "late"))
+    assert default_cache_dir() == tmp_path / "late"
+    grid = CampaignGrid(GridSpec(benchmarks=("qsort",),
+                                 cores=("cortex-a15",), levels=("O0",),
+                                 fields=("prf",), injections=1))
+    assert grid.store.root == tmp_path / "late"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.chdir(tmp_path)
+    assert default_cache_dir() == tmp_path / ".repro_cache"
+
+
 def test_grid_spec_from_env(monkeypatch) -> None:
     monkeypatch.setenv("REPRO_SCALE", "small")
     monkeypatch.setenv("REPRO_INJECTIONS", "44")

@@ -233,6 +233,45 @@ class TestStorage:
         assert store.load_extra("golden__x") == {"cycles": 123}
         assert store.load_extra("missing") is None
 
+    def test_torn_file_is_cache_miss(self, tmp_path, program,
+                                     golden) -> None:
+        """A partial/corrupt JSON file (interrupted writer) must read as
+        a miss -- and must not count as cached -- so it gets rerun."""
+        store = ResultStore(tmp_path)
+        key = result_key("cortex-a15", "t", "O1", "sq", "micro", 3, 0,
+                         "occupancy")
+        (tmp_path / f"{key}.json").write_text('{"field": "sq", "n"')
+        assert store.load(key) is None
+        assert key not in store
+        assert store.load_extra(key) is None
+        # a fresh save repairs the torn cell
+        result = run_campaign(program, CORTEX_A15, "sq", n=3,
+                              golden=golden)
+        store.save(key, result)
+        loaded = store.load(key)
+        assert loaded is not None and loaded.counts == result.counts
+
+    def test_wrong_shape_json_is_cache_miss(self, tmp_path) -> None:
+        store = ResultStore(tmp_path)
+        (tmp_path / "weird.json").write_text('[1, 2, 3]')
+        assert store.load("weird") is None
+        (tmp_path / "partial.json").write_text('{"field": "sq"}')
+        assert store.load("partial") is None  # valid JSON, missing keys
+
+    def test_atomic_writes_leave_no_temp_files(self, tmp_path, program,
+                                               golden) -> None:
+        """Temp names are per-process unique (no shared ``<key>.tmp``
+        for two writers to interleave into) and always renamed away."""
+        store = ResultStore(tmp_path)
+        result = run_campaign(program, CORTEX_A15, "sq", n=3,
+                              golden=golden)
+        for index in range(3):
+            store.save(f"k{index}", result)
+            store.save_extra(f"extra{index}", {"cycles": index})
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
 
 def test_derive_rng_stable() -> None:
     a = derive_rng(7, "prf", 3).random()

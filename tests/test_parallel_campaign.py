@@ -1,0 +1,416 @@
+"""Trial-sharded parallel campaigns: determinism, checkpointed resume,
+auto-snapshot golden runs, and two-level grid scheduling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.gefin.fault as fault_mod
+import repro.gefin.parallel as parallel_mod
+from repro.compiler import ARMLET32, compile_source
+from repro.experiments import CampaignGrid, GridSpec
+from repro.gefin import (
+    CampaignCheckpoint,
+    Shard,
+    campaign_meta,
+    derive_rng,
+    error_margin,
+    fault_population,
+    plan_shards,
+    resolve_workers,
+    run_campaign,
+    run_field_campaigns,
+    run_golden,
+    run_golden_auto,
+    run_shard,
+    sample_cycle,
+)
+from repro.microarch import CORTEX_A15
+
+SOURCE = """
+int data[48];
+int main() {
+    for (int i = 0; i < 48; i++) { data[i] = i * 11 % 31; }
+    int s = 0;
+    for (int i = 0; i < 48; i++) { s += data[i]; }
+    putint(s);
+    return 0;
+}
+"""
+
+FIELD = "rob.flags"
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, "O1", ARMLET32, name="parallel-test")
+
+
+@pytest.fixture(scope="module")
+def golden(program):
+    return run_golden_auto(program, CORTEX_A15)
+
+
+@pytest.fixture(scope="module")
+def serial(program, golden):
+    summary, results = run_campaign(program, CORTEX_A15, FIELD, n=10,
+                                    seed=3, golden=golden,
+                                    keep_results=True, shard_size=3)
+    return summary, results
+
+
+class TestShardPlan:
+    def test_contiguous_cover(self) -> None:
+        shards = plan_shards(100, 7)
+        assert shards[0].start == 0 and shards[-1].stop == 100
+        for before, after in zip(shards, shards[1:]):
+            assert before.stop == after.start
+        assert sum(s.size for s in shards) == 100
+
+    def test_default_plan_depends_only_on_n(self) -> None:
+        shards = plan_shards(2000)
+        assert len(shards) <= parallel_mod.DEFAULT_MAX_SHARDS
+        assert shards == plan_shards(2000)
+
+    def test_degenerate(self) -> None:
+        assert plan_shards(0) == []
+        assert plan_shards(1) == [Shard(0, 0, 1)]
+        with pytest.raises(ValueError):
+            plan_shards(10, 0)
+        with pytest.raises(ValueError):
+            Shard(0, 5, 5)
+
+    def test_resolve_workers_env(self, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(4) == 4
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestCycleWindow:
+    """Regression for the injection-cycle off-by-one: the population is
+    bits x cycles, so cycle == golden.cycles must be sampled too."""
+
+    def test_full_window_covered(self) -> None:
+        rng = derive_rng(0, FIELD, 0)
+        drawn = {sample_cycle(rng, 3) for _ in range(300)}
+        assert drawn == {1, 2, 3}
+
+    def test_single_cycle_program(self) -> None:
+        rng = derive_rng(0, FIELD, 0)
+        assert {sample_cycle(rng, 1) for _ in range(10)} == {1}
+
+    def test_campaign_cycles_match_margin_population(self, program,
+                                                     golden) -> None:
+        summary, results = run_campaign(program, CORTEX_A15, FIELD, n=16,
+                                        seed=9, golden=golden,
+                                        keep_results=True)
+        for result in results:
+            assert 1 <= result.spec.cycle <= golden.cycles
+        population = fault_population(summary.bit_count,
+                                      summary.golden_cycles)
+        assert summary.margin(0.99) == error_margin(population, 16, 0.99)
+
+    def test_last_cycle_reachable(self, program, golden) -> None:
+        # Some trial must be able to draw the final golden cycle: sweep
+        # trials until one does (bounded so a regression fails fast).
+        for trial in range(20_000):
+            rng = derive_rng(1, FIELD, trial)
+            if sample_cycle(rng, golden.cycles) == golden.cycles:
+                return
+        pytest.fail("final golden cycle never sampled")
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("mode,burst", [
+        ("occupancy", 1), ("occupancy", 4),
+        ("uniform", 1), ("uniform", 4),
+    ])
+    def test_workers_bit_exact(self, program, golden, mode, burst) -> None:
+        kwargs = dict(seed=7, mode=mode, burst=burst, golden=golden,
+                      keep_results=True, shard_size=2)
+        ser, ser_results = run_campaign(program, CORTEX_A15, FIELD, n=6,
+                                        workers=1, **kwargs)
+        par, par_results = run_campaign(program, CORTEX_A15, FIELD, n=6,
+                                        workers=2, **kwargs)
+        assert ser == par
+        assert ser_results == par_results
+
+    def test_three_workers_odd_shards(self, program, golden,
+                                      serial) -> None:
+        par = run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                           golden=golden, workers=3, shard_size=3)
+        assert par == serial[0]
+
+    def test_shard_size_irrelevant(self, program, golden, serial) -> None:
+        one_shard = run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                                 golden=golden, shard_size=10)
+        assert one_shard == serial[0]
+
+    def test_shards_reassemble_in_trial_order(self, program, golden,
+                                              serial) -> None:
+        shards = plan_shards(10, 3)
+        out_of_order = [run_shard(program, CORTEX_A15, golden, FIELD,
+                                  shard, 3) for shard in reversed(shards)]
+        flat = [r for results in reversed(out_of_order) for r in results]
+        assert flat == serial[1]
+
+
+class TestCheckpointResume:
+    def _checkpoint(self, tmp_path, program, golden, shards):
+        ck = CampaignCheckpoint(tmp_path / "campaign.ckpt.jsonl")
+        meta = campaign_meta(program.name, CORTEX_A15.name, FIELD, 10, 3,
+                             "occupancy", 1, shards)
+        ck.begin(meta)
+        return ck, meta
+
+    def _bit_count(self, program):
+        from repro.microarch import Simulator
+
+        return Simulator(program, CORTEX_A15).bit_count(FIELD)
+
+    def test_resume_skips_completed_shards(self, tmp_path, program, golden,
+                                           serial, monkeypatch) -> None:
+        shards = plan_shards(10, 3)
+        ck, _meta = self._checkpoint(tmp_path, program, golden, shards)
+        done = run_shard(program, CORTEX_A15, golden, FIELD, shards[0], 3)
+        ck.record(shards[0], golden.cycles, self._bit_count(program), done)
+
+        calls = 0
+        real = parallel_mod.inject_one
+
+        def counting(*args, **kwargs):
+            nonlocal calls
+            calls += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "inject_one", counting)
+        resumed = run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                               golden=golden, shard_size=3, checkpoint=ck)
+        assert resumed == serial[0]
+        assert calls == 10 - shards[0].size  # first shard not re-run
+        assert not ck.path.exists()  # cleared on completion
+
+    def test_mismatched_meta_restarts(self, tmp_path, program, golden,
+                                      serial) -> None:
+        shards = plan_shards(10, 3)
+        ck = CampaignCheckpoint(tmp_path / "campaign.ckpt.jsonl")
+        other = campaign_meta(program.name, CORTEX_A15.name, FIELD, 10,
+                              999, "occupancy", 1, shards)
+        ck.begin(other)
+        done = run_shard(program, CORTEX_A15, golden, FIELD, shards[0],
+                         999)
+        ck.record(shards[0], golden.cycles, self._bit_count(program), done)
+        # seed 3 must ignore the seed-999 shards entirely
+        result = run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                              golden=golden, shard_size=3, checkpoint=ck)
+        assert result == serial[0]
+
+    def test_torn_tail_line_ignored(self, tmp_path, program, golden,
+                                    serial) -> None:
+        shards = plan_shards(10, 3)
+        ck, _meta = self._checkpoint(tmp_path, program, golden, shards)
+        done = run_shard(program, CORTEX_A15, golden, FIELD, shards[1], 3)
+        ck.record(shards[1], golden.cycles, self._bit_count(program), done)
+        with ck.path.open("a") as handle:
+            handle.write('{"shard": 2, "start": 6, "sto')  # torn write
+        result = run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                              golden=golden, shard_size=3, checkpoint=ck)
+        assert result == serial[0]
+
+    def test_stale_golden_record_rerun(self, tmp_path, program, golden,
+                                       serial) -> None:
+        shards = plan_shards(10, 3)
+        ck, _meta = self._checkpoint(tmp_path, program, golden, shards)
+        done = run_shard(program, CORTEX_A15, golden, FIELD, shards[0], 3)
+        ck.record(shards[0], golden.cycles + 1, self._bit_count(program),
+                  done)  # written against a different golden run
+        result = run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                              golden=golden, shard_size=3, checkpoint=ck)
+        assert result == serial[0]
+
+    def test_checkpoint_path_accepted(self, tmp_path, program, golden,
+                                      serial) -> None:
+        path = tmp_path / "by-path.ckpt.jsonl"
+        result = run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                              golden=golden, shard_size=3,
+                              checkpoint=path)
+        assert result == serial[0]
+        assert not path.exists()
+
+    def test_load_validates_shard_shape(self, tmp_path) -> None:
+        shards = plan_shards(10, 3)
+        ck = CampaignCheckpoint(tmp_path / "bad.ckpt.jsonl")
+        meta = {"n": 10}
+        ck.begin(meta)
+        with ck.path.open("a") as handle:
+            handle.write(json.dumps({"shard": 0, "start": 0, "stop": 99,
+                                     "golden_cycles": 1, "bit_count": 1,
+                                     "results": []}) + "\n")
+        assert ck.load(meta, shards) == {}
+
+
+class TestAutoSnapshotGolden:
+    def test_matches_plain_golden(self, program, golden) -> None:
+        plain = run_golden(program, CORTEX_A15)
+        assert golden.cycles == plain.cycles
+        assert golden.output_data == plain.output_data
+        assert golden.stats == plain.stats
+
+    def test_snapshot_count_bounded(self, program) -> None:
+        auto = run_golden_auto(program, CORTEX_A15, snapshot_count=2,
+                               min_interval=16)
+        assert 2 <= len(auto.snapshots) <= 4
+        cycles = [cycle for cycle, _ in auto.snapshots]
+        assert cycles == sorted(cycles)
+
+    def test_single_simulation(self, program, monkeypatch) -> None:
+        boots = 0
+        real = fault_mod.Simulator
+
+        class CountingSimulator(real):
+            def __init__(self, *args, **kwargs):
+                nonlocal boots
+                boots += 1
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(fault_mod, "Simulator", CountingSimulator)
+        run_golden_auto(program, CORTEX_A15)
+        assert boots == 1
+
+    def test_injection_equivalent_to_plain(self, program, golden) -> None:
+        plain = run_golden(program, CORTEX_A15)
+        a = run_campaign(program, CORTEX_A15, FIELD, n=4, seed=5,
+                         golden=plain)
+        b = run_campaign(program, CORTEX_A15, FIELD, n=4, seed=5,
+                         golden=golden)
+        assert a == b
+
+
+class TestRunFieldCampaigns:
+    def test_single_golden_simulation(self, program, monkeypatch) -> None:
+        """The doubled golden run is gone: one instrumented simulation
+        serves every field campaign."""
+        boots = 0
+        real = fault_mod.Simulator
+
+        class CountingSimulator(real):
+            def __init__(self, *args, **kwargs):
+                nonlocal boots
+                boots += 1
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(fault_mod, "Simulator", CountingSimulator)
+        results = run_field_campaigns(program, CORTEX_A15,
+                                      [FIELD, "prf"], n=2, seed=1)
+        assert boots == 1
+        assert set(results) == {FIELD, "prf"}
+        for result in results.values():
+            assert result.n == 2
+
+
+class TestProgress:
+    def test_progress_reports_every_shard(self, program, golden) -> None:
+        seen = []
+        run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                     golden=golden, shard_size=3,
+                     progress=lambda done, total: seen.append((done,
+                                                               total)))
+        assert seen == [(3, 10), (6, 10), (9, 10), (10, 10)]
+
+    def test_progress_counts_resumed_trials(self, tmp_path, program,
+                                            golden) -> None:
+        shards = plan_shards(10, 3)
+        ck = CampaignCheckpoint(tmp_path / "campaign.ckpt.jsonl")
+        meta = campaign_meta(program.name, CORTEX_A15.name, FIELD, 10, 3,
+                             "occupancy", 1, shards)
+        ck.begin(meta)
+        from repro.microarch import Simulator
+
+        bit_count = Simulator(program, CORTEX_A15).bit_count(FIELD)
+        done = run_shard(program, CORTEX_A15, golden, FIELD, shards[0], 3)
+        ck.record(shards[0], golden.cycles, bit_count, done)
+        seen = []
+        run_campaign(program, CORTEX_A15, FIELD, n=10, seed=3,
+                     golden=golden, shard_size=3, checkpoint=ck,
+                     progress=lambda done, total: seen.append(done))
+        assert seen[0] == 3  # resumed trials reported up front
+        assert seen[-1] == 10
+
+
+class TestGridTwoLevel:
+    SPEC = dict(benchmarks=("qsort",), cores=("cortex-a15",),
+                levels=("O1",), fields=("rob.flags", "prf"),
+                injections=4, scale="micro", seed=13)
+
+    def test_workers_smoke_micro_grid(self, tmp_path) -> None:
+        """Tier-1 smoke: a workers=2 micro-grid must equal the serial
+        grid cell for cell."""
+        spec = GridSpec(**self.SPEC)
+        parallel = CampaignGrid(spec, tmp_path / "par")
+        assert parallel.ensure_all(workers=2) == 2
+        assert parallel.ensure_all(workers=2) == 0
+        serial = CampaignGrid(spec, tmp_path / "ser")
+        serial.ensure_all()
+        for field in spec.fields:
+            a = parallel.result("cortex-a15", "qsort", "O1", field)
+            b = serial.result("cortex-a15", "qsort", "O1", field)
+            assert a == b
+
+    def test_resume_from_partial_cell(self, tmp_path) -> None:
+        spec = GridSpec(**self.SPEC)
+        grid = CampaignGrid(spec, tmp_path / "par")
+        cell = ("cortex-a15", "qsort", "O1", "rob.flags")
+        shards = plan_shards(spec.injections)
+        program = grid.program(*cell[:3])
+        golden = run_golden_auto(program, grid.config("cortex-a15"))
+        from repro.microarch import Simulator
+
+        bit_count = Simulator(program,
+                              grid.config("cortex-a15")).bit_count(cell[3])
+        ck = grid._cell_checkpoint(cell)
+        ck.begin(grid._cell_meta(cell, shards))
+        done = run_shard(program, grid.config("cortex-a15"), golden,
+                         cell[3], shards[0], spec.seed)
+        ck.record(shards[0], golden.cycles, bit_count, done,
+                  program_name=program.name)
+
+        assert grid.ensure_all(workers=2) == 2
+        assert not ck.path.exists()
+        serial = CampaignGrid(spec, tmp_path / "ser")
+        serial.ensure_all()
+        for field in spec.fields:
+            assert (grid.result("cortex-a15", "qsort", "O1", field)
+                    == serial.result("cortex-a15", "qsort", "O1", field))
+
+    def test_fully_checkpointed_cell_needs_no_simulation(self,
+                                                         tmp_path) -> None:
+        spec = GridSpec(benchmarks=("qsort",), cores=("cortex-a15",),
+                        levels=("O1",), fields=("rob.flags",),
+                        injections=4, scale="micro", seed=13)
+        grid = CampaignGrid(spec, tmp_path / "par")
+        cell = ("cortex-a15", "qsort", "O1", "rob.flags")
+        shards = plan_shards(spec.injections)
+        program = grid.program(*cell[:3])
+        config = grid.config("cortex-a15")
+        golden = run_golden_auto(program, config)
+        from repro.microarch import Simulator
+
+        bit_count = Simulator(program, config).bit_count(cell[3])
+        ck = grid._cell_checkpoint(cell)
+        ck.begin(grid._cell_meta(cell, shards))
+        for shard in shards:
+            done = run_shard(program, config, golden, cell[3], shard,
+                             spec.seed)
+            ck.record(shard, golden.cycles, bit_count, done,
+                      program_name=program.name)
+        # the previous run died after the last shard but before the save
+        assert grid.ensure_all(workers=2) == 1
+        serial = CampaignGrid(spec, tmp_path / "ser")
+        serial.ensure_all()
+        assert (grid.result(*cell) == serial.result(*cell))
