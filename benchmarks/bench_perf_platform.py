@@ -56,3 +56,41 @@ def test_snapshot_save_restore_cost(benchmark) -> None:
 
     size = benchmark(roundtrip)
     assert size > 1000
+
+
+@pytest.mark.parametrize("core", [CORTEX_A15, CORTEX_A72],
+                         ids=lambda c: c.name)
+def test_digest_pair_cost(benchmark, core) -> None:
+    """Cost of one quick+full state digest (the golden-trace recorder
+    and the convergence check both pay this per compared cycle)."""
+    target = "armlet32" if core.xlen == 32 else "armlet64"
+    from repro.workloads import build_program
+
+    program = build_program("qsort", "micro", "O2", target)
+    sim = Simulator(program, core)
+    sim.run_until(1000)
+
+    quick, full = benchmark(sim.digest_pair)
+    assert quick == sim.quick_digest()
+    assert full == sim.state_digest()
+
+
+def test_recording_golden_cycles_per_second(benchmark) -> None:
+    """Golden-run throughput with per-cycle trace recording enabled.
+
+    The digest tax on the (run-once) golden reference is the price of
+    early trial termination; track it next to the raw simulator
+    cycles/sec so a digest regression is visible in the same report.
+    """
+    from repro.gefin import run_golden_auto
+    from repro.workloads import build_program
+
+    program = build_program("qsort", "micro", "O2", "armlet32")
+
+    def record_golden():
+        golden = run_golden_auto(program, CORTEX_A15)
+        assert golden.trace is not None
+        return len(golden.trace)
+
+    recorded = benchmark(record_golden)
+    assert recorded > 0

@@ -1,0 +1,77 @@
+"""Platform benchmark: early trial termination via golden digests.
+
+Not a paper figure -- this guards the trial early-exit engine stacked
+on top of the sharded campaign path:
+
+* **static pruning** classifies flips into provably dead storage
+  without building a simulator,
+* **unchanged-flip splicing** returns the golden outcome when every
+  flip bounced off invalid storage, and
+* **digest reconvergence** stops a trial the first post-injection
+  cycle its architectural state digest matches the golden trace.
+
+All three are outcome-equivalent by construction (DESIGN.md), so
+the per-outcome counts must be bit-identical with the engine on or
+off; the aggregate wall-clock over a mix of fields must improve by at
+least 3x.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+from repro.gefin import run_campaign, run_golden_auto
+from repro.microarch import CORTEX_A15
+from repro.workloads import build_program
+
+N = 40
+SEED = 5
+#: One field per termination tier's sweet spot: ROB flags/pc are
+#: mostly dead slots (static pruning), L1D data flips mostly land on
+#: invalid lines (unchanged splice), PRF flips mostly wash out
+#: (reconvergence).
+FIELDS = ("rob.flags", "rob.pc", "l1d.data", "prf")
+
+
+def test_early_exit_speedup_and_equivalence() -> None:
+    program = build_program("qsort", "micro", "O1", "armlet32")
+    golden = run_golden_auto(program, CORTEX_A15)
+
+    fast_time = slow_time = 0.0
+    lines = [f"trial early termination ({N} injections/field, "
+             "qsort micro O1, cortex-a15)"]
+    for field in FIELDS:
+        start = time.perf_counter()
+        fast = run_campaign(program, CORTEX_A15, field, n=N, seed=SEED,
+                            mode="uniform", golden=golden)
+        t_fast = time.perf_counter() - start
+
+        start = time.perf_counter()
+        slow = run_campaign(program, CORTEX_A15, field, n=N, seed=SEED,
+                            mode="uniform", golden=golden,
+                            early_exit=False)
+        t_slow = time.perf_counter() - start
+
+        # The engine may only change wall clock, never the physics:
+        # identical per-outcome counts, AVF, and (compare=False on the
+        # pruning stats) full CampaignResult equality.
+        assert fast.counts == slow.counts, field
+        assert fast.avf_by_class == slow.avf_by_class, field
+        assert fast == slow, field
+        assert slow.pruning["full"] == N
+
+        fast_time += t_fast
+        slow_time += t_slow
+        p = fast.pruning
+        lines.append(
+            f"  {field:<10} {t_slow:6.2f}s -> {t_fast:6.2f}s "
+            f"({t_slow / t_fast:4.1f}x)  static={p['static']:2d} "
+            f"unchanged={p['unchanged']:2d} converged={p['converged']:2d}"
+            f" full={p['full']:2d} mean_window={p['mean_window']:.1f}")
+
+    speedup = slow_time / fast_time
+    lines.append(f"  aggregate  {slow_time:6.2f}s -> {fast_time:6.2f}s "
+                 f"({speedup:4.2f}x)")
+    emit("trial_early_exit", "\n".join(lines))
+    assert speedup >= 3.0

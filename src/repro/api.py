@@ -100,7 +100,8 @@ def run_campaign(program: Program, field: str, n: int,
                  golden: GoldenRun | None = None, burst: int = 1,
                  workers: int | None = None,
                  checkpoint: CampaignCheckpoint | str | Path | None = None,
-                 progress=None) -> CampaignResult:
+                 progress=None, early_exit: bool = True,
+                 convergence_horizon: int | None = None) -> CampaignResult:
     """Statistical fault-injection campaign against one structure field.
 
     When ``golden`` is omitted the reference run auto-snapshots so every
@@ -108,8 +109,11 @@ def run_campaign(program: Program, field: str, n: int,
     the trials across processes (bit-exact for any count; defaults to
     the ``REPRO_WORKERS`` env knob) and ``checkpoint`` persists finished
     shards so an interrupted campaign resumes where it left off.
+    ``early_exit``/``convergence_horizon`` tune the (outcome-
+    equivalent) early trial-termination engine.
     """
     return _run_campaign(program, _config(core), field, n, seed=seed,
                          mode=mode, golden=golden, burst=burst,
                          workers=workers, checkpoint=checkpoint,
-                         progress=progress)
+                         progress=progress, early_exit=early_exit,
+                         convergence_horizon=convergence_horizon)

@@ -187,7 +187,9 @@ def cmd_inject(args) -> int:
     result = run_campaign(program, core, args.field, args.n,
                           seed=args.seed, mode=args.mode, golden=golden,
                           burst=args.burst, workers=args.workers,
-                          checkpoint=checkpoint, progress=progress)
+                          checkpoint=checkpoint, progress=progress,
+                          early_exit=not args.no_early_exit,
+                          convergence_horizon=args.horizon)
     elapsed = time.perf_counter() - start
     print(f"golden: {result.golden_cycles} cycles; campaign: "
           f"{result.n} injections in {elapsed:.1f}s "
@@ -198,6 +200,13 @@ def cmd_inject(args) -> int:
         if avf:
             print(f"  {cls:14s} {avf:.4f}  ({result.counts[cls]} runs)")
     print(f"  masked         {result.counts['masked']} runs")
+    pruning = result.pruning
+    if pruning:
+        print(f"early exit: {pruning.get('static', 0)} statically pruned, "
+              f"{pruning.get('unchanged', 0)} unchanged, "
+              f"{pruning.get('converged', 0)} converged "
+              f"(mean window {pruning.get('mean_window', 0.0):.1f} "
+              f"cycles), {pruning.get('full', 0)} full runs")
     return 0
 
 
@@ -266,6 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="checkpoint finished shards under REPRO_CACHE_DIR "
                         "and resume an interrupted campaign")
+    p.add_argument("--no-early-exit", action="store_true",
+                   help="disable static pruning and golden-digest early "
+                        "trial termination (always run trials in full)")
+    p.add_argument("--horizon", type=int, default=None,
+                   help="cap on post-injection cycles compared against "
+                        "the golden digest trace before giving up on "
+                        "convergence (default: full trace)")
     p.set_defaults(func=cmd_inject)
 
     p = sub.add_parser("ace", help="ACE-style analytic AVF estimate")

@@ -1,0 +1,75 @@
+"""64-bit digests of architectural state for trial early termination.
+
+Two primitives back the divergence-tracking trial engine:
+
+:func:`mix64`
+    an avalanche hash of a ``(key, value)`` pair. XOR-ing ``mix64``
+    outputs gives an *incremental accumulator* over an unordered set of
+    keyed values: mutating one element only needs the old and new pair
+    (remove-by-XOR, add-by-XOR), so large stores (RAM pages, cache
+    lines, the physical register file) keep an always-current digest at
+    O(1) amortized cost per write instead of O(size) per read.
+
+:func:`fold`
+    an order-sensitive FNV-1a style fold of an int stream, used to
+    combine the accumulators with fresh scans of the small queue
+    structures into one :meth:`Simulator.state_digest` value.
+
+Both are deterministic across processes (unlike builtin ``hash``, whose
+``PYTHONHASHSEED`` randomization would break golden-trace comparisons in
+campaign worker processes) and avoid any serialization machinery in the
+per-cycle hot path.
+
+Collision note: digests are compared pairwise between a trial and the
+golden run *at the same cycle*, so a false convergence needs a specific
+64-bit collision; with multiplication by an odd constant being a
+bijection on Z/2^64, two states differing in a single folded value can
+never collide, and multi-value collisions are ~2^-64 per comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+M64 = (1 << 64) - 1
+
+_PHI = 0x9E3779B97F4A7C15
+_MIX1 = 0xFF51AFD7ED558CCD
+_MIX2 = 0xC4CEB9FE1A85EC53
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def mix64(key: int, value: int) -> int:
+    """Avalanche a ``(key, value)`` pair into 64 bits (splitmix64-ish)."""
+    x = (key * _PHI + value * _MIX2 + 1) & M64
+    x ^= x >> 30
+    x = (x * _MIX1) & M64
+    x ^= x >> 27
+    x = (x * _MIX2) & M64
+    return x ^ (x >> 31)
+
+
+def fold(seed: int, values: Iterable[int]) -> int:
+    """Order-sensitive fold of an int stream into a 64-bit digest.
+
+    ``values`` may contain arbitrarily large non-negative ints -- wide
+    valid/alloc masks routinely exceed one machine word -- and every
+    64-bit limb is folded separately, so no high bits are silently
+    dropped by the masking multiply. Encode ``None``/negatives before
+    folding (:func:`opt_int`).
+    """
+    h = seed ^ _FNV_OFFSET
+    for v in values:
+        while v > M64:
+            h = ((h ^ (v & M64)) * _FNV_PRIME) & M64
+            v >>= 64
+        h = ((h ^ v) * _FNV_PRIME) & M64
+    return h
+
+
+def opt_int(value: int | None) -> int:
+    """Collision-free encoding of an optional int for :func:`fold`."""
+    if value is None:
+        return 0
+    return value + value + 1

@@ -20,9 +20,18 @@ class CompileError(ReproError):
 
     def __init__(self, message: str, line: int | None = None) -> None:
         self.line = line
+        self.raw_message = message
         if line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) through ``__init__``, which would re-prefix the line
+        # number; rebuild from the original arguments instead. Pipeline
+        # snapshots pickle pending uop exceptions, so this must
+        # round-trip exactly.
+        return (type(self), (self.raw_message, self.line))
 
 
 class IRVerificationError(CompileError):
@@ -59,6 +68,10 @@ class IRVerificationError(CompileError):
         suffix = f" ({', '.join(where)})" if where else ""
         super().__init__(f"[{rule}] {detail}{suffix}")
 
+    def __reduce__(self):
+        return (type(self), (self.rule, self.detail, self.function,
+                             self.block, self.instr_index, self.pass_name))
+
     def with_pass(self, pass_name: str) -> "IRVerificationError":
         """A copy of this error attributed to the pass that caused it."""
         return IRVerificationError(self.rule, self.detail, self.function,
@@ -87,6 +100,9 @@ class IllegalInstructionError(ReproError):
         where = f" at pc=0x{pc:x}" if pc is not None else ""
         super().__init__(f"illegal instruction 0x{word:08x}{where}")
 
+    def __reduce__(self):
+        return (type(self), (self.word, self.pc))
+
 
 class SimulationError(ReproError):
     """Base class for events that terminate a simulation abnormally."""
@@ -107,6 +123,13 @@ class SimCrashError(SimulationError):
         self.reason = reason
         super().__init__(f"{kind} crash: {reason}")
 
+    def __reduce__(self):
+        # ``args`` holds the formatted message; replaying it through
+        # ``__init__`` would double the "<kind> crash:" prefix and reset
+        # a "system" crash to "process". Snapshots pickle pending uop
+        # exceptions, so reconstruct from the real arguments.
+        return (type(self), (self.reason, self.kind))
+
 
 class SimAssertError(SimulationError):
     """The simulator hit a state it cannot adjudicate (paper class: Assert).
@@ -124,3 +147,6 @@ class SimTimeoutError(SimulationError):
     def __init__(self, limit: int) -> None:
         self.limit = limit
         super().__init__(f"simulation exceeded {limit} cycles")
+
+    def __reduce__(self):
+        return (type(self), (self.limit,))

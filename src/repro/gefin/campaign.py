@@ -70,6 +70,12 @@ class CampaignResult:
     bit_count: int
     counts: dict[str, int] = dataclass_field(default_factory=dict)
     avf_by_class: dict[str, float] = dataclass_field(default_factory=dict)
+    #: Early-termination accounting (trials pruned statically, spliced
+    #: as unchanged, digest-converged, run to completion, plus the mean
+    #: pre-convergence window). Excluded from equality: early exit is
+    #: outcome-equivalent by construction, so two campaigns that differ
+    #: only in *how* trials terminated are still the same result.
+    pruning: dict = dataclass_field(default_factory=dict, compare=False)
 
     @property
     def avf(self) -> float:
@@ -96,6 +102,7 @@ class CampaignResult:
             "avf_by_class": dict(self.avf_by_class),
             "avf": self.avf,
             "margin99": self.margin(0.99),
+            "pruning": dict(self.pruning),
         }
 
     @classmethod
@@ -111,6 +118,7 @@ class CampaignResult:
             bit_count=data["bit_count"],
             counts=dict(data["counts"]),
             avf_by_class=dict(data["avf_by_class"]),
+            pruning=dict(data.get("pruning", {})),
         )
 
 
@@ -126,17 +134,26 @@ def aggregate(field: str, program_name: str, config_name: str, mode: str,
     n = len(results)
     counts = {o.value: 0 for o in ALL_OUTCOMES}
     weighted = {o.value: 0.0 for o in ALL_OUTCOMES}
+    tiers = {"static": 0, "unchanged": 0, "converged": 0, "full": 0}
+    window_sum = 0
     for result in results:
         counts[result.outcome.value] += 1
         weighted[result.outcome.value] += result.weight
+        tier = result.early or "full"
+        tiers[tier] = tiers.get(tier, 0) + 1
+        window_sum += result.window
     avf_by_class = {
         o.value: (weighted[o.value] / n if n else 0.0)
         for o in FAILURE_OUTCOMES
     }
+    pruning = dict(tiers)
+    converged = tiers["converged"]
+    pruning["mean_window"] = (window_sum / converged) if converged else 0.0
     return CampaignResult(
         field=field, program_name=program_name, config_name=config_name,
         mode=mode, n=n, seed=seed, golden_cycles=golden_cycles,
-        bit_count=bit_count, counts=counts, avf_by_class=avf_by_class)
+        bit_count=bit_count, counts=counts, avf_by_class=avf_by_class,
+        pruning=pruning)
 
 
 def campaign_meta(program_name: str, config_name: str, field: str, n: int,
@@ -164,6 +181,8 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
                  checkpoint: CampaignCheckpoint | str | Path | None = None,
                  snapshot_count: int = DEFAULT_SNAPSHOT_COUNT,
                  progress: ProgressFn | None = None,
+                 early_exit: bool = True,
+                 convergence_horizon: int | None = None,
                  ) -> CampaignResult | tuple[CampaignResult,
                                              list[InjectionResult]]:
     """Run an ``n``-fault campaign against one structure field.
@@ -174,6 +193,14 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
     When ``golden`` is omitted the reference run is simulated once with
     automatic checkpoints (:func:`run_golden_auto`), so every trial
     warm-starts from the nearest snapshot instead of cycle 0.
+
+    ``early_exit`` (on by default) enables static fault pruning and
+    digest-reconvergence trial termination; ``convergence_horizon``
+    bounds the post-injection digest-comparison window. Both are
+    outcome-equivalent knobs -- they change trial wall-clock, never the
+    aggregated counts -- and are deliberately excluded from the
+    checkpoint header, so a checkpoint written under one setting
+    resumes under any other.
 
     ``workers`` > 1 (default: the ``REPRO_WORKERS`` environment knob)
     fans the trial shards out over a process pool; results are bit-exact
@@ -227,9 +254,10 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
     pending = [shard for shard in shards if shard.index not in by_shard]
     if workers <= 1 or len(pending) <= 1:
         for shard in pending:
-            finish(shard, run_shard(program, config, golden, field, shard,
-                                    seed, mode=mode, burst=burst,
-                                    bit_count=bit_count))
+            finish(shard, run_shard(
+                program, config, golden, field, shard, seed, mode=mode,
+                burst=burst, bit_count=bit_count, early_exit=early_exit,
+                convergence_horizon=convergence_horizon))
     else:
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -237,7 +265,8 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
                 max_workers=min(workers, len(pending))) as pool:
             futures = {
                 pool.submit(_shard_task, program, config, golden, field,
-                            shard, seed, mode, burst, bit_count): shard
+                            shard, seed, mode, burst, bit_count,
+                            early_exit, convergence_horizon): shard
                 for shard in pending
             }
             for future in as_completed(futures):

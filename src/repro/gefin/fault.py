@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import zlib
+from array import array
 from dataclasses import dataclass, field
 
-from ..errors import ReproError
+from ..errors import ReproError, SimTimeoutError
 from ..isa.program import Program
+from ..kernel.syscalls import ProgramExit
 from ..microarch.config import CoreConfig
 from ..microarch.simulator import SimResult, Simulator
 
@@ -80,13 +82,55 @@ def decompress_snapshot(blob: bytes) -> bytes:
     return blob
 
 
+class GoldenTrace:
+    """Per-cycle golden-run digests and occupancy for early termination.
+
+    Index ``c - 1`` holds the state observed *after* cycle ``c``
+    completed; the arrays cover cycles ``1 .. len(trace)`` (the final,
+    ``exit``-raising cycle is never recorded -- it unwinds mid-commit).
+
+    * ``quick`` / ``full`` -- the simulator's digest pair, compared by
+      the injector to detect trial/golden reconvergence.
+    * ``rob`` / ``sq`` -- ring occupancy packed as ``(head << 16) |
+      count``; ``iq`` / ``lq`` -- slot valid masks. These drive the
+      static pre-simulation pruner: a uniform-mode flip whose target
+      slot is free at the injection cycle is provably masked.
+    """
+
+    __slots__ = ("quick", "full", "rob", "sq", "iq", "lq")
+
+    def __init__(self) -> None:
+        self.quick = array("Q")
+        self.full = array("Q")
+        self.rob = array("I")
+        self.sq = array("I")
+        self.iq = array("Q")
+        self.lq = array("Q")
+
+    def __len__(self) -> int:
+        return len(self.quick)
+
+    def record(self, sim: Simulator) -> None:
+        """Append one cycle's digests and occupancy from ``sim``."""
+        quick, full = sim.digest_pair()
+        self.quick.append(quick)
+        self.full.append(full)
+        core = sim.core
+        self.rob.append((core.rob.head << 16) | core.rob.count)
+        self.sq.append((core.sq.head << 16) | core.sq.count)
+        self.iq.append(core.iq.valid_mask)
+        self.lq.append(core.lq.valid_mask)
+
+
 @dataclass
 class GoldenRun:
     """Reference (fault-free) execution of one program on one core.
 
     ``snapshots`` holds ``(cycle, compressed_state)`` checkpoints (see
     :func:`compress_snapshot`); the injector restores from the nearest
-    one below its injection cycle.
+    one below its injection cycle. ``trace``, when present (see
+    :func:`run_golden_auto`), enables early trial termination and
+    static fault pruning.
     """
 
     program: Program
@@ -96,6 +140,7 @@ class GoldenRun:
     exit_code: int | None
     stats: dict[str, float]
     snapshots: list[tuple[int, bytes]] = field(default_factory=list)
+    trace: GoldenTrace | None = None
 
     @property
     def timeout_cycles(self) -> int:
@@ -149,6 +194,31 @@ def run_golden(program: Program, config: CoreConfig,
     return _finish_golden(program, config, result, snapshots)
 
 
+def _run_until_recording(sim: Simulator, cycle: int,
+                         trace: GoldenTrace) -> bool:
+    """``Simulator.run_until`` with per-cycle trace recording."""
+    if sim.finished:
+        return False
+    core = sim.core
+    record = trace.record
+    try:
+        while core.cycle < cycle:
+            core.step()
+            record(sim)
+    except ProgramExit:
+        sim.finished = True
+        return False
+    return True
+
+
+def _run_recording(sim: Simulator, max_cycles: int,
+                   trace: GoldenTrace) -> SimResult:
+    """``Simulator.run`` with per-cycle trace recording."""
+    if _run_until_recording(sim, max_cycles, trace):
+        raise SimTimeoutError(max_cycles)
+    return sim.result()
+
+
 def run_golden_auto(program: Program, config: CoreConfig,
                     max_cycles: int = DEFAULT_MAX_CYCLES,
                     snapshot_count: int = DEFAULT_AUTO_SNAPSHOTS,
@@ -163,6 +233,11 @@ def run_golden_auto(program: Program, config: CoreConfig,
     and double the interval. The program runs exactly once and ends with
     between ``snapshot_count`` and ``2 x snapshot_count`` roughly evenly
     spaced checkpoints, whatever its length turns out to be.
+
+    The same single pass also records a :class:`GoldenTrace` (per-cycle
+    digests and occupancy), which lets the injector terminate trials at
+    the first post-injection cycle their state reconverges with this
+    golden run and statically prune flips into provably dead storage.
     """
     if snapshot_count < 1:
         raise ReproError("snapshot_count must be >= 1")
@@ -170,17 +245,20 @@ def run_golden_auto(program: Program, config: CoreConfig,
         raise ReproError("min_interval must be >= 1")
     sim = Simulator(program, config)
     snapshots: list[tuple[int, bytes]] = []
+    trace = GoldenTrace()
     interval = min_interval
     while True:
         target = sim.cycle + interval
         if target > max_cycles:
-            result = sim.run(max_cycles)
+            result = _run_recording(sim, max_cycles, trace)
             break
-        if not sim.run_until(target):
+        if not _run_until_recording(sim, target, trace):
             result = sim.result()
             break
         snapshots.append((sim.cycle, compress_snapshot(sim.save_state())))
         if len(snapshots) >= 2 * snapshot_count:
             snapshots = snapshots[1::2]
             interval *= 2
-    return _finish_golden(program, config, result, snapshots)
+    golden = _finish_golden(program, config, result, snapshots)
+    golden.trace = trace
+    return golden

@@ -1,4 +1,17 @@
-"""End-to-end execution of a single fault-injection run."""
+"""End-to-end execution of a single fault-injection run.
+
+Trials terminate early in three tiers (all outcome-equivalent to a full
+run, see ``DESIGN.md``):
+
+1. **Statically pruned** (:mod:`.prune`) -- the flip provably lands in
+   dead storage; no simulator is even built.
+2. **Unchanged** -- every flip reported "no state change" (dead slot at
+   runtime), so the machine is bit-identical to the golden run and the
+   golden outcome is spliced in by determinism.
+3. **Converged** -- after the flip, the trial's per-cycle state digest
+   is compared against the recorded golden trace; the first match
+   proves the fault's effects have washed out and the trial is Masked.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +20,7 @@ from dataclasses import dataclass
 
 from ..errors import SimulationError
 from ..isa.program import Program
+from ..kernel.syscalls import ProgramExit
 from ..microarch.config import CoreConfig
 from ..microarch.simulator import Simulator
 from .fault import FaultSpec, GoldenRun, decompress_snapshot
@@ -20,6 +34,11 @@ class InjectionResult:
     ``weight`` is the importance-sampling weight of the sample: 1.0 for
     uniform sampling, live_bits/total_bits (at injection time) for
     occupancy sampling. The AVF estimator is ``mean(weight x failure)``.
+
+    ``early`` records how the trial was cut short (``""`` full run,
+    ``"static"`` pruned pre-simulation, ``"unchanged"`` no-op flip,
+    ``"converged"`` digest reconvergence) and ``window`` the number of
+    post-injection cycles simulated before convergence.
     """
 
     spec: FaultSpec
@@ -28,6 +47,8 @@ class InjectionResult:
     bit_index: int | None
     detail: str = ""
     cycles: int = 0
+    early: str = ""
+    window: int = 0
 
     @property
     def failed(self) -> bool:
@@ -43,14 +64,17 @@ class InjectionResult:
         """
         return {"spec": self.spec.to_dict(), "outcome": self.outcome.value,
                 "weight": self.weight, "bit_index": self.bit_index,
-                "detail": self.detail, "cycles": self.cycles}
+                "detail": self.detail, "cycles": self.cycles,
+                "early": self.early, "window": self.window}
 
     @classmethod
     def from_dict(cls, data: dict) -> "InjectionResult":
         return cls(spec=FaultSpec.from_dict(data["spec"]),
                    outcome=Outcome(data["outcome"]),
                    weight=data["weight"], bit_index=data["bit_index"],
-                   detail=data["detail"], cycles=data["cycles"])
+                   detail=data["detail"], cycles=data["cycles"],
+                   early=data.get("early", ""),
+                   window=data.get("window", 0))
 
 
 def _restore_nearest(sim: Simulator, golden: GoldenRun, cycle: int) -> None:
@@ -64,9 +88,17 @@ def _restore_nearest(sim: Simulator, golden: GoldenRun, cycle: int) -> None:
 
 
 def inject_one(program: Program, config: CoreConfig, golden: GoldenRun,
-               spec: FaultSpec,
-               rng: random.Random | None = None) -> InjectionResult:
-    """Run one end-to-end injection and classify its outcome."""
+               spec: FaultSpec, rng: random.Random | None = None, *,
+               early_exit: bool = True,
+               convergence_horizon: int | None = None) -> InjectionResult:
+    """Run one end-to-end injection and classify its outcome.
+
+    ``early_exit`` enables the unchanged-flip splice and (when
+    ``golden.trace`` is recorded) digest-reconvergence termination;
+    ``convergence_horizon`` caps how many post-injection cycles are
+    digest-compared before falling back to a plain full run (``None``
+    compares for as long as the golden trace lasts).
+    """
     sim = Simulator(program, config)
     _restore_nearest(sim, golden, spec.cycle)
     alive = sim.run_until(spec.cycle)
@@ -77,6 +109,7 @@ def inject_one(program: Program, config: CoreConfig, golden: GoldenRun,
                                "program completed before injection",
                                sim.cycle)
 
+    changed = False
     if spec.mode == "occupancy":
         total = sim.bit_count(spec.field)
         live = sim.catalog.live_bit_count(spec.field)
@@ -91,7 +124,7 @@ def inject_one(program: Program, config: CoreConfig, golden: GoldenRun,
             bit = rng.randrange(live)
         for offset in range(spec.burst):
             if bit + offset < live:
-                sim.catalog.flip_live(spec.field, bit + offset)
+                changed |= sim.catalog.flip_live(spec.field, bit + offset)
         weight = live / total
     else:
         bit = spec.bit_index
@@ -101,8 +134,47 @@ def inject_one(program: Program, config: CoreConfig, golden: GoldenRun,
             bit = rng.randrange(sim.bit_count(spec.field))
         for offset in range(spec.burst):
             if bit + offset < sim.bit_count(spec.field):
-                sim.flip(spec.field, bit + offset)
+                changed |= sim.flip(spec.field, bit + offset)
         weight = 1.0
+
+    if early_exit and not changed:
+        # Every flip reported "no state change" (dead slot), so the
+        # machine is bit-identical to the golden run at this cycle and
+        # determinism splices in the golden outcome.
+        return InjectionResult(spec, Outcome.MASKED, weight, bit,
+                               "flip left machine state unchanged",
+                               golden.cycles, early="unchanged")
+
+    trace = golden.trace if early_exit else None
+    if trace is not None and len(trace):
+        start = sim.cycle
+        limit = len(trace)
+        if convergence_horizon is not None:
+            limit = min(limit, start + convergence_horizon)
+        core = sim.core
+        quick_arr = trace.quick
+        full_arr = trace.full
+        try:
+            while core.cycle < limit:
+                core.step()
+                c = core.cycle
+                if sim.arch_equal(quick_arr[c - 1], full_arr[c - 1]):
+                    # The trial's architectural state is the golden
+                    # state: every future cycle is the golden run's.
+                    return InjectionResult(
+                        spec, Outcome.MASKED, weight, bit,
+                        "reconverged with golden state", golden.cycles,
+                        early="converged", window=c - start)
+        except ProgramExit:
+            sim.finished = True
+            result = sim.result()
+            outcome = classify_completion(result, golden.output_data,
+                                          golden.exit_code)
+            return InjectionResult(spec, outcome, weight, bit, "",
+                                   result.cycles)
+        except SimulationError as exc:
+            return InjectionResult(spec, classify_exception(exc), weight,
+                                   bit, str(exc), sim.cycle)
 
     try:
         result = sim.run(golden.timeout_cycles)

@@ -108,11 +108,16 @@ def plan_shards(n: int, shard_size: int | None = None) -> list[Shard]:
 def run_shard(program: Program, config: CoreConfig, golden: GoldenRun,
               field: str, shard: Shard, seed: int,
               mode: str = "occupancy", burst: int = 1,
-              bit_count: int | None = None) -> list[InjectionResult]:
+              bit_count: int | None = None, early_exit: bool = True,
+              convergence_horizon: int | None = None
+              ) -> list[InjectionResult]:
     """Run one shard's trials in-process, in trial order.
 
     This is *the* trial loop: the serial path runs it over every shard
     in order, the parallel path fans shards out to worker processes.
+    Each trial is first offered to the :class:`~repro.gefin.prune.
+    StaticPruner` (free Masked classification for provably dead flips),
+    then simulated with early termination unless ``early_exit`` is off.
     """
     if bit_count is None:
         from ..microarch.simulator import Simulator
@@ -120,6 +125,11 @@ def run_shard(program: Program, config: CoreConfig, golden: GoldenRun,
         probe = Simulator(program, config)
         bit_count = probe.bit_count(field)
         del probe
+    pruner = None
+    if early_exit:
+        from .prune import StaticPruner
+
+        pruner = StaticPruner(program, config, golden)
     results: list[InjectionResult] = []
     for trial in range(shard.start, shard.stop):
         rng = derive_rng(seed, field, trial)
@@ -131,16 +141,27 @@ def run_shard(program: Program, config: CoreConfig, golden: GoldenRun,
             spec = FaultSpec(field=field, cycle=cycle,
                              bit_index=rng.randrange(bit_count),
                              burst=burst)
-        results.append(inject_one(program, config, golden, spec, rng))
+        if pruner is not None:
+            pruned = pruner.prune(spec)
+            if pruned is not None:
+                results.append(pruned)
+                continue
+        results.append(inject_one(
+            program, config, golden, spec, rng, early_exit=early_exit,
+            convergence_horizon=convergence_horizon))
     return results
 
 
 def _shard_task(program: Program, config: CoreConfig, golden: GoldenRun,
                 field: str, shard: Shard, seed: int, mode: str, burst: int,
-                bit_count: int) -> tuple[int, list[dict]]:
+                bit_count: int, early_exit: bool = True,
+                convergence_horizon: int | None = None
+                ) -> tuple[int, list[dict]]:
     """Pool entry point: run a shard, return JSON-ready records."""
     results = run_shard(program, config, golden, field, shard, seed,
-                        mode=mode, burst=burst, bit_count=bit_count)
+                        mode=mode, burst=burst, bit_count=bit_count,
+                        early_exit=early_exit,
+                        convergence_horizon=convergence_horizon)
     return shard.index, [r.to_dict() for r in results]
 
 

@@ -1,0 +1,130 @@
+"""Pre-simulation fault pruning: classify trials Masked for free.
+
+Two tiers, both consulted *before* a :class:`~repro.microarch.
+simulator.Simulator` is even constructed (the pruned trial still counts
+in the campaign denominator, exactly as if it had been simulated):
+
+1. **Structurally dead fields** -- the static ACE analyzer
+   (:func:`repro.avf.static_ace.static_ace_estimate`) proves some
+   structures can never hold a live entry for a given program (a load
+   queue when the binary has no loads). Every flip there is a no-op.
+2. **Golden-trace occupancy** -- :class:`~repro.gefin.fault.
+   GoldenTrace` records each queue's valid mask (IQ/LQ) or ring window
+   (ROB/SQ) per cycle. A uniform-mode flip whose target slot is free at
+   the injection cycle bounces off invalid storage (the flip method
+   would return ``False``), so the machine stays bit-identical to the
+   golden run and determinism yields the golden outcome.
+
+Soundness rests on the flip methods' contract: a flip into an invalid
+slot changes no machine state. The pruner replicates the exact
+:class:`~repro.gefin.injector.InjectionResult` (outcome, weight,
+bit index) the simulated path produces, so early-exit and full
+campaigns aggregate identically; the equivalence is enforced by test.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from ..avf.static_ace import static_ace_estimate
+from ..isa.program import Program
+from ..microarch.config import CoreConfig
+from ..microarch.queues import ARCH_FIELD_BITS, NUM_FLAGS, PC_FIELD_BITS
+from .fault import FaultSpec, GoldenRun
+from .injector import InjectionResult
+from .outcomes import Outcome
+
+_MASK = "mask"
+_RING = "ring"
+
+#: Occupancy layout of each prunable field: storage kind, payload bits
+#: per slot, which trace array holds the per-cycle occupancy.
+_TRACE_ARRAYS = ("iq", "lq", "sq", "rob")
+
+
+class StaticPruner:
+    """Per-campaign pruning oracle for one (program, config, golden)."""
+
+    def __init__(self, program: Program, config: CoreConfig,
+                 golden: GoldenRun) -> None:
+        self.golden = golden
+        trace = golden.trace
+        self.trace = trace if trace is not None and len(trace) else None
+        self._geometry: dict[str, tuple[str, int, array, int]] = {}
+        if self.trace is not None:
+            tag = config.phys_tag_bits
+            xlen = config.xlen
+            geo = self._geometry
+            geo["iq.src"] = (_MASK, 2 * (tag + 1), self.trace.iq,
+                             config.iq_entries)
+            geo["iq.dst"] = (_MASK, tag, self.trace.iq, config.iq_entries)
+            geo["lq"] = (_MASK, xlen + tag, self.trace.lq,
+                         config.lq_entries)
+            geo["sq"] = (_RING, 2 * xlen, self.trace.sq, config.sq_entries)
+            for name, bits in (
+                    ("rob.pc", PC_FIELD_BITS),
+                    ("rob.dest", ARCH_FIELD_BITS + 2 * tag),
+                    ("rob.flags", NUM_FLAGS),
+                    ("rob.seq", config.seq_bits)):
+                geo[name] = (_RING, bits, self.trace.rob,
+                             config.rob_entries)
+        ace = static_ace_estimate(program, config)
+        self._dead_fields = frozenset(
+            name for name, bound in ace.estimates.items() if bound == 0.0)
+
+    # ----------------------------------------------------------- results
+
+    def _unchanged(self, spec: FaultSpec) -> InjectionResult:
+        return InjectionResult(spec, Outcome.MASKED, 1.0, spec.bit_index,
+                               "statically pruned: dead storage",
+                               self.golden.cycles, early="static")
+
+    def _zero_live(self, spec: FaultSpec) -> InjectionResult:
+        # Mirrors the injector's live == 0 occupancy result exactly.
+        return InjectionResult(spec, Outcome.MASKED, 0.0, None,
+                               "no live bits at injection time",
+                               self.golden.cycles, early="static")
+
+    # ------------------------------------------------------------ oracle
+
+    def prune(self, spec: FaultSpec) -> InjectionResult | None:
+        """The trial's result if it is provably masked, else ``None``.
+
+        Never consumes RNG state: the injector only draws lazily for
+        occupancy-mode trials with live bits, which are never pruned.
+        """
+        if spec.cycle >= self.golden.cycles:
+            # The golden run ends during (or before) the injection
+            # cycle; the injector's completed-before-injection and
+            # final-cycle paths own these trials.
+            return None
+        if spec.field in self._dead_fields:
+            if spec.mode == "occupancy":
+                return self._zero_live(spec)
+            return self._unchanged(spec)
+        geometry = self._geometry.get(spec.field)
+        if geometry is None or self.trace is None \
+                or spec.cycle > len(self.trace):
+            return None
+        kind, bits, occupancy, size = geometry
+        packed = occupancy[spec.cycle - 1]
+        if spec.mode == "occupancy":
+            occupied = packed & 0xFFFF if kind == _RING else packed
+            return self._zero_live(spec) if occupied == 0 else None
+        bit = spec.bit_index
+        if bit is None:
+            return None
+        total_bits = size * bits
+        for offset in range(spec.burst):
+            index = bit + offset
+            if index >= total_bits:
+                continue  # clipped by the injector: a no-op flip
+            slot = index // bits
+            if kind == _RING:
+                head = packed >> 16
+                count = packed & 0xFFFF
+                if (slot - head) % size < count:
+                    return None
+            elif (packed >> slot) & 1:
+                return None
+        return self._unchanged(spec)

@@ -6,21 +6,53 @@ permission checking of its own -- the :class:`~repro.kernel.layout.
 SystemMap` does that at the core/MMU boundary -- but it does bounds-check,
 because a physical address outside RAM reaching the memory controller is a
 bus-level event.
+
+The RAM keeps a page-keyed incremental digest (see :mod:`repro.digest`)
+for the trial early-termination engine: writes only mark their 4 KiB
+page dirty, and :meth:`MainMemory.digest` lazily re-hashes the dirty
+pages and folds them into a rolling 64-bit accumulator. Reading the
+digest therefore costs O(pages written since last read), not O(RAM).
 """
 
 from __future__ import annotations
 
+from zlib import crc32
+
+from ..digest import mix64
 from ..errors import SimCrashError
+
+PAGE_SHIFT = 12
+PAGE_BYTES = 1 << PAGE_SHIFT
+
+#: Initial per-page hash lists keyed by RAM size (pages are all-zero at
+#: construction, so the list depends only on the page count).
+_INITIAL_PAGE_HASHES: dict[int, list[int]] = {}
+
+
+def _initial_page_hashes(num_pages: int) -> list[int]:
+    cached = _INITIAL_PAGE_HASHES.get(num_pages)
+    if cached is None:
+        zero_crc = crc32(bytes(PAGE_BYTES))
+        cached = [mix64(page, zero_crc) for page in range(num_pages)]
+        _INITIAL_PAGE_HASHES[num_pages] = cached
+    return cached
 
 
 class MainMemory:
     """A flat little-endian RAM of ``size`` bytes."""
 
     def __init__(self, size: int) -> None:
-        if size <= 0 or size % 4096:
+        if size <= 0 or size % PAGE_BYTES:
             raise ValueError("memory size must be a positive page multiple")
         self.size = size
         self._bytes = bytearray(size)
+        self._num_pages = size >> PAGE_SHIFT
+        self._page_hash = list(_initial_page_hashes(self._num_pages))
+        acc = 0
+        for h in self._page_hash:
+            acc ^= h
+        self._digest_acc = acc
+        self._dirty_pages: set[int] = set()
 
     def _check(self, addr: int, length: int) -> None:
         if addr < 0 or addr + length > self.size:
@@ -33,7 +65,15 @@ class MainMemory:
 
     def write_bytes(self, addr: int, data: bytes) -> None:
         self._check(addr, len(data))
+        if not data:
+            return
         self._bytes[addr:addr + len(data)] = data
+        first = addr >> PAGE_SHIFT
+        last = (addr + len(data) - 1) >> PAGE_SHIFT
+        if first == last:
+            self._dirty_pages.add(first)
+        else:
+            self._dirty_pages.update(range(first, last + 1))
 
     def read_word(self, addr: int, size: int) -> int:
         """Read a little-endian unsigned word of ``size`` bytes."""
@@ -44,6 +84,47 @@ class MainMemory:
         self._check(addr, size)
         self._bytes[addr:addr + size] = (value & ((1 << (8 * size)) - 1)
                                          ).to_bytes(size, "little")
+        first = addr >> PAGE_SHIFT
+        self._dirty_pages.add(first)
+        last = (addr + size - 1) >> PAGE_SHIFT
+        if last != first:
+            self._dirty_pages.add(last)
+
+    # -------------------------------------------------------------- digest
+
+    def digest(self) -> int:
+        """Rolling 64-bit digest of the full RAM contents.
+
+        Incrementally maintained: only pages written since the previous
+        call are re-hashed (4 KiB CRC each) before XOR-folding into the
+        accumulator.
+        """
+        dirty = self._dirty_pages
+        if dirty:
+            acc = self._digest_acc
+            hashes = self._page_hash
+            view = memoryview(self._bytes)
+            for page in dirty:
+                start = page << PAGE_SHIFT
+                h = mix64(page, crc32(view[start:start + PAGE_BYTES]))
+                acc ^= hashes[page] ^ h
+                hashes[page] = h
+            view.release()
+            dirty.clear()
+            self._digest_acc = acc
+        return self._digest_acc
+
+    def get_digest_state(self) -> tuple[int, list[int]]:
+        """Digest accumulator state for snapshot round-trips."""
+        self.digest()
+        return (self._digest_acc, list(self._page_hash))
+
+    def set_digest_state(self, state: tuple[int, list[int]]) -> None:
+        self._digest_acc = state[0]
+        self._page_hash = list(state[1])
+        self._dirty_pages.clear()
+
+    # ------------------------------------------------------------ snapshot
 
     def snapshot(self) -> bytes:
         return bytes(self._bytes)
@@ -52,3 +133,6 @@ class MainMemory:
         if len(image) != self.size:
             raise ValueError("snapshot size mismatch")
         self._bytes[:] = image
+        # No digest state shipped alongside the raw image: every page is
+        # potentially stale, so re-hash lazily at the next digest() read.
+        self._dirty_pages.update(range(self._num_pages))

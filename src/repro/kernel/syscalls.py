@@ -25,6 +25,7 @@ num   name      effect
 from __future__ import annotations
 
 from typing import Protocol
+from zlib import crc32
 
 from ..errors import SimCrashError
 from ..isa import semantics
@@ -60,20 +61,38 @@ class DataPort(Protocol):
 
 
 class OutputCapture:
-    """Accumulates program output; the SDC comparator diffs two of these."""
+    """Accumulates program output; the SDC comparator diffs two of these.
+
+    A streaming CRC over the emitted bytes is maintained alongside the
+    chunks so :meth:`digest` is O(1) -- it feeds the per-cycle state
+    digest of the trial early-termination engine.
+    """
 
     def __init__(self) -> None:
         self._chunks: list[bytes] = []
         self.exit_code: int | None = None
+        self._crc = 0
+        self._size = 0
+
+    def _emit(self, chunk: bytes) -> None:
+        self._chunks.append(chunk)
+        self._crc = crc32(chunk, self._crc)
+        self._size += len(chunk)
 
     def append_int(self, value: int) -> None:
-        self._chunks.append(f"{value}\n".encode())
+        self._emit(f"{value}\n".encode())
 
     def append_hex(self, value: int) -> None:
-        self._chunks.append(f"{value:x}\n".encode())
+        self._emit(f"{value:x}\n".encode())
 
     def append_byte(self, value: int) -> None:
-        self._chunks.append(bytes([value & 0xFF]))
+        self._emit(bytes([value & 0xFF]))
+
+    def digest(self) -> tuple[int, int, int, int]:
+        """O(1) summary of (crc, bytes, chunk count, encoded exit)."""
+        return (self._crc, self._size, len(self._chunks),
+                0 if self.exit_code is None else
+                (self.exit_code & 0xFFFFFFFF) * 2 + 1)
 
     @property
     def data(self) -> bytes:
@@ -94,6 +113,11 @@ class OutputCapture:
     def set_state(self, state: tuple) -> None:
         self._chunks = list(state[0])
         self.exit_code = state[1]
+        self._crc = 0
+        self._size = 0
+        for chunk in self._chunks:
+            self._crc = crc32(chunk, self._crc)
+            self._size += len(chunk)
 
 
 class SyscallHandler:

@@ -21,6 +21,9 @@ Fault semantics implemented here:
 
 from __future__ import annotations
 
+from zlib import crc32
+
+from ..digest import mix64
 from ..errors import SimAssertError
 from ..kernel.memory import MainMemory
 from .config import CacheGeometry, CoreConfig
@@ -61,6 +64,29 @@ class SetAssocCache:
         self._clock = 0
         self.hits = 0
         self.misses = 0
+        # XOR of line_hash over resident lines; every mutation of the
+        # line store (or a line's tag/valid/dirty/data) toggles the old
+        # and new contributions, keeping the digest O(1) to read. LRU
+        # stamps are deliberately excluded (replacement recency is
+        # timing state, not value state).
+        self.digest_acc = 0
+
+    # -------------------------------------------------------------- digest
+
+    def line_hash(self, index: int, line: CacheLine) -> int:
+        """Digest contribution of one resident line (stamp excluded).
+
+        Keyed by set index rather than way: two states holding the same
+        lines in permuted ways are behaviorally equivalent, and the
+        canonical digest lets them converge.
+        """
+        key = ((line.tag * (self.index_mask + 1) + index) << 2
+               | (2 if line.valid else 0) | (1 if line.dirty else 0))
+        return mix64(key, crc32(line.data))
+
+    def acc_toggle(self, index: int, line: CacheLine) -> None:
+        """XOR one line's contribution in or out of the accumulator."""
+        self.digest_acc ^= self.line_hash(index, line)
 
     # ------------------------------------------------------------ addressing
 
@@ -83,10 +109,12 @@ class SetAssocCache:
         Raises :class:`SimAssertError` when multiple ways match (possible
         only after a tag-array fault).
         """
-        tag, index, _ = self.split(addr)
+        index = (addr >> self.offset_bits) & self.index_mask
+        tag = addr >> (self.offset_bits + self.index_bits)
+        get = self.lines.get
         found: CacheLine | None = None
         for way in range(self.ways):
-            line = self.lines.get((index, way))
+            line = get((index, way))
             if line is not None and line.valid and line.tag == tag:
                 if found is not None:
                     raise SimAssertError(
@@ -126,6 +154,8 @@ class SetAssocCache:
         way = self.victim_way(index)
         line = self.lines.pop((index, way), None)
         self._pending_way = (index, way)
+        if line is not None:
+            self.acc_toggle(index, line)
         if line is None or not line.valid or not line.dirty:
             return None
         victim_addr = self.line_address(line.tag, index)
@@ -141,10 +171,12 @@ class SetAssocCache:
         self._clock += 1
         line.stamp = self._clock
         self.lines[way_key] = line
+        self.acc_toggle(index, line)
         return line
 
     def invalidate_all(self) -> None:
         self.lines.clear()
+        self.digest_acc = 0
 
     # ------------------------------------------------------- fault surface
 
@@ -159,7 +191,9 @@ class SetAssocCache:
         if line is None:
             return False
         byte_index, bit_in_byte = divmod(bit, 8)
+        self.acc_toggle(index, line)
         line.data[byte_index] ^= 1 << bit_in_byte
+        self.acc_toggle(index, line)
         return True
 
     def live_data_bit_count(self) -> int:
@@ -172,7 +206,9 @@ class SetAssocCache:
         key = sorted(self.lines)[which]
         line = self.lines[key]
         byte_index, bit_in_byte = divmod(bit, 8)
+        self.acc_toggle(key[0], line)
         line.data[byte_index] ^= 1 << bit_in_byte
+        self.acc_toggle(key[0], line)
         return True
 
     def tag_bit_count(self) -> int:
@@ -184,12 +220,14 @@ class SetAssocCache:
         line = self.lines.get((index, way))
         if line is None:
             return False
+        self.acc_toggle(index, line)
         if bit < self.addr_tag_bits:
             line.tag ^= 1 << bit
         elif bit == self.addr_tag_bits:
             line.valid = not line.valid
         else:
             line.dirty = not line.dirty
+        self.acc_toggle(index, line)
         return True
 
     def live_tag_bit_count(self) -> int:
@@ -199,12 +237,14 @@ class SetAssocCache:
         which, bit = divmod(index, self.tag_entry_bits)
         key = sorted(self.lines)[which]
         line = self.lines[key]
+        self.acc_toggle(key[0], line)
         if bit < self.addr_tag_bits:
             line.tag ^= 1 << bit
         elif bit == self.addr_tag_bits:
             line.valid = not line.valid
         else:
             line.dirty = not line.dirty
+        self.acc_toggle(key[0], line)
         return True
 
     # ------------------------------------------------------------ snapshot
@@ -219,12 +259,14 @@ class SetAssocCache:
 
     def set_state(self, state: dict) -> None:
         self.lines = {}
+        self.digest_acc = 0
         for key, (tag, valid, dirty, data, stamp) in state["lines"].items():
             line = CacheLine(tag, bytearray(data))
             line.valid = valid
             line.dirty = dirty
             line.stamp = stamp
             self.lines[key] = line
+            self.acc_toggle(key[0], line)
         self._clock = state["clock"]
         self.hits = state["hits"]
         self.misses = state["misses"]
@@ -284,8 +326,11 @@ class CacheHierarchy:
         """Accept a dirty line evicted from an L1."""
         line = self._l2_get_line(addr)
         offset = addr - self._line_addr(addr, self.l2)
+        index = (addr >> self.l2.offset_bits) & self.l2.index_mask
+        self.l2.acc_toggle(index, line)
         line.data[offset:offset + len(data)] = data
         line.dirty = True
+        self.l2.acc_toggle(index, line)
 
     def _l1_get_line(self, l1: SetAssocCache,
                      addr: int) -> tuple[CacheLine, int]:
@@ -327,19 +372,28 @@ class CacheHierarchy:
 
     def write(self, addr: int, value: int, size: int) -> int:
         """Write through L1D (write-back, write-allocate); returns latency."""
-        line, latency = self._l1_get_line(self.l1d, addr)
-        offset = addr & (self.l1d.line_bytes - 1)
+        l1d = self.l1d
+        line, latency = self._l1_get_line(l1d, addr)
+        offset = addr & (l1d.line_bytes - 1)
+        index = (addr >> l1d.offset_bits) & l1d.index_mask
         payload = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
-        if offset + size > self.l1d.line_bytes:
-            first = self.l1d.line_bytes - offset
+        if offset + size > l1d.line_bytes:
+            first = l1d.line_bytes - offset
+            l1d.acc_toggle(index, line)
             line.data[offset:offset + first] = payload[:first]
             line.dirty = True
-            line2, lat2 = self._l1_get_line(self.l1d, addr + first)
+            l1d.acc_toggle(index, line)
+            line2, lat2 = self._l1_get_line(l1d, addr + first)
+            index2 = ((addr + first) >> l1d.offset_bits) & l1d.index_mask
+            l1d.acc_toggle(index2, line2)
             line2.data[0:size - first] = payload[first:]
             line2.dirty = True
+            l1d.acc_toggle(index2, line2)
             return latency + lat2
+        l1d.acc_toggle(index, line)
         line.data[offset:offset + size] = payload
         line.dirty = True
+        l1d.acc_toggle(index, line)
         return latency
 
     # ------------------------------------------------------- instruction side

@@ -52,7 +52,7 @@ from .queues import (
     StoreQueue,
 )
 from .regfile import PhysRegFile
-from .uop import MicroOp
+from .uop import MicroOp, uop_digest_into
 
 
 class CoreStats:
@@ -364,11 +364,19 @@ class OoOCore:
     # --------------------------------------------------------------- memory
 
     def _memory(self) -> None:
+        lq_entries = self.lq.entries
+        m = self.lq.valid_mask
+        entries = []
+        while m:
+            low = m & -m
+            m ^= low
+            e = lq_entries[low.bit_length() - 1]
+            if e.addr_known and not e.accessed:
+                entries.append(e)
+        if not entries:
+            return
+        entries.sort(key=lambda e: e.seq)
         port_budget = 1
-        entries = sorted(
-            (e for e in self.lq.entries
-             if e.valid and e.addr_known and not e.accessed),
-            key=lambda e: e.seq)
         for entry in entries:
             if port_budget == 0:
                 break
@@ -557,6 +565,56 @@ class OoOCore:
             self.rob.pop_head()
             self.stats.committed += 1
             budget -= 1
+
+    # -------------------------------------------------------------- digest
+
+    def digest_values(self) -> list:
+        """Canonical int stream of the core's architectural value state.
+
+        Feeds :meth:`repro.microarch.simulator.Simulator.state_digest`.
+        Everything that can influence *future committed behaviour* is
+        present; pure timing/speculation state (branch predictor, LRU
+        stamps, stats, decode cache) is deliberately excluded, and
+        cycle-anchored fields (busy/stall deadlines, in-flight finish
+        times, sequence numbers) are stored relative to the current
+        cycle / ``next_seq`` so the digest is comparable across runs
+        whose absolute clocks and fetch counts have drifted.
+        """
+        base = self.next_seq
+        cycle = self.cycle
+        prf = self.prf
+        out = [
+            self.fetch_pc,
+            1 if self.fetch_poisoned else 0,
+            max(0, self.fetch_busy_until - cycle),
+            max(0, self.commit_stall_until - cycle),
+            prf.digest_acc, prf.alloc_mask, prf.ready_mask,
+        ]
+        out.extend(prf.rename_map)
+        out.append(len(prf.free_list))
+        out.extend(prf.free_list)
+        self.iq.digest_into(out, base)
+        self.lq.digest_into(out, base)
+        self.sq.digest_into(out, base)
+        self.rob.digest_into(out, base)
+        out.append(len(self.fetch_queue))
+        for u in self.fetch_queue:
+            uop_digest_into(out, u, base)
+        out.append(len(self.decode_queue))
+        for u in self.decode_queue:
+            uop_digest_into(out, u, base)
+        # In-flight uops are all ROB residents, so their values are
+        # already digested above; membership and (relative) completion
+        # time are the only extra state.
+        rows = sorted(
+            (base - u.seq,
+             0 if u.finish_at is None
+             else max(0, u.finish_at - cycle) + 1)
+            for u in self.inflight)
+        out.append(len(rows))
+        for row in rows:
+            out.extend(row)
+        return out
 
     # ------------------------------------------------------------ snapshot
 

@@ -22,17 +22,18 @@ from __future__ import annotations
 from ..errors import SimAssertError
 from .config import CoreConfig
 from .faults import FieldCatalog, LambdaField
-from .uop import MicroOp
+from .uop import MicroOp, exception_digest
 
 
 # --------------------------------------------------------------------- IQ
 
 class IQEntry:
-    __slots__ = ("valid", "seq", "uop", "src1_tag", "src1_ready",
+    __slots__ = ("index", "valid", "seq", "uop", "src1_tag", "src1_ready",
                  "src2_tag", "src2_ready", "dst_tag", "uses_src1",
                  "uses_src2")
 
-    def __init__(self) -> None:
+    def __init__(self, index: int = 0) -> None:
+        self.index = index
         self.valid = False
         self.seq = 0
         self.uop: MicroOp | None = None
@@ -53,7 +54,9 @@ class IssueQueue:
         self.size = config.iq_entries
         self.tag_bits = config.phys_tag_bits
         self.tag_mask = (1 << self.tag_bits) - 1
-        self.entries = [IQEntry() for _ in range(self.size)]
+        self.entries = [IQEntry(i) for i in range(self.size)]
+        self.valid_mask = 0
+        self.full_mask = (1 << self.size) - 1
         if catalog is not None:
             catalog.register(LambdaField(
                 "iq.src", self.src_bit_count, self.flip_src_bit,
@@ -64,35 +67,38 @@ class IssueQueue:
 
     @property
     def occupancy(self) -> int:
-        return sum(1 for e in self.entries if e.valid)
+        return self.valid_mask.bit_count()
 
     def has_space(self) -> bool:
-        return any(not e.valid for e in self.entries)
+        return self.valid_mask != self.full_mask
 
     def insert(self, uop: MicroOp, src_tags: list[int],
                src_ready: list[bool], dst_tag: int | None) -> None:
-        for entry in self.entries:
-            if not entry.valid:
-                entry.valid = True
-                entry.seq = uop.seq
-                entry.uop = uop
-                entry.uses_src1 = len(src_tags) > 0
-                entry.uses_src2 = len(src_tags) > 1
-                entry.src1_tag = src_tags[0] if entry.uses_src1 else 0
-                entry.src1_ready = (src_ready[0] if entry.uses_src1
-                                    else True)
-                entry.src2_tag = src_tags[1] if entry.uses_src2 else 0
-                entry.src2_ready = (src_ready[1] if entry.uses_src2
-                                    else True)
-                entry.dst_tag = dst_tag if dst_tag is not None else 0
-                return
-        raise SimAssertError("issue queue overflow")
+        free = self.valid_mask ^ self.full_mask
+        if not free:
+            raise SimAssertError("issue queue overflow")
+        low = free & -free
+        entry = self.entries[low.bit_length() - 1]
+        entry.valid = True
+        entry.seq = uop.seq
+        entry.uop = uop
+        entry.uses_src1 = len(src_tags) > 0
+        entry.uses_src2 = len(src_tags) > 1
+        entry.src1_tag = src_tags[0] if entry.uses_src1 else 0
+        entry.src1_ready = src_ready[0] if entry.uses_src1 else True
+        entry.src2_tag = src_tags[1] if entry.uses_src2 else 0
+        entry.src2_ready = src_ready[1] if entry.uses_src2 else True
+        entry.dst_tag = dst_tag if dst_tag is not None else 0
+        self.valid_mask |= low
 
     def wakeup(self, tag: int) -> None:
         """Broadcast a completed physical tag to waiting entries."""
-        for entry in self.entries:
-            if not entry.valid:
-                continue
+        entries = self.entries
+        m = self.valid_mask
+        while m:
+            low = m & -m
+            m ^= low
+            entry = entries[low.bit_length() - 1]
             if entry.src1_tag == tag:
                 entry.src1_ready = True
             if entry.src2_tag == tag:
@@ -100,20 +106,53 @@ class IssueQueue:
 
     def ready_entries(self) -> list[IQEntry]:
         """Ready entries, oldest first."""
-        ready = [e for e in self.entries
-                 if e.valid and e.src1_ready and e.src2_ready]
+        entries = self.entries
+        ready = []
+        m = self.valid_mask
+        while m:
+            low = m & -m
+            m ^= low
+            entry = entries[low.bit_length() - 1]
+            if entry.src1_ready and entry.src2_ready:
+                ready.append(entry)
         ready.sort(key=lambda e: e.seq)
         return ready
 
     def release(self, entry: IQEntry) -> None:
         entry.valid = False
         entry.uop = None
+        self.valid_mask &= ~(1 << entry.index)
 
     def squash_younger(self, seq: int) -> None:
-        for entry in self.entries:
-            if entry.valid and entry.seq > seq:
+        entries = self.entries
+        m = self.valid_mask
+        while m:
+            low = m & -m
+            m ^= low
+            entry = entries[low.bit_length() - 1]
+            if entry.seq > seq:
                 entry.valid = False
                 entry.uop = None
+                self.valid_mask ^= low
+
+    def digest_into(self, out: list, base: int) -> None:
+        """Append the IQ's canonical value state to ``out``.
+
+        Sequence numbers are recorded relative to ``base`` so the digest
+        is invariant to absolute seq numbering (see ``uop_digest_into``).
+        """
+        entries = self.entries
+        m = self.valid_mask
+        out.append(m)
+        while m:
+            low = m & -m
+            m ^= low
+            e = entries[low.bit_length() - 1]
+            out.extend((
+                base - e.seq, e.src1_tag, 1 if e.src1_ready else 0,
+                e.src2_tag, 1 if e.src2_ready else 0, e.dst_tag,
+                (1 if e.uses_src1 else 0) | (2 if e.uses_src2 else 0),
+            ))
 
     # ------------------------------------------------------- fault surface
 
@@ -151,10 +190,16 @@ class IssueQueue:
         return True
 
     def _valid_slots(self) -> list[int]:
-        return [i for i, e in enumerate(self.entries) if e.valid]
+        out = []
+        m = self.valid_mask
+        while m:
+            low = m & -m
+            m ^= low
+            out.append(low.bit_length() - 1)
+        return out
 
     def live_src_bit_count(self) -> int:
-        return len(self._valid_slots()) * 2 * (self.tag_bits + 1)
+        return self.valid_mask.bit_count() * 2 * (self.tag_bits + 1)
 
     def flip_live_src_bit(self, index: int) -> bool:
         per_entry = 2 * (self.tag_bits + 1)
@@ -163,7 +208,7 @@ class IssueQueue:
         return self.flip_src_bit(slot * per_entry + bit)
 
     def live_dst_bit_count(self) -> int:
-        return len(self._valid_slots()) * self.tag_bits
+        return self.valid_mask.bit_count() * self.tag_bits
 
     def flip_live_dst_bit(self, index: int) -> bool:
         which, bit = divmod(index, self.tag_bits)
@@ -178,10 +223,14 @@ class IssueQueue:
                 for e in self.entries]
 
     def set_state(self, state: list[tuple]) -> None:
+        mask = 0
         for entry, row in zip(self.entries, state):
             (entry.valid, entry.seq, entry.src1_tag, entry.src1_ready,
              entry.src2_tag, entry.src2_ready, entry.dst_tag,
              entry.uses_src1, entry.uses_src2, entry.uop) = row
+            if entry.valid:
+                mask |= 1 << entry.index
+        self.valid_mask = mask
 
 
 # ------------------------------------------------------------------ LQ/SQ
@@ -210,6 +259,8 @@ class LoadQueue:
         self.xlen = config.xlen
         self.tag_bits = config.phys_tag_bits
         self.entries = [LQEntry() for _ in range(self.size)]
+        self.valid_mask = 0
+        self.full_mask = (1 << self.size) - 1
         if catalog is not None:
             catalog.register(LambdaField("lq", self.bit_count,
                                          self.flip_bit,
@@ -217,21 +268,25 @@ class LoadQueue:
                                          self.flip_live_bit))
 
     def has_space(self) -> bool:
-        return any(not e.valid for e in self.entries)
+        return self.valid_mask != self.full_mask
 
     def insert(self, uop: MicroOp) -> int:
-        for index, entry in enumerate(self.entries):
-            if not entry.valid:
-                entry.valid = True
-                entry.seq = uop.seq
-                entry.uop = uop
-                entry.addr = 0
-                entry.addr_known = False
-                entry.dest_tag = 0
-                entry.size = 0
-                entry.accessed = False
-                return index
-        raise SimAssertError("load queue overflow")
+        free = self.valid_mask ^ self.full_mask
+        if not free:
+            raise SimAssertError("load queue overflow")
+        low = free & -free
+        index = low.bit_length() - 1
+        entry = self.entries[index]
+        entry.valid = True
+        entry.seq = uop.seq
+        entry.uop = uop
+        entry.addr = 0
+        entry.addr_known = False
+        entry.dest_tag = 0
+        entry.size = 0
+        entry.accessed = False
+        self.valid_mask |= low
+        return index
 
     def release(self, index: int, seq: int) -> None:
         entry = self.entries[index]
@@ -239,12 +294,33 @@ class LoadQueue:
             raise SimAssertError("load queue release mismatch")
         entry.valid = False
         entry.uop = None
+        self.valid_mask &= ~(1 << index)
 
     def squash_younger(self, seq: int) -> None:
-        for entry in self.entries:
-            if entry.valid and entry.seq > seq:
+        entries = self.entries
+        m = self.valid_mask
+        while m:
+            low = m & -m
+            m ^= low
+            entry = entries[low.bit_length() - 1]
+            if entry.seq > seq:
                 entry.valid = False
                 entry.uop = None
+                self.valid_mask ^= low
+
+    def digest_into(self, out: list, base: int) -> None:
+        """Append the LQ's canonical value state to ``out``."""
+        entries = self.entries
+        m = self.valid_mask
+        out.append(m)
+        while m:
+            low = m & -m
+            m ^= low
+            e = entries[low.bit_length() - 1]
+            out.extend((
+                base - e.seq, e.addr, 1 if e.addr_known else 0,
+                e.dest_tag, e.size, 1 if e.accessed else 0,
+            ))
 
     def bit_count(self) -> int:
         return self.size * (self.xlen + self.tag_bits)
@@ -263,7 +339,7 @@ class LoadQueue:
 
     def live_bit_count(self) -> int:
         per_entry = self.xlen + self.tag_bits
-        return sum(1 for e in self.entries if e.valid) * per_entry
+        return self.valid_mask.bit_count() * per_entry
 
     def flip_live_bit(self, index: int) -> bool:
         per_entry = self.xlen + self.tag_bits
@@ -276,9 +352,13 @@ class LoadQueue:
                  e.accessed, e.uop) for e in self.entries]
 
     def set_state(self, state: list[tuple]) -> None:
-        for entry, row in zip(self.entries, state):
+        mask = 0
+        for index, (entry, row) in enumerate(zip(self.entries, state)):
             (entry.valid, entry.seq, entry.addr, entry.addr_known,
              entry.dest_tag, entry.size, entry.accessed, entry.uop) = row
+            if entry.valid:
+                mask |= 1 << index
+        self.valid_mask = mask
 
 
 class SQEntry:
@@ -362,6 +442,29 @@ class StoreQueue:
                 self.count -= 1
             else:
                 break
+
+    def digest_into(self, out: list, base: int) -> None:
+        """Append the SQ's canonical value state, head-first.
+
+        Rows are walked in FIFO order from ``head`` so the digest is
+        invariant to the ring's physical rotation (``head``/``tail`` are
+        deliberately excluded -- two runs that drained different numbers
+        of wrong-path stores park identical pending stores at different
+        physical slots).
+        """
+        out.append(self.count)
+        entries = self.entries
+        size = self.size
+        index = self.head
+        for _ in range(self.count):
+            e = entries[index]
+            out.extend((
+                base - e.seq, e.addr, 1 if e.addr_known else 0,
+                e.data, e.size, 1 if e.ready else 0,
+            ))
+            index += 1
+            if index == size:
+                index = 0
 
     def older_stores(self, seq: int) -> list[SQEntry]:
         """Valid entries older than ``seq``, youngest first."""
@@ -545,6 +648,45 @@ class ReorderBuffer:
         entry.valid = False
         entry.uop = None
         self.count -= 1
+
+    def digest_into(self, out: list, base: int) -> None:
+        """Append the ROB's canonical value state, head-first.
+
+        Each row combines the in-flight micro-op's private results with
+        the entry's injectable copies -- the latter as deltas against the
+        micro-op (zero when uncorrupted), so that a corrupted-but-
+        matching pair digests differently from a clean pair while seq
+        renumbering between runs cancels out.
+        """
+        out.append(self.count)
+        entries = self.entries
+        size = self.size
+        seq_mask = (1 << self.seq_bits) - 1
+        pc_mask = (1 << PC_FIELD_BITS) - 1
+        index = self.head
+        for _ in range(self.count):
+            e = entries[index]
+            u = e.uop
+            exc = u.exception
+            result = u.result
+            actual = u.actual_next
+            wb_tag = u.wb_tag
+            out.extend((
+                base - u.seq, u.pc, u.raw, u.predicted_next,
+                0 if result is None else result + result + 1,
+                0 if actual is None else actual + actual + 1,
+                0 if wb_tag is None else wb_tag + wb_tag + 1,
+                u.syscall_arg,
+                1 if u.done else 0,
+                0 if exc is None else exception_digest(exc),
+                e.flags,
+                (e.seq - u.seq) & seq_mask,
+                (e.pc - u.pc) & pc_mask,
+                e.arch_dest, e.new_phys, e.old_phys,
+            ))
+            index += 1
+            if index == size:
+                index = 0
 
     # ------------------------------------------------------- fault surface
 

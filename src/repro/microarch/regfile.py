@@ -14,13 +14,21 @@ register, and double-free.
 
 from __future__ import annotations
 
+from ..digest import mix64
 from ..errors import SimAssertError
 from ..isa import registers as arch_regs
 from .faults import FieldCatalog, LambdaField
 
 
 class PhysRegFile:
-    """Physical registers with an architectural rename map."""
+    """Physical registers with an architectural rename map.
+
+    Besides the payload, the file maintains O(1)-readable digest state
+    for the early-termination engine: ``digest_acc`` (XOR of
+    ``mix64(reg, value)`` over all registers, updated at every value
+    mutation) plus ``alloc_mask``/``ready_mask`` bit vectors mirroring
+    the ``allocated``/``ready`` lists.
+    """
 
     def __init__(self, num_regs: int, xlen: int,
                  catalog: FieldCatalog | None = None) -> None:
@@ -37,6 +45,11 @@ class PhysRegFile:
             self.allocated[i] = True
             self.ready[i] = True
         self.free_list = list(range(arch_regs.NUM_REGS, num_regs))
+        self.digest_acc = 0
+        for reg in range(num_regs):
+            self.digest_acc ^= mix64(reg, 0)
+        self.alloc_mask = (1 << arch_regs.NUM_REGS) - 1
+        self.ready_mask = (1 << arch_regs.NUM_REGS) - 1
         if catalog is not None:
             catalog.register(LambdaField("prf", self.bit_count,
                                          self.flip_bit,
@@ -62,8 +75,11 @@ class PhysRegFile:
         if not self.allocated[tag]:
             raise SimAssertError(
                 f"{context}: write to unallocated physical register {tag}")
-        self.values[tag] = value & self.mask
+        value &= self.mask
+        self.digest_acc ^= mix64(tag, self.values[tag]) ^ mix64(tag, value)
+        self.values[tag] = value
         self.ready[tag] = True
+        self.ready_mask |= 1 << tag
 
     # --------------------------------------------------------------- rename
 
@@ -80,6 +96,8 @@ class PhysRegFile:
                 f"rename: allocating already-allocated register {tag}")
         self.allocated[tag] = True
         self.ready[tag] = False
+        self.alloc_mask |= 1 << tag
+        self.ready_mask &= ~(1 << tag)
         return tag
 
     def free(self, tag: int, context: str = "commit") -> None:
@@ -89,6 +107,8 @@ class PhysRegFile:
                 f"{context}: double free of physical register {tag}")
         self.allocated[tag] = False
         self.ready[tag] = False
+        self.alloc_mask &= ~(1 << tag)
+        self.ready_mask &= ~(1 << tag)
         self.free_list.append(tag)
 
     def lookup(self, arch_reg: int, context: str = "rename") -> int:
@@ -109,7 +129,10 @@ class PhysRegFile:
 
     def set_initial(self, arch_reg: int, value: int) -> None:
         """Loader hook: set a register before execution starts."""
-        self.values[self.rename_map[arch_reg]] = value & self.mask
+        reg = self.rename_map[arch_reg]
+        value &= self.mask
+        self.digest_acc ^= mix64(reg, self.values[reg]) ^ mix64(reg, value)
+        self.values[reg] = value
 
     # ------------------------------------------------------- fault surface
 
@@ -118,7 +141,10 @@ class PhysRegFile:
 
     def flip_bit(self, index: int) -> bool:
         reg, bit = divmod(index, self.xlen)
-        self.values[reg] ^= 1 << bit
+        old = self.values[reg]
+        new = old ^ (1 << bit)
+        self.digest_acc ^= mix64(reg, old) ^ mix64(reg, new)
+        self.values[reg] = new
         return True
 
     def live_bit_count(self) -> int:
@@ -133,8 +159,7 @@ class PhysRegFile:
     def flip_live_bit(self, index: int) -> bool:
         which, bit = divmod(index, self.xlen)
         live = [r for r, used in enumerate(self.allocated) if used]
-        self.values[live[which]] ^= 1 << bit
-        return True
+        return self.flip_bit(live[which] * self.xlen + bit)
 
     # ------------------------------------------------------------ snapshot
 
@@ -153,3 +178,11 @@ class PhysRegFile:
         self.ready = list(state["ready"])
         self.rename_map = list(state["rename_map"])
         self.free_list = list(state["free_list"])
+        acc = 0
+        for reg, value in enumerate(self.values):
+            acc ^= mix64(reg, value)
+        self.digest_acc = acc
+        self.alloc_mask = sum(1 << r for r, a in enumerate(self.allocated)
+                              if a)
+        self.ready_mask = sum(1 << r for r, rd in enumerate(self.ready)
+                              if rd)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass
 
+from ..digest import fold
 from ..errors import SimTimeoutError
 from ..isa.program import Program
 from ..kernel.layout import SystemMap
@@ -110,7 +111,13 @@ class Simulator:
         self.core.step()
 
     def run_until(self, cycle: int) -> bool:
-        """Advance to ``cycle`` (or completion); True if still running."""
+        """Advance to ``cycle`` (or completion); True if still running.
+
+        A no-op returning False once the program has exited: stepping a
+        halted core would re-execute from a dead pipeline state.
+        """
+        if self.finished:
+            return False
         try:
             while self.core.cycle < cycle:
                 self.core.step()
@@ -123,7 +130,11 @@ class Simulator:
         """Run to completion; :class:`SimTimeoutError` past ``max_cycles``.
 
         Fault-induced failures (crash/assert) propagate as exceptions.
+        Idempotent after completion: further calls return the existing
+        result without stepping the halted core.
         """
+        if self.finished:
+            return self.result()
         try:
             while self.core.cycle < max_cycles:
                 self.core.step()
@@ -136,6 +147,73 @@ class Simulator:
         return SimResult(output=self.handler.output,
                          cycles=self.core.cycle,
                          stats=self.core.stats.as_dict())
+
+    # --------------------------------------------------------------- digest
+
+    def _quick_values(self) -> list:
+        """O(1)-readable digest components (see :meth:`quick_digest`)."""
+        core = self.core
+        prf = core.prf
+        cycle = core.cycle
+        values = [
+            self.memory.digest(),
+            self.hierarchy.l1i.digest_acc,
+            self.hierarchy.l1d.digest_acc,
+            self.hierarchy.l2.digest_acc,
+            core.fetch_pc,
+            1 if core.fetch_poisoned else 0,
+            max(0, core.fetch_busy_until - cycle),
+            max(0, core.commit_stall_until - cycle),
+            prf.digest_acc, prf.alloc_mask, prf.ready_mask,
+            len(prf.free_list),
+            core.iq.valid_mask, core.lq.valid_mask,
+            core.sq.count, core.rob.count,
+            len(core.fetch_queue), len(core.decode_queue),
+            len(core.inflight),
+            1 if self.finished else 0,
+        ]
+        values.extend(self.handler.output.digest())
+        return values
+
+    def quick_digest(self) -> int:
+        """Cheap pre-filter digest; a *necessary* condition for a full
+        match.
+
+        Reads only incrementally-maintained accumulators and counts
+        (every component is a function of state the full digest also
+        covers), so a quick mismatch proves a full mismatch without
+        paying :meth:`state_digest`'s per-structure walk.
+        """
+        return fold(0, self._quick_values())
+
+    def state_digest(self) -> int:
+        """64-bit digest of the complete architectural machine state.
+
+        Equality with another run's digest at the same point implies the
+        two machines commit identical futures (timing-only state --
+        branch predictor, replacement stamps, stats -- is excluded; see
+        DESIGN.md for the soundness argument).
+        """
+        values = self._quick_values()
+        values.extend(self.core.digest_values())
+        return fold(0, values)
+
+    def digest_pair(self) -> tuple[int, int]:
+        """(:meth:`quick_digest`, :meth:`state_digest`) sharing one
+        component walk -- what golden-trace recording calls per cycle."""
+        values = self._quick_values()
+        quick = fold(0, values)
+        values.extend(self.core.digest_values())
+        return quick, fold(0, values)
+
+    def arch_equal(self, quick: int, full: int) -> bool:
+        """Does this machine's state digest to (``quick``, ``full``)?
+
+        Checks the O(1) quick digest first and only walks the full
+        state when it matches, so diverged states cost microseconds.
+        """
+        return (self.quick_digest() == quick
+                and self.state_digest() == full)
 
     # --------------------------------------------------------------- faults
 
@@ -159,6 +237,7 @@ class Simulator:
             "core": self.core.get_state(),
             "output": self.handler.output.get_state(),
             "finished": self.finished,
+            "digest": {"memory": self.memory.get_digest_state()},
         }
         return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -169,3 +248,8 @@ class Simulator:
         self.core.set_state(state["core"])
         self.handler.output.set_state(state["output"])
         self.finished = state["finished"]
+        digest = state.get("digest")
+        if digest is not None:
+            # Ship the RAM page-hash table with the snapshot so restoring
+            # does not force an O(RAM) lazy re-hash at the next digest().
+            self.memory.set_digest_state(digest["memory"])

@@ -9,8 +9,36 @@ micro-op is how the simulator detects states it cannot adjudicate.
 
 from __future__ import annotations
 
+from zlib import crc32
+
 from ..errors import SimulationError
 from ..isa.instructions import Instruction
+
+
+def exception_digest(exc: BaseException) -> int:
+    """Non-zero digest of a pending exception (type, kind, message)."""
+    kind = getattr(exc, "kind", "")
+    return crc32(f"{type(exc).__name__}|{kind}|{exc}".encode()) + 1
+
+
+def uop_digest_into(out: list, uop: "MicroOp", base: int) -> None:
+    """Append a pre-rename micro-op's value state, seq-translated.
+
+    Sequence numbers are stored relative to ``base`` (the core's
+    ``next_seq``), so two runs whose wrong-path fetch counts differ --
+    and whose absolute seq numbering is therefore permanently offset --
+    still digest equal once their architectural states match. Decoded
+    attributes (``instr``, ``is_load``, ...) are pure functions of
+    ``raw`` and are not digested separately.
+    """
+    exc = uop.exception
+    actual = uop.actual_next
+    out.extend((
+        base - uop.seq, uop.pc, uop.raw, uop.predicted_next,
+        0 if actual is None else actual + actual + 1,
+        1 if uop.illegal else 0,
+        0 if exc is None else exception_digest(exc),
+    ))
 
 
 class MicroOp:

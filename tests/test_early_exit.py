@@ -1,0 +1,348 @@
+"""Early trial termination: digests, golden traces, pruning.
+
+Covers the three termination tiers (static pruning, unchanged-flip
+splice, digest reconvergence) plus the machinery they rest on:
+
+- the deterministic digest primitives (``repro.digest``),
+- halted-simulator idempotence (``run``/``run_until`` after exit),
+- digest-accumulator survival across ``save_state``/``load_state``,
+- golden-trace recording in :func:`run_golden_auto`,
+- bit-exact outcome equivalence between early-exit and full campaigns
+  on both core models, which is the contract the whole optimization
+  stands on (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import ARMLET32, ARMLET64, compile_source
+from repro.digest import M64, fold, mix64, opt_int
+from repro.gefin import FaultSpec, inject_one, run_golden_auto
+from repro.gefin.campaign import run_campaign
+from repro.gefin.outcomes import Outcome
+from repro.gefin.parallel import Shard, run_shard
+from repro.gefin.prune import StaticPruner
+from repro.microarch import CORTEX_A15, CORTEX_A72, Simulator
+
+SOURCE = """
+int main() {
+    int a[16];
+    for (int i = 0; i < 16; i++) { a[i] = i * 3 + 1; }
+    int s = 0;
+    for (int i = 0; i < 16; i++) { s += a[i]; }
+    putint(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program32():
+    return compile_source(SOURCE, "O1", ARMLET32, name="early-exit-32")
+
+
+@pytest.fixture(scope="module")
+def program64():
+    return compile_source(SOURCE, "O1", ARMLET64, name="early-exit-64")
+
+
+@pytest.fixture(scope="module")
+def golden32(program32):
+    return run_golden_auto(program32, CORTEX_A15)
+
+
+@pytest.fixture(scope="module")
+def golden64(program64):
+    return run_golden_auto(program64, CORTEX_A72)
+
+
+# --------------------------------------------------- digest primitives
+
+
+class TestDigestPrimitives:
+    def test_mix64_deterministic_and_bounded(self):
+        assert mix64(3, 17) == mix64(3, 17)
+        assert 0 <= mix64(3, 17) <= M64
+        assert mix64(3, 17) != mix64(4, 17)
+        assert mix64(3, 17) != mix64(3, 18)
+
+    def test_mix64_xor_accumulator_cancels(self):
+        # remove-by-XOR then add-by-XOR restores the accumulator
+        acc = mix64(0, 5) ^ mix64(1, 9)
+        acc ^= mix64(1, 9)   # remove
+        acc ^= mix64(1, 11)  # mutate
+        acc ^= mix64(1, 11)
+        acc ^= mix64(1, 9)
+        assert acc == mix64(0, 5) ^ mix64(1, 9)
+
+    def test_fold_order_sensitive(self):
+        assert fold(0, [1, 2]) != fold(0, [2, 1])
+        assert fold(0, []) == fold(0, [])
+        assert fold(0, [7]) != fold(1, [7])
+
+    def test_fold_keeps_high_bits(self):
+        # Values wider than 64 bits must not silently collapse: a
+        # queue's packed valid mask can exceed one machine word.
+        assert fold(0, [1 << 64]) != fold(0, [0])
+        assert fold(0, [(1 << 200) | 5]) != fold(0, [5])
+
+    def test_opt_int_collision_free(self):
+        encoded = {opt_int(v) for v in (None, 0, 1, 2, 3)}
+        assert len(encoded) == 5
+
+    def test_pending_exceptions_pickle_exactly(self):
+        # Snapshots pickle uops with pending exceptions; a lossy round
+        # trip would shift the post-restore digest stream (and, worse,
+        # reclassify a system crash as a process crash).
+        import pickle
+
+        from repro.errors import SimCrashError, SimTimeoutError
+        for exc in (SimCrashError("jump outside text", kind="system"),
+                    SimCrashError("bad store"),
+                    SimTimeoutError(5000)):
+            clone = pickle.loads(pickle.dumps(exc))
+            assert type(clone) is type(exc)
+            assert str(clone) == str(exc)
+            assert getattr(clone, "kind", None) == \
+                getattr(exc, "kind", None)
+
+
+# ------------------------------------------- satellite 1: halted runs
+
+
+class TestHaltedSimulator:
+    def test_run_until_after_completion_is_noop(self, program32):
+        sim = Simulator(program32, CORTEX_A15)
+        result = sim.run(1_000_000)
+        assert sim.finished
+        end_cycle = sim.cycle
+        assert sim.run_until(end_cycle + 500) is False
+        assert sim.cycle == end_cycle
+
+        again = sim.run(1_000_000)
+        assert sim.cycle == end_cycle
+        assert again.cycles == result.cycles
+        assert again.output.data == result.output.data
+        assert again.exit_code == result.exit_code
+
+
+# ------------------------------------- satellite 2: digest round-trip
+
+
+class TestDigestStateRoundTrip:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=1, max_value=2_000),
+           st.integers(min_value=1, max_value=40))
+    def test_load_save_preserves_digest_stream(self, program32, golden32,
+                                               mid, extra):
+        """load(save(s)) yields identical digests now and after stepping.
+
+        The digest accumulators (dirty-page RAM digest, cache line XOR
+        accumulators, PRF accumulator) are incremental state: if
+        ``load_state`` failed to rebuild any of them, the restored
+        simulator would report a different digest stream and every
+        convergence comparison after a warm start would be garbage.
+        """
+        mid = min(mid, golden32.cycles - 1)
+        sim = Simulator(program32, CORTEX_A15)
+        assert sim.run_until(mid)
+        state = sim.save_state()
+
+        twin = Simulator(program32, CORTEX_A15)
+        twin.load_state(state)
+        assert twin.digest_pair() == sim.digest_pair()
+
+        for _ in range(min(extra, golden32.cycles - 1 - mid)):
+            sim.step()
+            twin.step()
+            assert twin.digest_pair() == sim.digest_pair()
+
+    def test_save_state_includes_digest_section(self, program32):
+        import pickle
+        sim = Simulator(program32, CORTEX_A15)
+        sim.run_until(10)
+        assert "memory" in pickle.loads(sim.save_state())["digest"]
+
+
+# ------------------------------------------------ golden trace record
+
+
+class TestGoldenTrace:
+    def test_trace_spans_run_minus_final_cycle(self, golden32):
+        # The cycle the program exits on never reaches the digest
+        # recorder (ProgramExit unwinds first), so the trace holds
+        # exactly cycles-1 entries: index c-1 = state after cycle c.
+        trace = golden32.trace
+        assert trace is not None
+        assert len(trace) == golden32.cycles - 1
+        assert len(trace.full) == len(trace.quick) == len(trace)
+        assert len(trace.rob) == len(trace)
+
+    def test_trace_matches_live_replay(self, program32, golden32):
+        trace = golden32.trace
+        sim = Simulator(program32, CORTEX_A15)
+        rob = sim.core.rob
+        for c in range(1, len(trace) + 1):
+            sim.step()
+            quick, full = sim.digest_pair()
+            assert quick == trace.quick[c - 1], f"quick digest, cycle {c}"
+            assert full == trace.full[c - 1], f"full digest, cycle {c}"
+            assert trace.rob[c - 1] == (rob.head << 16) | rob.count
+            assert trace.iq[c - 1] == sim.core.iq.valid_mask
+            assert trace.lq[c - 1] == sim.core.lq.valid_mask
+
+
+# ------------------------------------------------------ static pruner
+
+
+class TestStaticPruner:
+    @pytest.fixture(scope="class")
+    def pruner(self, program32, golden32):
+        return StaticPruner(program32, CORTEX_A15, golden32)
+
+    def test_final_and_past_end_cycles_not_pruned(self, pruner, golden32):
+        for cycle in (golden32.cycles, golden32.cycles + 7):
+            spec = FaultSpec(field="rob.flags", cycle=cycle, bit_index=0)
+            assert pruner.prune(spec) is None
+
+    def test_live_slot_not_pruned(self, pruner, golden32):
+        trace = golden32.trace
+        cycle = next(c for c in range(1, len(trace) + 1)
+                     if trace.rob[c - 1] & 0xFFFF)
+        head = trace.rob[cycle - 1] >> 16
+        from repro.microarch.queues import NUM_FLAGS
+        spec = FaultSpec(field="rob.flags", cycle=cycle,
+                         bit_index=head * NUM_FLAGS)
+        assert pruner.prune(spec) is None
+
+    def test_free_slot_pruned_and_matches_full_run(
+            self, pruner, program32, golden32):
+        # Cycle 1: nothing has dispatched into the load queue yet.
+        trace = golden32.trace
+        cycle = next(c for c in range(1, len(trace) + 1)
+                     if trace.lq[c - 1] == 0)
+        spec = FaultSpec(field="lq", cycle=cycle, bit_index=0)
+        pruned = pruner.prune(spec)
+        assert pruned is not None
+        assert pruned.early == "static"
+        full = inject_one(program32, CORTEX_A15, golden32, spec,
+                          early_exit=False)
+        assert (pruned.outcome, pruned.weight, pruned.bit_index) == \
+            (full.outcome, full.weight, full.bit_index)
+        assert pruned.outcome is Outcome.MASKED
+
+    def test_occupancy_zero_live_replicated(
+            self, pruner, program32, golden32):
+        trace = golden32.trace
+        cycle = next(c for c in range(1, len(trace) + 1)
+                     if trace.lq[c - 1] == 0)
+        spec = FaultSpec(field="lq", cycle=cycle, mode="occupancy")
+        pruned = pruner.prune(spec)
+        assert pruned is not None
+        assert (pruned.outcome, pruned.weight, pruned.bit_index) == \
+            (Outcome.MASKED, 0.0, None)
+        full = inject_one(program32, CORTEX_A15, golden32, spec,
+                          early_exit=False)
+        assert (full.outcome, full.weight, full.bit_index) == \
+            (Outcome.MASKED, 0.0, None)
+
+    def test_occupied_queue_occupancy_not_pruned(self, pruner, golden32):
+        trace = golden32.trace
+        cycle = next(c for c in range(1, len(trace) + 1)
+                     if trace.lq[c - 1] != 0)
+        spec = FaultSpec(field="lq", cycle=cycle, mode="occupancy")
+        assert pruner.prune(spec) is None
+
+
+# --------------------------- satellite 3: outcome equivalence, 2 cores
+
+
+CASES = [
+    ("a15", CORTEX_A15, "rob.flags", "uniform"),
+    ("a15", CORTEX_A15, "lq", "uniform"),
+    ("a15", CORTEX_A15, "prf", "occupancy"),
+    ("a72", CORTEX_A72, "rob.pc", "uniform"),
+    ("a72", CORTEX_A72, "iq.src", "occupancy"),
+]
+
+
+class TestOutcomeEquivalence:
+    @pytest.mark.parametrize("core_key,config,field,mode",
+                             CASES, ids=[f"{c[0]}-{c[2]}-{c[3]}"
+                                         for c in CASES])
+    def test_early_exit_matches_full_run(self, core_key, config, field,
+                                         mode, program32, program64,
+                                         golden32, golden64):
+        """Every sampled trial classifies identically with and without
+        early exit -- same outcome, same weight, same flipped bit."""
+        program = program32 if core_key == "a15" else program64
+        golden = golden32 if core_key == "a15" else golden64
+        shard = Shard(0, 0, 8)
+        fast = run_shard(program, config, golden, field, shard, seed=11,
+                         mode=mode, early_exit=True)
+        slow = run_shard(program, config, golden, field, shard, seed=11,
+                         mode=mode, early_exit=False)
+        assert len(fast) == len(slow) == 8
+        for quick, full in zip(fast, slow):
+            assert quick.spec == full.spec
+            assert (quick.outcome, quick.weight, quick.bit_index) == \
+                (full.outcome, full.weight, full.bit_index)
+        assert all(r.early == "" for r in slow)
+
+    def test_horizon_zero_disables_convergence_only(
+            self, program32, golden32):
+        """convergence_horizon=0 forces full runs but never changes the
+        classification of a trial that would have converged."""
+        shard = Shard(0, 0, 10)
+        fast = run_shard(program32, CORTEX_A15, golden32, "prf", shard,
+                         seed=2, mode="uniform", early_exit=True)
+        converged = [r for r in fast if r.early == "converged"]
+        assert converged, "expected at least one digest-converged trial"
+        for r in converged:
+            assert r.window >= 1
+            full = inject_one(program32, CORTEX_A15, golden32, r.spec,
+                              early_exit=True, convergence_horizon=0)
+            assert full.early == ""
+            assert (full.outcome, full.weight, full.bit_index) == \
+                (r.outcome, r.weight, r.bit_index)
+
+
+# --------------------------------- satellite 6: campaign pruning stats
+
+
+class TestCampaignPruningStats:
+    def test_tiers_partition_the_sample(self, program32, golden32):
+        result = run_campaign(program32, CORTEX_A15, "rob.flags", 12,
+                              seed=3, mode="uniform", golden=golden32)
+        tiers = result.pruning
+        assert set(tiers) == {"static", "unchanged", "converged", "full",
+                              "mean_window"}
+        assert (tiers["static"] + tiers["unchanged"]
+                + tiers["converged"] + tiers["full"]) == 12
+        assert tiers["mean_window"] >= 0.0
+
+    def test_disabled_early_exit_runs_everything_full(
+            self, program32, golden32):
+        fast = run_campaign(program32, CORTEX_A15, "rob.flags", 12,
+                            seed=3, mode="uniform", golden=golden32)
+        slow = run_campaign(program32, CORTEX_A15, "rob.flags", 12,
+                            seed=3, mode="uniform", golden=golden32,
+                            early_exit=False)
+        assert slow.pruning["full"] == 12
+        assert slow.pruning["static"] == 0
+        # pruning is bookkeeping, not outcome: the results are equal
+        # (CampaignResult.pruning carries compare=False) and the counts
+        # agree bit-for-bit.
+        assert fast == slow
+        assert fast.counts == slow.counts
+        assert fast.avf_by_class == slow.avf_by_class
+
+    def test_round_trip_preserves_pruning(self, program32, golden32):
+        result = run_campaign(program32, CORTEX_A15, "rob.flags", 6,
+                              seed=9, mode="uniform", golden=golden32)
+        from repro.gefin.campaign import CampaignResult
+        clone = CampaignResult.from_dict(result.to_dict())
+        assert clone.pruning == result.pruning
+        assert clone == result

@@ -45,6 +45,7 @@ def grid(tmp_path_factory) -> CampaignGrid:
     return CampaignGrid(spec, tmp_path_factory.mktemp("grid"))
 
 
+@pytest.mark.bench
 def test_grid_caches_cells(grid) -> None:
     ran = grid.ensure_all()
     assert ran == grid.spec.cells == 12

@@ -26,6 +26,7 @@ def tiny_grid(tmp_path_factory) -> CampaignGrid:
     return grid
 
 
+@pytest.mark.bench
 def test_report_contains_every_section(tiny_grid) -> None:
     text = generate(tiny_grid)
     assert "# EXPERIMENTS" in text
