@@ -20,6 +20,7 @@ from .api import (
     build_simulator,
     compile_workload,
     golden_run,
+    observed_run,
     run_campaign,
 )
 
@@ -27,6 +28,7 @@ __all__ = [
     "build_simulator",
     "compile_workload",
     "golden_run",
+    "observed_run",
     "run_campaign",
     "__version__",
 ]

@@ -26,8 +26,12 @@ from .gefin import CampaignCheckpoint, CampaignResult, GoldenRun
 from .gefin import run_campaign as _run_campaign
 from .gefin import run_golden as _run_golden
 from .gefin import run_golden_auto as _run_golden_auto
+from .gefin.fault import DEFAULT_MAX_CYCLES
+from .gefin.injector import InjectionResult
 from .isa.program import Program
 from .microarch import CONFIGS, Simulator
+from .microarch.simulator import SimResult
+from .obs import ChromeTrace, MetricsRegistry, SimObserver
 from .workloads import build_program, get_workload
 
 _CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
@@ -94,6 +98,26 @@ def golden_run(program: Program, core: str = "cortex-a15",
                        snapshot_every=snapshot_every)
 
 
+def observed_run(program: Program, core: str = "cortex-a15",
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 metrics: MetricsRegistry | None = None,
+                 trace: ChromeTrace | None = None,
+                 interval: int = 16) -> SimResult:
+    """Fault-free run with the observability layer attached.
+
+    Occupancy/stall/cache metrics are sampled every ``interval`` cycles
+    into ``metrics`` (a :class:`repro.obs.MetricsRegistry` you can
+    snapshot afterwards) and, when ``trace`` is given, emitted as Chrome
+    counter events for Perfetto (``trace.write(path)``).
+    """
+    sim = Simulator(program, _config(core))
+    observer = SimObserver(metrics, trace, interval=interval)
+    sim.attach_observer(observer)
+    result = sim.run(max_cycles)
+    observer.finish(sim)
+    return result
+
+
 def run_campaign(program: Program, field: str, n: int,
                  core: str = "cortex-a15", seed: int = 0,
                  mode: str = "occupancy",
@@ -101,7 +125,10 @@ def run_campaign(program: Program, field: str, n: int,
                  workers: int | None = None,
                  checkpoint: CampaignCheckpoint | str | Path | None = None,
                  progress=None, early_exit: bool = True,
-                 convergence_horizon: int | None = None) -> CampaignResult:
+                 convergence_horizon: int | None = None,
+                 keep_results: bool = False, trace: bool = False,
+                 ) -> CampaignResult | tuple[CampaignResult,
+                                             list[InjectionResult]]:
     """Statistical fault-injection campaign against one structure field.
 
     When ``golden`` is omitted the reference run auto-snapshots so every
@@ -111,9 +138,15 @@ def run_campaign(program: Program, field: str, n: int,
     shards so an interrupted campaign resumes where it left off.
     ``early_exit``/``convergence_horizon`` tune the (outcome-
     equivalent) early trial-termination engine.
+
+    ``trace`` records a fault-propagation provenance trail per trial
+    (``keep_results=True`` returns the per-trial results carrying them)
+    and per-shard wall-clock spans in ``CampaignResult.timeline`` --
+    feed both to :func:`repro.obs.campaign_trace` for a Perfetto view.
     """
     return _run_campaign(program, _config(core), field, n, seed=seed,
                          mode=mode, golden=golden, burst=burst,
                          workers=workers, checkpoint=checkpoint,
                          progress=progress, early_exit=early_exit,
-                         convergence_horizon=convergence_horizon)
+                         convergence_horizon=convergence_horizon,
+                         keep_results=keep_results, trace=trace)

@@ -8,16 +8,23 @@ verify    compile with the IR verifier after every optimization pass
 lint      static vulnerability analysis (no simulation)
 run       fault-free simulation with cycle counts and instruction mix
 inject    statistical fault-injection campaign against one field
+trace     traced campaign -> Chrome trace (open at ui.perfetto.dev)
+stats     observed fault-free run -> occupancy/stall/cache metrics
 ace       ACE-style analytic AVF estimate for comparison with SFI
 fields    list the injectable structure fields and their bit counts
 grid      populate the full campaign grid (same as experiments.run_grid)
 report    regenerate EXPERIMENTS.md from the cached grid
 ========  ==========================================================
+
+Machine-readable results go to **stdout** (one JSON document under
+``--json``); all diagnostics -- progress, checkpoint notices, file
+write notes -- go to **stderr**, so piped output stays clean.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -25,9 +32,20 @@ from pathlib import Path
 from .avf import ace_estimate, instruction_report, static_ace_estimate
 from .compiler import TARGETS, compile_module, compile_source
 from .errors import IRVerificationError
-from .gefin import run_campaign, run_golden
+from .gefin import run_campaign, run_golden, run_golden_auto
 from .microarch import CONFIGS, Simulator
+from .obs import (
+    ChromeTrace,
+    JsonlSink,
+    MetricsRegistry,
+    ProgressRenderer,
+    SimObserver,
+    campaign_trace,
+    get_logger,
+)
 from .workloads import BENCHMARKS, build_program, get_workload
+
+_LOG = get_logger()
 
 _CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
 
@@ -139,9 +157,49 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def _print_metrics(registry: MetricsRegistry) -> None:
+    print("metrics:")
+    for name, snap in registry.snapshot().items():
+        if snap["type"] in ("histogram", "timer"):
+            print(f"  {name}: mean={snap['mean']:.2f} "
+                  f"min={snap['min']} max={snap['max']} n={snap['count']}")
+        elif isinstance(snap["value"], float):
+            print(f"  {name}: {snap['value']:.4f}")
+        else:
+            print(f"  {name}: {snap['value']}")
+
+
 def cmd_run(args) -> int:
     program, core = _load_program(args)
-    result = Simulator(program, core).run(args.max_cycles)
+    sim = Simulator(program, core)
+    registry = MetricsRegistry() if args.metrics else None
+    trace = ChromeTrace() if args.trace_out else None
+    observer = None
+    if registry is not None or trace is not None:
+        observer = SimObserver(registry, trace)
+        sim.attach_observer(observer)
+    result = sim.run(args.max_cycles)
+    if observer is not None:
+        observer.finish(sim)
+    if trace is not None:
+        trace.write(args.trace_out)
+        _LOG.info("wrote chrome trace", path=args.trace_out,
+                  events=len(trace.events))
+    if args.json:
+        doc = {
+            "program": program.name,
+            "core": core.name,
+            "opt": args.opt,
+            "cycles": result.cycles,
+            "exit_code": result.exit_code,
+            "stats": result.stats,
+            "output": result.output.data.decode(errors="replace"),
+        }
+        if registry is not None:
+            doc["metrics"] = registry.snapshot()
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
     print(f"cycles: {result.cycles}")
     for key in ("committed", "ipc", "loads", "stores", "branches",
                 "mispredicts", "syscalls"):
@@ -151,7 +209,21 @@ def cmd_run(args) -> int:
                   else f"{key}: {value}")
     print(f"exit code: {result.exit_code}")
     sys.stdout.write(f"output:\n{result.output.data.decode(errors='replace')}")
+    if registry is not None:
+        _print_metrics(registry)
     return 0
+
+
+def _write_campaign_events(path: str, summary, results) -> None:
+    """JSONL event stream of one campaign: meta, shard spans, trials."""
+    with JsonlSink(path) as sink:
+        sink.emit({"kind": "campaign", **summary.to_dict()})
+        for span in summary.timeline:
+            sink.emit({"kind": "shard-span", **span})
+        for trial, result in enumerate(results):
+            sink.emit({"kind": "trial", "trial": trial, **result.to_dict()})
+    _LOG.info("wrote campaign events", path=path,
+              lines=1 + len(summary.timeline) + len(results))
 
 
 def cmd_inject(args) -> int:
@@ -162,7 +234,8 @@ def cmd_inject(args) -> int:
         # default (golden=None) auto-snapshots one instrumented golden
         # run so trials warm-start from the nearest checkpoint.
         golden = run_golden(program, core)
-        print(f"golden: {golden.cycles} cycles (no snapshots)")
+        _LOG.info("golden run complete", cycles=golden.cycles,
+                  snapshots=0)
 
     checkpoint = None
     if args.resume:
@@ -173,24 +246,46 @@ def cmd_inject(args) -> int:
                          args.scale, args.n, args.seed, args.mode)
         checkpoint = CampaignCheckpoint.for_key(
             default_cache_dir(), f"{key}__b{args.burst}")
-        print(f"checkpoint: {checkpoint.path}")
+        _LOG.info("resumable campaign", checkpoint=str(checkpoint.path))
+
+    trace_out = getattr(args, "trace_out", None)
+    events_out = getattr(args, "events_out", None)
+    tracing = trace_out is not None or events_out is not None
 
     start = time.perf_counter()
-
-    def progress(done: int, total: int) -> None:
-        elapsed = time.perf_counter() - start
-        rate = done / elapsed if elapsed > 0 else 0.0
-        eta = f"{(total - done) / rate:6.1f}s" if rate > 0 else "   ?"
-        print(f"  {done:5d}/{total} injections | {rate:7.1f} inj/s | "
-              f"ETA {eta}", flush=True)
-
-    result = run_campaign(program, core, args.field, args.n,
-                          seed=args.seed, mode=args.mode, golden=golden,
-                          burst=args.burst, workers=args.workers,
-                          checkpoint=checkpoint, progress=progress,
-                          early_exit=not args.no_early_exit,
-                          convergence_horizon=args.horizon)
+    renderer = ProgressRenderer(args.n)
+    try:
+        outcome = run_campaign(
+            program, core, args.field, args.n,
+            seed=args.seed, mode=args.mode, golden=golden,
+            burst=args.burst, workers=args.workers,
+            checkpoint=checkpoint, progress=lambda done, _n:
+            renderer.update(done),
+            early_exit=not args.no_early_exit,
+            convergence_horizon=args.horizon,
+            keep_results=tracing, trace=tracing)
+    finally:
+        renderer.close()
+    if tracing:
+        result, results = outcome
+    else:
+        result, results = outcome, []
     elapsed = time.perf_counter() - start
+
+    if trace_out is not None:
+        trace = campaign_trace(result, results)
+        trace.write(trace_out)
+        _LOG.info("wrote chrome trace", path=trace_out,
+                  events=len(trace.events))
+    if events_out is not None:
+        _write_campaign_events(events_out, result, results)
+
+    if args.json:
+        doc = result.to_dict()
+        doc["elapsed_seconds"] = elapsed
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
     print(f"golden: {result.golden_cycles} cycles; campaign: "
           f"{result.n} injections in {elapsed:.1f}s "
           f"({result.n / elapsed:.1f} inj/s)")
@@ -207,6 +302,73 @@ def cmd_inject(args) -> int:
               f"{pruning.get('converged', 0)} converged "
               f"(mean window {pruning.get('mean_window', 0.0):.1f} "
               f"cycles), {pruning.get('full', 0)} full runs")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Traced mini-campaign + observed pipeline run -> one Chrome trace."""
+    program, core = _load_program(args)
+    trace = ChromeTrace()
+
+    # Track 1: pipeline activity of the fault-free run (cycle time base).
+    sim = Simulator(program, core)
+    sim.attach_observer(SimObserver(trace=trace, interval=args.interval))
+    sim.run(args.max_cycles)
+    _LOG.info("observed fault-free run", cycles=sim.cycle)
+
+    # Tracks 2+3: shard/worker timeline and per-trial provenance trails.
+    golden = run_golden_auto(program, core)
+    summary, results = run_campaign(
+        program, core, args.field, args.n, seed=args.seed,
+        mode=args.mode, golden=golden, workers=args.workers,
+        keep_results=True, trace=True)
+    trace.events.extend(campaign_trace(summary, results).events)
+
+    out = args.out or f"{program.name}-{args.field}.trace.json"
+    trace.write(out)
+    _LOG.info("wrote chrome trace", path=out, events=len(trace.events),
+              hint="open at https://ui.perfetto.dev")
+
+    terminal = {}
+    for result in results:
+        if result.trail:
+            kind = result.trail[-1].kind
+            terminal[kind] = terminal.get(kind, 0) + 1
+    if args.json:
+        json.dump({"trace": str(out), "events": len(trace.events),
+                   "campaign": summary.to_dict(),
+                   "terminal_events": terminal},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print(f"wrote {out} ({len(trace.events)} events)")
+    print(f"campaign: {summary.n} traced injections into {args.field}, "
+          f"AVF {summary.avf:.4f}")
+    for kind, count in sorted(terminal.items()):
+        print(f"  {kind:14s} {count} trails")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Fault-free run with metrics sampling; print the registry."""
+    program, core = _load_program(args)
+    registry = MetricsRegistry()
+    sim = Simulator(program, core)
+    observer = SimObserver(registry, interval=args.interval)
+    sim.attach_observer(observer)
+    result = sim.run(args.max_cycles)
+    observer.finish(sim)
+    if args.json:
+        json.dump({"program": program.name, "core": core.name,
+                   "opt": args.opt, "cycles": result.cycles,
+                   "samples": observer.samples,
+                   "metrics": registry.snapshot()},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print(f"{program.name} on {core.name} at {args.opt}: "
+          f"{result.cycles} cycles, {observer.samples} samples")
+    _print_metrics(registry)
     return 0
 
 
@@ -257,6 +419,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="fault-free simulation")
     _add_common(p)
     p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document on stdout")
+    p.add_argument("--metrics", action="store_true",
+                   help="sample occupancy/stall/cache metrics during "
+                        "the run and report them")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write pipeline-activity Chrome trace (Perfetto)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("inject", help="fault-injection campaign")
@@ -282,7 +451,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cap on post-injection cycles compared against "
                         "the golden digest trace before giving up on "
                         "convergence (default: full trace)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document on stdout")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="trace fault propagation and write a Chrome "
+                        "trace (shard timeline + provenance trails)")
+    p.add_argument("--events-out", metavar="PATH", default=None,
+                   help="write the campaign event stream (meta, shard "
+                        "spans, per-trial records) as JSON lines")
     p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser(
+        "trace", help="traced campaign -> Chrome trace for Perfetto")
+    _add_common(p)
+    p.add_argument("--field", default="rob.flags")
+    p.add_argument("-n", type=int, default=8,
+                   help="traced injection trials")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mode", default="occupancy",
+                   choices=["occupancy", "uniform"])
+    p.add_argument("--workers", "-j", type=int, default=None)
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.add_argument("--interval", type=int, default=16,
+                   help="pipeline sampling period in cycles")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="trace file (default <program>-<field>"
+                        ".trace.json)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document on stdout")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stats", help="observed fault-free run -> metrics report")
+    _add_common(p)
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.add_argument("--interval", type=int, default=16,
+                   help="sampling period in cycles")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document on stdout")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("ace", help="ACE-style analytic AVF estimate")
     _add_common(p)

@@ -21,6 +21,7 @@ completed shards so an interrupted campaign resumes where it left off.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
@@ -38,6 +39,7 @@ from .parallel import (
     plan_shards,
     resolve_workers,
     run_shard,
+    shard_span,
 )
 from .sampling import error_margin, fault_population
 
@@ -76,6 +78,13 @@ class CampaignResult:
     #: outcome-equivalent by construction, so two campaigns that differ
     #: only in *how* trials terminated are still the same result.
     pruning: dict = dataclass_field(default_factory=dict, compare=False)
+    #: Wall-clock execution spans of the shards *this* invocation ran
+    #: (checkpoint-restored shards have no span), one dict per shard
+    #: (see :func:`repro.gefin.parallel.shard_span`). Feeds the Chrome
+    #: campaign-timeline exporter. Excluded from equality and
+    #: :meth:`to_dict`: timing describes a run, not the result.
+    timeline: list[dict] = dataclass_field(default_factory=list,
+                                           compare=False)
 
     @property
     def avf(self) -> float:
@@ -183,6 +192,7 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
                  progress: ProgressFn | None = None,
                  early_exit: bool = True,
                  convergence_horizon: int | None = None,
+                 trace: bool = False,
                  ) -> CampaignResult | tuple[CampaignResult,
                                              list[InjectionResult]]:
     """Run an ``n``-fault campaign against one structure field.
@@ -209,6 +219,11 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
     persisted as they finish and an interrupted campaign resumes without
     re-running them. ``progress`` is called as ``progress(done_trials,
     n)`` after every completed shard.
+
+    ``trace`` attaches a fault-propagation provenance trail to every
+    :class:`InjectionResult` (visible with ``keep_results``) and
+    records per-shard wall-clock spans in ``CampaignResult.timeline``;
+    classification and aggregation are unaffected.
     """
     workers = resolve_workers(workers)
     if golden is None:
@@ -241,10 +256,15 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
     if progress is not None and done:
         progress(done, n)
 
-    def finish(shard: Shard, results: list[InjectionResult]) -> None:
+    timeline: list[dict] = []
+
+    def finish(shard: Shard, results: list[InjectionResult],
+               span: dict | None = None) -> None:
         nonlocal done
         by_shard[shard.index] = results
         done += len(results)
+        if span is not None:
+            timeline.append(span)
         if ck is not None:
             ck.record(shard, golden.cycles, bit_count, results,
                       program_name=program.name)
@@ -254,10 +274,13 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
     pending = [shard for shard in shards if shard.index not in by_shard]
     if workers <= 1 or len(pending) <= 1:
         for shard in pending:
-            finish(shard, run_shard(
+            started = time.time()
+            results = run_shard(
                 program, config, golden, field, shard, seed, mode=mode,
                 burst=burst, bit_count=bit_count, early_exit=early_exit,
-                convergence_horizon=convergence_horizon))
+                convergence_horizon=convergence_horizon, trace=trace)
+            finish(shard, results,
+                   shard_span(shard, started, time.time(), len(results)))
     else:
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -266,18 +289,20 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
             futures = {
                 pool.submit(_shard_task, program, config, golden, field,
                             shard, seed, mode, burst, bit_count,
-                            early_exit, convergence_horizon): shard
+                            early_exit, convergence_horizon, trace): shard
                 for shard in pending
             }
             for future in as_completed(futures):
                 shard = futures[future]
-                _index, records = future.result()
+                _index, records, span = future.result()
                 finish(shard, [InjectionResult.from_dict(raw)
-                               for raw in records])
+                               for raw in records], span)
 
     results = [result for shard in shards for result in by_shard[shard.index]]
     summary = aggregate(field, program.name, config.name, mode, seed,
                         golden.cycles, bit_count, results)
+    summary.timeline = sorted(timeline,
+                              key=lambda span: span["shard"])
     if ck is not None:
         ck.clear()
     if keep_results:

@@ -95,9 +95,12 @@ class GoldenTrace:
       count``; ``iq`` / ``lq`` -- slot valid masks. These drive the
       static pre-simulation pruner: a uniform-mode flip whose target
       slot is free at the injection cycle is provably masked.
+    * ``committed`` -- the cumulative committed-instruction count,
+      compared per cycle by the fault-propagation tracer to date a
+      trial's first commit-stream divergence from the golden run.
     """
 
-    __slots__ = ("quick", "full", "rob", "sq", "iq", "lq")
+    __slots__ = ("quick", "full", "rob", "sq", "iq", "lq", "committed")
 
     def __init__(self) -> None:
         self.quick = array("Q")
@@ -106,6 +109,7 @@ class GoldenTrace:
         self.sq = array("I")
         self.iq = array("Q")
         self.lq = array("Q")
+        self.committed = array("Q")
 
     def __len__(self) -> int:
         return len(self.quick)
@@ -120,6 +124,7 @@ class GoldenTrace:
         self.sq.append((core.sq.head << 16) | core.sq.count)
         self.iq.append(core.iq.valid_mask)
         self.lq.append(core.lq.valid_mask)
+        self.committed.append(core.stats.committed)
 
 
 @dataclass

@@ -11,18 +11,35 @@ run, see ``DESIGN.md``):
 3. **Converged** -- after the flip, the trial's per-cycle state digest
    is compared against the recorded golden trace; the first match
    proves the fault's effects have washed out and the trial is Masked.
+
+With ``trace=True``, :func:`inject_one` additionally records the
+corrupted bit's lifecycle as a *provenance trail* (see
+:mod:`repro.obs.events`): injection, first commit-stream divergence,
+first output divergence, and the terminal mechanism (masked /
+reached-output / exception). Tracing observes only state the trial
+already maintains, so traced and untraced runs classify identically.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 
-from ..errors import SimulationError
+from ..errors import SimTimeoutError, SimulationError
 from ..isa.program import Program
 from ..kernel.syscalls import ProgramExit
 from ..microarch.config import CoreConfig
-from ..microarch.simulator import Simulator
+from ..microarch.simulator import SimResult, Simulator
+from ..obs.events import (
+    EVENT_COMMIT_DIVERGENCE,
+    EVENT_EXCEPTION,
+    EVENT_INJECTED,
+    EVENT_MASKED,
+    EVENT_OUTPUT_DIVERGENCE,
+    EVENT_REACHED_OUTPUT,
+    EVENT_STATE_DIVERGENCE,
+    TraceEvent,
+)
 from .fault import FaultSpec, GoldenRun, decompress_snapshot
 from .outcomes import Outcome, classify_completion, classify_exception
 
@@ -39,6 +56,11 @@ class InjectionResult:
     ``"static"`` pruned pre-simulation, ``"unchanged"`` no-op flip,
     ``"converged"`` digest reconvergence) and ``window`` the number of
     post-injection cycles simulated before convergence.
+
+    ``trail`` is the fault's provenance trail when the trial ran with
+    ``trace=True``, else ``None``. It is excluded from equality:
+    tracing is pure observation, so a traced and an untraced trial of
+    the same fault are the same result.
     """
 
     spec: FaultSpec
@@ -49,6 +71,8 @@ class InjectionResult:
     cycles: int = 0
     early: str = ""
     window: int = 0
+    trail: list[TraceEvent] | None = dataclass_field(default=None,
+                                                     compare=False)
 
     @property
     def failed(self) -> bool:
@@ -60,21 +84,123 @@ class InjectionResult:
         Weights survive the JSON round trip bit-for-bit (``json`` emits
         ``repr``-precision floats), so results recovered from a
         checkpoint aggregate to the same ``CampaignResult`` the live run
-        would have produced.
+        would have produced. The ``trail`` key appears only on traced
+        trials, keeping untraced records byte-identical to older ones.
         """
-        return {"spec": self.spec.to_dict(), "outcome": self.outcome.value,
-                "weight": self.weight, "bit_index": self.bit_index,
-                "detail": self.detail, "cycles": self.cycles,
-                "early": self.early, "window": self.window}
+        out = {"spec": self.spec.to_dict(), "outcome": self.outcome.value,
+               "weight": self.weight, "bit_index": self.bit_index,
+               "detail": self.detail, "cycles": self.cycles,
+               "early": self.early, "window": self.window}
+        if self.trail is not None:
+            out["trail"] = [event.to_dict() for event in self.trail]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "InjectionResult":
+        raw_trail = data.get("trail")
         return cls(spec=FaultSpec.from_dict(data["spec"]),
                    outcome=Outcome(data["outcome"]),
                    weight=data["weight"], bit_index=data["bit_index"],
                    detail=data["detail"], cycles=data["cycles"],
                    early=data.get("early", ""),
-                   window=data.get("window", 0))
+                   window=data.get("window", 0),
+                   trail=None if raw_trail is None else
+                   [TraceEvent.from_dict(e) for e in raw_trail])
+
+
+def synthetic_trail(result: InjectionResult) -> list[TraceEvent]:
+    """Provenance trail for a Masked trial decided without simulation
+    (static pruning, pre-injection completion, unchanged splice)."""
+    cycle = result.spec.cycle
+    return [TraceEvent(EVENT_INJECTED, cycle, result.detail),
+            TraceEvent(EVENT_MASKED, cycle, result.detail)]
+
+
+class _DivergenceMonitor:
+    """Per-cycle divergence watcher feeding a provenance trail.
+
+    Dates the trial's first commit-stream divergence (committed count vs
+    the golden trace at the same cycle) and first output divergence (the
+    captured output stops being a prefix of the golden output). Both
+    checks read O(1) state per cycle; the output bytes are only joined
+    on the rare cycles where the output size actually changed.
+    """
+
+    __slots__ = ("trail", "_golden_output", "_committed", "_commit_seen",
+                 "_output_seen", "_last_size")
+
+    def __init__(self, golden: GoldenRun,
+                 trail: list[TraceEvent]) -> None:
+        self.trail = trail
+        self._golden_output = golden.output_data
+        trace = golden.trace
+        self._committed = None if trace is None else trace.committed
+        self._commit_seen = False
+        self._output_seen = False
+        self._last_size = -1
+
+    def check(self, sim: Simulator) -> None:
+        if not self._commit_seen and self._committed is not None:
+            cycle = sim.core.cycle
+            if cycle - 1 < len(self._committed):
+                got = sim.core.stats.committed
+                want = self._committed[cycle - 1]
+                if got != want:
+                    self._commit_seen = True
+                    self.trail.append(TraceEvent(
+                        EVENT_COMMIT_DIVERGENCE, cycle,
+                        f"committed {got} vs golden {want}"))
+        if not self._output_seen:
+            size = sim.output.size
+            if size != self._last_size:
+                self._last_size = size
+                if not self._golden_output.startswith(sim.output.data):
+                    self._output_seen = True
+                    self.trail.append(TraceEvent(
+                        EVENT_OUTPUT_DIVERGENCE, sim.core.cycle,
+                        "output is no longer a prefix of golden output"))
+
+    # ------------------------------------------------------------ terminals
+
+    def close_masked(self, cycle: int, detail: str) -> None:
+        self.trail.append(TraceEvent(EVENT_MASKED, cycle, detail))
+
+    def close_completed(self, outcome: Outcome, result: SimResult) -> None:
+        cycle = result.cycles
+        if outcome is Outcome.MASKED:
+            self.close_masked(cycle, "completed with golden output")
+            return
+        if not self._output_seen:
+            # SDC with byte-identical output: the exit code is the
+            # corrupted "output" that reached the outside world.
+            detail = ("exit code differs from golden"
+                      if result.output.data == self._golden_output
+                      else "output differs from golden")
+            self._output_seen = True
+            self.trail.append(TraceEvent(EVENT_OUTPUT_DIVERGENCE, cycle,
+                                         detail))
+        self.trail.append(TraceEvent(EVENT_REACHED_OUTPUT, cycle,
+                                     "run completed with corrupted "
+                                     "observable output"))
+
+    def close_exception(self, cycle: int, detail: str) -> None:
+        self.trail.append(TraceEvent(EVENT_EXCEPTION, cycle, detail))
+
+
+def _monitored_run(sim: Simulator, max_cycles: int,
+                   monitor: _DivergenceMonitor) -> SimResult:
+    """``Simulator.run`` semantics with per-cycle divergence checks."""
+    if sim.finished:
+        return sim.result()
+    core = sim.core
+    try:
+        while core.cycle < max_cycles:
+            core.step()
+            monitor.check(sim)
+        raise SimTimeoutError(max_cycles)
+    except ProgramExit:
+        sim.finished = True
+    return sim.result()
 
 
 def _restore_nearest(sim: Simulator, golden: GoldenRun, cycle: int) -> None:
@@ -90,14 +216,17 @@ def _restore_nearest(sim: Simulator, golden: GoldenRun, cycle: int) -> None:
 def inject_one(program: Program, config: CoreConfig, golden: GoldenRun,
                spec: FaultSpec, rng: random.Random | None = None, *,
                early_exit: bool = True,
-               convergence_horizon: int | None = None) -> InjectionResult:
+               convergence_horizon: int | None = None,
+               trace: bool = False) -> InjectionResult:
     """Run one end-to-end injection and classify its outcome.
 
     ``early_exit`` enables the unchanged-flip splice and (when
     ``golden.trace`` is recorded) digest-reconvergence termination;
     ``convergence_horizon`` caps how many post-injection cycles are
     digest-compared before falling back to a plain full run (``None``
-    compares for as long as the golden trace lasts).
+    compares for as long as the golden trace lasts). ``trace`` attaches
+    a provenance trail to the result (see module docstring); it never
+    changes the classification.
     """
     sim = Simulator(program, config)
     _restore_nearest(sim, golden, spec.cycle)
@@ -105,18 +234,24 @@ def inject_one(program: Program, config: CoreConfig, golden: GoldenRun,
     if not alive:
         # The program finished before the fault struck (can only happen
         # when the caller samples beyond the golden cycle count).
-        return InjectionResult(spec, Outcome.MASKED, 1.0, spec.bit_index,
-                               "program completed before injection",
-                               sim.cycle)
+        result = InjectionResult(spec, Outcome.MASKED, 1.0, spec.bit_index,
+                                 "program completed before injection",
+                                 sim.cycle)
+        if trace:
+            result.trail = synthetic_trail(result)
+        return result
 
     changed = False
     if spec.mode == "occupancy":
         total = sim.bit_count(spec.field)
         live = sim.catalog.live_bit_count(spec.field)
         if live == 0:
-            return InjectionResult(spec, Outcome.MASKED, 0.0, None,
-                                   "no live bits at injection time",
-                                   golden.cycles)
+            result = InjectionResult(spec, Outcome.MASKED, 0.0, None,
+                                     "no live bits at injection time",
+                                     golden.cycles)
+            if trace:
+                result.trail = synthetic_trail(result)
+            return result
         bit = spec.bit_index
         if bit is None:
             if rng is None:
@@ -137,50 +272,82 @@ def inject_one(program: Program, config: CoreConfig, golden: GoldenRun,
                 changed |= sim.flip(spec.field, bit + offset)
         weight = 1.0
 
+    trail: list[TraceEvent] | None = None
+    monitor: _DivergenceMonitor | None = None
+    if trace:
+        trail = [TraceEvent(
+            EVENT_INJECTED, spec.cycle,
+            f"{spec.field} bit {bit} burst {spec.burst} ({spec.mode})")]
+        if changed:
+            trail.append(TraceEvent(EVENT_STATE_DIVERGENCE, spec.cycle,
+                                    "flip changed resident machine state"))
+        monitor = _DivergenceMonitor(golden, trail)
+
     if early_exit and not changed:
         # Every flip reported "no state change" (dead slot), so the
         # machine is bit-identical to the golden run at this cycle and
         # determinism splices in the golden outcome.
+        if monitor is not None:
+            monitor.close_masked(spec.cycle,
+                                 "flip left machine state unchanged")
         return InjectionResult(spec, Outcome.MASKED, weight, bit,
                                "flip left machine state unchanged",
-                               golden.cycles, early="unchanged")
+                               golden.cycles, early="unchanged",
+                               trail=trail)
 
-    trace = golden.trace if early_exit else None
-    if trace is not None and len(trace):
+    gold_trace = golden.trace if early_exit else None
+    if gold_trace is not None and len(gold_trace):
         start = sim.cycle
-        limit = len(trace)
+        limit = len(gold_trace)
         if convergence_horizon is not None:
             limit = min(limit, start + convergence_horizon)
         core = sim.core
-        quick_arr = trace.quick
-        full_arr = trace.full
+        quick_arr = gold_trace.quick
+        full_arr = gold_trace.full
         try:
             while core.cycle < limit:
                 core.step()
+                if monitor is not None:
+                    monitor.check(sim)
                 c = core.cycle
                 if sim.arch_equal(quick_arr[c - 1], full_arr[c - 1]):
                     # The trial's architectural state is the golden
                     # state: every future cycle is the golden run's.
+                    if monitor is not None:
+                        monitor.close_masked(c,
+                                             "reconverged with golden state")
                     return InjectionResult(
                         spec, Outcome.MASKED, weight, bit,
                         "reconverged with golden state", golden.cycles,
-                        early="converged", window=c - start)
+                        early="converged", window=c - start, trail=trail)
         except ProgramExit:
             sim.finished = True
             result = sim.result()
             outcome = classify_completion(result, golden.output_data,
                                           golden.exit_code)
+            if monitor is not None:
+                monitor.close_completed(outcome, result)
             return InjectionResult(spec, outcome, weight, bit, "",
-                                   result.cycles)
+                                   result.cycles, trail=trail)
         except SimulationError as exc:
+            if monitor is not None:
+                monitor.close_exception(sim.cycle, str(exc))
             return InjectionResult(spec, classify_exception(exc), weight,
-                                   bit, str(exc), sim.cycle)
+                                   bit, str(exc), sim.cycle, trail=trail)
 
     try:
-        result = sim.run(golden.timeout_cycles)
+        if monitor is None:
+            result = sim.run(golden.timeout_cycles)
+        else:
+            result = _monitored_run(sim, golden.timeout_cycles, monitor)
     except SimulationError as exc:
+        if monitor is not None:
+            monitor.close_exception(sim.cycle, str(exc))
         return InjectionResult(spec, classify_exception(exc), weight, bit,
-                               str(exc), sim.cycle)
+                               str(exc), sim.cycle, trail=trail)
     outcome = classify_completion(result, golden.output_data,
                                   golden.exit_code)
-    return InjectionResult(spec, outcome, weight, bit, "", result.cycles)
+    if monitor is not None:
+        monitor.close_completed(outcome, result)
+    return InjectionResult(spec, outcome, weight, bit, "", result.cycles,
+                           trail=trail)

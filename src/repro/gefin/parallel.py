@@ -24,6 +24,7 @@ import json
 import math
 import os
 import random
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,7 +32,7 @@ from pathlib import Path
 from ..isa.program import Program
 from ..microarch.config import CoreConfig
 from .fault import FaultSpec, GoldenRun
-from .injector import InjectionResult, inject_one
+from .injector import InjectionResult, inject_one, synthetic_trail
 
 #: Upper bound on the number of shards a campaign is split into. The
 #: plan depends only on ``n`` (never on the worker count), so a campaign
@@ -109,8 +110,8 @@ def run_shard(program: Program, config: CoreConfig, golden: GoldenRun,
               field: str, shard: Shard, seed: int,
               mode: str = "occupancy", burst: int = 1,
               bit_count: int | None = None, early_exit: bool = True,
-              convergence_horizon: int | None = None
-              ) -> list[InjectionResult]:
+              convergence_horizon: int | None = None,
+              trace: bool = False) -> list[InjectionResult]:
     """Run one shard's trials in-process, in trial order.
 
     This is *the* trial loop: the serial path runs it over every shard
@@ -118,6 +119,9 @@ def run_shard(program: Program, config: CoreConfig, golden: GoldenRun,
     Each trial is first offered to the :class:`~repro.gefin.prune.
     StaticPruner` (free Masked classification for provably dead flips),
     then simulated with early termination unless ``early_exit`` is off.
+    ``trace`` attaches a provenance trail to every result (pruned
+    trials get a synthetic injected->masked trail); it never changes
+    classifications.
     """
     if bit_count is None:
         from ..microarch.simulator import Simulator
@@ -144,25 +148,43 @@ def run_shard(program: Program, config: CoreConfig, golden: GoldenRun,
         if pruner is not None:
             pruned = pruner.prune(spec)
             if pruned is not None:
+                if trace:
+                    pruned.trail = synthetic_trail(pruned)
                 results.append(pruned)
                 continue
         results.append(inject_one(
             program, config, golden, spec, rng, early_exit=early_exit,
-            convergence_horizon=convergence_horizon))
+            convergence_horizon=convergence_horizon, trace=trace))
     return results
+
+
+def shard_span(shard: Shard, start: float, end: float,
+               trials: int) -> dict:
+    """Wall-clock execution record of one completed shard.
+
+    These are the campaign timeline entries the Chrome exporter lays
+    out as worker-row slices (:func:`repro.obs.chrome.campaign_trace`).
+    """
+    return {"shard": shard.index, "first_trial": shard.start,
+            "stop_trial": shard.stop, "start": start, "end": end,
+            "worker": os.getpid(), "trials": trials}
 
 
 def _shard_task(program: Program, config: CoreConfig, golden: GoldenRun,
                 field: str, shard: Shard, seed: int, mode: str, burst: int,
                 bit_count: int, early_exit: bool = True,
-                convergence_horizon: int | None = None
-                ) -> tuple[int, list[dict]]:
-    """Pool entry point: run a shard, return JSON-ready records."""
+                convergence_horizon: int | None = None,
+                trace: bool = False) -> tuple[int, list[dict], dict]:
+    """Pool entry point: run a shard, return JSON-ready records plus
+    the shard's wall-clock span (measured in the worker process)."""
+    start = time.time()
     results = run_shard(program, config, golden, field, shard, seed,
                         mode=mode, burst=burst, bit_count=bit_count,
                         early_exit=early_exit,
-                        convergence_horizon=convergence_horizon)
-    return shard.index, [r.to_dict() for r in results]
+                        convergence_horizon=convergence_horizon,
+                        trace=trace)
+    span = shard_span(shard, start, time.time(), len(results))
+    return shard.index, [r.to_dict() for r in results], span
 
 
 @dataclass

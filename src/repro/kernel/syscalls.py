@@ -99,6 +99,12 @@ class OutputCapture:
         return b"".join(self._chunks)
 
     @property
+    def size(self) -> int:
+        """Bytes emitted so far, O(1) (the fault tracer polls this
+        per cycle to detect output divergence without joining chunks)."""
+        return self._size
+
+    @property
     def count(self) -> int:
         return len(self._chunks)
 

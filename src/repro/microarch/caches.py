@@ -71,6 +71,18 @@ class SetAssocCache:
         # timing state, not value state).
         self.digest_acc = 0
 
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit rate; 1.0 before the first access (never missed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
     # -------------------------------------------------------------- digest
 
     def line_hash(self, index: int, line: CacheLine) -> int:

@@ -61,7 +61,8 @@ class CoreStats:
     __slots__ = ("cycles", "committed", "fetched", "loads", "stores",
                  "branches", "mispredicts", "squashed", "syscalls",
                  "prf_reads", "prf_writes", "rob_occupancy_sum",
-                 "iq_occupancy_sum", "samples")
+                 "iq_occupancy_sum", "samples", "fetch_stall_cycles",
+                 "rename_stalls", "commit_stall_cycles")
 
     def __init__(self) -> None:
         self.cycles = 0
@@ -78,6 +79,9 @@ class CoreStats:
         self.rob_occupancy_sum = 0
         self.iq_occupancy_sum = 0
         self.samples = 0
+        self.fetch_stall_cycles = 0
+        self.rename_stalls = 0
+        self.commit_stall_cycles = 0
 
     def as_dict(self) -> dict[str, float]:
         out = {name: getattr(self, name) for name in self.__slots__}
@@ -123,6 +127,9 @@ class OoOCore:
         self.next_seq = 0
         self.cycle = 0
         self.stats = CoreStats()
+        # Optional observability hook (repro.obs.SimObserver). Not part
+        # of snapshots: observers describe a run, not machine state.
+        self.obs = None
         self._seq_mask = (1 << config.seq_bits) - 1
         self._pc_mask = (1 << PC_FIELD_BITS) - 1
         # Decode cache keyed by the raw 32-bit word: static programs
@@ -152,11 +159,15 @@ class OoOCore:
             self.stats.samples += 1
             self.stats.rob_occupancy_sum += self.rob.occupancy
             self.stats.iq_occupancy_sum += self.iq.occupancy
+            obs = self.obs
+            if obs is not None:
+                obs.sample(self)
 
     # ---------------------------------------------------------------- fetch
 
     def _fetch(self) -> None:
         if self.cycle < self.fetch_busy_until or self.fetch_poisoned:
+            self.stats.fetch_stall_cycles += 1
             return
         budget = self.config.fetch_width
         limit = 2 * self.config.fetch_width
@@ -249,6 +260,7 @@ class OoOCore:
         while budget > 0 and self.decode_queue:
             uop = self.decode_queue[0]
             if not self.rob.has_space():
+                self.stats.rename_stalls += 1
                 return
             if uop.instr is None:
                 # Fetch fault or illegal instruction: occupies only a ROB
@@ -262,12 +274,16 @@ class OoOCore:
                 budget -= 1
                 continue
             if not self.iq.has_space():
+                self.stats.rename_stalls += 1
                 return
             if uop.is_load and not self.lq.has_space():
+                self.stats.rename_stalls += 1
                 return
             if uop.is_store and not self.sq.has_space():
+                self.stats.rename_stalls += 1
                 return
             if uop.arch_dest is not None and self.prf.free_count == 0:
+                self.stats.rename_stalls += 1
                 return
             srcs = uop.arch_srcs
             src_tags = [self.prf.lookup(r) for r in srcs]
@@ -509,6 +525,7 @@ class OoOCore:
 
     def _commit(self) -> None:
         if self.cycle < self.commit_stall_until:
+            self.stats.commit_stall_cycles += 1
             return
         budget = self.config.writeback_width
         while budget > 0:

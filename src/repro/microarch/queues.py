@@ -267,6 +267,10 @@ class LoadQueue:
                                          self.live_bit_count,
                                          self.flip_live_bit))
 
+    @property
+    def occupancy(self) -> int:
+        return self.valid_mask.bit_count()
+
     def has_space(self) -> bool:
         return self.valid_mask != self.full_mask
 
@@ -396,6 +400,10 @@ class StoreQueue:
                                          self.flip_bit,
                                          self.live_bit_count,
                                          self.flip_live_bit))
+
+    @property
+    def occupancy(self) -> int:
+        return self.count
 
     def has_space(self) -> bool:
         return self.count < self.size

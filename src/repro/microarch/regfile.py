@@ -87,6 +87,10 @@ class PhysRegFile:
     def free_count(self) -> int:
         return len(self.free_list)
 
+    @property
+    def allocated_count(self) -> int:
+        return self.alloc_mask.bit_count()
+
     def allocate(self) -> int:
         if not self.free_list:
             raise SimAssertError("rename: free list empty at allocate")

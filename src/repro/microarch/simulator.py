@@ -110,6 +110,15 @@ class Simulator:
     def step(self) -> None:
         self.core.step()
 
+    def attach_observer(self, observer: object | None) -> None:
+        """Attach (or with ``None``, detach) a sampling observer.
+
+        The observer (duck-typed; see :class:`repro.obs.SimObserver`)
+        gets ``sample(core)`` from the core's per-16-cycle stats window.
+        Detached -- the default -- the window pays one ``is None`` test.
+        """
+        self.core.obs = observer
+
     def run_until(self, cycle: int) -> bool:
         """Advance to ``cycle`` (or completion); True if still running.
 

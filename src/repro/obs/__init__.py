@@ -1,0 +1,84 @@
+"""Observability layer: metrics, fault-propagation traces, exporters.
+
+This package is the instrumentation substrate for the simulator and the
+injection engine. Layering is strictly one-directional: ``repro.obs``
+imports nothing from ``repro.microarch`` or ``repro.gefin`` (those
+import *us*), so every module here is usable standalone.
+
+* :mod:`repro.obs.metrics` -- counter/gauge/histogram/timer registry
+  with a null-object backend (:data:`NULL_METRICS`);
+* :mod:`repro.obs.observer` -- :class:`SimObserver`, the periodic
+  sampler the simulator calls from its cycle loop;
+* :mod:`repro.obs.events` -- provenance-trail event vocabulary and the
+  trail/outcome consistency predicate;
+* :mod:`repro.obs.chrome` -- Chrome trace-event (Perfetto) exporter;
+* :mod:`repro.obs.sinks` -- JSONL event sinks;
+* :mod:`repro.obs.log` -- structured stderr diagnostics;
+* :mod:`repro.obs.progress` -- TTY-aware progress rendering.
+"""
+
+from .chrome import (
+    ChromeTrace,
+    PID_CAMPAIGN,
+    PID_PIPELINE,
+    PID_TRIALS,
+    campaign_trace,
+)
+from .events import (
+    EVENT_COMMIT_DIVERGENCE,
+    EVENT_EXCEPTION,
+    EVENT_INJECTED,
+    EVENT_MASKED,
+    EVENT_OUTPUT_DIVERGENCE,
+    EVENT_REACHED_OUTPUT,
+    EVENT_STATE_DIVERGENCE,
+    TERMINAL_KINDS,
+    TraceEvent,
+    terminal_kinds,
+    trail_is_consistent,
+)
+from .log import StructuredLogger, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    Timer,
+)
+from .observer import DEFAULT_SAMPLE_INTERVAL, SimObserver
+from .progress import ProgressRenderer
+from .sinks import JsonlSink
+
+__all__ = [
+    "ChromeTrace",
+    "Counter",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "EVENT_COMMIT_DIVERGENCE",
+    "EVENT_EXCEPTION",
+    "EVENT_INJECTED",
+    "EVENT_MASKED",
+    "EVENT_OUTPUT_DIVERGENCE",
+    "EVENT_REACHED_OUTPUT",
+    "EVENT_STATE_DIVERGENCE",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+    "PID_CAMPAIGN",
+    "PID_PIPELINE",
+    "PID_TRIALS",
+    "ProgressRenderer",
+    "SimObserver",
+    "StructuredLogger",
+    "TERMINAL_KINDS",
+    "Timer",
+    "TraceEvent",
+    "campaign_trace",
+    "get_logger",
+    "terminal_kinds",
+    "trail_is_consistent",
+]

@@ -1,0 +1,145 @@
+"""Chrome trace-event exporter (Perfetto / ``chrome://tracing``).
+
+Builds the JSON object format of the Trace Event specification: a
+``{"traceEvents": [...]}`` document whose events carry ``ph`` (phase),
+``ts``/``dur`` (microseconds), ``pid``/``tid`` (timeline rows), and
+``args``. Open the written file at https://ui.perfetto.dev.
+
+Two producers feed it:
+
+* **pipeline activity within one trial** -- the simulator observer
+  emits counter (``ph="C"``) tracks of structure occupancy and cache
+  hit rates, using *1 simulated cycle = 1 µs* as the time base;
+* **shard/worker timelines across a campaign** -- ``repro inject
+  --trace-out`` lays each completed shard out as a complete
+  (``ph="X"``) slice on its worker's row (wall-clock time base) and
+  renders traced trials' provenance trails as instant (``ph="i"``)
+  events on a per-trial track (cycle time base).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import for annotations only: obs must not pull gefin
+    from ..gefin.campaign import CampaignResult
+    from ..gefin.injector import InjectionResult
+
+__all__ = [
+    "ChromeTrace",
+    "PID_CAMPAIGN",
+    "PID_PIPELINE",
+    "PID_TRIALS",
+    "campaign_trace",
+]
+
+#: Conventional process rows used by the built-in producers.
+PID_PIPELINE = 1
+PID_CAMPAIGN = 2
+PID_TRIALS = 3
+
+
+class ChromeTrace:
+    """Accumulates trace events and serializes the JSON object format."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    # -------------------------------------------------------------- events
+
+    def counter(self, name: str, ts: float, values: dict[str, float],
+                pid: int = PID_PIPELINE, tid: int = 0) -> None:
+        """A multi-series counter sample (rendered as stacked tracks)."""
+        self.events.append({"name": name, "ph": "C", "ts": ts,
+                            "pid": pid, "tid": tid, "args": dict(values)})
+
+    def complete(self, name: str, ts: float, dur: float,
+                 pid: int = PID_CAMPAIGN, tid: int = 0,
+                 args: dict | None = None) -> None:
+        """A duration slice (``ph="X"``)."""
+        event = {"name": name, "ph": "X", "ts": ts, "dur": dur,
+                 "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, name: str, ts: float, pid: int = PID_TRIALS,
+                tid: int = 0, args: dict | None = None) -> None:
+        """A zero-duration marker (``ph="i"``, thread scope)."""
+        event = {"name": name, "ph": "i", "s": "t", "ts": ts,
+                 "pid": pid, "tid": tid}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def process_name(self, pid: int, name: str) -> None:
+        self.events.append({"name": "process_name", "ph": "M", "pid": pid,
+                            "tid": 0, "args": {"name": name}})
+
+    def thread_name(self, pid: int, tid: int, name: str) -> None:
+        self.events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                            "tid": tid, "args": {"name": name}})
+
+    # ----------------------------------------------------------- serialize
+
+    def to_dict(self) -> dict:
+        return {"traceEvents": list(self.events),
+                "displayTimeUnit": "ms"}
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict()))
+        return path
+
+
+def _trial_track(trace: ChromeTrace, trial: int,
+                 result: "InjectionResult") -> None:
+    """One traced trial's provenance trail as an instant-event row."""
+    spec = result.spec
+    trace.thread_name(
+        PID_TRIALS, trial,
+        f"trial {trial}: {spec.field} @{spec.cycle} "
+        f"-> {result.outcome.value}")
+    for event in result.trail or ():
+        trace.instant(event.kind, float(event.cycle), pid=PID_TRIALS,
+                      tid=trial, args={"detail": event.detail,
+                                       "outcome": result.outcome.value})
+
+
+def campaign_trace(result: "CampaignResult",
+                   results: Iterable["InjectionResult"] | None = None,
+                   ) -> ChromeTrace:
+    """Chrome trace of one campaign: shard/worker slices (wall-clock
+    µs since campaign start) plus, when ``results`` carry provenance
+    trails, one instant-event row per traced trial (cycle time base).
+    """
+    trace = ChromeTrace()
+    trace.process_name(
+        PID_CAMPAIGN,
+        f"campaign {result.program_name}/{result.config_name}/"
+        f"{result.field} (n={result.n})")
+    timeline = result.timeline
+    if timeline:
+        epoch = min(span["start"] for span in timeline)
+        workers = sorted({span["worker"] for span in timeline})
+        rows = {worker: row for row, worker in enumerate(workers)}
+        for worker in workers:
+            trace.thread_name(PID_CAMPAIGN, rows[worker],
+                              f"worker {worker}")
+        for span in timeline:
+            trace.complete(
+                f"shard {span['shard']} "
+                f"[{span['first_trial']}:{span['stop_trial']})",
+                ts=(span["start"] - epoch) * 1e6,
+                dur=max(span["end"] - span["start"], 0.0) * 1e6,
+                pid=PID_CAMPAIGN, tid=rows[span["worker"]],
+                args={"trials": span["trials"]})
+    if results is not None:
+        trace.process_name(PID_TRIALS, "trial provenance (1 cycle = 1 us)")
+        for trial, injection in enumerate(results):
+            if injection.trail:
+                _trial_track(trace, trial, injection)
+    return trace

@@ -1,0 +1,118 @@
+"""Fault-propagation trail events.
+
+A traced injection trial carries a *provenance trail*: the ordered
+lifecycle of the corrupted bit, from the flip to the mechanism that
+decided the trial's outcome class. Event kinds:
+
+==================  ===================================================
+kind                meaning
+==================  ===================================================
+injected            the fault struck (field, bit, burst, cycle)
+state_divergence    corrupted state is resident in the machine
+commit_divergence   the committed-instruction count first deviates from
+                    the golden run's at the same cycle (fault effects
+                    reached the commit stage or perturbed its timing)
+output_divergence   the program's output stream first deviates from the
+                    golden output
+masked              terminal: the fault provably has no architectural
+                    effect (dead storage, unchanged state, digest
+                    reconvergence, or completion with golden output)
+reached_output      terminal: the run completed with corrupted output
+                    or exit code (the SDC mechanism)
+exception           terminal: the run died (crash / assert / timeout)
+==================  ===================================================
+
+Every trail starts with ``injected`` and ends with exactly one of the
+three terminal kinds; :func:`terminal_kinds` maps an outcome class to
+the terminal kinds its trail may legally end with, and
+:func:`trail_is_consistent` enforces the whole shape. The equivalence
+tests assert these invariants over full campaigns on both core models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EVENT_COMMIT_DIVERGENCE",
+    "EVENT_EXCEPTION",
+    "EVENT_INJECTED",
+    "EVENT_MASKED",
+    "EVENT_OUTPUT_DIVERGENCE",
+    "EVENT_REACHED_OUTPUT",
+    "EVENT_STATE_DIVERGENCE",
+    "TERMINAL_KINDS",
+    "TraceEvent",
+    "terminal_kinds",
+    "trail_is_consistent",
+]
+
+EVENT_INJECTED = "injected"
+EVENT_STATE_DIVERGENCE = "state_divergence"
+EVENT_COMMIT_DIVERGENCE = "commit_divergence"
+EVENT_OUTPUT_DIVERGENCE = "output_divergence"
+EVENT_MASKED = "masked"
+EVENT_REACHED_OUTPUT = "reached_output"
+EVENT_EXCEPTION = "exception"
+
+#: Kinds that may only appear as a trail's final event.
+TERMINAL_KINDS = frozenset(
+    {EVENT_MASKED, EVENT_REACHED_OUTPUT, EVENT_EXCEPTION})
+
+_NON_TERMINAL_KINDS = frozenset(
+    {EVENT_INJECTED, EVENT_STATE_DIVERGENCE, EVENT_COMMIT_DIVERGENCE,
+     EVENT_OUTPUT_DIVERGENCE})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of a fault's lifecycle."""
+
+    kind: str
+    cycle: int
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "cycle": self.cycle,
+                "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(kind=data["kind"], cycle=data["cycle"],
+                   detail=data.get("detail", ""))
+
+
+def terminal_kinds(outcome: object) -> frozenset[str]:
+    """The terminal event kinds legal for ``outcome``.
+
+    Accepts a :class:`repro.gefin.outcomes.Outcome` or its string value
+    (this module deliberately does not import gefin -- gefin imports
+    obs, and the layering is one-directional).
+    """
+    value = getattr(outcome, "value", outcome)
+    if value == "masked":
+        return frozenset({EVENT_MASKED})
+    if value == "sdc":
+        return frozenset({EVENT_REACHED_OUTPUT})
+    return frozenset({EVENT_EXCEPTION})
+
+
+def trail_is_consistent(trail: list[TraceEvent] | None,
+                        outcome: object) -> bool:
+    """Does ``trail`` have the legal shape for ``outcome``?
+
+    Requires: non-empty, opens with ``injected``, exactly one terminal
+    event (the last), terminal kind drawn from
+    :func:`terminal_kinds`, and non-decreasing cycles.
+    """
+    if not trail:
+        return False
+    if trail[0].kind != EVENT_INJECTED:
+        return False
+    if trail[-1].kind not in terminal_kinds(outcome):
+        return False
+    for event in trail[:-1]:
+        if event.kind not in _NON_TERMINAL_KINDS:
+            return False
+    cycles = [event.cycle for event in trail]
+    return all(a <= b for a, b in zip(cycles, cycles[1:]))

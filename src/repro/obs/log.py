@@ -1,0 +1,72 @@
+"""Structured diagnostic logger for the CLI and library internals.
+
+All diagnostic output (progress notes, checkpoint notices, golden-run
+chatter) goes through here to **stderr**, leaving stdout clean for
+machine-readable results (``--json`` emits exactly one JSON document on
+stdout). Lines are ``logfmt``-flavoured::
+
+    repro: resuming campaign checkpoint=".../x.ckpt.jsonl" shards=3
+
+Values that need quoting (spaces, quotes, empties) are JSON-escaped, so
+the lines stay grep- and machine-friendly without a JSON parser.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+__all__ = ["StructuredLogger", "get_logger"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    text = str(value)
+    if text and all(c.isprintable() and not c.isspace() and c != '"'
+                    for c in text):
+        return text
+    return json.dumps(text)
+
+
+class StructuredLogger:
+    """Writes ``name: message key=value ...`` lines to one stream."""
+
+    def __init__(self, name: str = "repro",
+                 stream: IO[str] | None = None) -> None:
+        self.name = name
+        self._stream = stream
+
+    @property
+    def stream(self) -> IO[str]:
+        # Resolved lazily so pytest's capsys (which swaps sys.stderr)
+        # and CLI tests see the lines.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def _write(self, level: str, message: str, fields: dict) -> None:
+        parts = [f"{self.name}:"]
+        if level != "info":
+            parts.append(f"[{level}]")
+        parts.append(message)
+        parts.extend(f"{key}={_format_value(value)}"
+                     for key, value in fields.items())
+        print(" ".join(parts), file=self.stream, flush=True)
+
+    def info(self, message: str, **fields: object) -> None:
+        self._write("info", message, fields)
+
+    def warning(self, message: str, **fields: object) -> None:
+        self._write("warn", message, fields)
+
+    def error(self, message: str, **fields: object) -> None:
+        self._write("error", message, fields)
+
+
+def get_logger(name: str = "repro",
+               stream: IO[str] | None = None) -> StructuredLogger:
+    """A stderr structured logger (no global registry: loggers are
+    cheap, stateless line formatters)."""
+    return StructuredLogger(name, stream)

@@ -1,0 +1,248 @@
+"""Metrics registry: counters, gauges, histograms, and timers.
+
+Two backends share one interface:
+
+* :class:`MetricsRegistry` -- the live backend. Instruments are plain
+  ``__slots__`` objects mutated in place; reading a snapshot is a cold
+  path.
+* :class:`NullMetrics` (singleton :data:`NULL_METRICS`) -- the
+  null-object backend. Every instrument it hands out is a shared no-op,
+  so instrumented code can keep unconditional ``metrics.counter(...)``
+  calls on cold paths. Hot loops should instead keep the *hook* itself
+  conditional (the simulator samples only when an observer is attached,
+  see :class:`repro.obs.observer.SimObserver`), which is what makes
+  disabled observability cost one attribute check per sample window.
+
+Instrument handles are interned by name: asking twice for
+``counter("x")`` returns the same object, so call sites may cache the
+handle and bypass the registry dictionary entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+    "Timer",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value of a quantity that goes up and down."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max/last).
+
+    Deliberately bucket-free: the simulator observes thousands of
+    samples per run and the consumers (``repro stats``, the Chrome
+    exporter) want occupancy means and extremes, not quantiles.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.last: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": "histogram", "count": self.count,
+                "sum": self.total, "min": self.min, "max": self.max,
+                "mean": self.mean, "last": self.last}
+
+
+class Timer:
+    """Wall-clock duration histogram with a context-manager front end."""
+
+    __slots__ = ("name", "histogram", "_clock")
+
+    def __init__(self, name: str,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.name = name
+        self.histogram = Histogram(name)
+        self._clock = clock
+
+    def time(self) -> "_Timing":
+        return _Timing(self)
+
+    def observe(self, seconds: float) -> None:
+        self.histogram.observe(seconds)
+
+    def snapshot(self) -> dict:
+        out = self.histogram.snapshot()
+        out["type"] = "timer"
+        return out
+
+
+class _Timing:
+    """One in-flight measurement of a :class:`Timer`."""
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timing":
+        self._start = self._timer._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.observe(self._timer._clock() - self._start)
+
+
+class MetricsRegistry:
+    """Named instruments, interned by (kind, name)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram | Timer]
+        self._instruments = {}
+
+    def _get(self, name: str, factory: type) -> object:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not factory:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {factory.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._instruments))
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready ``{name: {type, ...summary}}``, sorted by name."""
+        return {name: self._instruments[name].snapshot() for name in self}
+
+
+class _NullInstrument:
+    """Absorbs every instrument method as a no-op."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    count = 0
+    total = 0.0
+    min: float | None = None
+    max: float | None = None
+    last = 0.0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullInstrument":
+        return self
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Null-object registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(())
+
+    def snapshot(self) -> dict[str, dict]:
+        return {}
+
+
+NULL_METRICS = NullMetrics()

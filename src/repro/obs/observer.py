@@ -1,0 +1,127 @@
+"""Periodic sampling of live simulator state into metrics and traces.
+
+A :class:`SimObserver` is attached to a simulator
+(:meth:`repro.microarch.simulator.Simulator.attach_observer`); the core
+then calls :meth:`SimObserver.sample` from its existing per-16-cycle
+stats window. Detached (the default), the hot loop pays exactly one
+attribute load + ``is None`` test per window -- that is the whole
+disabled-observability cost, and ``benchmarks/bench_obs_overhead.py``
+pins it down.
+
+The observer reads state the pipeline already maintains (occupancy
+counts, cache hit/miss counters, PRF allocation masks): sampling adds
+no bookkeeping to pipeline stages themselves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .chrome import ChromeTrace, PID_PIPELINE
+from .metrics import MetricsRegistry, NULL_METRICS
+
+if TYPE_CHECKING:  # annotation-only: obs must not import microarch
+    from ..microarch.core import OoOCore
+    from ..microarch.simulator import Simulator
+
+__all__ = ["DEFAULT_SAMPLE_INTERVAL", "SimObserver"]
+
+#: Matches the core's stats window: samples land every 16th cycle.
+DEFAULT_SAMPLE_INTERVAL = 16
+
+#: CoreStats counters copied verbatim into the registry by finish().
+_STAT_COUNTERS = (
+    "committed", "fetched", "loads", "stores", "branches", "mispredicts",
+    "squashed", "syscalls", "prf_reads", "prf_writes", "fetch_stall_cycles",
+    "rename_stalls", "commit_stall_cycles",
+)
+
+
+class SimObserver:
+    """Samples occupancy/stall/cache metrics from a running simulator.
+
+    ``interval`` is the sampling period in cycles and is rounded up to
+    a multiple of the core's 16-cycle stats window. With ``trace``
+    given, every sample also appends Chrome counter events (1 simulated
+    cycle = 1 µs) so the within-trial pipeline activity can be opened
+    in Perfetto.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 trace: ChromeTrace | None = None,
+                 interval: int = DEFAULT_SAMPLE_INTERVAL) -> None:
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.trace = trace
+        if interval < 1:
+            raise ValueError("sample interval must be >= 1")
+        self._every = max(1, -(-interval // DEFAULT_SAMPLE_INTERVAL))
+        self._tick = 0
+        self.samples = 0
+        metric = self.metrics
+        self._h_rob = metric.histogram("rob.occupancy")
+        self._h_iq = metric.histogram("iq.occupancy")
+        self._h_lq = metric.histogram("lq.occupancy")
+        self._h_sq = metric.histogram("sq.occupancy")
+        self._h_prf = metric.histogram("prf.allocated")
+        self._last_cache: dict[str, tuple[int, int]] = {}
+        if trace is not None:
+            trace.process_name(PID_PIPELINE,
+                               "pipeline activity (1 cycle = 1 us)")
+
+    # ------------------------------------------------------------- sampling
+
+    def sample(self, core: "OoOCore") -> None:
+        """Hot-loop hook: called by the core every 16th cycle."""
+        self._tick += 1
+        if self._tick < self._every:
+            return
+        self._tick = 0
+        self.samples += 1
+        rob = core.rob.occupancy
+        iq = core.iq.occupancy
+        lq = core.lq.occupancy
+        sq = core.sq.occupancy
+        prf = core.prf.allocated_count
+        self._h_rob.observe(rob)
+        self._h_iq.observe(iq)
+        self._h_lq.observe(lq)
+        self._h_sq.observe(sq)
+        self._h_prf.observe(prf)
+        trace = self.trace
+        if trace is not None:
+            ts = float(core.cycle)
+            trace.counter("occupancy", ts,
+                          {"rob": rob, "iq": iq, "lq": lq, "sq": sq},
+                          pid=PID_PIPELINE)
+            trace.counter("prf.allocated", ts, {"regs": prf},
+                          pid=PID_PIPELINE)
+            for cache in (core.hierarchy.l1i, core.hierarchy.l1d,
+                          core.hierarchy.l2):
+                prev_h, prev_m = self._last_cache.get(cache.name, (0, 0))
+                d_hits = cache.hits - prev_h
+                d_misses = cache.misses - prev_m
+                self._last_cache[cache.name] = (cache.hits, cache.misses)
+                window = d_hits + d_misses
+                trace.counter(
+                    f"{cache.name}.hit_rate", ts,
+                    {"rate": d_hits / window if window else 1.0},
+                    pid=PID_PIPELINE)
+
+    # ------------------------------------------------------------ totals
+
+    def finish(self, sim: "Simulator") -> None:
+        """Fold the run's final counters into the registry."""
+        metric = self.metrics
+        stats = sim.core.stats
+        metric.counter("cycles").inc(stats.cycles)
+        for name in _STAT_COUNTERS:
+            metric.counter(name).inc(getattr(stats, name))
+        if stats.cycles:
+            metric.gauge("ipc").set(stats.committed / stats.cycles)
+        for cache in (sim.hierarchy.l1i, sim.hierarchy.l1d,
+                      sim.hierarchy.l2):
+            metric.counter(f"{cache.name}.hits").inc(cache.hits)
+            metric.counter(f"{cache.name}.misses").inc(cache.misses)
+            metric.gauge(f"{cache.name}.hit_rate").set(cache.hit_rate)
+            metric.gauge(f"{cache.name}.resident_lines").set(
+                len(cache.lines))

@@ -1,0 +1,93 @@
+"""Progress rendering that is safe on TTYs *and* captured streams.
+
+The old ``repro inject`` progress printed a fresh stdout line per
+update; a carriage-return rewrite would garble CI logs, while plain
+prints pollute machine-readable output. :class:`ProgressRenderer`
+writes to stderr and adapts:
+
+* **TTY** -- a single line rewritten in place with ``\\r``, finalized
+  with a newline by :meth:`close`;
+* **non-TTY** (CI logs, pipes) -- complete, flushed,
+  newline-terminated lines, rate-limited to one per
+  ``min_interval`` seconds (the final state is always printed).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections.abc import Callable
+from typing import IO
+
+__all__ = ["ProgressRenderer"]
+
+
+class ProgressRenderer:
+    """Renders ``done/total`` with rate and ETA to a stream."""
+
+    def __init__(self, total: int, label: str = "injections",
+                 stream: IO[str] | None = None,
+                 min_interval: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._clock = clock
+        self._start = clock()
+        self._last_emit: float | None = None
+        self._last_line = ""
+        self._done = 0
+        self._closed = False
+        isatty = getattr(self.stream, "isatty", None)
+        self.interactive = bool(isatty()) if callable(isatty) else False
+
+    # ------------------------------------------------------------- internals
+
+    def _format(self, done: int) -> str:
+        elapsed = self._clock() - self._start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = f"{(self.total - done) / rate:6.1f}s" if rate > 0 else "   ?"
+        return (f"{done:5d}/{self.total} {self.label} | "
+                f"{rate:7.1f}/s | ETA {eta}")
+
+    def _emit(self, line: str) -> None:
+        if self.interactive:
+            pad = max(len(self._last_line) - len(line), 0)
+            self.stream.write("\r" + line + " " * pad)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._last_line = line
+        self._last_emit = self._clock()
+
+    # -------------------------------------------------------------- updates
+
+    def update(self, done: int) -> None:
+        """Record progress; renders unless rate-limited (non-TTY)."""
+        self._done = done
+        now = self._clock()
+        if (not self.interactive and self._last_emit is not None
+                and now - self._last_emit < self.min_interval
+                and done < self.total):
+            return
+        self._emit(self._format(done))
+
+    def close(self) -> None:
+        """Render the final state and terminate the line."""
+        if self._closed:
+            return
+        self._closed = True
+        line = self._format(self._done)
+        if self.interactive:
+            self._emit(line)
+            self.stream.write("\n")
+            self.stream.flush()
+        elif line != self._last_line:
+            self._emit(line)
+
+    def __enter__(self) -> "ProgressRenderer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

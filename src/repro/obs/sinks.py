@@ -1,0 +1,65 @@
+"""Structured event sinks.
+
+:class:`JsonlSink` appends one JSON document per line to a file or
+text stream -- the machine-readable side channel for campaign trial
+records and simulator events (the human side goes through
+:mod:`repro.obs.log` to stderr).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+__all__ = ["JsonlSink"]
+
+
+class JsonlSink:
+    """Append-only JSON-lines writer over a path or an open stream.
+
+    When constructed from a path the file is opened lazily on the first
+    :meth:`emit` and truncated (a sink is one run's event stream, not a
+    log to accumulate across runs). Streams passed in are borrowed:
+    :meth:`close` flushes but never closes them.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        self._path: Path | None = None
+        self._stream: IO[str] | None = None
+        self._owns_stream = False
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+        else:
+            self._stream = target
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    def _handle(self) -> IO[str]:
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = self._path.open("w")
+            self._owns_stream = True
+        return self._stream
+
+    def emit(self, record: dict) -> None:
+        """Write one event as a compact, sorted-key JSON line."""
+        handle = self._handle()
+        handle.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if self._stream is None:
+            return
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,215 @@
+"""CLI surface: run/inject/trace/stats/verify golden checks.
+
+Each command is driven through ``repro.cli.main`` with capsys: stdout
+must carry the result (exactly one parseable JSON document under
+``--json``), stderr all the diagnostics -- progress lines, golden-run
+notices, file-write notes -- so piped output stays machine-readable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int data[48];
+int main() {
+    for (int i = 0; i < 48; i++) { data[i] = i * 11 % 31; }
+    int s = 0;
+    for (int i = 0; i < 48; i++) { s += data[i]; }
+    putint(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def src(tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("cli") / "tiny.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+@pytest.fixture(autouse=True)
+def _serial(monkeypatch) -> None:
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+def _json_doc(captured) -> dict:
+    """stdout must be exactly one JSON document."""
+    return json.loads(captured.out)
+
+
+class TestVerify:
+    def test_clean_compile_reports_ok(self, src, capsys) -> None:
+        assert main(["verify", src, "-O2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("OK tiny at O2")
+        assert "verified after every pass" in captured.out
+
+    def test_unknown_program_rejected(self, capsys) -> None:
+        with pytest.raises(SystemExit, match="neither a benchmark"):
+            main(["verify", "no-such-benchmark"])
+
+
+class TestRun:
+    def test_human_output(self, src, capsys) -> None:
+        assert main(["run", src, "-O1"]) == 0
+        captured = capsys.readouterr()
+        assert "cycles:" in captured.out
+        assert "exit code: 0" in captured.out
+        assert captured.err == ""
+
+    def test_json_mode_is_one_clean_document(self, src, capsys) -> None:
+        assert main(["run", src, "-O1", "--json"]) == 0
+        captured = capsys.readouterr()
+        doc = _json_doc(captured)
+        assert doc["program"].startswith("tiny")
+        assert doc["core"] == "cortex-a15"
+        assert doc["exit_code"] == 0
+        assert doc["cycles"] > 0
+        assert doc["stats"]["committed"] > 0
+        assert "metrics" not in doc
+        assert captured.err == ""
+
+    def test_metrics_flag_samples_the_run(self, src, capsys) -> None:
+        assert main(["run", src, "-O1", "--metrics", "--json"]) == 0
+        doc = _json_doc(capsys.readouterr())
+        metrics = doc["metrics"]
+        assert metrics["rob.occupancy"]["count"] > 0
+        assert metrics["cycles"]["value"] == doc["cycles"]
+        assert metrics["l1d.hits"]["type"] == "counter"
+        assert 0.0 <= metrics["ipc"]["value"] <= 8.0
+
+    def test_metrics_human_report(self, src, capsys) -> None:
+        assert main(["run", src, "-O1", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "metrics:" in captured.out
+        assert "rob.occupancy: mean=" in captured.out
+
+    def test_trace_out_writes_chrome_trace(self, src, tmp_path,
+                                           capsys) -> None:
+        out = tmp_path / "pipeline.trace.json"
+        assert main(["run", src, "-O1", "--json",
+                     "--trace-out", str(out)]) == 0
+        captured = capsys.readouterr()
+        _json_doc(captured)  # stdout still exactly one JSON document
+        assert "wrote chrome trace" in captured.err
+        trace = json.loads(out.read_text())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert any(e["name"] == "occupancy" for e in counters)
+        assert any(e["name"] == "l1d.hit_rate" for e in counters)
+
+
+class TestInject:
+    ARGS = ["--field", "rob.flags", "-n", "6", "--seed", "3", "-O1"]
+
+    def test_human_output_with_progress_on_stderr(self, src,
+                                                  capsys) -> None:
+        assert main(["inject", src, *self.ARGS]) == 0
+        captured = capsys.readouterr()
+        assert "AVF(rob.flags) = " in captured.out
+        assert "6 injections" in captured.out
+        # non-TTY progress: newline-terminated stderr lines, no \r
+        assert "/6 injections" in captured.err
+        assert "\r" not in captured.err
+
+    def test_json_mode(self, src, capsys) -> None:
+        assert main(["inject", src, *self.ARGS, "--json"]) == 0
+        captured = capsys.readouterr()
+        doc = _json_doc(captured)
+        assert doc["n"] == 6
+        assert doc["field"] == "rob.flags"
+        assert sum(doc["counts"].values()) == 6
+        assert doc["elapsed_seconds"] > 0
+        assert 0.0 <= doc["avf"] <= 1.0
+
+    def test_trace_and_events_out(self, src, tmp_path, capsys) -> None:
+        trace_out = tmp_path / "campaign.trace.json"
+        events_out = tmp_path / "campaign.events.jsonl"
+        assert main(["inject", src, *self.ARGS, "--json",
+                     "--trace-out", str(trace_out),
+                     "--events-out", str(events_out)]) == 0
+        captured = capsys.readouterr()
+        doc = _json_doc(captured)
+        assert "wrote chrome trace" in captured.err
+        assert "wrote campaign events" in captured.err
+
+        trace = json.loads(trace_out.read_text())
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert sum(e["args"]["trials"] for e in slices) == 6
+
+        lines = [json.loads(line)
+                 for line in events_out.read_text().splitlines()]
+        kinds = [line["kind"] for line in lines]
+        assert kinds[0] == "campaign"
+        assert kinds.count("trial") == 6
+        assert kinds.count("shard-span") == len(slices)
+        assert lines[0]["counts"] == doc["counts"]
+        trials = [line for line in lines if line["kind"] == "trial"]
+        for trial in trials:
+            trail = trial["trail"]
+            assert trail[0]["kind"] == "injected"
+            assert trail[-1]["kind"] in ("masked", "reached_output",
+                                         "exception")
+
+
+class TestTrace:
+    def test_writes_combined_trace(self, src, tmp_path, capsys) -> None:
+        out = tmp_path / "combined.trace.json"
+        assert main(["trace", src, "-O1", "--field", "rob.flags",
+                     "-n", "4", "--seed", "3", "--out", str(out),
+                     "--json"]) == 0
+        captured = capsys.readouterr()
+        doc = _json_doc(captured)
+        assert doc["trace"] == str(out)
+        assert doc["campaign"]["n"] == 4
+        assert sum(doc["terminal_events"].values()) == 4
+        assert "open at https://ui.perfetto.dev" in captured.err
+
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        assert doc["events"] == len(events)
+        # pipeline counters AND campaign slices live in one file
+        assert any(e["ph"] == "C" for e in events)
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "i" for e in events)
+
+    def test_human_summary(self, src, tmp_path, capsys) -> None:
+        out = tmp_path / "t.trace.json"
+        assert main(["trace", src, "-O1", "-n", "2", "--seed", "3",
+                     "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert f"wrote {out}" in captured.out
+        assert "2 traced injections" in captured.out
+        assert out.exists()
+
+
+class TestStats:
+    def test_json_metrics_snapshot(self, src, capsys) -> None:
+        assert main(["stats", src, "-O1", "--json"]) == 0
+        doc = _json_doc(capsys.readouterr())
+        assert doc["samples"] > 0
+        assert doc["metrics"]["rob.occupancy"]["count"] == doc["samples"]
+        assert doc["metrics"]["committed"]["value"] > 0
+        assert doc["cycles"] > 0
+
+    def test_interval_decimates_sampling(self, src, capsys) -> None:
+        assert main(["stats", src, "-O1", "--json"]) == 0
+        dense = _json_doc(capsys.readouterr())
+        assert main(["stats", src, "-O1", "--json",
+                     "--interval", "64"]) == 0
+        sparse = _json_doc(capsys.readouterr())
+        assert sparse["samples"] < dense["samples"]
+        assert sparse["metrics"]["committed"] == \
+            dense["metrics"]["committed"]
+
+    def test_human_report(self, src, capsys) -> None:
+        assert main(["stats", src, "-O1"]) == 0
+        captured = capsys.readouterr()
+        assert "samples" in captured.out
+        assert "ipc:" in captured.out
+        assert captured.err == ""

@@ -1,0 +1,195 @@
+"""Fault-propagation provenance trails: outcome consistency over both
+core models, traced/untraced equivalence, and parallel transport.
+
+The ISSUE-level contract: tracing is a pure observer. A traced campaign
+must produce the exact ``CampaignResult`` of the untraced one, and every
+trial's trail must terminate consistently with its outcome label --
+every SDC trail reaches output, every masked trail ends masked, every
+crash/timeout/assert trail ends in an exception event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import ARMLET32, ARMLET64, compile_source
+from repro.gefin import run_campaign, run_golden_auto
+from repro.gefin.injector import InjectionResult, synthetic_trail
+from repro.gefin.outcomes import Outcome
+from repro.microarch import CORTEX_A15, CORTEX_A72
+from repro.obs import (
+    EVENT_EXCEPTION,
+    EVENT_INJECTED,
+    EVENT_MASKED,
+    EVENT_REACHED_OUTPUT,
+    TERMINAL_KINDS,
+    campaign_trace,
+    trail_is_consistent,
+)
+
+SOURCE = """
+int data[48];
+int main() {
+    for (int i = 0; i < 48; i++) { data[i] = i * 11 % 31; }
+    int s = 0;
+    for (int i = 0; i < 48; i++) { s += data[i]; }
+    putint(s);
+    return 0;
+}
+"""
+
+#: rob.flags exercises the exception terminals (timeout/assert),
+#: l1d.data the SDC terminal; both produce masked trials too (the seed
+#: is pinned, and the coverage test below fails if the mix degenerates).
+FIELDS = ("rob.flags", "l1d.data")
+N = 12
+SEED = 3
+
+CORES = {
+    "cortex-a15": (CORTEX_A15, ARMLET32),
+    "cortex-a72": (CORTEX_A72, ARMLET64),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CORES))
+def rig(request):
+    """(config, program, golden, {field: (summary, results)}) per core."""
+    config, target = CORES[request.param]
+    program = compile_source(SOURCE, "O1", target, name="trace-test")
+    golden = run_golden_auto(program, config)
+    traced = {
+        field: run_campaign(program, config, field, n=N, seed=SEED,
+                            golden=golden, keep_results=True, trace=True)
+        for field in FIELDS
+    }
+    return config, program, golden, traced
+
+
+class TestTrailConsistency:
+    def test_every_trail_consistent_with_outcome(self, rig) -> None:
+        _config, _program, _golden, traced = rig
+        for field, (_summary, results) in traced.items():
+            for trial, result in enumerate(results):
+                assert result.trail, (field, trial)
+                assert trail_is_consistent(result.trail, result.outcome), \
+                    (field, trial, result.outcome,
+                     [e.kind for e in result.trail])
+
+    def test_terminal_event_matches_outcome_class(self, rig) -> None:
+        _config, _program, _golden, traced = rig
+        for field, (_summary, results) in traced.items():
+            for result in results:
+                last = result.trail[-1]
+                if result.outcome is Outcome.MASKED:
+                    assert last.kind == EVENT_MASKED, field
+                elif result.outcome is Outcome.SDC:
+                    assert last.kind == EVENT_REACHED_OUTPUT, field
+                    assert EVENT_REACHED_OUTPUT in \
+                        {e.kind for e in result.trail}
+                else:
+                    assert last.kind == EVENT_EXCEPTION, field
+                # exactly one terminal event, and it is the last
+                kinds = [e.kind for e in result.trail]
+                assert sum(k in TERMINAL_KINDS for k in kinds) == 1
+
+    def test_all_three_terminals_exercised(self, rig) -> None:
+        """Guard against a degenerate sample: the pinned seed must keep
+        producing masked, SDC, and exception trails on this core."""
+        _config, _program, _golden, traced = rig
+        terminals = {
+            result.trail[-1].kind
+            for _summary, results in traced.values()
+            for result in results
+        }
+        assert terminals == TERMINAL_KINDS
+
+    def test_trail_opens_at_injection_cycle(self, rig) -> None:
+        _config, _program, _golden, traced = rig
+        for _summary, results in traced.values():
+            for result in results:
+                first = result.trail[0]
+                assert first.kind == EVENT_INJECTED
+                assert first.cycle == result.spec.cycle
+
+
+class TestTracedUntracedEquivalence:
+    def test_tracing_never_changes_the_physics(self, rig) -> None:
+        config, program, golden, traced = rig
+        for field, (summary, results) in traced.items():
+            plain_summary, plain_results = run_campaign(
+                program, config, field, n=N, seed=SEED, golden=golden,
+                keep_results=True)
+            assert summary == plain_summary, field
+            assert results == plain_results, field  # trail: compare=False
+            assert all(r.trail is None for r in plain_results)
+
+    def test_parallel_transports_trails_and_spans(self, rig) -> None:
+        config, program, golden, traced = rig
+        field = FIELDS[0]
+        summary, results = traced[field]
+        par_summary, par_results = run_campaign(
+            program, config, field, n=N, seed=SEED, golden=golden,
+            keep_results=True, trace=True, workers=2, shard_size=4)
+        assert par_summary == summary
+        # trails cross process boundaries intact (to_dict round trip)
+        par_trails = [r.trail for r in par_results]
+        assert par_trails == [r.trail for r in results]
+        spans = par_summary.timeline
+        assert [span["shard"] for span in spans] == [0, 1, 2]
+        for span in spans:
+            assert span["start"] <= span["end"]
+            assert span["trials"] == span["stop_trial"] - \
+                span["first_trial"]
+            assert span["worker"] > 0
+
+
+class TestTrailSerialization:
+    def test_json_round_trip(self, rig) -> None:
+        _config, _program, _golden, traced = rig
+        for _summary, results in traced.values():
+            for result in results:
+                clone = InjectionResult.from_dict(result.to_dict())
+                assert clone.trail == result.trail
+                assert clone == result
+
+    def test_untraced_result_omits_trail_key(self, rig) -> None:
+        config, program, golden, _traced = rig
+        _summary, results = run_campaign(
+            program, config, FIELDS[0], n=2, seed=SEED, golden=golden,
+            keep_results=True)
+        for result in results:
+            assert "trail" not in result.to_dict()
+
+    def test_synthetic_trail_is_consistent(self, rig) -> None:
+        _config, _program, _golden, traced = rig
+        for _summary, results in traced.values():
+            for result in results:
+                if result.outcome is Outcome.MASKED:
+                    trail = synthetic_trail(result)
+                    assert trail_is_consistent(trail, result.outcome)
+                    assert trail[0].cycle == result.spec.cycle
+
+
+class TestCampaignChromeExport:
+    def test_trace_covers_shards_and_trails(self, rig) -> None:
+        config, program, golden, traced = rig
+        field = FIELDS[1]
+        summary, results = run_campaign(
+            program, config, field, n=N, seed=SEED, golden=golden,
+            keep_results=True, trace=True, shard_size=6)
+        trace = campaign_trace(summary, results)
+        slices = [e for e in trace.events if e["ph"] == "X"]
+        assert len(slices) == len(summary.timeline) == 2
+        instants = [e for e in trace.events if e["ph"] == "i"]
+        assert len(instants) == sum(len(r.trail) for r in results)
+        # each traced trial gets a named provenance row
+        rows = [e for e in trace.events
+                if e["ph"] == "M" and e["name"] == "thread_name"
+                and e["args"]["name"].startswith("trial ")]
+        assert len(rows) == len(results)
+        per_kind = {}
+        for event in instants:
+            per_kind[event["name"]] = per_kind.get(event["name"], 0) + 1
+        terminal_total = sum(per_kind.get(kind, 0)
+                             for kind in TERMINAL_KINDS)
+        assert terminal_total == len(results)

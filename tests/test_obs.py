@@ -1,0 +1,275 @@
+"""Observability layer units: metrics registry, trail events, Chrome
+exporter, JSONL sinks, structured logging, and progress rendering."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_COMMIT_DIVERGENCE,
+    EVENT_EXCEPTION,
+    EVENT_INJECTED,
+    EVENT_MASKED,
+    EVENT_REACHED_OUTPUT,
+    NULL_METRICS,
+    TERMINAL_KINDS,
+    ChromeTrace,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    ProgressRenderer,
+    StructuredLogger,
+    Timer,
+    TraceEvent,
+    terminal_kinds,
+    trail_is_consistent,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("committed").inc()
+        registry.counter("committed").inc(4)
+        registry.gauge("ipc").set(1.25)
+        hist = registry.histogram("rob.occupancy")
+        for value in (4, 10, 7):
+            hist.observe(value)
+        snap = registry.snapshot()
+        assert snap["committed"] == {"type": "counter", "value": 5}
+        assert snap["ipc"] == {"type": "gauge", "value": 1.25}
+        assert snap["rob.occupancy"]["count"] == 3
+        assert snap["rob.occupancy"]["min"] == 4
+        assert snap["rob.occupancy"]["max"] == 10
+        assert snap["rob.occupancy"]["mean"] == pytest.approx(7.0)
+        assert snap["rob.occupancy"]["last"] == 7
+
+    def test_instruments_interned_by_name(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_sorted(self) -> None:
+        registry = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.counter(name)
+        assert list(registry.snapshot()) == ["alpha", "mid", "zeta"]
+
+    def test_timer_context_manager(self) -> None:
+        ticks = iter([10.0, 10.5])
+        timer = Timer("t", clock=lambda: next(ticks))
+        with timer.time():
+            pass
+        snap = timer.snapshot()
+        assert snap["type"] == "timer"
+        assert snap["count"] == 1
+        assert snap["sum"] == pytest.approx(0.5)
+
+    def test_standalone_instruments(self) -> None:
+        counter = Counter("c")
+        counter.inc(2)
+        assert counter.value == 2
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+        hist = Histogram("h")
+        assert hist.mean == 0.0
+
+    def test_null_backend_absorbs_everything(self) -> None:
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry().enabled is True
+        NULL_METRICS.counter("x").inc(5)
+        NULL_METRICS.gauge("y").set(1.0)
+        NULL_METRICS.histogram("z").observe(2.0)
+        with NULL_METRICS.timer("t").time():
+            pass
+        assert NULL_METRICS.snapshot() == {}
+        assert list(NULL_METRICS) == []
+        # shared no-op instrument: no per-callsite allocation
+        assert NULL_METRICS.counter("a") is NULL_METRICS.gauge("b")
+
+
+class TestTrailEvents:
+    def test_event_round_trip(self) -> None:
+        event = TraceEvent(EVENT_INJECTED, 42, "prf bit 3")
+        assert TraceEvent.from_dict(event.to_dict()) == event
+        assert TraceEvent.from_dict({"kind": "masked", "cycle": 1}) == \
+            TraceEvent("masked", 1, "")
+
+    def test_terminal_kinds_by_outcome(self) -> None:
+        assert terminal_kinds("masked") == {EVENT_MASKED}
+        assert terminal_kinds("sdc") == {EVENT_REACHED_OUTPUT}
+        for failure in ("timeout", "crash_process", "crash_system",
+                        "assert"):
+            assert terminal_kinds(failure) == {EVENT_EXCEPTION}
+
+    def test_terminal_kinds_accepts_outcome_enum(self) -> None:
+        from repro.gefin.outcomes import Outcome
+
+        assert terminal_kinds(Outcome.MASKED) == {EVENT_MASKED}
+        assert terminal_kinds(Outcome.SDC) == {EVENT_REACHED_OUTPUT}
+        assert TERMINAL_KINDS == {EVENT_MASKED, EVENT_REACHED_OUTPUT,
+                                  EVENT_EXCEPTION}
+
+    def test_consistent_trail(self) -> None:
+        trail = [TraceEvent(EVENT_INJECTED, 10),
+                 TraceEvent(EVENT_COMMIT_DIVERGENCE, 15),
+                 TraceEvent(EVENT_REACHED_OUTPUT, 90)]
+        assert trail_is_consistent(trail, "sdc")
+        assert not trail_is_consistent(trail, "masked")
+
+    def test_inconsistent_shapes_rejected(self) -> None:
+        injected = TraceEvent(EVENT_INJECTED, 5)
+        masked = TraceEvent(EVENT_MASKED, 9)
+        assert not trail_is_consistent(None, "masked")
+        assert not trail_is_consistent([], "masked")
+        # must open with the injection
+        assert not trail_is_consistent([masked], "masked")
+        # terminal kinds may only appear last
+        assert not trail_is_consistent(
+            [injected, masked, TraceEvent(EVENT_MASKED, 9)], "masked")
+        # cycles must be non-decreasing
+        assert not trail_is_consistent(
+            [TraceEvent(EVENT_INJECTED, 10), TraceEvent(EVENT_MASKED, 4)],
+            "masked")
+        assert trail_is_consistent([injected, masked], "masked")
+
+
+class TestChromeTrace:
+    def test_counter_complete_instant_shapes(self) -> None:
+        trace = ChromeTrace()
+        trace.counter("occupancy", 32.0, {"rob": 10, "iq": 3})
+        trace.complete("shard 0", ts=0.0, dur=125.0, tid=1,
+                       args={"trials": 5})
+        trace.instant("injected", 7.0, tid=2)
+        phases = [event["ph"] for event in trace.events]
+        assert phases == ["C", "X", "i"]
+        counter, complete, instant = trace.events
+        assert counter["args"] == {"rob": 10, "iq": 3}
+        assert complete["dur"] == 125.0
+        assert instant["s"] == "t"
+
+    def test_metadata_and_serialization(self, tmp_path) -> None:
+        trace = ChromeTrace()
+        trace.process_name(1, "pipeline")
+        trace.thread_name(2, 0, "worker 123")
+        doc = trace.to_dict()
+        assert doc["displayTimeUnit"] == "ms"
+        assert all(event["ph"] == "M" for event in doc["traceEvents"])
+        path = trace.write(tmp_path / "out.trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+
+
+class TestJsonlSink:
+    def test_path_sink_lazy_truncating(self, tmp_path) -> None:
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # opened lazily on first emit
+        with sink:
+            sink.emit({"kind": "trial", "n": 1})
+            sink.emit({"b": 2, "a": 1})
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"kind": "trial", "n": 1}
+        assert lines[1] == '{"a":1,"b":2}'  # compact, sorted keys
+        with JsonlSink(path) as fresh:
+            fresh.emit({"x": 0})
+        assert len(path.read_text().splitlines()) == 1  # truncated
+
+    def test_borrowed_stream_not_closed(self) -> None:
+        stream = io.StringIO()
+        with JsonlSink(stream) as sink:
+            sink.emit({"kind": "campaign"})
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"kind": "campaign"}
+
+
+class TestStructuredLogger:
+    def test_logfmt_lines(self) -> None:
+        stream = io.StringIO()
+        log = StructuredLogger(stream=stream)
+        log.info("golden run complete", cycles=1234, resumed=True)
+        log.warning("slow shard", path="/tmp/a b.json")
+        log.error("boom")
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "repro: golden run complete cycles=1234 " \
+                           "resumed=true"
+        assert lines[1] == 'repro: [warn] slow shard path="/tmp/a b.json"'
+        assert lines[2] == "repro: [error] boom"
+
+    def test_default_stream_is_current_stderr(self, capsys) -> None:
+        StructuredLogger().info("note", n=1)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "repro: note n=1\n"
+
+
+class _FakeStream(io.StringIO):
+    def __init__(self, tty: bool) -> None:
+        super().__init__()
+        self._tty = tty
+
+    def isatty(self) -> bool:
+        return self._tty
+
+
+class TestProgressRenderer:
+    class _Clock:
+        """Manually advanced monotonic clock."""
+
+        def __init__(self) -> None:
+            self.now = 0.0
+
+        def __call__(self) -> float:
+            return self.now
+
+    def test_non_tty_rate_limited_newlines(self) -> None:
+        stream = _FakeStream(tty=False)
+        clock = self._Clock()
+        progress = ProgressRenderer(10, stream=stream, min_interval=2.0,
+                                    clock=clock)
+        clock.now = 1.0
+        progress.update(2)   # first emit always renders
+        clock.now = 1.5
+        progress.update(4)   # within min_interval, suppressed
+        clock.now = 9.0
+        progress.update(10)  # final state always renders
+        progress.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("    2/10 injections")
+        assert lines[1].startswith("   10/10 injections")
+        assert "\r" not in stream.getvalue()
+
+    def test_tty_rewrites_one_line(self) -> None:
+        stream = _FakeStream(tty=True)
+        clock = self._Clock()
+        with ProgressRenderer(4, stream=stream, clock=clock) as progress:
+            clock.now = 1.0
+            progress.update(1)
+            clock.now = 2.0
+            progress.update(4)
+        text = stream.getvalue()
+        assert text.count("\r") >= 2  # in-place rewrites
+        assert text.endswith("\n")    # close() terminates the line
+
+    def test_close_idempotent(self) -> None:
+        stream = _FakeStream(tty=False)
+        clock = self._Clock()
+        progress = ProgressRenderer(2, stream=stream, clock=clock)
+        clock.now = 1.0
+        progress.update(2)
+        progress.close()
+        progress.close()
+        assert len(stream.getvalue().splitlines()) == 1
