@@ -22,7 +22,12 @@ from pathlib import Path
 from .avf import StaticAceResult
 from .avf import static_ace_estimate as _static_ace_estimate
 from .compiler import TARGETS, CompileResult, compile_module
-from .gefin import CampaignCheckpoint, CampaignResult, GoldenRun
+from .gefin import (
+    CampaignCheckpoint,
+    CampaignResult,
+    DEFAULT_MAX_RETRIES,
+    GoldenRun,
+)
 from .gefin import run_campaign as _run_campaign
 from .gefin import run_golden as _run_golden
 from .gefin import run_golden_auto as _run_golden_auto
@@ -126,6 +131,9 @@ def run_campaign(program: Program, field: str, n: int,
                  checkpoint: CampaignCheckpoint | str | Path | None = None,
                  progress=None, early_exit: bool = True,
                  convergence_horizon: int | None = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 shard_timeout: float | None = None,
+                 fail_fast: bool = False,
                  keep_results: bool = False, trace: bool = False,
                  ) -> CampaignResult | tuple[CampaignResult,
                                              list[InjectionResult]]:
@@ -139,6 +147,15 @@ def run_campaign(program: Program, field: str, n: int,
     ``early_exit``/``convergence_horizon`` tune the (outcome-
     equivalent) early trial-termination engine.
 
+    Parallel campaigns are supervised (see
+    :mod:`repro.gefin.resilience`): crashed or hung workers cost up to
+    ``max_retries`` deterministic-backoff retries per shard, a shard
+    past its ``shard_timeout`` watchdog deadline (default: derived from
+    the golden cycle count; ``0`` disables) is killed and retried, and
+    poison trials are quarantined as ``infrastructure`` outcomes with
+    the accounting in ``CampaignResult.degradation``. ``fail_fast``
+    restores fail-on-first-error.
+
     ``trace`` records a fault-propagation provenance trail per trial
     (``keep_results=True`` returns the per-trial results carrying them)
     and per-shard wall-clock spans in ``CampaignResult.timeline`` --
@@ -149,4 +166,7 @@ def run_campaign(program: Program, field: str, n: int,
                          workers=workers, checkpoint=checkpoint,
                          progress=progress, early_exit=early_exit,
                          convergence_horizon=convergence_horizon,
+                         max_retries=max_retries,
+                         shard_timeout=shard_timeout,
+                         fail_fast=fail_fast,
                          keep_results=keep_results, trace=trace)

@@ -32,7 +32,12 @@ from pathlib import Path
 from .avf import ace_estimate, instruction_report, static_ace_estimate
 from .compiler import TARGETS, compile_module, compile_source
 from .errors import IRVerificationError
-from .gefin import run_campaign, run_golden, run_golden_auto
+from .gefin import (
+    DEFAULT_MAX_RETRIES,
+    run_campaign,
+    run_golden,
+    run_golden_auto,
+)
 from .microarch import CONFIGS, Simulator
 from .obs import (
     ChromeTrace,
@@ -226,6 +231,23 @@ def _write_campaign_events(path: str, summary, results) -> None:
               lines=1 + len(summary.timeline) + len(results))
 
 
+#: Conventional exit status for death-by-SIGINT (128 + SIGINT).
+EXIT_SIGINT = 130
+
+
+def _interrupted(resumable: bool) -> int:
+    """Clean ^C epilogue: checkpoint state note + resume hint."""
+    if resumable:
+        _LOG.warning("interrupted; completed shards are checkpointed",
+                     hint="re-run the same command with --resume to "
+                          "continue where this campaign stopped")
+    else:
+        _LOG.warning("interrupted; progress discarded",
+                     hint="run with --resume to checkpoint finished "
+                          "shards and make campaigns interruptible")
+    return EXIT_SIGINT
+
+
 def cmd_inject(args) -> int:
     program, core = _load_program(args)
     golden = None
@@ -263,7 +285,14 @@ def cmd_inject(args) -> int:
             renderer.update(done),
             early_exit=not args.no_early_exit,
             convergence_horizon=args.horizon,
+            max_retries=args.max_retries,
+            shard_timeout=args.shard_timeout,
+            fail_fast=args.fail_fast,
             keep_results=tracing, trace=tracing)
+    except KeyboardInterrupt:
+        # Completed shards are already fsync'd in the checkpoint (when
+        # one exists); just tell the user how to pick the campaign up.
+        return _interrupted(checkpoint is not None)
     finally:
         renderer.close()
     if tracing:
@@ -302,6 +331,16 @@ def cmd_inject(args) -> int:
               f"{pruning.get('converged', 0)} converged "
               f"(mean window {pruning.get('mean_window', 0.0):.1f} "
               f"cycles), {pruning.get('full', 0)} full runs")
+    degradation = result.degradation
+    if degradation:
+        print(f"degraded: {len(degradation['quarantined'])} trials "
+              f"quarantined, {degradation['retries']} shard retries, "
+              f"{degradation['watchdog_kills']} watchdog kills, "
+              f"{degradation['pool_restarts']} pool restarts")
+        print(f"  achieved margin {degradation['achieved_margin99']:.4f} "
+              f"over n={degradation['completed_n']} (requested "
+              f"{degradation['requested_margin99']:.4f} over "
+              f"n={result.n})")
     return 0
 
 
@@ -393,6 +432,23 @@ def cmd_fields(args) -> int:
     return 0
 
 
+def _add_resilience(parser: argparse.ArgumentParser) -> None:
+    """Campaign-supervisor knobs shared by ``inject`` and ``grid``."""
+    parser.add_argument("--max-retries", type=int,
+                        default=DEFAULT_MAX_RETRIES, metavar="K",
+                        help="re-run a crashed or hung shard up to K "
+                             "times before bisecting it down to the "
+                             "poison trial (default: %(default)s)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="watchdog deadline per shard; default "
+                             "derives one from the golden run's cycle "
+                             "count, 0 disables the watchdog")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first worker crash or hung "
+                             "shard instead of retrying/quarantining")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -447,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-early-exit", action="store_true",
                    help="disable static pruning and golden-digest early "
                         "trial termination (always run trials in full)")
+    _add_resilience(p)
     p.add_argument("--horizon", type=int, default=None,
                    help="cap on post-injection cycles compared against "
                         "the golden digest trace before giving up on "
@@ -505,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (default: REPRO_WORKERS)")
     p.add_argument("--no-resume", action="store_true",
                    help="ignore shard checkpoints of interrupted runs")
+    _add_resilience(p)
     p.set_defaults(func=_run_grid)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
@@ -522,6 +580,11 @@ def _run_grid(args) -> int:
         argv += ["--workers", str(args.workers)]
     if args.no_resume:
         argv.append("--no-resume")
+    argv += ["--max-retries", str(args.max_retries)]
+    if args.shard_timeout is not None:
+        argv += ["--shard-timeout", str(args.shard_timeout)]
+    if args.fail_fast:
+        argv.append("--fail-fast")
     return main(argv)
 
 
@@ -538,7 +601,13 @@ def _run_report(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Backstop for commands without their own ^C epilogue: exit
+        # with the conventional SIGINT status instead of a traceback.
+        _LOG.warning("interrupted")
+        return EXIT_SIGINT
 
 
 if __name__ == "__main__":

@@ -9,10 +9,13 @@ set of campaigns.
 With ``workers > 1``, :meth:`CampaignGrid.ensure_all` schedules at two
 levels: every pending cell is split into trial shards (see
 :mod:`repro.gefin.parallel`) and the (program x shard) tasks are fanned
-out over one process pool. Worker processes cache the golden run of the
-program they are currently injecting into, the parent appends finished
-shards to per-cell checkpoints, and a killed grid resumes from those
-checkpoints without re-running completed work.
+out over one supervised process pool (see
+:mod:`repro.gefin.resilience`): worker crashes and hangs cost retries,
+poison trials are quarantined, and the grid keeps going. Worker
+processes cache the golden run of the program they are currently
+injecting into, the parent appends finished shards to per-cell
+checkpoints, and a killed grid resumes from those checkpoints without
+re-running completed work.
 
 Environment knobs (see DESIGN.md):
 
@@ -33,12 +36,18 @@ from pathlib import Path
 from ..gefin import (
     CampaignCheckpoint,
     CampaignResult,
+    DEFAULT_MAX_RETRIES,
+    Degradation,
     GoldenRun,
     ResultStore,
+    RetryPolicy,
     Shard,
     ShardRecord,
+    ShardSupervisor,
     aggregate,
+    default_shard_timeout,
     plan_shards,
+    quarantined_result,
     resolve_workers,
     result_key,
     run_campaign,
@@ -106,6 +115,9 @@ class CampaignGrid:
         self.spec = spec or GridSpec.from_env()
         self.store = ResultStore(cache_dir or default_cache_dir())
         self._golden: dict[tuple[str, str, str], GoldenRun] = {}
+        #: Supervisor accounting of the last :meth:`ensure_all` parallel
+        #: run (retries, watchdog kills, quarantined trials).
+        self.degradation = Degradation()
 
     # ------------------------------------------------------------- building
 
@@ -203,7 +215,11 @@ class CampaignGrid:
         ]
 
     def ensure_all(self, progress=None, workers: int | None = None,
-                   resume: bool = True) -> int:
+                   resume: bool = True,
+                   max_retries: int = DEFAULT_MAX_RETRIES,
+                   shard_timeout: float | None = None,
+                   fail_fast: bool = False,
+                   metrics=None) -> int:
         """Materialize every cell; returns the number of cells run.
 
         With ``workers > 1`` every pending cell's trials are sharded and
@@ -212,10 +228,23 @@ class CampaignGrid:
         injections keeps every worker busy. Finished shards are
         checkpointed per cell; with ``resume`` (the default) a re-run
         picks up exactly where an interrupted one stopped.
+
+        The pool runs under a :class:`~repro.gefin.resilience.
+        ShardSupervisor`: crashed or hung workers cost a retry (up to
+        ``max_retries``, deterministic backoff), poison trials are
+        bisected out and quarantined as ``infrastructure`` outcomes,
+        and the accounting lands in :attr:`degradation`. With
+        ``shard_timeout=None`` watchdog deadlines are derived from each
+        cell's golden cycle count as soon as one is observed; ``<= 0``
+        disables the watchdog; ``fail_fast`` restores the old
+        crash-the-grid behavior.
         """
         workers = resolve_workers(workers)
         if workers > 1:
-            return self._ensure_parallel(progress, workers, resume=resume)
+            return self._ensure_parallel(
+                progress, workers, resume=resume, max_retries=max_retries,
+                shard_timeout=shard_timeout, fail_fast=fail_fast,
+                metrics=metrics)
         ran = 0
         spec = self.spec
         for core in spec.cores:
@@ -277,9 +306,11 @@ class CampaignGrid:
         return result
 
     def _ensure_parallel(self, progress, workers: int,
-                         resume: bool = True) -> int:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-
+                         resume: bool = True,
+                         max_retries: int = DEFAULT_MAX_RETRIES,
+                         shard_timeout: float | None = None,
+                         fail_fast: bool = False,
+                         metrics=None) -> int:
         spec = self.spec
         shards = plan_shards(spec.injections)
         ran = 0
@@ -308,33 +339,85 @@ class CampaignGrid:
         if not pending:
             return ran
 
+        # Watchdog deadlines: with shard_timeout=None, deadlines are
+        # derived per default_shard_timeout from the largest golden
+        # cycle count observed so far (cells report theirs with every
+        # finished shard). Shards submitted before any golden run has
+        # been seen carry no deadline.
+        auto_deadline = shard_timeout is None
+        if shard_timeout is not None and shard_timeout <= 0:
+            shard_timeout = None
+        shard_size = max(shard.size for shard in shards)
+
+        # Quarantining a trial needs the cell's golden cycle count and
+        # bit count even when no worker ever returned one (the fault
+        # spec is re-derived from them). The probe falls back to a
+        # parent-side golden run + bit-count query; memoized, and only
+        # paid on the quarantine path.
+        probes: dict[Cell, tuple[int, int]] = {}
+
+        def probe(cell: Cell) -> tuple[int, int]:
+            entry = probes.get(cell)
+            if entry is None:
+                core, benchmark, level, field = cell
+                from ..microarch import Simulator
+
+                cycles = self.golden_cycles(core, benchmark, level)
+                bit_count = Simulator(
+                    self.program(core, benchmark, level),
+                    self.config(core)).bit_count(field)
+                entry = (cycles, bit_count)
+                probes[cell] = entry
+            return entry
+
+        def submit(pool, cell: Cell, shard: Shard):
+            return pool.submit(_cell_shard_task, spec, *cell, shard)
+
+        def quarantine(cell: Cell, trial: int, reason: str) -> dict:
+            golden_cycles, bit_count = probe(cell)
+            return quarantined_result(
+                cell[3], trial, spec.seed, golden_cycles, spec.mode, 1,
+                bit_count, reason).to_dict()
+
+        def on_shard(cell: Cell, shard: Shard, value,
+                     records: list[dict]) -> None:
+            nonlocal ran
+            if value is not None:
+                program_name, golden_cycles, bit_count, _raw = value
+                probes.setdefault(cell, (golden_cycles, bit_count))
+            else:  # every trial of this shard was quarantined
+                golden_cycles, bit_count = probe(cell)
+                program_name = self.program(*cell[:3]).name
+            record = ShardRecord(
+                shard,
+                [InjectionResult.from_dict(entry) for entry in records],
+                golden_cycles, bit_count, program_name)
+            self._cell_checkpoint(cell).record(
+                shard, golden_cycles, bit_count, record.results,
+                program_name=program_name)
+            if auto_deadline and golden_cycles:
+                derived = default_shard_timeout(golden_cycles, shard_size)
+                supervisor.shard_timeout = max(
+                    supervisor.shard_timeout or 0.0, derived)
+            cell_records = state[cell]
+            cell_records[shard.index] = record
+            if len(cell_records) == len(shards):
+                self._finalize_cell(cell, shards, cell_records)
+                ran += 1
+                if progress is not None:
+                    progress(*cell, ran)
+
         # Tasks are submitted grouped by (core, benchmark, level), so a
         # worker's per-process golden cache (see _cell_shard_task) hits
         # for runs of consecutive shards of the same program.
-        with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))) as pool:
-            futures = {
-                pool.submit(_cell_shard_task, spec, *cell, shard):
-                    (cell, shard)
-                for cell, shard in pending
-            }
-            for future in as_completed(futures):
-                cell, shard = futures[future]
-                program_name, golden_cycles, bit_count, raw = future.result()
-                record = ShardRecord(
-                    shard,
-                    [InjectionResult.from_dict(entry) for entry in raw],
-                    golden_cycles, bit_count, program_name)
-                self._cell_checkpoint(cell).record(
-                    shard, golden_cycles, bit_count, record.results,
-                    program_name=program_name)
-                records = state[cell]
-                records[shard.index] = record
-                if len(records) == len(shards):
-                    self._finalize_cell(cell, shards, records)
-                    ran += 1
-                    if progress is not None:
-                        progress(*cell, ran)
+        supervisor = ShardSupervisor(
+            min(workers, len(pending)), submit=submit,
+            records_of=lambda _cell, _shard, value: value[3],
+            quarantine=quarantine, on_shard=on_shard, seed=spec.seed,
+            policy=RetryPolicy(max_retries=max_retries),
+            shard_timeout=shard_timeout, fail_fast=fail_fast,
+            metrics=metrics)
+        self.degradation = supervisor.run(pending)
         return ran
 
     # ------------------------------------------------------------- queries

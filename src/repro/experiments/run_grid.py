@@ -1,11 +1,14 @@
 """Command-line campaign-grid runner.
 
     python -m repro.experiments.run_grid [--workers K] [--no-resume]
+        [--max-retries K] [--shard-timeout S] [--fail-fast]
 
 Respects the ``REPRO_*`` environment knobs and caches into
 ``REPRO_CACHE_DIR``; safe to interrupt and resume (each cell is cached
 independently, and with ``--workers`` partially-run cells resume from
-their shard checkpoints).
+their shard checkpoints). Parallel runs are supervised: worker crashes
+and hung shards are retried with deterministic backoff, and poison
+trials are bisected out and quarantined instead of sinking the grid.
 """
 
 from __future__ import annotations
@@ -14,8 +17,11 @@ import argparse
 import sys
 import time
 
-from ..gefin import resolve_workers
+from ..gefin import DEFAULT_MAX_RETRIES, resolve_workers
 from .grid import CampaignGrid, GridSpec
+
+#: Conventional exit status for death-by-SIGINT (128 + SIGINT).
+EXIT_SIGINT = 130
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,6 +30,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes (default: REPRO_WORKERS)")
     parser.add_argument("--no-resume", action="store_true",
                         help="ignore shard checkpoints of interrupted runs")
+    parser.add_argument("--max-retries", type=int,
+                        default=DEFAULT_MAX_RETRIES, metavar="K",
+                        help="shard retries before bisection "
+                             "(default: %(default)s)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="watchdog deadline per shard; default "
+                             "derives one from golden cycle counts, "
+                             "0 disables the watchdog")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first worker crash or hung "
+                             "shard instead of retrying/quarantining")
     args = parser.parse_args(argv)
 
     spec = GridSpec.from_env()
@@ -43,8 +61,26 @@ def main(argv: list[str] | None = None) -> int:
     print(f"grid: {total} cells, scale={spec.scale} "
           f"n={spec.injections} seed={spec.seed} mode={spec.mode} "
           f"workers={workers}", flush=True)
-    ran = grid.ensure_all(progress, workers=workers,
-                          resume=not args.no_resume)
+    try:
+        ran = grid.ensure_all(progress, workers=workers,
+                              resume=not args.no_resume,
+                              max_retries=args.max_retries,
+                              shard_timeout=args.shard_timeout,
+                              fail_fast=args.fail_fast)
+    except KeyboardInterrupt:
+        # Finished cells are cached and finished shards fsync'd in
+        # their per-cell checkpoints; a plain re-run resumes there.
+        print("interrupted: completed cells and shards are checkpointed;"
+              " re-run the same command to resume",
+              file=sys.stderr, flush=True)
+        return EXIT_SIGINT
+    degradation = grid.degradation
+    if degradation.dirty:
+        print(f"degraded: {len(degradation.quarantined)} trials "
+              f"quarantined, {degradation.retries} shard retries, "
+              f"{degradation.watchdog_kills} watchdog kills, "
+              f"{degradation.pool_restarts} pool restarts",
+              file=sys.stderr, flush=True)
     print(f"done: {ran} cells run, {total - ran} cached, "
           f"{time.time() - start:.1f}s", flush=True)
     return 0

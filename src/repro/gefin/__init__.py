@@ -47,6 +47,14 @@ from .parallel import (
     run_shard,
     sample_cycle,
 )
+from .resilience import (
+    DEFAULT_MAX_RETRIES,
+    Degradation,
+    RetryPolicy,
+    ShardSupervisor,
+    default_shard_timeout,
+    quarantined_result,
+)
 from .sampling import (
     error_margin,
     fault_population,
@@ -59,26 +67,32 @@ __all__ = [
     "ALL_OUTCOMES",
     "CampaignCheckpoint",
     "CampaignResult",
+    "DEFAULT_MAX_RETRIES",
     "DEFAULT_SNAPSHOT_COUNT",
+    "Degradation",
     "FAILURE_OUTCOMES",
     "FaultSpec",
     "GoldenRun",
     "InjectionResult",
     "Outcome",
     "ResultStore",
+    "RetryPolicy",
     "Shard",
     "ShardRecord",
+    "ShardSupervisor",
     "aggregate",
     "campaign_meta",
     "classify_completion",
     "classify_exception",
     "compress_snapshot",
     "decompress_snapshot",
+    "default_shard_timeout",
     "derive_rng",
     "error_margin",
     "fault_population",
     "inject_one",
     "plan_shards",
+    "quarantined_result",
     "required_sample_size",
     "resolve_workers",
     "result_key",

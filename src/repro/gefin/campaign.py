@@ -41,6 +41,13 @@ from .parallel import (
     run_shard,
     shard_span,
 )
+from .resilience import (
+    DEFAULT_MAX_RETRIES,
+    RetryPolicy,
+    ShardSupervisor,
+    default_shard_timeout,
+    quarantined_result,
+)
 from .sampling import error_margin, fault_population
 
 DEFAULT_SNAPSHOT_COUNT = DEFAULT_AUTO_SNAPSHOTS
@@ -85,6 +92,15 @@ class CampaignResult:
     #: :meth:`to_dict`: timing describes a run, not the result.
     timeline: list[dict] = dataclass_field(default_factory=list,
                                            compare=False)
+    #: Supervisor degradation report (:meth:`repro.gefin.resilience.
+    #: Degradation.report`): retries, pool restarts, quarantined trials,
+    #: and the achieved error margin recomputed from the trials that
+    #: actually completed. Empty for a healthy campaign, and excluded
+    #: from equality -- *how hard the host fought* is not part of the
+    #: sampled result (the quarantined trials themselves are: they show
+    #: up in ``counts["infrastructure"]``).
+    degradation: dict = dataclass_field(default_factory=dict,
+                                        compare=False)
 
     @property
     def avf(self) -> float:
@@ -92,13 +108,24 @@ class CampaignResult:
         return sum(self.avf_by_class.get(o.value, 0.0)
                    for o in FAILURE_OUTCOMES)
 
+    @property
+    def completed_n(self) -> int:
+        """Trials that actually simulated (quarantined ones excluded)."""
+        return self.n - self.counts.get("infrastructure", 0)
+
     def margin(self, confidence: float = 0.99) -> float:
-        """Achieved statistical error margin (Leveugle formulation)."""
+        """Statistical error margin achieved by the *completed* trials
+        (Leveugle formulation). For a healthy campaign this is the
+        margin of the full requested sample; quarantined trials widen
+        it."""
         population = fault_population(self.bit_count, self.golden_cycles)
-        return error_margin(population, self.n, confidence)
+        completed = self.completed_n
+        if completed <= 0:
+            return 1.0
+        return error_margin(population, completed, confidence)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "field": self.field,
             "program": self.program_name,
             "config": self.config_name,
@@ -113,9 +140,15 @@ class CampaignResult:
             "margin99": self.margin(0.99),
             "pruning": dict(self.pruning),
         }
+        # Only degraded campaigns carry the key, keeping healthy result
+        # documents byte-identical to pre-supervisor ones.
+        if self.degradation:
+            out["degradation"] = dict(self.degradation)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignResult":
+        raw_counts = data["counts"]
         return cls(
             field=data["field"],
             program_name=data["program"],
@@ -125,9 +158,13 @@ class CampaignResult:
             seed=data["seed"],
             golden_cycles=data["golden_cycles"],
             bit_count=data["bit_count"],
-            counts=dict(data["counts"]),
+            # Normalize older documents (no infrastructure class yet) to
+            # the current outcome vocabulary.
+            counts={o.value: int(raw_counts.get(o.value, 0))
+                    for o in ALL_OUTCOMES},
             avf_by_class=dict(data["avf_by_class"]),
             pruning=dict(data.get("pruning", {})),
+            degradation=dict(data.get("degradation", {})),
         )
 
 
@@ -139,6 +176,10 @@ def aggregate(field: str, program_name: str, config_name: str, mode: str,
     ``results`` must be in trial order: the weighted sums are folded in
     list order, so a permutation could perturb the float accumulation
     and break bit-exact serial/parallel equality.
+
+    Quarantined (infrastructure-outcome) trials never simulated, so
+    they are excluded from the estimator denominator: the AVF is the
+    weighted failure mean over the trials that actually completed.
     """
     n = len(results)
     counts = {o.value: 0 for o in ALL_OUTCOMES}
@@ -151,8 +192,9 @@ def aggregate(field: str, program_name: str, config_name: str, mode: str,
         tier = result.early or "full"
         tiers[tier] = tiers.get(tier, 0) + 1
         window_sum += result.window
+    completed = n - counts["infrastructure"]
     avf_by_class = {
-        o.value: (weighted[o.value] / n if n else 0.0)
+        o.value: (weighted[o.value] / completed if completed else 0.0)
         for o in FAILURE_OUTCOMES
     }
     pruning = dict(tiers)
@@ -193,6 +235,10 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
                  early_exit: bool = True,
                  convergence_horizon: int | None = None,
                  trace: bool = False,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 shard_timeout: float | None = None,
+                 fail_fast: bool = False,
+                 metrics=None,
                  ) -> CampaignResult | tuple[CampaignResult,
                                              list[InjectionResult]]:
     """Run an ``n``-fault campaign against one structure field.
@@ -224,6 +270,18 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
     :class:`InjectionResult` (visible with ``keep_results``) and
     records per-shard wall-clock spans in ``CampaignResult.timeline``;
     classification and aggregation are unaffected.
+
+    Parallel campaigns run under a :class:`~repro.gefin.resilience.
+    ShardSupervisor`: a crashed or hung worker costs a retry (up to
+    ``max_retries`` per shard, deterministic backoff), a shard past its
+    watchdog deadline (``shard_timeout`` seconds; default derived from
+    the golden cycle count, ``0`` disables) is killed and re-run, and a
+    trial that still fails is quarantined as an ``infrastructure``
+    outcome. The result then carries a ``degradation`` report with the
+    achieved error margin over the trials that completed.
+    ``fail_fast`` restores the old behavior: first infrastructure
+    failure propagates. A campaign with no infrastructure faults is
+    bit-exact identical under any of these settings.
     """
     workers = resolve_workers(workers)
     if golden is None:
@@ -272,6 +330,7 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
             progress(done, n)
 
     pending = [shard for shard in shards if shard.index not in by_shard]
+    degradation = None
     if workers <= 1 or len(pending) <= 1:
         for shard in pending:
             started = time.time()
@@ -281,28 +340,52 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
                 convergence_horizon=convergence_horizon, trace=trace)
             finish(shard, results,
                    shard_span(shard, started, time.time(), len(results)))
-    else:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+    elif pending:
+        if shard_timeout is None:
+            shard_timeout = default_shard_timeout(
+                golden.cycles, max(shard.size for shard in pending))
+        elif shard_timeout <= 0:
+            shard_timeout = None
 
-        with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))) as pool:
-            futures = {
-                pool.submit(_shard_task, program, config, golden, field,
-                            shard, seed, mode, burst, bit_count,
-                            early_exit, convergence_horizon, trace): shard
-                for shard in pending
-            }
-            for future in as_completed(futures):
-                shard = futures[future]
-                _index, records, span = future.result()
-                finish(shard, [InjectionResult.from_dict(raw)
-                               for raw in records], span)
+        def submit(pool, _key, shard: Shard):
+            return pool.submit(_shard_task, program, config, golden,
+                               field, shard, seed, mode, burst, bit_count,
+                               early_exit, convergence_horizon, trace)
+
+        def quarantine(_key, trial: int, reason: str) -> dict:
+            return quarantined_result(
+                field, trial, seed, golden.cycles, mode, burst, bit_count,
+                reason, trace=trace).to_dict()
+
+        def on_shard(_key, shard: Shard, value, records: list[dict]):
+            span = None
+            if value is not None:
+                # Worker-measured spans only describe whole-shard runs;
+                # a bisected shard's sub-span would misstate the range.
+                candidate = value[2]
+                if (candidate.get("first_trial") == shard.start
+                        and candidate.get("stop_trial") == shard.stop):
+                    span = candidate
+            finish(shard, [InjectionResult.from_dict(raw)
+                           for raw in records], span)
+
+        supervisor = ShardSupervisor(
+            min(workers, len(pending)), submit=submit,
+            records_of=lambda _key, _shard, value: value[1],
+            quarantine=quarantine, on_shard=on_shard, seed=seed,
+            policy=RetryPolicy(max_retries=max_retries),
+            shard_timeout=shard_timeout, fail_fast=fail_fast,
+            metrics=metrics)
+        degradation = supervisor.run([(None, shard) for shard in pending])
 
     results = [result for shard in shards for result in by_shard[shard.index]]
     summary = aggregate(field, program.name, config.name, mode, seed,
                         golden.cycles, bit_count, results)
     summary.timeline = sorted(timeline,
                               key=lambda span: span["shard"])
+    if degradation is not None and degradation.dirty:
+        summary.degradation = degradation.report(n, bit_count,
+                                                 golden.cycles)
     if ck is not None:
         ck.clear()
     if keep_results:
@@ -315,16 +398,24 @@ def run_field_campaigns(program: Program, config: CoreConfig,
                         n: int, seed: int = 0, mode: str = "occupancy",
                         snapshot_count: int = DEFAULT_SNAPSHOT_COUNT,
                         workers: int | None = None,
+                        max_retries: int = DEFAULT_MAX_RETRIES,
+                        shard_timeout: float | None = None,
+                        fail_fast: bool = False,
                         ) -> dict[str, CampaignResult]:
     """Campaigns for several fields sharing one golden (+ checkpoints).
 
     The golden reference is simulated exactly once, with checkpoint
     intervals discovered online (:func:`run_golden_auto`) instead of a
-    throwaway full run to learn the cycle count first.
+    throwaway full run to learn the cycle count first. The supervisor
+    knobs (``max_retries``/``shard_timeout``/``fail_fast``) apply to
+    every per-field campaign.
     """
     golden = run_golden_auto(program, config, snapshot_count=snapshot_count)
     return {
         field: run_campaign(program, config, field, n, seed=seed,
-                            mode=mode, golden=golden, workers=workers)
+                            mode=mode, golden=golden, workers=workers,
+                            max_retries=max_retries,
+                            shard_timeout=shard_timeout,
+                            fail_fast=fail_fast)
         for field in fields
     }

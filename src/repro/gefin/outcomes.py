@@ -9,7 +9,16 @@ TIMEOUT         run exceeded 2x the fault-free execution time
 CRASH_PROCESS   the simulated process was killed (SIGSEGV/SIGILL/...)
 CRASH_SYSTEM    kernel panic
 ASSERT          simulator hit a state it cannot adjudicate
+INFRASTRUCTURE  the *host* failed, not the simulated machine: the trial
+                was quarantined by the campaign supervisor after its
+                worker repeatedly crashed or hung (see
+                :mod:`repro.gefin.resilience`)
 ==============  ======================================================
+
+``INFRASTRUCTURE`` says nothing about the fault's architectural effect,
+so it is neither a failure class nor masked: quarantined trials carry
+weight 0, are excluded from the AVF estimator denominator, and widen
+the campaign's achieved error margin instead.
 """
 
 from __future__ import annotations
@@ -32,17 +41,21 @@ class Outcome(enum.Enum):
     CRASH_PROCESS = "crash_process"
     CRASH_SYSTEM = "crash_system"
     ASSERT = "assert"
+    INFRASTRUCTURE = "infrastructure"
 
     @property
     def is_failure(self) -> bool:
-        return self is not Outcome.MASKED
+        return self not in (Outcome.MASKED, Outcome.INFRASTRUCTURE)
 
 
-# Everything that is not masked, in stable plotting order.
+# Every simulated failure class, in stable plotting order. Quarantined
+# (infrastructure) trials are deliberately absent: they describe the
+# host, not the machine under test.
 FAILURE_OUTCOMES = (Outcome.SDC, Outcome.CRASH_PROCESS,
                     Outcome.CRASH_SYSTEM, Outcome.TIMEOUT, Outcome.ASSERT)
 
-ALL_OUTCOMES = (Outcome.MASKED,) + FAILURE_OUTCOMES
+ALL_OUTCOMES = ((Outcome.MASKED,) + FAILURE_OUTCOMES
+                + (Outcome.INFRASTRUCTURE,))
 
 
 def classify_exception(exc: SimulationError) -> Outcome:

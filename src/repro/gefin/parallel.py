@@ -31,8 +31,11 @@ from pathlib import Path
 
 from ..isa.program import Program
 from ..microarch.config import CoreConfig
+from ..obs.log import get_logger
 from .fault import FaultSpec, GoldenRun
 from .injector import InjectionResult, inject_one, synthetic_trail
+
+_LOG = get_logger()
 
 #: Upper bound on the number of shards a campaign is split into. The
 #: plan depends only on ``n`` (never on the worker count), so a campaign
@@ -64,12 +67,79 @@ def sample_cycle(rng: random.Random, cycles: int) -> int:
 
 
 def resolve_workers(workers: int | None) -> int:
-    """Worker count: explicit argument, else ``REPRO_WORKERS``, else 1."""
+    """Worker count: explicit argument, else ``REPRO_WORKERS``, else 1.
+
+    A junk ``REPRO_WORKERS`` raises a :class:`ValueError` that names the
+    environment variable (a bare ``int()`` traceback pointed nowhere),
+    and an env value above ``os.cpu_count()`` is clamped with a warning
+    instead of silently oversubscribing the machine. An *explicit*
+    ``workers`` argument is taken at face value: callers (and tests)
+    that deliberately overcommit know what they are doing.
+    """
     if workers is None:
-        workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+        raw = os.environ.get("REPRO_WORKERS", "") or "1"
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer worker count, "
+                f"got {raw!r}") from None
+        cpus = os.cpu_count() or 1
+        if workers > cpus:
+            _LOG.warning("REPRO_WORKERS exceeds available CPUs; clamping",
+                         requested=workers, cpus=cpus)
+            workers = cpus
     if workers < 1:
         raise ValueError("workers must be >= 1")
     return workers
+
+
+# ------------------------------------------------------------ chaos hook
+
+# The campaign supervisor (see .resilience) is itself exercised by fault
+# injection: REPRO_CHAOS="crash@5,hang@7" makes trial 5 kill its worker
+# process and trial 7 hang until the watchdog fires. The hook only acts
+# inside pool worker processes -- the serial path and the parent ignore
+# it -- and costs one dict lookup per trial when armed, nothing when the
+# variable is unset.
+_CHAOS_CACHE: tuple[str, dict[int, str]] = ("", {})
+
+
+def _chaos_plan() -> dict[int, str]:
+    """Parse ``REPRO_CHAOS`` (``action@trial,...``), cached per value."""
+    global _CHAOS_CACHE
+    raw = os.environ.get("REPRO_CHAOS", "")
+    if _CHAOS_CACHE[0] == raw:
+        return _CHAOS_CACHE[1]
+    plan: dict[int, str] = {}
+    for part in raw.split(","):
+        action, sep, trial = part.strip().partition("@")
+        if not sep:
+            continue
+        try:
+            plan[int(trial)] = action
+        except ValueError:
+            continue
+    _CHAOS_CACHE = (raw, plan)
+    return plan
+
+
+def maybe_chaos(trial: int) -> None:
+    """Crash-on-demand test hook for the campaign supervisor."""
+    plan = _chaos_plan()
+    if not plan:
+        return
+    action = plan.get(trial)
+    if action is None:
+        return
+    import multiprocessing
+
+    if multiprocessing.parent_process() is None:
+        return  # never sabotage the serial path or the parent
+    if action == "crash":
+        os._exit(17)
+    elif action == "hang":
+        time.sleep(3600)
 
 
 @dataclass(frozen=True)
@@ -136,6 +206,7 @@ def run_shard(program: Program, config: CoreConfig, golden: GoldenRun,
         pruner = StaticPruner(program, config, golden)
     results: list[InjectionResult] = []
     for trial in range(shard.start, shard.stop):
+        maybe_chaos(trial)
         rng = derive_rng(seed, field, trial)
         cycle = sample_cycle(rng, golden.cycles)
         if mode == "occupancy":

@@ -1,0 +1,566 @@
+"""Fault-tolerant campaign supervision: retries, watchdogs, quarantine.
+
+The injection engine studies how a simulated CPU survives bit flips,
+yet a single worker crash, OOM kill, or hung shard used to abort the
+whole campaign from a bare ``future.result()``. This module gives
+campaigns the same survival properties as the machine under test:
+
+* **Retry with deterministic backoff** -- a failed shard is re-submitted
+  up to :class:`RetryPolicy.max_retries` times. Backoff delays are
+  drawn from :func:`~repro.gefin.parallel.derive_rng` keyed on
+  ``(seed, shard, attempt)``, so a retry schedule replays bit-exactly
+  across runs (the *durations* are deterministic; wall-clock obviously
+  is not).
+* **Pool re-creation** -- a ``BrokenProcessPoolError`` (worker killed by
+  the OS, ``os._exit``, OOM) poisons every in-flight future of a
+  ``ProcessPoolExecutor``; the supervisor attributes the break (see
+  the attribution note below), tears the pool down, builds a fresh
+  one, and keeps going.
+* **Watchdog deadlines** -- every submitted shard carries a deadline
+  derived from the golden run's cycle count
+  (:func:`default_shard_timeout`) or an explicit ``shard_timeout``. A
+  shard past its deadline is declared hung: its workers are terminated,
+  the pool is rebuilt, and the shard is charged a retry. Unexpired
+  shards caught in the teardown are re-queued without charge.
+* **Poison-trial quarantine** -- a shard that exhausts its retries is
+  *bisected*: both halves re-run with a fresh retry budget, so the
+  failure isolates to single trials in O(log size) extra attempts. A
+  single-trial shard that still fails is quarantined: the trial is
+  recorded as an :data:`~repro.gefin.outcomes.Outcome.INFRASTRUCTURE`
+  outcome (weight 0) instead of sinking the campaign, and lands in the
+  shard checkpoint like any other result.
+* **Graceful degradation** -- everything the supervisor had to do is
+  accounted in a :class:`Degradation` record. A degraded campaign
+  reports its *achieved* error margin recomputed from the trials that
+  actually completed (:meth:`Degradation.report`), instead of quoting
+  the requested one as if nothing happened.
+
+Crash attribution note: a dying worker poisons every in-flight future,
+so the executor cannot say *which* shard killed it. The supervisor
+therefore charges a pool break only when attribution is certain: a
+shard that breaks the pool while running **alone** is charged. An
+ambiguous break (several shards in flight) charges nobody -- every
+suspect is re-queued in *isolation* and run one at a time until it
+either completes (cleared) or dies alone (charged with certainty on
+the next break). Healthy shards caught in a poison trial's blast
+radius never lose retry budget to it, so a false quarantine is
+impossible even with ``max_retries=0``.
+
+The supervisor is generic over what a shard task computes: both
+:func:`repro.gefin.campaign.run_campaign` and
+:meth:`repro.experiments.grid.CampaignGrid.ensure_all` drive it with
+their own submit/decode callbacks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable, Hashable, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any
+
+from ..obs.events import EVENT_INJECTED, EVENT_QUARANTINED, TraceEvent
+from ..obs.log import get_logger
+from ..obs.metrics import NULL_METRICS
+from .fault import FaultSpec
+from .injector import InjectionResult
+from .outcomes import Outcome
+from .parallel import Shard, derive_rng, sample_cycle
+from .sampling import error_margin, fault_population
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "Degradation",
+    "RetryPolicy",
+    "ShardSupervisor",
+    "default_shard_timeout",
+    "quarantined_result",
+]
+
+_LOG = get_logger()
+
+#: Times a shard is re-run after a failure before it is bisected.
+DEFAULT_MAX_RETRIES = 2
+
+#: Floor for derived watchdog deadlines; generous so slow CI machines
+#: never trip it on healthy shards.
+MIN_SHARD_TIMEOUT = 120.0
+
+#: Deliberately pessimistic simulation-rate floor (cycles/second) used
+#: to turn a golden cycle count into a wall-clock deadline.
+CYCLES_PER_SECOND_FLOOR = 500.0
+
+#: Safety multiplier on the estimated shard wall-clock.
+_DEADLINE_SLACK = 8.0
+
+#: How long (seconds) the supervisor blocks in ``wait`` between
+#: watchdog sweeps.
+_POLL_INTERVAL = 0.25
+
+
+def default_shard_timeout(golden_cycles: int, shard_size: int) -> float:
+    """Watchdog deadline derived from the golden run's cycle count.
+
+    A shard simulates at most ``shard_size`` trials of at most
+    ``golden_cycles * 2`` cycles each (the timeout-classification
+    bound); dividing by a pessimistic cycles/second floor and applying
+    a slack factor gives a deadline that only a genuinely hung worker
+    can miss.
+    """
+    est = shard_size * 2 * max(1, golden_cycles) / CYCLES_PER_SECOND_FLOOR
+    return max(MIN_SHARD_TIMEOUT, _DEADLINE_SLACK * est)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay`` draws its jitter from :func:`derive_rng` keyed on
+    ``(seed, token, attempt)``, so the schedule a campaign would follow
+    is a pure function of its parameters and replays bit-exactly.
+    """
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def delay(self, seed: int, token: str, attempt: int) -> float:
+        """Backoff before re-running ``token``'s ``attempt``-th retry."""
+        cap = min(self.max_delay,
+                  self.base_delay * (2 ** max(0, attempt - 1)))
+        rng = derive_rng(seed, f"retry:{token}", attempt)
+        return cap * (0.5 + 0.5 * rng.random())
+
+
+@dataclass
+class Degradation:
+    """Everything the supervisor had to do to keep a campaign alive."""
+
+    retries: int = 0
+    watchdog_kills: int = 0
+    pool_restarts: int = 0
+    #: One entry per quarantined trial:
+    #: ``{"trial", "key", "reason", "attempts"}``.
+    quarantined: list[dict] = dataclass_field(default_factory=list)
+
+    @property
+    def dirty(self) -> bool:
+        """Did anything at all go wrong?"""
+        return bool(self.retries or self.watchdog_kills
+                    or self.pool_restarts or self.quarantined)
+
+    def report(self, n: int, bit_count: int, golden_cycles: int,
+               confidence: float = 0.99) -> dict:
+        """Degradation summary with the *achieved* statistical margin.
+
+        ``achieved_margin`` is :func:`error_margin` recomputed from the
+        ``n - quarantined`` trials that actually completed: a degraded
+        campaign states its widened confidence interval instead of
+        pretending the quarantined samples exist.
+        """
+        completed = n - len(self.quarantined)
+        population = fault_population(bit_count, golden_cycles)
+        return {
+            "retries": self.retries,
+            "watchdog_kills": self.watchdog_kills,
+            "pool_restarts": self.pool_restarts,
+            "quarantined": sorted(self.quarantined,
+                                  key=lambda q: q["trial"]),
+            "completed_n": completed,
+            "requested_margin99": error_margin(population, n, confidence),
+            "achieved_margin99": (error_margin(population, completed,
+                                               confidence)
+                                  if completed else 1.0),
+        }
+
+
+def quarantined_result(field: str, trial: int, seed: int,
+                       golden_cycles: int, mode: str, burst: int,
+                       bit_count: int, reason: str,
+                       trace: bool = False) -> InjectionResult:
+    """The :data:`Outcome.INFRASTRUCTURE` record for a poisoned trial.
+
+    The fault spec is re-derived exactly as :func:`~repro.gefin.
+    parallel.run_shard` would have drawn it -- same RNG stream, same
+    draw order -- so a quarantined trial names the precise fault it
+    failed to execute, and resuming from a checkpoint replays the same
+    record. ``weight`` is 0: the trial contributes to no AVF class, and
+    the aggregator excludes it from the estimator denominator.
+    """
+    rng = derive_rng(seed, field, trial)
+    cycle = sample_cycle(rng, golden_cycles)
+    if mode == "occupancy":
+        spec = FaultSpec(field=field, cycle=cycle, mode="occupancy",
+                         burst=burst)
+    else:
+        spec = FaultSpec(field=field, cycle=cycle,
+                         bit_index=rng.randrange(bit_count), burst=burst)
+    result = InjectionResult(spec, Outcome.INFRASTRUCTURE, 0.0, None,
+                             reason, 0, early="quarantine")
+    if trace:
+        result.trail = [TraceEvent(EVENT_INJECTED, cycle, reason),
+                        TraceEvent(EVENT_QUARANTINED, cycle, reason)]
+    return result
+
+
+# --------------------------------------------------------------- supervisor
+
+
+class _Assembly:
+    """Re-assembles one original shard from (possibly bisected) parts."""
+
+    __slots__ = ("key", "shard", "parts", "covered", "value")
+
+    def __init__(self, key: Hashable, shard: Shard) -> None:
+        self.key = key
+        self.shard = shard
+        self.parts: dict[int, list[dict]] = {}
+        self.covered = 0
+        self.value: Any = None
+
+    def feed(self, shard: Shard, records: list[dict],
+             value: Any = None) -> bool:
+        """Add one part; True when the original shard is fully covered."""
+        self.parts[shard.start] = records
+        self.covered += shard.size
+        if value is not None:
+            self.value = value
+        return self.covered >= self.shard.size
+
+    def records(self) -> list[dict]:
+        """All trial records of the original shard, in trial order."""
+        return [record for start in sorted(self.parts)
+                for record in self.parts[start]]
+
+
+class _Task:
+    """One submittable unit: a (sub-)shard plus its retry state."""
+
+    __slots__ = ("key", "shard", "assembly", "attempts", "not_before",
+                 "solo")
+
+    def __init__(self, key: Hashable, shard: Shard,
+                 assembly: _Assembly) -> None:
+        self.key = key
+        self.shard = shard
+        self.assembly = assembly
+        self.attempts = 0
+        self.not_before = 0.0
+        #: Suspected of killing workers: run alone so the next break
+        #: (if any) is unambiguously its fault.
+        self.solo = False
+
+
+class ShardSupervisor:
+    """Runs ``(key, shard)`` jobs on a process pool, surviving worker
+    crashes, hangs, and poison trials (see the module docstring).
+
+    Callbacks (all called in the parent process):
+
+    ``submit(pool, key, shard) -> Future``
+        Submit one (sub-)shard to the executor. Sub-shards produced by
+        bisection reuse the original shard's index with a narrowed
+        ``[start, stop)`` range.
+    ``records_of(key, shard, value) -> list[dict]``
+        Extract the per-trial JSON records (in trial order) from a
+        completed future's value.
+    ``quarantine(key, trial, reason) -> dict``
+        Build the infrastructure-outcome record for a poisoned trial
+        (see :func:`quarantined_result`).
+    ``on_shard(key, shard, value, records)``
+        One *original* shard is fully assembled. ``value`` is the value
+        of a successful task that contributed to it (the whole-shard
+        value when no bisection happened) or ``None`` when every trial
+        was quarantined.
+    """
+
+    def __init__(self, workers: int, *,
+                 submit: Callable[[Any, Hashable, Shard], Future],
+                 records_of: Callable[[Hashable, Shard, Any], list[dict]],
+                 quarantine: Callable[[Hashable, int, str], dict],
+                 on_shard: Callable[[Hashable, Shard, Any, list[dict]],
+                                    None],
+                 seed: int = 0,
+                 policy: RetryPolicy | None = None,
+                 shard_timeout: float | None = None,
+                 fail_fast: bool = False,
+                 metrics: Any = None,
+                 make_pool: Callable[[int], Any] | None = None) -> None:
+        self.workers = max(1, workers)
+        self.policy = policy or RetryPolicy()
+        self.shard_timeout = shard_timeout
+        self.fail_fast = fail_fast
+        self.degradation = Degradation()
+        self._submit = submit
+        self._records_of = records_of
+        self._quarantine = quarantine
+        self._on_shard = on_shard
+        self._seed = seed
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._make_pool = make_pool or self._default_pool
+        self._ready: deque[_Task] = deque()
+        self._waiting: list[_Task] = []
+
+    def _default_pool(self, workers: int) -> Any:
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=workers)
+
+    # ------------------------------------------------------------ main loop
+
+    def run(self, jobs: Sequence[tuple[Hashable, Shard]]) -> Degradation:
+        """Execute every job; returns the :class:`Degradation` record."""
+        if not jobs:
+            return self.degradation
+        for key, shard in jobs:
+            assembly = _Assembly(key, shard)
+            self._ready.append(_Task(key, shard, assembly))
+        pool = self._make_pool(min(self.workers, len(jobs)))
+        inflight: dict[Future, tuple[_Task, float]] = {}
+        try:
+            while self._ready or self._waiting or inflight:
+                now = time.monotonic()
+                self._promote_waiting(now)
+                pool = self._fill(pool, inflight, now)
+                if not inflight:
+                    self._sleep_until_due()
+                    continue
+                done, _ = wait(list(inflight), timeout=_POLL_INTERVAL,
+                               return_when=FIRST_COMPLETED)
+                broken: list[tuple[_Task, str]] = []
+                for future in done:
+                    task, _deadline = inflight.pop(future)
+                    self._handle_done(future, task, broken)
+                if broken:
+                    pool = self._attribute_break(pool, inflight, broken)
+                else:
+                    pool = self._watchdog(pool, inflight)
+        finally:
+            self._shutdown(pool)
+        return self.degradation
+
+    def _promote_waiting(self, now: float) -> None:
+        due = [task for task in self._waiting if task.not_before <= now]
+        if due:
+            self._waiting = [task for task in self._waiting
+                             if task.not_before > now]
+            self._ready.extend(due)
+
+    def _sleep_until_due(self) -> None:
+        if not self._waiting:
+            return
+        now = time.monotonic()
+        delay = min(task.not_before for task in self._waiting) - now
+        if delay > 0:
+            time.sleep(min(delay, _POLL_INTERVAL))
+
+    def _fill(self, pool: Any, inflight: dict[Future, tuple[_Task, float]],
+              now: float) -> Any:
+        """Submit ready tasks up to the worker count (so every in-flight
+        future is actually running, keeping deadlines honest).
+
+        A ``solo`` task (a pool-break suspect) only runs with the pool
+        otherwise empty, and nothing joins it until it resolves -- the
+        next break, if any, then has exactly one possible culprit.
+        """
+        while self._ready and len(inflight) < self.workers:
+            if inflight and (self._ready[0].solo
+                             or any(t.solo for t, _ in inflight.values())):
+                return pool
+            task = self._ready.popleft()
+            try:
+                future = self._submit(pool, task.key, task.shard)
+            except BrokenProcessPool:
+                self._ready.appendleft(task)
+                pool = self._attribute_break(pool, inflight, [])
+                continue
+            deadline = (now + self.shard_timeout
+                        if self.shard_timeout else 0.0)
+            inflight[future] = (task, deadline)
+        return pool
+
+    # ----------------------------------------------------------- completion
+
+    def _handle_done(self, future: Future, task: _Task,
+                     broken: list[tuple[_Task, str]]) -> None:
+        """Process one finished future.
+
+        Success feeds the shard's assembly and a task-level exception
+        is charged directly; a pool break is *not* charged here -- the
+        task lands in ``broken`` for :meth:`_attribute_break`, which
+        decides whether attribution is certain enough to charge.
+        """
+        if future.cancelled():
+            self._ready.append(task)
+            return
+        try:
+            value = future.result()
+        except BrokenProcessPool as exc:
+            if self.fail_fast:
+                raise
+            broken.append((task, f"worker process died: {exc}"))
+            return
+        except Exception as exc:  # noqa: BLE001 - task-level failure
+            if self.fail_fast:
+                raise
+            self._charge(task, f"shard task failed: {exc!r}")
+            return
+        self._complete(task, value)
+
+    def _complete(self, task: _Task, value: Any) -> None:
+        records = self._records_of(task.key, task.shard, value)
+        self._feed(task.assembly, task.shard, records, value)
+
+    def _feed(self, assembly: _Assembly, shard: Shard,
+              records: list[dict], value: Any) -> None:
+        if assembly.feed(shard, records, value):
+            self._on_shard(assembly.key, assembly.shard, assembly.value,
+                           assembly.records())
+
+    # -------------------------------------------------------------- failure
+
+    def _charge(self, task: _Task, reason: str) -> None:
+        """Charge one failed attempt; retry, bisect, or quarantine."""
+        task.attempts += 1
+        self.degradation.retries += 1
+        self._metrics.counter("campaign.shard_retries").inc()
+        if task.attempts <= self.policy.max_retries:
+            token = f"{task.key}:{task.shard.start}:{task.shard.stop}"
+            delay = self.policy.delay(self._seed, token, task.attempts)
+            task.not_before = time.monotonic() + delay
+            self._waiting.append(task)
+            _LOG.warning("retrying shard", shard=task.shard.index,
+                         trials=f"[{task.shard.start},{task.shard.stop})",
+                         attempt=task.attempts, backoff=round(delay, 3),
+                         reason=reason)
+            return
+        if task.shard.size == 1:
+            trial = task.shard.start
+            record = self._quarantine(task.key, trial, reason)
+            self.degradation.quarantined.append({
+                "trial": trial,
+                "key": None if task.key is None else str(task.key),
+                "reason": reason,
+                "attempts": task.attempts,
+            })
+            self._metrics.counter("campaign.quarantined_trials").inc()
+            _LOG.warning("quarantined poison trial", trial=trial,
+                         attempts=task.attempts, reason=reason)
+            self._feed(task.assembly, task.shard, [record], None)
+            return
+        mid = (task.shard.start + task.shard.stop) // 2
+        _LOG.warning("bisecting failing shard", shard=task.shard.index,
+                     trials=f"[{task.shard.start},{task.shard.stop})",
+                     reason=reason)
+        for start, stop in ((task.shard.start, mid),
+                            (mid, task.shard.stop)):
+            sub = Shard(task.shard.index, start, stop)
+            sub_task = _Task(task.key, sub, task.assembly)
+            sub_task.solo = task.solo
+            self._ready.append(sub_task)
+
+    # ------------------------------------------------------------- recovery
+
+    def _watchdog(self, pool: Any,
+                  inflight: dict[Future, tuple[_Task, float]]) -> Any:
+        """Kill and recover the pool when a shard overran its deadline."""
+        if not self.shard_timeout:
+            return pool
+        now = time.monotonic()
+        expired = [future for future, (_task, deadline) in inflight.items()
+                   if deadline and now > deadline]
+        if not expired:
+            return pool
+        if self.fail_fast:
+            task = inflight[expired[0]][0]
+            raise TimeoutError(
+                f"shard [{task.shard.start},{task.shard.stop}) exceeded "
+                f"its {self.shard_timeout:.1f}s watchdog deadline")
+        for future in expired:
+            task, _deadline = inflight.pop(future)
+            self.degradation.watchdog_kills += 1
+            self._metrics.counter("campaign.watchdog_kills").inc()
+            task.solo = True
+            self._charge(task, "shard exceeded its watchdog deadline")
+        return self._recover(pool, inflight, "hung shard killed")
+
+    def _attribute_break(self, pool: Any,
+                         inflight: dict[Future, tuple[_Task, float]],
+                         broken: list[tuple[_Task, str]]) -> Any:
+        """Charge a pool break to the right shard -- or to nobody.
+
+        A dying worker poisons every in-flight future, so the executor
+        cannot say which shard killed it. A single suspect is certain
+        and gets charged; with several, charging them all would let one
+        poison trial starve innocent shards into quarantine, so nobody
+        is charged -- every suspect is re-queued with ``solo`` set, to
+        run alone until it completes (cleared) or breaks the pool
+        single-handedly (charged).
+        """
+        for future, (task, _deadline) in inflight.items():
+            if future.done() and not future.cancelled():
+                self._handle_done(future, task, broken)
+            else:  # pragma: no cover - a broken pool marks these done
+                broken.append((task, "worker pool broke mid-shard"))
+        inflight.clear()
+        if len(broken) == 1:
+            task, reason = broken[0]
+            task.solo = True
+            self._charge(task, reason)
+        elif broken:
+            for task, _reason in broken:
+                task.solo = True
+                self._ready.append(task)
+            _LOG.warning("ambiguous pool break; isolating suspects",
+                         suspects=len(broken))
+        return self._restart(pool, "worker pool broke mid-shard")
+
+    def _recover(self, pool: Any,
+                 inflight: dict[Future, tuple[_Task, float]],
+                 why: str) -> Any:
+        """Tear the pool down and re-queue survivors without charge.
+
+        Used when the supervisor itself kills the pool (hung-shard
+        teardown): the surviving shards are known innocent, so futures
+        broken by our own teardown are simply re-queued.
+        """
+        collateral: list[tuple[_Task, str]] = []
+        for future, (task, _deadline) in inflight.items():
+            if future.done() and not future.cancelled():
+                # Completed in the race window: keep its work.
+                self._handle_done(future, task, collateral)
+            else:
+                self._ready.append(task)
+        for task, _reason in collateral:
+            self._ready.append(task)
+        inflight.clear()
+        return self._restart(pool, why)
+
+    def _restart(self, pool: Any, why: str) -> Any:
+        self._shutdown(pool)
+        self.degradation.pool_restarts += 1
+        self._metrics.counter("campaign.pool_restarts").inc()
+        _LOG.warning("recreated worker pool", reason=why,
+                     restarts=self.degradation.pool_restarts)
+        return self._make_pool(self.workers)
+
+    @staticmethod
+    def _shutdown(pool: Any) -> None:
+        """Shut a pool down hard, terminating hung or orphaned workers."""
+        raw = getattr(pool, "_processes", None)
+        processes = list(raw.values()) if isinstance(raw, dict) else []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - already-broken pools may throw
+            pass
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - TERM-proof worker
+                process.kill()
+                process.join(timeout=5)

@@ -9,6 +9,13 @@ Writes are atomic (write to a per-process unique temp name, then
 publish a torn file; reads treat unparseable or partial JSON as a cache
 miss rather than an error, so a file torn by an older writer or a died
 process just gets regenerated.
+
+Every published document also carries a ``"_checksum"`` entry -- a
+64-bit digest (:func:`repro.digest.mix64` over the canonical JSON
+serialization) of the rest of the payload. Valid JSON with a wrong
+checksum (bit rot, a truncation that still parses, a hand-edited cell)
+reads as a cache miss just like torn JSON does; documents written by
+older versions carry no checksum and are accepted as-is.
 """
 
 from __future__ import annotations
@@ -18,7 +25,29 @@ import os
 import uuid
 from pathlib import Path
 
+from ..digest import mix64
 from .campaign import CampaignResult
+
+#: Reserved top-level key holding the payload digest.
+CHECKSUM_KEY = "_checksum"
+
+
+def payload_checksum(payload: dict) -> int:
+    """64-bit content digest of a JSON payload (checksum key excluded).
+
+    The digest is taken over the canonical serialization (sorted keys,
+    no whitespace), so it is independent of on-disk formatting; the
+    bytes are folded as 8-byte little-endian limbs through
+    :func:`~repro.digest.mix64` keyed on their offset, XOR-combined.
+    """
+    body = {k: v for k, v in payload.items() if k != CHECKSUM_KEY}
+    blob = json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode()
+    digest = 0
+    for offset in range(0, len(blob), 8):
+        limb = int.from_bytes(blob[offset:offset + 8], "little")
+        digest ^= mix64(offset, limb)
+    return digest
 
 
 def result_key(config_name: str, benchmark: str, opt_level: str,
@@ -38,9 +67,10 @@ def _atomic_write_json(path: Path, payload: dict) -> None:
     JSON.
     """
     tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+    sealed = {**payload, CHECKSUM_KEY: payload_checksum(payload)}
     try:
         with tmp.open("w") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
+            json.dump(sealed, handle, indent=1, sort_keys=True)
         tmp.replace(path)
     except BaseException:
         tmp.unlink(missing_ok=True)
@@ -48,13 +78,22 @@ def _atomic_write_json(path: Path, payload: dict) -> None:
 
 
 def _read_json(path: Path) -> dict | None:
-    """Parse ``path`` as JSON; any missing/partial/corrupt file is None."""
+    """Parse and verify ``path``; missing/partial/corrupt files are None.
+
+    A document whose stored ``"_checksum"`` disagrees with its content
+    is corrupt and reads as a miss; legacy documents without one pass.
+    """
     try:
         with path.open() as handle:
             data = json.load(handle)
     except (OSError, UnicodeDecodeError, json.JSONDecodeError):
         return None
-    return data if isinstance(data, dict) else None
+    if not isinstance(data, dict):
+        return None
+    stored = data.pop(CHECKSUM_KEY, None)
+    if stored is not None and stored != payload_checksum(data):
+        return None
+    return data
 
 
 class ResultStore:

@@ -30,6 +30,7 @@ from .events import (
     EVENT_INJECTED,
     EVENT_MASKED,
     EVENT_OUTPUT_DIVERGENCE,
+    EVENT_QUARANTINED,
     EVENT_REACHED_OUTPUT,
     EVENT_STATE_DIVERGENCE,
     TERMINAL_KINDS,
@@ -60,6 +61,7 @@ __all__ = [
     "EVENT_INJECTED",
     "EVENT_MASKED",
     "EVENT_OUTPUT_DIVERGENCE",
+    "EVENT_QUARANTINED",
     "EVENT_REACHED_OUTPUT",
     "EVENT_STATE_DIVERGENCE",
     "Gauge",

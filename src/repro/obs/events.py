@@ -20,10 +20,14 @@ masked              terminal: the fault provably has no architectural
 reached_output      terminal: the run completed with corrupted output
                     or exit code (the SDC mechanism)
 exception           terminal: the run died (crash / assert / timeout)
+quarantined         terminal: the *host* failed -- the campaign
+                    supervisor gave up on the trial after its worker
+                    repeatedly crashed or hung, and recorded an
+                    infrastructure outcome instead
 ==================  ===================================================
 
 Every trail starts with ``injected`` and ends with exactly one of the
-three terminal kinds; :func:`terminal_kinds` maps an outcome class to
+terminal kinds; :func:`terminal_kinds` maps an outcome class to
 the terminal kinds its trail may legally end with, and
 :func:`trail_is_consistent` enforces the whole shape. The equivalence
 tests assert these invariants over full campaigns on both core models.
@@ -39,6 +43,7 @@ __all__ = [
     "EVENT_INJECTED",
     "EVENT_MASKED",
     "EVENT_OUTPUT_DIVERGENCE",
+    "EVENT_QUARANTINED",
     "EVENT_REACHED_OUTPUT",
     "EVENT_STATE_DIVERGENCE",
     "TERMINAL_KINDS",
@@ -54,10 +59,12 @@ EVENT_OUTPUT_DIVERGENCE = "output_divergence"
 EVENT_MASKED = "masked"
 EVENT_REACHED_OUTPUT = "reached_output"
 EVENT_EXCEPTION = "exception"
+EVENT_QUARANTINED = "quarantined"
 
 #: Kinds that may only appear as a trail's final event.
 TERMINAL_KINDS = frozenset(
-    {EVENT_MASKED, EVENT_REACHED_OUTPUT, EVENT_EXCEPTION})
+    {EVENT_MASKED, EVENT_REACHED_OUTPUT, EVENT_EXCEPTION,
+     EVENT_QUARANTINED})
 
 _NON_TERMINAL_KINDS = frozenset(
     {EVENT_INJECTED, EVENT_STATE_DIVERGENCE, EVENT_COMMIT_DIVERGENCE,
@@ -94,6 +101,8 @@ def terminal_kinds(outcome: object) -> frozenset[str]:
         return frozenset({EVENT_MASKED})
     if value == "sdc":
         return frozenset({EVENT_REACHED_OUTPUT})
+    if value == "infrastructure":
+        return frozenset({EVENT_QUARANTINED})
     return frozenset({EVENT_EXCEPTION})
 
 

@@ -94,14 +94,18 @@ class TestTrailConsistency:
 
     def test_all_three_terminals_exercised(self, rig) -> None:
         """Guard against a degenerate sample: the pinned seed must keep
-        producing masked, SDC, and exception trails on this core."""
+        producing masked, SDC, and exception trails on this core.
+        (``quarantined`` is excluded: only the campaign supervisor emits
+        it, never a healthy traced run.)"""
         _config, _program, _golden, traced = rig
         terminals = {
             result.trail[-1].kind
             for _summary, results in traced.values()
             for result in results
         }
-        assert terminals == TERMINAL_KINDS
+        assert terminals == {
+            EVENT_MASKED, EVENT_REACHED_OUTPUT, EVENT_EXCEPTION,
+        }
 
     def test_trail_opens_at_injection_cycle(self, rig) -> None:
         _config, _program, _golden, traced = rig

@@ -13,6 +13,7 @@ from repro.obs import (
     EVENT_EXCEPTION,
     EVENT_INJECTED,
     EVENT_MASKED,
+    EVENT_QUARANTINED,
     EVENT_REACHED_OUTPUT,
     NULL_METRICS,
     TERMINAL_KINDS,
@@ -119,8 +120,10 @@ class TestTrailEvents:
 
         assert terminal_kinds(Outcome.MASKED) == {EVENT_MASKED}
         assert terminal_kinds(Outcome.SDC) == {EVENT_REACHED_OUTPUT}
+        assert terminal_kinds(Outcome.INFRASTRUCTURE) == \
+            {EVENT_QUARANTINED}
         assert TERMINAL_KINDS == {EVENT_MASKED, EVENT_REACHED_OUTPUT,
-                                  EVENT_EXCEPTION}
+                                  EVENT_EXCEPTION, EVENT_QUARANTINED}
 
     def test_consistent_trail(self) -> None:
         trail = [TraceEvent(EVENT_INJECTED, 10),

@@ -83,13 +83,31 @@ class TestShardPlan:
             Shard(0, 5, 5)
 
     def test_resolve_workers_env(self, monkeypatch) -> None:
+        import os
+
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert resolve_workers(None) == 1
+        # Explicit arguments are honoured verbatim, even above the CPU
+        # count (tests and benches deliberately overcommit).
         assert resolve_workers(4) == 4
         monkeypatch.setenv("REPRO_WORKERS", "3")
-        assert resolve_workers(None) == 3
+        assert resolve_workers(None) == min(3, os.cpu_count() or 1)
         with pytest.raises(ValueError):
             resolve_workers(0)
+
+    def test_resolve_workers_env_junk_names_the_variable(
+            self, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    def test_resolve_workers_env_clamped_to_cpus(self, monkeypatch,
+                                                 capsys) -> None:
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "100000")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert "clamping" in capsys.readouterr().err
 
 
 class TestCycleWindow:

@@ -1,0 +1,634 @@
+"""Campaign resilience: retry policy, watchdog, quarantine, recovery.
+
+Three layers of coverage:
+
+* unit tests of :class:`ShardSupervisor` against a synchronous fake
+  pool (no processes), exercising retry, bisection, quarantine,
+  broken-pool recovery, watchdog expiry, and fail-fast;
+* end-to-end chaos campaigns through real worker pools, with
+  ``REPRO_CHAOS`` making chosen trials kill or hang their worker --
+  the campaign must complete, quarantine exactly the poison trials,
+  and stay bit-exact with the fault-free run everywhere else;
+* the degraded-statistics contract: quarantined trials leave the
+  estimator denominator and widen the reported error margin.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.compiler import ARMLET32, compile_source
+from repro.gefin import (
+    CampaignCheckpoint,
+    Degradation,
+    Outcome,
+    RetryPolicy,
+    Shard,
+    ShardSupervisor,
+    aggregate,
+    default_shard_timeout,
+    derive_rng,
+    error_margin,
+    fault_population,
+    quarantined_result,
+    run_campaign,
+    run_golden_auto,
+    sample_cycle,
+)
+from repro.gefin.resilience import MIN_SHARD_TIMEOUT
+from repro.microarch import CORTEX_A15
+from repro.obs import (
+    EVENT_INJECTED,
+    EVENT_QUARANTINED,
+    MetricsRegistry,
+    trail_is_consistent,
+)
+
+SOURCE = """
+int data[48];
+int main() {
+    for (int i = 0; i < 48; i++) { data[i] = i * 11 % 31; }
+    int s = 0;
+    for (int i = 0; i < 48; i++) { s += data[i]; }
+    putint(s);
+    return 0;
+}
+"""
+
+FIELD = "rob.flags"
+
+#: Near-zero backoff so unit tests never actually sleep.
+FAST = dict(base_delay=0.0001, max_delay=0.0002)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SOURCE, "O1", ARMLET32, name="resilience-test")
+
+
+@pytest.fixture(scope="module")
+def golden(program):
+    return run_golden_auto(program, CORTEX_A15)
+
+
+@pytest.fixture(scope="module")
+def serial(program, golden):
+    summary, results = run_campaign(program, CORTEX_A15, FIELD, n=8,
+                                    seed=3, golden=golden,
+                                    keep_results=True, shard_size=2)
+    return summary, results
+
+
+# ------------------------------------------------------------ retry policy
+
+
+class TestRetryPolicy:
+    def test_deterministic_schedule(self) -> None:
+        policy = RetryPolicy()
+        a = [policy.delay(7, "shard:0:4", k) for k in range(1, 5)]
+        b = [policy.delay(7, "shard:0:4", k) for k in range(1, 5)]
+        assert a == b
+        # distinct attempts draw distinct jitter
+        assert len(set(a)) == len(a)
+
+    def test_exponential_cap_with_jitter_bounds(self) -> None:
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0)
+        for attempt in range(1, 8):
+            cap = min(1.0, 0.1 * 2 ** (attempt - 1))
+            delay = policy.delay(0, "t", attempt)
+            assert 0.5 * cap <= delay <= cap
+
+    def test_seed_and_token_vary_schedule(self) -> None:
+        policy = RetryPolicy()
+        assert policy.delay(1, "a", 1) != policy.delay(2, "a", 1)
+        assert policy.delay(1, "a", 1) != policy.delay(1, "b", 1)
+
+
+class TestDefaultShardTimeout:
+    def test_floor(self) -> None:
+        assert default_shard_timeout(1, 1) == MIN_SHARD_TIMEOUT
+
+    def test_scales_with_work(self) -> None:
+        small = default_shard_timeout(10_000_000, 4)
+        large = default_shard_timeout(10_000_000, 8)
+        assert large == 2 * small > MIN_SHARD_TIMEOUT
+
+
+# ------------------------------------------------------- quarantine record
+
+
+class TestQuarantinedResult:
+    def test_spec_matches_run_shard_draw_order(self) -> None:
+        seed, cycles, bits = 11, 5000, 4096
+        for trial in range(4):
+            rng = derive_rng(seed, FIELD, trial)
+            cycle = sample_cycle(rng, cycles)
+            bit = rng.randrange(bits)
+            got = quarantined_result(FIELD, trial, seed, cycles,
+                                     "uniform", 1, bits, "died")
+            assert got.spec.cycle == cycle
+            assert got.spec.bit_index == bit
+            assert got.outcome is Outcome.INFRASTRUCTURE
+            assert got.weight == 0.0
+            assert not got.failed
+
+    def test_round_trips_through_checkpoint_format(self) -> None:
+        from repro.gefin.injector import InjectionResult
+
+        record = quarantined_result(FIELD, 3, 0, 100, "occupancy", 1,
+                                    64, "worker died")
+        clone = InjectionResult.from_dict(
+            json.loads(json.dumps(record.to_dict())))
+        assert clone == record
+        assert clone.outcome is Outcome.INFRASTRUCTURE
+
+    def test_traced_trail_is_consistent(self) -> None:
+        record = quarantined_result(FIELD, 0, 0, 100, "occupancy", 1,
+                                    64, "hung", trace=True)
+        kinds = [event.kind for event in record.trail]
+        assert kinds == [EVENT_INJECTED, EVENT_QUARANTINED]
+        assert trail_is_consistent(record.trail, "infrastructure")
+
+
+# ------------------------------------------------- estimator interactions
+
+
+class TestDegradedStatistics:
+    def _results(self, quarantined: set[int], n: int = 10):
+        from repro.gefin.fault import FaultSpec
+        from repro.gefin.injector import InjectionResult
+
+        out = []
+        for trial in range(n):
+            spec = FaultSpec(field=FIELD, cycle=trial + 1,
+                             mode="occupancy")
+            if trial in quarantined:
+                out.append(InjectionResult(spec, Outcome.INFRASTRUCTURE,
+                                           0.0, None, "died", 0,
+                                           early="quarantine"))
+            elif trial % 2:
+                out.append(InjectionResult(spec, Outcome.SDC, 1.0, 4))
+            else:
+                out.append(InjectionResult(spec, Outcome.MASKED, 0.0, 4))
+        return out
+
+    def test_quarantined_trials_leave_the_denominator(self) -> None:
+        clean = aggregate(FIELD, "p", "c", "occupancy", 0, 100, 64,
+                          self._results(set()))
+        degraded = aggregate(FIELD, "p", "c", "occupancy", 0, 100, 64,
+                             self._results({0, 2}))
+        assert degraded.counts["infrastructure"] == 2
+        assert degraded.completed_n == 8
+        # the two quarantined trials were both masked: removing them
+        # from the denominator raises the weighted failure mean
+        assert degraded.avf == pytest.approx(
+            clean.avf * clean.n / degraded.completed_n)
+
+    def test_margin_widens_with_quarantine(self) -> None:
+        degraded = aggregate(FIELD, "p", "c", "occupancy", 0, 100, 64,
+                             self._results({1}))
+        population = fault_population(64, 100)
+        assert degraded.margin() == pytest.approx(
+            error_margin(population, 9, 0.99))
+        assert degraded.margin() > error_margin(population, 10, 0.99)
+
+    def test_infrastructure_outcome_vocabulary(self) -> None:
+        outcome = Outcome("infrastructure")
+        assert outcome is Outcome.INFRASTRUCTURE
+        assert not outcome.is_failure
+
+    def test_degradation_report_margins(self) -> None:
+        degradation = Degradation(retries=3, quarantined=[
+            {"trial": 5, "key": None, "reason": "died", "attempts": 3}])
+        report = degradation.report(10, 64, 100)
+        population = fault_population(64, 100)
+        assert report["completed_n"] == 9
+        assert report["requested_margin99"] == pytest.approx(
+            error_margin(population, 10, 0.99))
+        assert report["achieved_margin99"] == pytest.approx(
+            error_margin(population, 9, 0.99))
+        assert report["achieved_margin99"] > report["requested_margin99"]
+
+    def test_clean_degradation_is_not_dirty(self) -> None:
+        assert not Degradation().dirty
+        assert Degradation(retries=1).dirty
+
+
+# ------------------------------------------------- supervisor (fake pool)
+
+
+class FakePool:
+    """Synchronous stand-in for a ProcessPoolExecutor."""
+
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        pass
+
+
+def run_supervised(behavior, jobs, *, max_retries=2, workers=2,
+                   shard_timeout=None, fail_fast=False, metrics=None):
+    """Drive a ShardSupervisor whose tasks run synchronously.
+
+    ``behavior(key, shard, attempt)`` returns the shard's records, or
+    raises; returning ``None`` leaves the future unresolved (a hang).
+    """
+    attempts: dict[tuple, int] = {}
+    done: dict = {}
+
+    def submit(pool, key, shard):
+        token = (key, shard.start, shard.stop)
+        attempts[token] = attempts.get(token, 0) + 1
+        future: Future = Future()
+        try:
+            value = behavior(key, shard, attempts[token])
+        except Exception as exc:  # noqa: BLE001 - test double
+            future.set_exception(exc)
+        else:
+            if value is not None:
+                future.set_result(value)
+        return future
+
+    def quarantine(key, trial, reason):
+        return {"trial": trial, "quarantined": True, "reason": reason}
+
+    def on_shard(key, shard, value, records):
+        done[key] = (shard, value, records)
+
+    supervisor = ShardSupervisor(
+        workers, submit=submit,
+        records_of=lambda _key, _shard, value: value,
+        quarantine=quarantine, on_shard=on_shard, seed=1,
+        policy=RetryPolicy(max_retries=max_retries, **FAST),
+        shard_timeout=shard_timeout, fail_fast=fail_fast,
+        metrics=metrics, make_pool=lambda _workers: FakePool())
+    degradation = supervisor.run(jobs)
+    return degradation, done, attempts
+
+
+def records_for(shard: Shard) -> list[dict]:
+    return [{"trial": trial} for trial in range(shard.start, shard.stop)]
+
+
+class TestShardSupervisor:
+    def test_happy_path_assembles_every_shard(self) -> None:
+        jobs = [("a", Shard(0, 0, 4)), ("b", Shard(1, 4, 8))]
+        degradation, done, attempts = run_supervised(
+            lambda _key, shard, _attempt: records_for(shard), jobs)
+        assert not degradation.dirty
+        assert set(done) == {"a", "b"}
+        _shard, value, records = done["a"]
+        assert records == value == records_for(Shard(0, 0, 4))
+        assert all(count == 1 for count in attempts.values())
+
+    def test_transient_failure_retries_then_succeeds(self) -> None:
+        def behavior(_key, shard, attempt):
+            if shard.start == 0 and attempt == 1:
+                raise RuntimeError("transient")
+            return records_for(shard)
+
+        degradation, done, attempts = run_supervised(
+            behavior, [("a", Shard(0, 0, 4))])
+        assert degradation.retries == 1
+        assert not degradation.quarantined
+        assert done["a"][2] == records_for(Shard(0, 0, 4))
+        assert attempts[("a", 0, 4)] == 2
+
+    def test_poison_trial_bisected_and_quarantined(self) -> None:
+        metrics = MetricsRegistry()
+
+        def behavior(_key, shard, _attempt):
+            if shard.start <= 6 < shard.stop:
+                raise RuntimeError("trial 6 is poison")
+            return records_for(shard)
+
+        degradation, done, _attempts = run_supervised(
+            behavior, [("a", Shard(0, 4, 8))], max_retries=1,
+            metrics=metrics)
+        assert [q["trial"] for q in degradation.quarantined] == [6]
+        shard, value, records = done["a"]
+        assert shard == Shard(0, 4, 8)
+        # every healthy trial present, in order; the poison slot holds
+        # the quarantine record
+        assert [r["trial"] for r in records] == [4, 5, 6, 7]
+        assert records[2]["quarantined"] is True
+        assert value is not None  # from a successful sub-shard
+        snapshot = metrics.snapshot()
+        assert snapshot["campaign.quarantined_trials"]["value"] == 1
+        assert snapshot["campaign.shard_retries"]["value"] >= 2
+
+    def test_fully_poisoned_shard_yields_none_value(self) -> None:
+        degradation, done, _attempts = run_supervised(
+            lambda *_: (_ for _ in ()).throw(RuntimeError("all dead")),
+            [("a", Shard(0, 0, 2))], max_retries=0)
+        assert len(degradation.quarantined) == 2
+        shard, value, records = done["a"]
+        assert value is None
+        assert all(r["quarantined"] for r in records)
+
+    def test_broken_pool_restarts_and_recovers(self) -> None:
+        def behavior(_key, shard, attempt):
+            if shard.start == 0 and attempt == 1:
+                raise BrokenProcessPool("worker killed")
+            return records_for(shard)
+
+        degradation, done, _attempts = run_supervised(
+            behavior, [("a", Shard(0, 0, 4)), ("b", Shard(1, 4, 8))])
+        assert degradation.pool_restarts >= 1
+        assert set(done) == {"a", "b"}
+        assert done["a"][2] == records_for(Shard(0, 0, 4))
+
+    def test_fail_fast_reraises_task_failure(self) -> None:
+        with pytest.raises(RuntimeError, match="boom"):
+            run_supervised(
+                lambda *_: (_ for _ in ()).throw(RuntimeError("boom")),
+                [("a", Shard(0, 0, 2))], fail_fast=True)
+
+    def test_watchdog_expires_hung_future(self) -> None:
+        def behavior(_key, shard, _attempt):
+            if shard.start == 0:
+                return None  # never resolves
+            return records_for(shard)
+
+        degradation, done, _attempts = run_supervised(
+            behavior, [("a", Shard(0, 0, 1)), ("b", Shard(1, 1, 2))],
+            max_retries=0, shard_timeout=0.01)
+        assert degradation.watchdog_kills >= 1
+        assert [q["trial"] for q in degradation.quarantined] == [0]
+        assert done["b"][2] == records_for(Shard(1, 1, 2))
+
+    def test_watchdog_fail_fast_raises_timeout(self) -> None:
+        with pytest.raises(TimeoutError, match="watchdog"):
+            run_supervised(lambda *_: None, [("a", Shard(0, 0, 1))],
+                           shard_timeout=0.01, fail_fast=True)
+
+    def test_empty_job_list(self) -> None:
+        degradation, done, _attempts = run_supervised(
+            lambda *_: [], [])
+        assert not degradation.dirty and not done
+
+
+# --------------------------------------------------- end-to-end chaos runs
+
+
+class TestChaosCampaigns:
+    """Real worker pools, real crashes: REPRO_CHAOS kills or hangs the
+    worker at chosen trials. The campaign must survive, quarantine
+    exactly the poison trials, and match the fault-free run elsewhere.
+    """
+
+    def test_crash_campaign_quarantines_and_stays_bit_exact(
+            self, program, golden, serial, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CHAOS", "crash@5")
+        metrics = MetricsRegistry()
+        summary, results = run_campaign(
+            program, CORTEX_A15, FIELD, n=8, seed=3, golden=golden,
+            keep_results=True, shard_size=2, workers=2, max_retries=1,
+            metrics=metrics)
+        clean_summary, clean_results = serial
+
+        assert summary.counts["infrastructure"] == 1
+        assert results[5].outcome is Outcome.INFRASTRUCTURE
+        for trial, result in enumerate(results):
+            if trial != 5:
+                assert result == clean_results[trial], trial
+        assert summary.completed_n == 7
+        degradation = summary.degradation
+        assert [q["trial"] for q in degradation["quarantined"]] == [5]
+        assert degradation["achieved_margin99"] > \
+            degradation["requested_margin99"]
+        assert summary.margin() == pytest.approx(
+            degradation["achieved_margin99"])
+        snapshot = metrics.snapshot()
+        assert snapshot["campaign.quarantined_trials"]["value"] == 1
+        assert snapshot["campaign.pool_restarts"]["value"] >= 1
+        # the healthy-trial estimator is untouched by the machinery:
+        # re-aggregating the clean outcomes over the shrunk denominator
+        clean_weighted = {
+            cls: avf * clean_summary.n
+            for cls, avf in clean_summary.avf_by_class.items()
+        }
+        masked_5 = clean_results[5].outcome is Outcome.MASKED
+        for cls, avf in summary.avf_by_class.items():
+            expect = clean_weighted.get(cls, 0.0)
+            if not masked_5 and clean_results[5].outcome.value == cls:
+                expect -= clean_results[5].weight
+            assert avf == pytest.approx(expect / 7), cls
+
+    def test_crash_and_hang_campaign_completes(
+            self, program, golden, serial, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CHAOS", "crash@1,hang@5")
+        # a crash poisons every in-flight future, but the supervisor
+        # only charges a shard that breaks the pool while running
+        # alone, so innocent shards caught in the blast radius are
+        # isolated and cleared rather than charged
+        summary, results = run_campaign(
+            program, CORTEX_A15, FIELD, n=8, seed=3, golden=golden,
+            keep_results=True, shard_size=2, workers=2, max_retries=1,
+            shard_timeout=2.0)
+        _clean_summary, clean_results = serial
+
+        assert summary.counts["infrastructure"] == 2
+        quarantined = {trial for trial, result in enumerate(results)
+                       if result.outcome is Outcome.INFRASTRUCTURE}
+        assert quarantined == {1, 5}
+        for trial, result in enumerate(results):
+            if trial not in quarantined:
+                assert result == clean_results[trial], trial
+        # the hang may be charged either by its watchdog expiry or by a
+        # concurrent crash breaking the pool under it; either way the
+        # supervisor restarted the pool and accounted the damage
+        assert summary.degradation["pool_restarts"] >= 1
+        assert summary.degradation["completed_n"] == 6
+
+    def test_hang_campaign_trips_the_watchdog(
+            self, program, golden, serial, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CHAOS", "hang@5")
+        summary, results = run_campaign(
+            program, CORTEX_A15, FIELD, n=8, seed=3, golden=golden,
+            keep_results=True, shard_size=2, workers=2, max_retries=0,
+            shard_timeout=2.0)
+        _clean_summary, clean_results = serial
+
+        assert summary.counts["infrastructure"] == 1
+        assert results[5].outcome is Outcome.INFRASTRUCTURE
+        for trial, result in enumerate(results):
+            if trial != 5:
+                assert result == clean_results[trial], trial
+        assert summary.degradation["watchdog_kills"] >= 1
+
+    def test_fail_fast_hang_raises_timeout(self, program, golden,
+                                           monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CHAOS", "hang@0")
+        with pytest.raises(TimeoutError, match="watchdog"):
+            run_campaign(program, CORTEX_A15, FIELD, n=4, seed=3,
+                         golden=golden, shard_size=2, workers=2,
+                         shard_timeout=1.0, fail_fast=True)
+
+    def test_resume_after_fail_fast_crash_matches_serial(
+            self, program, golden, serial, tmp_path, monkeypatch) -> None:
+        checkpoint = CampaignCheckpoint(tmp_path / "resume.ckpt.jsonl")
+        monkeypatch.setenv("REPRO_CHAOS", "crash@5")
+        with pytest.raises(BrokenProcessPool):
+            run_campaign(program, CORTEX_A15, FIELD, n=8, seed=3,
+                         golden=golden, shard_size=2, workers=2,
+                         checkpoint=checkpoint, fail_fast=True)
+        assert checkpoint.path.exists()
+
+        monkeypatch.delenv("REPRO_CHAOS")
+        summary, results = run_campaign(
+            program, CORTEX_A15, FIELD, n=8, seed=3, golden=golden,
+            keep_results=True, shard_size=2, workers=2,
+            checkpoint=checkpoint)
+        clean_summary, clean_results = serial
+        assert results == clean_results
+        assert summary == clean_summary
+        assert not summary.degradation
+        assert not checkpoint.path.exists()  # cleared on completion
+
+    def test_healthy_campaign_byte_identical_to_serial(
+            self, program, golden, serial, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        summary, results = run_campaign(
+            program, CORTEX_A15, FIELD, n=8, seed=3, golden=golden,
+            keep_results=True, shard_size=2, workers=3)
+        clean_summary, clean_results = serial
+        assert results == clean_results
+        assert json.dumps(summary.to_dict(), sort_keys=True) == \
+            json.dumps(clean_summary.to_dict(), sort_keys=True)
+
+    def test_chaos_hook_inert_in_parent(self, monkeypatch) -> None:
+        from repro.gefin.parallel import _chaos_plan, maybe_chaos
+
+        monkeypatch.setenv("REPRO_CHAOS", "crash@0,hang@1,junk,bad@x")
+        assert _chaos_plan() == {0: "crash", 1: "hang"}
+        maybe_chaos(0)  # must be a no-op outside worker processes
+        maybe_chaos(1)
+        monkeypatch.setenv("REPRO_CHAOS", "")
+        assert _chaos_plan() == {}
+
+
+class TestGridResilience:
+    def test_grid_quarantines_poison_trial_per_cell(
+            self, tmp_path, monkeypatch) -> None:
+        from repro.experiments import CampaignGrid, GridSpec
+
+        spec = GridSpec(benchmarks=("qsort",), cores=("cortex-a15",),
+                        levels=("O1",), fields=("rob.flags", "prf"),
+                        injections=4, scale="micro", seed=13)
+        # trial 2 kills its worker in *every* cell's campaign: both
+        # cells must quarantine exactly that trial and complete.
+        # max_retries=0 is the sharpest test of crash attribution:
+        # single-trial shards have no bisection backstop and no retry
+        # budget, so only isolation (run pool-break suspects alone)
+        # keeps innocent trials out of quarantine.
+        monkeypatch.setenv("REPRO_CHAOS", "crash@2")
+        grid = CampaignGrid(spec, tmp_path / "chaos")
+        assert grid.ensure_all(workers=2, max_retries=0) == 2
+        assert grid.degradation.dirty
+        assert [q["trial"] for q in grid.degradation.quarantined] \
+            == [2, 2]
+
+        monkeypatch.delenv("REPRO_CHAOS")
+        serial = CampaignGrid(spec, tmp_path / "ser")
+        serial.ensure_all()
+        for field in spec.fields:
+            cell = grid.result("cortex-a15", "qsort", "O1", field)
+            clean = serial.result("cortex-a15", "qsort", "O1", field)
+            assert cell.counts["infrastructure"] == 1
+            assert cell.completed_n == 3
+            assert cell.n == clean.n == 4
+            # outside the quarantined trial the outcome census agrees
+            lost = {o: clean.counts[o] - cell.counts[o]
+                    for o in clean.counts
+                    if o != "infrastructure"
+                    and clean.counts[o] != cell.counts[o]}
+            assert sum(lost.values()) == 1
+        # everything is cached now; a re-run simulates nothing
+        assert grid.ensure_all(workers=2) == 0
+
+
+# -------------------------------------------------------- storage checksum
+
+
+class TestStorageChecksum:
+    def test_corrupt_payload_reads_as_miss(self, tmp_path) -> None:
+        from repro.gefin.storage import CHECKSUM_KEY, ResultStore
+
+        store = ResultStore(tmp_path)
+        store.save_extra("cell", {"cycles": 123, "stats": {"ipc": 1.0}})
+        assert store.load_extra("cell") == {"cycles": 123,
+                                            "stats": {"ipc": 1.0}}
+        path = tmp_path / "cell.json"
+        doc = json.loads(path.read_text())
+        assert CHECKSUM_KEY in doc
+        doc["cycles"] = 999  # valid JSON, wrong content
+        path.write_text(json.dumps(doc))
+        assert store.load_extra("cell") is None
+
+    def test_legacy_document_without_checksum_accepted(
+            self, tmp_path) -> None:
+        from repro.gefin.storage import ResultStore
+
+        store = ResultStore(tmp_path)
+        (tmp_path / "old.json").write_text(json.dumps({"cycles": 5}))
+        assert store.load_extra("old") == {"cycles": 5}
+
+    def test_campaign_result_round_trip(self, tmp_path, serial) -> None:
+        from repro.gefin.storage import ResultStore
+
+        store = ResultStore(tmp_path)
+        summary, _results = serial
+        store.save("key", summary)
+        assert store.load("key") == summary
+        # flip one byte of the stored counts: must read as a miss, not
+        # as a silently different result
+        path = tmp_path / "key.json"
+        text = path.read_text().replace('"masked": ', '"masked": 1')
+        path.write_text(text)
+        assert store.load("key") is None
+
+    def test_checksum_independent_of_formatting(self) -> None:
+        from repro.gefin.storage import payload_checksum
+
+        a = payload_checksum({"b": 1, "a": [1, 2]})
+        b = payload_checksum({"a": [1, 2], "b": 1})
+        assert a == b
+        assert a != payload_checksum({"a": [2, 1], "b": 1})
+
+
+# ------------------------------------------------------------ CLI behavior
+
+
+class TestCliInterrupt:
+    def test_inject_sigint_exits_130_with_resume_hint(
+            self, tmp_path, monkeypatch, capsys) -> None:
+        import repro.cli as cli
+
+        source = tmp_path / "tiny.c"
+        source.write_text("int main() { putint(7); return 0; }\n")
+
+        def interrupted(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "run_campaign", interrupted)
+        code = cli.main(["inject", str(source), "-n", "4"])
+        assert code == 130
+        assert "--resume" in capsys.readouterr().err
+
+    def test_grid_sigint_exits_130(self, tmp_path, monkeypatch,
+                                   capsys) -> None:
+        from repro.experiments import run_grid
+        from repro.experiments.grid import CampaignGrid
+
+        def interrupted(self, *_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(CampaignGrid, "ensure_all", interrupted)
+        code = run_grid.main([])
+        assert code == 130
+        assert "resume" in capsys.readouterr().err
