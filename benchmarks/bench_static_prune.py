@@ -1,0 +1,78 @@
+"""Platform benchmark: bit-level PRF pruning (tier 3) uplift.
+
+Not a paper figure -- this guards the third pruning tier: uniform-mode
+physical-register-file flips classified Masked *before a simulator is
+booted*, because the struck register is provably free, awaiting a
+full-width writeback, or an architectural value whose flipped bits the
+bit-level propagation analysis proves dead.
+
+The comparison point is the same early-exit engine with tier 3
+disabled -- the engine exactly as it stood before the propagation
+analysis landed, when every one of these trials had to be simulated
+until digest reconvergence (or completion). Tier 3 must only change
+wall clock, never physics: per-outcome counts and per-class AVF are
+asserted identical across every MiBench workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.gefin import run_campaign, run_golden_auto
+from repro.gefin.prune import StaticPruner
+from repro.microarch import CORTEX_A15
+from repro.workloads import BENCHMARKS, build_program
+
+N = 50
+SEED = 11
+LEVEL = "O2"
+
+
+def test_static_bit_prune_uplift() -> None:
+    lines = [f"tier-3 bit-level PRF pruning ({N} uniform injections "
+             f"per workload, micro {LEVEL}, cortex-a15)"]
+    fast_time = base_time = 0.0
+    pruned_total = 0
+    for name in BENCHMARKS:
+        program = build_program(name, "micro", LEVEL, "armlet32")
+        golden = run_golden_auto(program, CORTEX_A15)
+
+        start = time.perf_counter()
+        fast = run_campaign(program, CORTEX_A15, "prf", n=N, seed=SEED,
+                            mode="uniform", golden=golden)
+        t_fast = time.perf_counter() - start
+
+        original = StaticPruner._prune_prf
+        StaticPruner._prune_prf = lambda self, spec: None  # tier 3 off
+        try:
+            start = time.perf_counter()
+            base = run_campaign(program, CORTEX_A15, "prf", n=N,
+                                seed=SEED, mode="uniform", golden=golden)
+            t_base = time.perf_counter() - start
+        finally:
+            StaticPruner._prune_prf = original
+
+        # Pruning may only change wall clock, never the physics.
+        assert fast.counts == base.counts, name
+        assert fast.avf_by_class == base.avf_by_class, name
+
+        pruned = fast.pruning.get("static-bit", 0)
+        assert pruned > 0, f"tier 3 never fired on {name}"
+        assert base.pruning.get("static-bit", 0) == 0, name
+        pruned_total += pruned
+        fast_time += t_fast
+        base_time += t_base
+        lines.append(
+            f"  {name:<9} {t_base:6.2f}s -> {t_fast:6.2f}s "
+            f"({t_base / t_fast:4.1f}x)  prune-rate {pruned / N:4.0%}  "
+            f"{N / t_base:6.1f} -> {N / t_fast:6.1f} inj/s")
+
+    speedup = base_time / fast_time
+    lines.append(
+        f"  aggregate {base_time:6.2f}s -> {fast_time:6.2f}s "
+        f"({speedup:4.2f}x)  prune-rate "
+        f"{pruned_total / (N * len(BENCHMARKS)):4.0%}")
+    emit("static_prune", "\n".join(lines))
+    assert speedup >= 1.2

@@ -21,6 +21,7 @@ from .api import (
     compile_workload,
     golden_run,
     observed_run,
+    propagation_report,
     run_campaign,
 )
 
@@ -29,6 +30,7 @@ __all__ = [
     "compile_workload",
     "golden_run",
     "observed_run",
+    "propagation_report",
     "run_campaign",
     "__version__",
 ]

@@ -22,6 +22,7 @@ from pathlib import Path
 from .avf import StaticAceResult
 from .avf import static_ace_estimate as _static_ace_estimate
 from .compiler import TARGETS, CompileResult, compile_module
+from .compiler.propagation import analyze_propagation as _analyze_propagation
 from .gefin import (
     CampaignCheckpoint,
     CampaignResult,
@@ -33,7 +34,9 @@ from .gefin import run_golden as _run_golden
 from .gefin import run_golden_auto as _run_golden_auto
 from .gefin.fault import DEFAULT_MAX_CYCLES
 from .gefin.injector import InjectionResult
+from .isa import registers as _registers
 from .isa.program import Program
+from .kernel.layout import SystemMap
 from .microarch import CONFIGS, Simulator
 from .microarch.simulator import SimResult
 from .obs import ChromeTrace, MetricsRegistry, SimObserver
@@ -78,6 +81,47 @@ def static_ace(program: Program,
                core: str = "cortex-a15") -> StaticAceResult:
     """Simulation-free per-structure static AVF upper bounds."""
     return _static_ace_estimate(program, _config(core))
+
+
+def propagation_report(program: Program, pc: int | None = None,
+                       reg: int | str | None = None) -> dict:
+    """Bit-level fault-propagation report for one binary (no simulation).
+
+    Without ``pc``: the whole-program census -- how many (instruction,
+    register, bit) points a single-bit flip is provably masked at, and
+    which frame stores are provably dead. With ``pc`` (a byte address in
+    the text segment, which starts at ``text_base``): the per-register
+    bit verdicts *entering* that instruction; narrow to one register
+    with ``reg`` (a number, or a name like ``"a0"`` / ``"sp"``).
+    """
+    prop = _analyze_propagation(program)
+    text_base = SystemMap().text_base
+    doc: dict = {
+        "program": program.name,
+        "xlen": program.xlen,
+        "text_base": text_base,
+        "summary": prop.summary().to_dict(),
+        "dead_store_slots": sorted(prop.dead_stores),
+    }
+    if pc is None:
+        return doc
+    slot, misaligned = divmod(pc - text_base, 4)
+    if misaligned or not 0 <= slot < len(program.text):
+        last = text_base + 4 * (len(program.text) - 1)
+        raise ValueError(
+            f"pc {pc:#x} is not an instruction address (text spans "
+            f"{text_base:#x}..{last:#x} in 4-byte steps)")
+    doc["pc"] = pc
+    doc["slot"] = slot
+    doc["instruction"] = str(program.text[slot])
+    if reg is None:
+        doc["slices"] = [prop.slot_slice(slot, number).to_dict()
+                         for number in range(1, _registers.NUM_REGS)]
+    else:
+        number = (_registers.reg_number(reg) if isinstance(reg, str)
+                  else int(reg))
+        doc["slice"] = prop.slot_slice(slot, number).to_dict()
+    return doc
 
 
 def build_simulator(program: Program, core: str = "cortex-a15") -> Simulator:

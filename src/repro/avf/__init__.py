@@ -1,6 +1,8 @@
 """AVF analytics: weighted AVF (eq. 1), FIT (eq. 2), FPE (eq. 3), ECC,
-an ACE-style analytic estimator for pessimism comparisons, and a fully
-static (simulation-free) per-structure vulnerability bound."""
+an ACE-style analytic estimator for pessimism comparisons, a fully
+static (simulation-free) per-structure vulnerability bound, and a
+bit-level static SDC/DUE predictor calibrated against dynamic
+injection."""
 
 from .ace import AceResult, ace_estimate
 from .ads import ads, ads_ranking, normalized_ads
@@ -9,6 +11,15 @@ from .static_ace import (
     StaticAceResult,
     instruction_report,
     static_ace_estimate,
+)
+from .static_sdc import (
+    CalibrationReport,
+    PREDICTED_CLASSES,
+    StaticSdcPredictor,
+    calibrate_results,
+    calibrate_workload,
+    calibration_report,
+    outcome_group,
 )
 from .protection import (
     ProtectionPlan,
@@ -37,10 +48,17 @@ from .weighted import BenchmarkAVF, weighted_avf, weighted_class_avf
 __all__ = [
     "AceResult",
     "BenchmarkAVF",
+    "CalibrationReport",
     "InstructionVulnerability",
+    "PREDICTED_CLASSES",
     "StaticAceResult",
+    "StaticSdcPredictor",
     "ace_estimate",
+    "calibrate_results",
+    "calibrate_workload",
+    "calibration_report",
     "instruction_report",
+    "outcome_group",
     "static_ace_estimate",
     "ads",
     "ads_ranking",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
 
+from ..isa.program import Program
 from ..kernel.syscalls import ProgramExit
 from ..microarch.config import CoreConfig
 from ..microarch.simulator import Simulator
@@ -48,7 +49,7 @@ class AceResult:
         }
 
 
-def ace_estimate(program, config: CoreConfig,
+def ace_estimate(program: Program, config: CoreConfig,
                  fields: tuple[str, ...] | None = None,
                  sample_every: int = 25,
                  max_cycles: int = 50_000_000) -> AceResult:

@@ -1,0 +1,296 @@
+"""Static SDC/DUE prediction from bit-level propagation verdicts.
+
+The bit-level propagation analysis (:mod:`repro.compiler.propagation`)
+classifies every (instruction, register, bit) point as dead, control-
+relevant, address-relevant, or data-flow-to-output. This module turns
+those verdicts into a *simulation-free outcome predictor* for physical-
+register-file faults and quantifies how well the static story matches
+dynamic injection:
+
+* ``masked``  -- the flip lands in a free / not-yet-written register or
+  in statically dead bits of an architectural value.
+* ``sdc``     -- the flipped bits flow into program output (silent data
+  corruption is the expected failure mode).
+* ``due``     -- the flipped bits steer control flow or memory
+  addressing, so a crash, timeout, or assert (a detected unrecoverable
+  error) is the expected failure mode.
+
+Unlike the pruner (:mod:`repro.gefin.prune`), which only ever asserts
+*provable* masking, the predictor commits to a best guess for every
+fault. Its value is measured, not assumed: :func:`calibrate_workload`
+runs a real campaign over the same fault set and folds prediction vs
+ground truth into a :class:`CalibrationReport` (confusion matrix,
+per-class precision/recall, accuracy). The paper characterizes
+vulnerability purely dynamically; the calibration report is the repo's
+measurement of how much of that dynamic structure is already visible to
+a sound static analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..compiler.propagation import Propagation, analyze_propagation
+from ..isa.program import Program
+from ..kernel.layout import SystemMap
+from ..microarch.config import CoreConfig
+
+if TYPE_CHECKING:  # avoid a module cycle: gefin.prune imports repro.avf
+    from ..gefin.fault import GoldenRun
+    from ..gefin.injector import InjectionResult
+
+#: Prediction vocabulary, in increasing severity. A multi-bit fault is
+#: predicted as the most severe class among its per-bit predictions.
+PREDICTED_CLASSES = ("masked", "sdc", "due")
+
+_SEVERITY = {name: rank for rank, name in enumerate(PREDICTED_CLASSES)}
+
+#: Dynamic outcome value -> predicted-class vocabulary. Infrastructure
+#: outcomes describe the host, not the fault, and are excluded.
+OUTCOME_GROUPS = {
+    "masked": "masked",
+    "sdc": "sdc",
+    "timeout": "due",
+    "crash_process": "due",
+    "crash_system": "due",
+    "assert": "due",
+}
+
+
+def outcome_group(outcome_value: str) -> str | None:
+    """Fold a dynamic :class:`~repro.gefin.outcomes.Outcome` value into
+    the predictor's three-class vocabulary (``None`` = not comparable).
+    """
+    return OUTCOME_GROUPS.get(outcome_value)
+
+
+class StaticSdcPredictor:
+    """Per-(program, config, golden-trace) PRF fault-outcome predictor.
+
+    Queries follow the pruner's commit-point convention: a fault at
+    cycle ``c`` strikes the machine state recorded *after* cycle ``c``,
+    and the architectural program point it perturbs is the oldest
+    uncommitted instruction at that moment.
+    """
+
+    def __init__(self, program: Program, config: CoreConfig,
+                 golden: "GoldenRun") -> None:
+        self.program = program
+        self.config = config
+        self.golden = golden
+        self.propagation: Propagation = analyze_propagation(program)
+        self._text_base = SystemMap().text_base
+        trace = golden.trace
+        usable = (trace is not None and len(trace)
+                  and getattr(trace, "mask_words", 0) > 0
+                  and len(trace.commit_pc) == len(trace))
+        self._trace = trace if usable else None
+
+    # ------------------------------------------------------------ queries
+
+    def _verdict_class(self, slot: int, arch: int, bit: int) -> str:
+        fate = self.propagation.fate(slot, arch, bit)
+        if fate.dead:
+            return "masked"
+        if fate.control or fate.address:
+            return "due"
+        return "sdc"
+
+    def predict(self, cycle: int, bit_index: int, burst: int = 1) -> str:
+        """Predicted outcome class of one uniform-mode PRF fault."""
+        golden = self.golden
+        if cycle >= golden.cycles:
+            # The program finishes during (or before) the injection
+            # cycle; the injector classifies these Masked outright.
+            return "masked"
+        trace = self._trace
+        if trace is None or cycle > len(trace):
+            return "due"  # no rename view recorded: no basis to predict
+        rename, alloc, ready, inflight, commit_pc = \
+            trace.rename_state(cycle)
+        slot, misaligned = divmod(commit_pc - self._text_base, 4)
+        if misaligned or not 0 <= slot < len(self.program.text):
+            return "due"
+        xlen = self.config.xlen
+        total_bits = self.config.phys_regs * xlen
+        worst = "masked"
+        for offset in range(burst):
+            index = bit_index + offset
+            if index >= total_bits:
+                continue  # clipped by the injector
+            reg, bit = divmod(index, xlen)
+            if not (alloc >> reg) & 1 or not (ready >> reg) & 1:
+                continue  # free or awaiting full-width writeback
+            arch = rename.find(reg)
+            if arch < 0:
+                if (inflight >> reg) & 1:
+                    continue  # renamed-over intermediate, producer live
+                # Committed old mapping awaiting retirement free: its
+                # remaining readers are in-flight stragglers; usually
+                # none are left.
+                continue
+            prediction = self._verdict_class(slot, arch, bit)
+            if _SEVERITY[prediction] > _SEVERITY[worst]:
+                worst = prediction
+        return worst
+
+    def predict_result(self, result: "InjectionResult") -> str | None:
+        """Prediction for one dynamic trial (``None`` if not a uniform
+        PRF fault with a concrete bit index)."""
+        spec = result.spec
+        if spec.field != "prf" or spec.mode != "uniform":
+            return None
+        bit = result.bit_index if result.bit_index is not None \
+            else spec.bit_index
+        if bit is None:
+            return None
+        return self.predict(spec.cycle, bit, spec.burst)
+
+
+# ------------------------------------------------------------ calibration
+
+@dataclass
+class CalibrationReport:
+    """Static-vs-dynamic agreement for one (workload, core, level) cell.
+
+    ``confusion[predicted][actual]`` counts trials; precision/recall are
+    per predicted class (absent classes report 0.0). ``n`` counts the
+    comparable trials (infrastructure outcomes are dropped).
+    """
+
+    workload: str
+    config_name: str
+    opt_level: str
+    n: int
+    confusion: dict[str, dict[str, int]]
+    accuracy: float
+    precision: dict[str, float] = field(default_factory=dict)
+    recall: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "workload": self.workload,
+            "config": self.config_name,
+            "opt_level": self.opt_level,
+            "n": self.n,
+            "confusion": {p: dict(row) for p, row in
+                          self.confusion.items()},
+            "accuracy": self.accuracy,
+            "precision": dict(self.precision),
+            "recall": dict(self.recall),
+        }
+
+
+def score_pairs(pairs: list[tuple[str, str]], workload: str,
+                config_name: str, opt_level: str) -> CalibrationReport:
+    """Fold (predicted, actual) pairs into a :class:`CalibrationReport`."""
+    confusion: dict[str, dict[str, int]] = {
+        p: {a: 0 for a in PREDICTED_CLASSES} for p in PREDICTED_CLASSES}
+    hits = 0
+    for predicted, actual in pairs:
+        confusion[predicted][actual] += 1
+        if predicted == actual:
+            hits += 1
+    n = len(pairs)
+    precision: dict[str, float] = {}
+    recall: dict[str, float] = {}
+    for name in PREDICTED_CLASSES:
+        predicted_n = sum(confusion[name].values())
+        actual_n = sum(confusion[p][name] for p in PREDICTED_CLASSES)
+        precision[name] = (confusion[name][name] / predicted_n
+                           if predicted_n else 0.0)
+        recall[name] = (confusion[name][name] / actual_n
+                        if actual_n else 0.0)
+    return CalibrationReport(
+        workload=workload, config_name=config_name, opt_level=opt_level,
+        n=n, confusion=confusion, accuracy=(hits / n if n else 0.0),
+        precision=precision, recall=recall)
+
+
+def calibrate_results(program: Program, config: CoreConfig,
+                      golden: "GoldenRun",
+                      results: list["InjectionResult"], *,
+                      workload: str = "", opt_level: str = "",
+                      ) -> CalibrationReport:
+    """Score static predictions against already-run dynamic trials."""
+    predictor = StaticSdcPredictor(program, config, golden)
+    pairs: list[tuple[str, str]] = []
+    for result in results:
+        predicted = predictor.predict_result(result)
+        actual = outcome_group(result.outcome.value)
+        if predicted is None or actual is None:
+            continue
+        pairs.append((predicted, actual))
+    return score_pairs(pairs, workload or program.name, config.name,
+                       opt_level)
+
+
+def calibrate_workload(name: str, core: str = "cortex-a15",
+                       opt_level: str = "O2", n: int = 200,
+                       seed: int = 2021, scale: str = "micro",
+                       ) -> CalibrationReport:
+    """Run a uniform PRF campaign on one workload and calibrate.
+
+    The campaign runs with early exit enabled -- tier-3 pruned trials
+    are Masked by a theorem the predictor shares, so they calibrate
+    exactly as their fully-simulated selves would.
+    """
+    from ..gefin.campaign import run_campaign
+    from ..gefin.fault import run_golden_auto
+    from ..microarch.config import get_config
+    from ..workloads.registry import build_program
+
+    config = get_config(core)
+    target = "armlet32" if config.xlen == 32 else "armlet64"
+    program = build_program(name, scale, opt_level, target)
+    golden = run_golden_auto(program, config)
+    outcome = run_campaign(
+        program, config, "prf", n, seed=seed, mode="uniform",
+        golden=golden, keep_results=True)
+    assert isinstance(outcome, tuple)  # keep_results=True contract
+    _summary, results = outcome
+    return calibrate_results(program, config, golden, results,
+                             workload=name, opt_level=opt_level)
+
+
+def calibration_report(workloads: tuple[str, ...],
+                       core: str = "cortex-a15",
+                       opt_levels: tuple[str, ...] = ("O0", "O2"),
+                       n: int = 200, seed: int = 2021,
+                       scale: str = "micro") -> dict[str, object]:
+    """Static-vs-dynamic calibration across workloads and O-levels.
+
+    Returns a JSON-ready nested dict (figure-style, see
+    :mod:`repro.experiments.figures`): per (workload, level) cell the
+    full :class:`CalibrationReport`, plus a pooled aggregate row.
+    """
+    cells: dict[str, dict[str, dict[str, object]]] = {}
+    pooled: list[tuple[str, str]] = []
+    for workload in workloads:
+        cells[workload] = {}
+        for level in opt_levels:
+            report = calibrate_workload(workload, core=core,
+                                        opt_level=level, n=n, seed=seed,
+                                        scale=scale)
+            cells[workload][level] = report.to_dict()
+            for predicted, row in report.confusion.items():
+                pooled.extend((predicted, actual)
+                              for actual, count in row.items()
+                              for _ in range(count))
+    overall = score_pairs(pooled, "all", core, "all")
+    return {"core": core, "n_per_cell": n, "seed": seed,
+            "cells": cells, "overall": overall.to_dict()}
+
+
+__all__ = [
+    "CalibrationReport",
+    "OUTCOME_GROUPS",
+    "PREDICTED_CLASSES",
+    "StaticSdcPredictor",
+    "calibrate_results",
+    "calibrate_workload",
+    "calibration_report",
+    "outcome_group",
+    "score_pairs",
+]

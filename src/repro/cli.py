@@ -6,6 +6,7 @@ command   what it does
 compile   compile a benchmark (or a MinC file) and print stats/listing
 verify    compile with the IR verifier after every optimization pass
 lint      static vulnerability analysis (no simulation)
+slice     bit-level fault-propagation verdicts for one program point
 run       fault-free simulation with cycle counts and instruction mix
 inject    statistical fault-injection campaign against one field
 trace     traced campaign -> Chrome trace (open at ui.perfetto.dev)
@@ -119,16 +120,47 @@ def cmd_verify(args) -> int:
         result = compile_module(source, args.opt, target, name=name,
                                 verify_ir=True)
     except IRVerificationError as err:
-        print(f"FAIL {name} at {args.opt}: {err}")
+        if args.json:
+            json.dump({"ok": False, "program": name, "opt": args.opt,
+                       "target": target.name, "error": str(err)},
+                      sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            print(f"FAIL {name} at {args.opt}: {err}")
         return 1
     module = result.module
     blocks = sum(len(f.blocks) for f in module.functions.values())
     instrs = sum(len(b.instrs) + 1 for f in module.functions.values()
                  for b in f.blocks)
+    if args.json:
+        json.dump({"ok": True, "program": name, "opt": args.opt,
+                   "target": target.name,
+                   "functions": len(module.functions),
+                   "blocks": blocks, "ir_instructions": instrs},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
     print(f"OK {name} at {args.opt} ({target.name}): "
           f"{len(module.functions)} functions, {blocks} blocks, "
           f"{instrs} IR instructions verified after every pass")
     return 0
+
+
+def _lint_findings(program) -> list[dict]:
+    """Lint findings proper: defects the exit status should reflect
+    (the vulnerability report itself is informational). Currently one
+    class: provably dead frame stores, i.e. instructions the compiler
+    should have removed, each an avoidable vulnerability window."""
+    from .compiler.propagation import dead_frame_stores
+
+    return [
+        {"kind": "dead-store", "slot": slot,
+         "text": str(program.text[slot]),
+         "detail": "store to a private frame slot that is never "
+                   "reloaded; the instruction (and the value's "
+                   "vulnerability window) is removable"}
+        for slot in sorted(dead_frame_stores(program))
+    ]
 
 
 def cmd_lint(args) -> int:
@@ -137,6 +169,28 @@ def cmd_lint(args) -> int:
     result = static_ace_estimate(program, core)
     elapsed = time.perf_counter() - started
     life = result.lifetimes
+    findings = _lint_findings(program)
+    rows = sorted(instruction_report(life),
+                  key=lambda r: r.live_count, reverse=True)[:args.top]
+    if args.json:
+        stack = life.stack
+        json.dump({
+            "program": program.name,
+            "core": core.name,
+            "instructions": len(program.text),
+            "estimates": dict(sorted(result.estimates.items())),
+            "derivations": dict(sorted(result.derivations.items())),
+            "stack_bound_bytes": stack.bound_bytes,
+            "register_pressure": {"mean": life.mean_pressure,
+                                  "max": life.max_pressure,
+                                  "intervals": len(life.intervals)},
+            "top_slots": [{"slot": row.index, "live": row.live_count,
+                           "text": row.text, "regs": row.reg_names()}
+                          for row in rows],
+            "findings": findings,
+        }, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 1 if findings else 0
     print(f"{program.name} on {core.name}: static analysis of "
           f"{len(program.text)} instructions in {elapsed * 1e3:.1f} ms")
     print("per-structure static AVF upper bounds:")
@@ -152,13 +206,69 @@ def cmd_lint(args) -> int:
     print(f"register pressure: mean {life.mean_pressure:.2f}, "
           f"max {life.max_pressure} of {32} live; "
           f"{len(life.intervals)} live intervals")
-    rows = sorted(instruction_report(life),
-                  key=lambda r: r.live_count, reverse=True)[:args.top]
     print(f"top {len(rows)} most vulnerable instruction slots:")
     for row in rows:
         names = ",".join(row.reg_names())
         print(f"  #{row.index:5d} live={row.live_count:2d} "
               f"{row.text:32s} [{names}]")
+    if findings:
+        print(f"{len(findings)} finding(s):")
+        for finding in findings:
+            where = (f" #{finding['slot']} {finding['text']}"
+                     if finding["slot"] is not None else "")
+            print(f"  {finding['kind']}{where}: {finding['detail']}")
+    return 1 if findings else 0
+
+
+def cmd_slice(args) -> int:
+    """Bit-level propagation census, or one (pc, reg) verdict slice."""
+    from .api import propagation_report
+
+    program, _core = _load_program(args)
+    pc = int(args.pc, 0) if args.pc is not None else None
+    try:
+        report = propagation_report(program, pc=pc, reg=args.reg)
+    except ValueError as err:
+        print(err, file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    summary = report["summary"]
+    print(f"{program.name}: {summary['points']} (slot, reg, bit) points, "
+          f"{100 * summary['dead_fraction']:.1f}% provably masked")
+    print(f"  live bits: control={summary['control_bits']} "
+          f"address={summary['address_bits']} data={summary['data_bits']}")
+    print(f"  dead frame stores: {len(report['dead_store_slots'])} slots")
+    if pc is None:
+        return 0
+    print(f"#{report['slot']} @ {report['pc']:#x}: {report['instruction']}")
+    print("  per-bit verdicts entering the slot, MSB->LSB "
+          "(C control, A address, D data, . dead):")
+    xlen = report["xlen"]
+
+    def verdict_row(piece: dict) -> str:
+        chars = []
+        for bit in reversed(range(xlen)):
+            probe = 1 << bit
+            if piece["control_mask"] & probe:
+                chars.append("C")
+            elif piece["address_mask"] & probe:
+                chars.append("A")
+            elif piece["data_mask"] & probe:
+                chars.append("D")
+            else:
+                chars.append(".")
+        return "".join(chars)
+
+    slices = ([report["slice"]] if "slice" in report
+              else report["slices"])
+    for piece in slices:
+        note = (f"  known={piece['known_mask']:#x}"
+                if piece["known_mask"] else "")
+        print(f"  {piece['reg_name']:>4s} [{verdict_row(piece)}] "
+              f"dead={piece['dead_mask']:#x}{note}")
     return 0
 
 
@@ -327,6 +437,7 @@ def cmd_inject(args) -> int:
     pruning = result.pruning
     if pruning:
         print(f"early exit: {pruning.get('static', 0)} statically pruned, "
+              f"{pruning.get('static-bit', 0)} bit-level pruned, "
               f"{pruning.get('unchanged', 0)} unchanged, "
               f"{pruning.get('converged', 0)} converged "
               f"(mean window {pruning.get('mean_window', 0.0):.1f} "
@@ -463,6 +574,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify",
                        help="compile with per-pass IR verification")
     _add_common(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document on stdout")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("lint",
@@ -470,7 +583,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--top", type=int, default=10,
                    help="instruction slots to show in the report")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document on stdout")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "slice", help="bit-level fault-propagation verdict slice")
+    _add_common(p)
+    p.add_argument("--pc", default=None, metavar="ADDR",
+                   help="instruction address, e.g. 0x1040 (omit for the "
+                        "whole-program census)")
+    p.add_argument("--reg", default=None, metavar="REG",
+                   help="register to slice (r5, a0, sp, ...); default "
+                        "all registers")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document on stdout")
+    p.set_defaults(func=cmd_slice)
 
     p = sub.add_parser("run", help="fault-free simulation")
     _add_common(p)

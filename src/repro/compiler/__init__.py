@@ -7,7 +7,7 @@ Public entry points: :func:`~repro.compiler.driver.compile_source` /
 optimization levels ``O0``-``O3`` (see :mod:`repro.compiler.pipeline`).
 """
 
-from . import analysis, ir, lifetimes, verify
+from . import analysis, ir, lifetimes, propagation, verify
 from .driver import (
     ARMLET32,
     ARMLET64,
@@ -42,6 +42,7 @@ __all__ = [
     "lifetimes",
     "normalize_level",
     "optimize_custom",
+    "propagation",
     "verify",
     "verify_function",
     "verify_module",

@@ -5,14 +5,14 @@ invariant violation to the pass that caused it."""
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ...isa import semantics
 from ...isa.instructions import Opcode
 from .. import ir
 
 
-def pass_label(pass_fn: Callable) -> str:
+def pass_label(pass_fn: Callable[..., object]) -> str:
     """Diagnostic name of a pass callable.
 
     Passes are module-level ``run`` functions, so the defining module's

@@ -16,17 +16,17 @@ def run(func: ir.Function, module: ir.Module) -> bool:
     changed = False
     for block in func.blocks:
         version: dict[ir.VReg, int] = {}
-        available: dict[tuple, ir.VReg] = {}
-        holder_version: dict[tuple, int] = {}
+        available: dict[tuple[object, ...], ir.VReg] = {}
+        holder_version: dict[tuple[object, ...], int] = {}
 
-        def value_number(value: ir.Value) -> tuple:
+        def value_number(value: ir.Value) -> tuple[object, ...]:
             if isinstance(value, ir.Const):
                 return ("c", value.value)
             return ("r", value.id, version.get(value, 0))
 
         new_instrs: list[ir.Instr] = []
         for instr in block.instrs:
-            key: tuple | None = None
+            key: tuple[object, ...] | None = None
             if isinstance(instr, ir.BinOp):
                 a, b = value_number(instr.a), value_number(instr.b)
                 if instr.op in ir.COMMUTATIVE_OPS and b < a:

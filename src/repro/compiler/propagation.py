@@ -1,0 +1,728 @@
+"""Bit-precise static fault-propagation analysis over linked binaries.
+
+Where :mod:`repro.compiler.lifetimes` answers *"is register r live at
+slot s?"* at whole-register granularity, this module answers the
+bit-level question the fault injector actually poses: *if bit ``b`` of
+architectural register ``r`` flips immediately before slot ``s``
+executes, can the architectural outcome of the program change?*
+
+Two cooperating dataflow passes over the instruction-level CFG
+(recovered by :func:`~repro.compiler.lifetimes.instruction_flow`, so
+calls are modelled interprocedurally by union exactly as the liveness
+pass does):
+
+* a **forward known-bits pass** computes, per (slot, register), which
+  bits are pinned to a known constant value on *every* fault-free path
+  (constant materialization through ``movw``/``movt`` chains, ``and``/
+  ``or`` masking, shifts, byte loads, comparison results, and
+  value-range narrowing on conditional-branch edges);
+* a **backward demand pass** computes, per (slot, register), three bit
+  masks -- *control*, *address*, and *data* -- of the bits whose
+  corruption at that point may still reach an architectural sink of
+  that class. The transfer functions are bit-precise for masking ops
+  (``and``/``or``/``eor``, shifts, ``movt`` half-merges, ``strb``'s
+  8-bit data width, comparison results' single significant bit) and
+  conservative (carry-smear or full-width) for arithmetic; the forward
+  pass's known bits narrow register-operand masking (``and x, y, m``
+  kills the bits of ``y`` where ``m`` is provably zero).
+
+A bit in none of the three demand masks is **provably dead**: flipping
+it cannot change any architectural outcome -- not the output bytes, the
+exit code, the memory image, nor whether/where the program faults.
+Soundness of the DEAD verdict rests on three facts, spelled out in
+DESIGN.md and enforced end-to-end by the differential test suite:
+
+1. demand is an over-approximation (union CFG, ABI-conservative return
+   and call modelling, full-width fallbacks for imprecise ops);
+2. known-bits facts describe fault-free executions, and are only ever
+   consulted about registers *other than* the flipped one -- valid under
+   the single-fault model as long as control has not diverged, which a
+   zero-demand verdict itself guarantees inductively;
+3. every transfer rule is *positional* (whether a source bit is needed
+   never depends on the value of another un-needed bit), so any subset
+   of individually-dead bits of one register is jointly dead -- the
+   property multi-bit burst pruning relies on.
+
+Because known-bits facts are only valid for registers other than the
+flipped one, a verdict for a flip spanning *several* registers must not
+reuse per-register verdicts (fact 2 breaks); consumers prune multi-
+register bursts only through fact-free rules.
+
+Live bits are classified by their sink: **control** (branch/jump
+operands, the indirect-return register, divisors -- whose corruption can
+redirect or fault the instruction stream), **address** (load/store base
+registers and the ABI pointer registers at returns), and **data**
+(stored values, syscall operands, return values -- bits that can reach
+observable output). The classification feeds the static SDC/DUE
+predictor in :mod:`repro.avf.static_sdc`; the DEAD verdict feeds the
+third :class:`~repro.gefin.prune.StaticPruner` tier.
+
+The optional dead-frame-store refinement (:func:`dead_frame_stores`,
+reusing the prologue/call-graph reasoning behind
+:class:`~repro.compiler.lifetimes.StackModel`) identifies stores into a
+provably private stack frame whose slot is never reloaded; it is used
+for *classification* only, never for pruning.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..isa import registers
+from ..isa.instructions import Format, Instruction, Opcode
+from ..isa.program import Program
+from .lifetimes import _RETURN_LIVE_MASK, instruction_flow
+
+#: Demand class indices (list positions in :class:`Propagation`).
+CONTROL, ADDRESS, DATA = 0, 1, 2
+
+#: ABI registers conservatively demanded at an indirect return,
+#: split by sink class (see `_RETURN_LIVE_MASK` for the union).
+_RETURN_ADDRESS_REGS = (registers.SP, registers.GP, registers.FP)
+_RETURN_DATA_REGS = (registers.RETURN_REG, *registers.SAVED_REGS)
+
+_SHIFT_LEFT = (Opcode.LSL, Opcode.LSLI)
+_SHIFT_RIGHT = (Opcode.LSR, Opcode.LSRI)
+_SHIFT_ARITH = (Opcode.ASR, Opcode.ASRI)
+_COMPARES = (Opcode.SLT, Opcode.SLTU, Opcode.SLTI)
+_MOVT_SHIFT = {Opcode.MOVT: 16, Opcode.MOVT2: 32, Opcode.MOVT3: 48}
+
+
+class Verdict(enum.Enum):
+    """Fate of one (slot, register, bit) under a pre-slot flip."""
+
+    DEAD = "dead"
+    CONTROL = "control"
+    ADDRESS = "address"
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class BitFate:
+    """Per-class reachability of one bit; ``verdict`` ranks the sinks."""
+
+    control: bool
+    address: bool
+    data: bool
+
+    @property
+    def dead(self) -> bool:
+        return not (self.control or self.address or self.data)
+
+    @property
+    def verdict(self) -> Verdict:
+        if self.control:
+            return Verdict.CONTROL
+        if self.address:
+            return Verdict.ADDRESS
+        if self.data:
+            return Verdict.DATA
+        return Verdict.DEAD
+
+
+@dataclass(frozen=True)
+class SlotSlice:
+    """Per-bit verdicts of one register entering one slot."""
+
+    slot: int
+    reg: int
+    xlen: int
+    control_mask: int
+    address_mask: int
+    data_mask: int
+    known_mask: int
+    known_value: int
+
+    @property
+    def dead_mask(self) -> int:
+        live = self.control_mask | self.address_mask | self.data_mask
+        return ~live & ((1 << self.xlen) - 1)
+
+    def fate(self, bit: int) -> BitFate:
+        probe = 1 << bit
+        return BitFate(control=bool(self.control_mask & probe),
+                       address=bool(self.address_mask & probe),
+                       data=bool(self.data_mask & probe))
+
+    def verdicts(self) -> tuple[Verdict, ...]:
+        return tuple(self.fate(bit).verdict for bit in range(self.xlen))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "slot": self.slot,
+            "reg": self.reg,
+            "reg_name": registers.reg_name(self.reg),
+            "control_mask": self.control_mask,
+            "address_mask": self.address_mask,
+            "data_mask": self.data_mask,
+            "dead_mask": self.dead_mask,
+            "known_mask": self.known_mask,
+            "known_value": self.known_value,
+            "verdicts": [v.value for v in self.verdicts()],
+        }
+
+
+@dataclass(frozen=True)
+class PropagationSummary:
+    """Aggregate bit-fate census over every (slot, reg, bit) point."""
+
+    points: int
+    dead_bits: int
+    control_bits: int
+    address_bits: int
+    data_bits: int
+
+    @property
+    def dead_fraction(self) -> float:
+        return self.dead_bits / self.points if self.points else 0.0
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {"points": self.points, "dead_bits": self.dead_bits,
+                "control_bits": self.control_bits,
+                "address_bits": self.address_bits,
+                "data_bits": self.data_bits,
+                "dead_fraction": self.dead_fraction}
+
+
+def _smear_down(mask: int) -> int:
+    """Bits at or below the highest set bit (carry/borrow cone)."""
+    return (1 << mask.bit_length()) - 1 if mask else 0
+
+
+class _KnownBits:
+    """Forward known-constant-bits analysis (meet over realizable paths).
+
+    ``kmask[s][r]`` has a bit set where register ``r`` provably holds
+    the corresponding bit of ``kval[s][r]`` on entry to slot ``s`` in
+    every fault-free execution. The zero register is pinned to zero
+    everywhere; every fact is invalidated across a call's fall-through
+    edge (the union CFG would otherwise leak pre-call facts past callee
+    clobbers).
+    """
+
+    def __init__(self, program: Program,
+                 successors: list[tuple[int, ...]]) -> None:
+        self.xlen = program.xlen
+        self.xmask = (1 << program.xlen) - 1
+        size = len(program.text)
+        self.kmask = [[0] * registers.NUM_REGS for _ in range(size)]
+        self.kval = [[0] * registers.NUM_REGS for _ in range(size)]
+        self._reached = [False] * size
+        if size:
+            self._solve(program, successors)
+
+    # ------------------------------------------------------------- meet
+
+    def _merge(self, slot: int, mask: list[int], val: list[int]) -> bool:
+        """Meet edge facts into ``slot``; True if anything changed."""
+        if not self._reached[slot]:
+            self._reached[slot] = True
+            self.kmask[slot] = list(mask)
+            self.kval[slot] = list(val)
+            self.kmask[slot][registers.ZERO] = self.xmask
+            self.kval[slot][registers.ZERO] = 0
+            return True
+        changed = False
+        kmask = self.kmask[slot]
+        kval = self.kval[slot]
+        for reg in range(registers.NUM_REGS):
+            if reg == registers.ZERO:
+                continue
+            agree = kmask[reg] & mask[reg] & ~(kval[reg] ^ val[reg])
+            if agree != kmask[reg]:
+                kmask[reg] = agree
+                kval[reg] &= agree
+                changed = True
+        return changed
+
+    # --------------------------------------------------------- transfer
+
+    def _apply(self, instr: Instruction, mask: list[int],
+               val: list[int]) -> None:
+        """Destructively update edge facts with ``instr``'s effect."""
+        xmask = self.xmask
+        xlen = self.xlen
+        op = instr.opcode
+        dest = instr.dest_reg()
+        if dest is None:
+            return
+        a_mask, a_val = mask[instr.rs1], val[instr.rs1]
+        b_mask, b_val = mask[instr.rs2], val[instr.rs2]
+        immv = instr.imm & xmask
+        dmask, dval = 0, 0
+        if op is Opcode.MOVW:
+            dmask, dval = xmask, instr.imm & 0xFFFF
+        elif op in _MOVT_SHIFT:
+            shift = _MOVT_SHIFT[op]
+            if shift < xlen:
+                half = 0xFFFF << shift
+                old_mask, old_val = mask[instr.rd], val[instr.rd]
+                dmask = (old_mask & ~half) | half
+                dval = (old_val & ~half) | ((instr.imm & 0xFFFF) << shift)
+        elif op is Opcode.ADDI:
+            if instr.imm == 0:
+                dmask, dval = a_mask, a_val
+            elif a_mask == xmask:
+                dmask, dval = xmask, (a_val + immv) & xmask
+        elif op in (Opcode.ADD, Opcode.SUB):
+            if a_mask == xmask and b_mask == xmask:
+                total = a_val + b_val if op is Opcode.ADD else a_val - b_val
+                dmask, dval = xmask, total & xmask
+            elif op is Opcode.ADD and b_mask == xmask and b_val == 0:
+                dmask, dval = a_mask, a_val
+            elif b_mask == xmask and b_val == 0:
+                dmask, dval = a_mask, a_val  # sub x, y, zero
+            elif op is Opcode.ADD and a_mask == xmask and a_val == 0:
+                dmask, dval = b_mask, b_val
+        elif op is Opcode.ANDI:
+            dmask = (~immv & xmask) | (a_mask & immv)
+            dval = a_val & immv & dmask
+        elif op is Opcode.ORI:
+            dmask = immv | a_mask
+            dval = (a_val | immv) & dmask
+        elif op is Opcode.EORI:
+            dmask = a_mask
+            dval = (a_val ^ immv) & a_mask
+        elif op is Opcode.AND:
+            zero_a, one_a = a_mask & ~a_val, a_mask & a_val
+            zero_b, one_b = b_mask & ~b_val, b_mask & b_val
+            dmask = zero_a | zero_b | (one_a & one_b)
+            dval = one_a & one_b
+        elif op is Opcode.ORR:
+            zero_a, one_a = a_mask & ~a_val, a_mask & a_val
+            zero_b, one_b = b_mask & ~b_val, b_mask & b_val
+            dmask = one_a | one_b | (zero_a & zero_b)
+            dval = one_a | one_b
+        elif op is Opcode.EOR:
+            dmask = a_mask & b_mask
+            dval = (a_val ^ b_val) & dmask
+        elif op in (*_SHIFT_LEFT, *_SHIFT_RIGHT, *_SHIFT_ARITH):
+            if instr.format is Format.I:
+                amount = immv & (xlen - 1)
+            elif b_mask == xmask:
+                amount = b_val & (xlen - 1)
+            else:
+                amount = None
+            if amount is not None:
+                if op in _SHIFT_LEFT:
+                    dmask = ((a_mask << amount) | ((1 << amount) - 1)) \
+                        & xmask
+                    dval = (a_val << amount) & dmask
+                elif op in _SHIFT_RIGHT:
+                    dmask = (a_mask >> amount) | (
+                        xmask & ~(xmask >> amount))
+                    dval = a_val >> amount
+                else:  # arithmetic: high fill known only with the sign
+                    dmask = (a_mask >> amount) & (xmask >> amount)
+                    dval = (a_val >> amount) & dmask
+                    if a_mask >> (xlen - 1) & 1:
+                        fill = xmask & ~(xmask >> amount)
+                        dmask |= fill
+                        if a_val >> (xlen - 1) & 1:
+                            dval |= fill
+        elif op in _COMPARES:
+            dmask = xmask & ~1  # results are 0/1: upper bits pinned
+        elif op is Opcode.MUL:
+            if a_mask == xmask and b_mask == xmask:
+                dmask, dval = xmask, (a_val * b_val) & xmask
+        elif op is Opcode.LDRB:
+            dmask = xmask & ~0xFF  # byte load zero-extends
+        # LDR, MULH, DIV, REM, BL(lr): no facts (dmask stays 0).
+        mask[dest] = dmask
+        val[dest] = dval
+
+    def _refine_edge(self, instr: Instruction, succ_is_taken: bool,
+                     mask: list[int], val: list[int]) -> None:
+        """Value-range narrowing on a conditional branch's out-edge."""
+        xmask = self.xmask
+        op = instr.opcode
+        facts: list[tuple[int, int, int]] = []  # (reg, add_mask, add_val)
+        for this, other in ((instr.rs1, instr.rs2),
+                            (instr.rs2, instr.rs1)):
+            if mask[other] != xmask:
+                continue
+            known = val[other]
+            if (op is Opcode.BEQ and succ_is_taken) or (
+                    op is Opcode.BNE and not succ_is_taken):
+                facts.append((this, xmask, known))
+            elif op in (Opcode.BLTU, Opcode.BGEU) and this == instr.rs1:
+                # rs1 < known on BLTU-taken / BGEU-fallthrough: the
+                # bits above the bound's width are provably zero.
+                below = (op is Opcode.BLTU) == succ_is_taken
+                if below and known > 0:
+                    width = (known - 1).bit_length()
+                    facts.append((this, xmask & ~((1 << width) - 1), 0))
+        for reg, add_mask, add_val in facts:
+            if reg == registers.ZERO:
+                continue
+            agree_old = mask[reg]
+            mask[reg] = agree_old | add_mask
+            val[reg] = (val[reg] & agree_old & ~add_mask) | add_val
+
+    # ------------------------------------------------------------ solve
+
+    def _solve(self, program: Program,
+               successors: list[tuple[int, ...]]) -> None:
+        text = program.text
+        xmask = self.xmask
+        entry = program.entry
+        seed_mask = [0] * registers.NUM_REGS
+        seed_mask[registers.ZERO] = xmask
+        seed_val = [0] * registers.NUM_REGS
+        self._merge(entry, seed_mask, seed_val)
+        worklist = [entry]
+        queued = [False] * len(text)
+        queued[entry] = True
+        while worklist:
+            slot = worklist.pop()
+            queued[slot] = False
+            instr = text[slot]
+            base_mask = list(self.kmask[slot])
+            base_val = list(self.kval[slot])
+            self._apply(instr, base_mask, base_val)
+            for succ in successors[slot]:
+                mask = list(base_mask)
+                val = list(base_val)
+                if instr.format is Format.BC:
+                    self._refine_edge(instr, succ == slot + instr.imm,
+                                      mask, val)
+                elif instr.opcode is Opcode.BL and succ == slot + 1:
+                    # Fall-through past a call: the callee may clobber
+                    # anything, so no fact survives the union edge.
+                    mask = [0] * registers.NUM_REGS
+                    mask[registers.ZERO] = xmask
+                    val = [0] * registers.NUM_REGS
+                if self._merge(succ, mask, val) and not queued[succ]:
+                    queued[succ] = True
+                    worklist.append(succ)
+
+
+@dataclass
+class Propagation:
+    """Full bit-level fault-propagation analysis of one program.
+
+    ``control_in`` / ``address_in`` / ``data_in`` are per-slot lists of
+    per-register demand masks *entering* the slot: a set bit means a
+    flip of that register bit immediately before the slot executes may
+    reach a sink of that class. ``known_mask`` / ``known_value`` are
+    the forward pass's pinned-bit facts at the same program points.
+    """
+
+    program: Program
+    successors: list[tuple[int, ...]]
+    control_in: list[list[int]]
+    address_in: list[list[int]]
+    data_in: list[list[int]]
+    known_mask: list[list[int]]
+    known_value: list[list[int]]
+    dead_stores: frozenset[int]
+
+    @property
+    def xlen(self) -> int:
+        return self.program.xlen
+
+    def demand_masks(self, slot: int, reg: int) -> tuple[int, int, int]:
+        """(control, address, data) demand masks for ``reg`` at ``slot``."""
+        return (self.control_in[slot][reg], self.address_in[slot][reg],
+                self.data_in[slot][reg])
+
+    def dead_mask(self, slot: int, reg: int) -> int:
+        """Bits of ``reg`` provably dead entering ``slot``."""
+        control, address, data = self.demand_masks(slot, reg)
+        return ~(control | address | data) & ((1 << self.xlen) - 1)
+
+    def fate(self, slot: int, reg: int, bit: int) -> BitFate:
+        probe = 1 << bit
+        control, address, data = self.demand_masks(slot, reg)
+        return BitFate(control=bool(control & probe),
+                       address=bool(address & probe),
+                       data=bool(data & probe))
+
+    def slot_slice(self, slot: int, reg: int) -> SlotSlice:
+        control, address, data = self.demand_masks(slot, reg)
+        return SlotSlice(slot=slot, reg=reg, xlen=self.xlen,
+                         control_mask=control, address_mask=address,
+                         data_mask=data,
+                         known_mask=self.known_mask[slot][reg],
+                         known_value=self.known_value[slot][reg])
+
+    def summary(self) -> PropagationSummary:
+        """Census of every (slot, live-register, bit) analysis point.
+
+        The zero register is excluded (immutable, carries no faults),
+        matching the convention of the word-level liveness pass.
+        """
+        xlen = self.xlen
+        points = dead = control = address = data = 0
+        for slot in range(len(self.program.text)):
+            row_c = self.control_in[slot]
+            row_a = self.address_in[slot]
+            row_d = self.data_in[slot]
+            for reg in range(1, registers.NUM_REGS):
+                c, a, d = row_c[reg], row_a[reg], row_d[reg]
+                points += xlen
+                control += c.bit_count()
+                address += (a & ~c).bit_count()
+                data += (d & ~c & ~a).bit_count()
+                dead += xlen - (c | a | d).bit_count()
+        return PropagationSummary(points=points, dead_bits=dead,
+                                  control_bits=control,
+                                  address_bits=address, data_bits=data)
+
+
+def dead_frame_stores(program: Program) -> frozenset[int]:
+    """Slots of stores into a private frame slot that is never reloaded.
+
+    A function's frame is *private* when ``sp`` is only ever used as an
+    ``addi sp, sp, imm`` adjustment or as a load/store base inside the
+    function's extent -- no copy, no escape, no derived pointer -- and
+    every frame access stays inside the prologue-declared frame. Then a
+    ``str``/``strb`` at a frame offset never overlapped by any load in
+    the same function is architecturally silent: callees address only
+    their own (lower) frames, and the slot dies when the frame pops.
+
+    Used for classification/prediction only -- a later function reusing
+    the popped region could observe the stale bytes through an
+    uninitialized read, which is exactly why the pruning tier never
+    consumes this refinement.
+    """
+    from .lifetimes import _function_entries
+
+    sp = registers.SP
+    entries = _function_entries(program)
+    if not entries:
+        return frozenset()
+    size = len(program.text)
+    extent_end = {entry: size for entry in entries}
+    for prev, nxt in zip(entries, entries[1:]):
+        extent_end[prev] = nxt
+
+    dead: set[int] = set()
+    for entry in entries:
+        frame = 0
+        private = True
+        stores: list[tuple[int, int, int]] = []  # (slot, offset, size)
+        loads: list[tuple[int, int]] = []        # (offset, size)
+        for slot in range(entry, extent_end[entry]):
+            instr = program.text[slot]
+            op = instr.opcode
+            if (op is Opcode.ADDI and instr.rd == sp
+                    and instr.rs1 == sp):
+                frame = max(frame, -instr.imm)
+                continue
+            width = 1 if op in (Opcode.LDRB, Opcode.STRB) \
+                else program.xlen // 8
+            if instr.is_load and instr.rs1 == sp:
+                loads.append((instr.imm, width))
+                continue
+            if instr.is_store and instr.rs1 == sp:
+                if instr.rs2 == sp:
+                    private = False  # sp escapes through memory
+                    break
+                stores.append((slot, instr.imm, width))
+                continue
+            if sp in instr.src_regs() or instr.dest_reg() == sp:
+                private = False  # copied, derived, or rewritten
+                break
+        if not private:
+            continue
+        for slot, offset, width in stores:
+            if not 0 <= offset <= frame - width:
+                continue  # outside the declared frame: stay conservative
+            overlapped = any(offset < lo + lw and lo < offset + width
+                             for lo, lw in loads)
+            if not overlapped:
+                dead.add(slot)
+    return frozenset(dead)
+
+
+def _gen_demands(instr: Instruction, xmask: int,
+                 xlen: int) -> list[tuple[int, int, int]]:
+    """(class, reg, mask) demands the instruction generates itself."""
+    gens: list[tuple[int, int, int]] = []
+    op = instr.opcode
+    fmt = instr.format
+    if fmt is Format.LOAD:
+        gens.append((ADDRESS, instr.rs1, xmask))
+    elif fmt is Format.STORE:
+        gens.append((ADDRESS, instr.rs1, xmask))
+        gens.append((DATA, instr.rs2,
+                     0xFF if op is Opcode.STRB else xmask))
+    elif fmt is Format.BC:
+        gens.append((CONTROL, instr.rs1, xmask))
+        gens.append((CONTROL, instr.rs2, xmask))
+    elif fmt is Format.JR:
+        gens.append((CONTROL, instr.rs1, xmask))
+        for reg in _RETURN_ADDRESS_REGS:
+            gens.append((ADDRESS, reg, xmask))
+        for reg in _RETURN_DATA_REGS:
+            gens.append((DATA, reg, xmask))
+    elif op is Opcode.SVC:
+        gens.append((DATA, registers.ARG_REGS[0], xmask))
+    elif op in (Opcode.DIV, Opcode.REM):
+        # A corrupted divisor can become zero and fault the stream.
+        gens.append((CONTROL, instr.rs2, xmask))
+    return gens
+
+
+def _needed_sources(instr: Instruction, demand: int, xlen: int,
+                    known_mask: list[int],
+                    known_val: list[int]) -> list[tuple[int, int]]:
+    """(source reg, needed bits) to produce ``demand`` bits of the dest.
+
+    ``known_mask``/``known_val`` are the forward facts entering the
+    slot, consulted only about the *other* operand of an op (sound
+    under the single-register-fault model; see module docstring).
+    """
+    xmask = (1 << xlen) - 1
+    if not demand:
+        return []
+    op = instr.opcode
+    fmt = instr.format
+    immv = instr.imm & xmask
+
+    def known_zero(reg: int) -> int:
+        return known_mask[reg] & ~known_val[reg]
+
+    def known_one(reg: int) -> int:
+        return known_mask[reg] & known_val[reg]
+
+    def is_known_zero(reg: int) -> bool:
+        return known_mask[reg] == xmask and known_val[reg] == 0
+
+    if op is Opcode.MOVW:
+        return []
+    if op in _MOVT_SHIFT:
+        shift = _MOVT_SHIFT[op]
+        keep = ~(0xFFFF << shift) & xmask
+        return [(instr.rd, demand & keep)]
+    if op is Opcode.ADDI:
+        return [(instr.rs1,
+                 demand if immv == 0 else _smear_down(demand))]
+    if op in (Opcode.ADD, Opcode.SUB):
+        need_a = demand if is_known_zero(instr.rs2) \
+            else _smear_down(demand)
+        need_b = demand if (op is Opcode.ADD
+                            and is_known_zero(instr.rs1)) \
+            else _smear_down(demand)
+        return [(instr.rs1, need_a), (instr.rs2, need_b)]
+    if op is Opcode.ANDI:
+        return [(instr.rs1, demand & immv)]
+    if op is Opcode.ORI:
+        return [(instr.rs1, demand & ~immv)]
+    if op is Opcode.EORI:
+        return [(instr.rs1, demand)]
+    if op is Opcode.AND:
+        return [(instr.rs1, demand & ~known_zero(instr.rs2)),
+                (instr.rs2, demand & ~known_zero(instr.rs1))]
+    if op is Opcode.ORR:
+        return [(instr.rs1, demand & ~known_one(instr.rs2)),
+                (instr.rs2, demand & ~known_one(instr.rs1))]
+    if op is Opcode.EOR:
+        return [(instr.rs1, demand), (instr.rs2, demand)]
+    if op in (*_SHIFT_LEFT, *_SHIFT_RIGHT, *_SHIFT_ARITH):
+        if fmt is Format.I:
+            amount: int | None = immv & (xlen - 1)
+        elif known_mask[instr.rs2] == xmask:
+            amount = known_val[instr.rs2] & (xlen - 1)
+        else:
+            amount = None
+        if amount is None:
+            need_a = xmask
+        elif op in _SHIFT_LEFT:
+            need_a = demand >> amount
+        elif op in _SHIFT_RIGHT:
+            need_a = (demand << amount) & xmask
+        else:
+            need_a = (demand << amount) & xmask
+            if amount and demand & (xmask & ~(xmask >> amount)):
+                need_a |= 1 << (xlen - 1)
+        needs = [(instr.rs1, need_a)]
+        if fmt is Format.R:
+            # Hardware shifters read only the low log2(xlen) bits.
+            needs.append((instr.rs2, xlen - 1))
+        return needs
+    if op in _COMPARES:
+        if demand & 1:  # upper result bits are constant zero
+            needs = [(instr.rs1, xmask)]
+            if fmt is Format.R:
+                needs.append((instr.rs2, xmask))
+            return needs
+        return []
+    if op is Opcode.MUL:
+        cone = _smear_down(demand)
+        return [(instr.rs1, cone), (instr.rs2, cone)]
+    if op in (Opcode.MULH, Opcode.DIV, Opcode.REM):
+        return [(instr.rs1, xmask), (instr.rs2, xmask)]
+    if fmt is Format.LOAD:
+        return []  # the loaded value owes nothing to rs1 beyond address
+    return [(reg, xmask) for reg in instr.src_regs()]
+
+
+def analyze_propagation(program: Program, *,
+                        with_dead_stores: bool = True) -> Propagation:
+    """Run both passes and return the full :class:`Propagation`."""
+    size = len(program.text)
+    xlen = program.xlen
+    xmask = (1 << xlen) - 1
+    successors = [instruction_flow(instr, index, size)
+                  for index, instr in enumerate(program.text)]
+    known = _KnownBits(program, successors)
+
+    num_regs = registers.NUM_REGS
+    demand_in = [[[0] * num_regs for _ in range(size)] for _ in range(3)]
+    preds: list[list[int]] = [[] for _ in range(size)]
+    for index, succs in enumerate(successors):
+        for succ in succs:
+            preds[succ].append(index)
+
+    gens = [_gen_demands(instr, xmask, xlen) for instr in program.text]
+    worklist = list(range(size))
+    queued = [True] * size
+    while worklist:
+        slot = worklist.pop()
+        queued[slot] = False
+        instr = program.text[slot]
+        dest = instr.dest_reg()
+        kmask_row = known.kmask[slot]
+        kval_row = known.kval[slot]
+        changed = False
+        for cls in range(3):
+            rows = demand_in[cls]
+            out = [0] * num_regs
+            for succ in successors[slot]:
+                succ_row = rows[succ]
+                for reg in range(num_regs):
+                    out[reg] |= succ_row[reg]
+            new_in = out
+            if dest is not None:
+                dest_demand = new_in[dest]
+                new_in[dest] = 0
+                for reg, needed in _needed_sources(
+                        instr, dest_demand, xlen, kmask_row, kval_row):
+                    if reg != registers.ZERO:
+                        new_in[reg] |= needed
+            for cls_gen, reg, add in gens[slot]:
+                if cls_gen == cls and reg != registers.ZERO:
+                    new_in[reg] |= add
+            if new_in != rows[slot]:
+                rows[slot] = new_in
+                changed = True
+        if changed:
+            for pred in preds[slot]:
+                if not queued[pred]:
+                    queued[pred] = True
+                    worklist.append(pred)
+
+    return Propagation(
+        program=program,
+        successors=successors,
+        control_in=demand_in[CONTROL],
+        address_in=demand_in[ADDRESS],
+        data_in=demand_in[DATA],
+        known_mask=known.kmask,
+        known_value=known.kval,
+        dead_stores=dead_frame_stores(program) if with_dead_stores
+        else frozenset(),
+    )

@@ -9,6 +9,7 @@ from .figures import (
     fig10_fit_rates,
     fig11_fpe,
     fig12_ecc_fit,
+    fig_static_calibration,
     table1_configurations,
     weighted_field_avf,
 )
@@ -16,6 +17,7 @@ from .grid import CORES, OPT_LEVELS, CampaignGrid, GridSpec
 from .render import (
     format_table,
     render_avf_figure,
+    render_calibration,
     render_fig1,
     render_fig9,
     render_fig10,
@@ -36,8 +38,10 @@ __all__ = [
     "fig10_fit_rates",
     "fig11_fpe",
     "fig12_ecc_fit",
+    "fig_static_calibration",
     "format_table",
     "render_avf_figure",
+    "render_calibration",
     "render_fig1",
     "render_fig9",
     "render_fig10",

@@ -14,6 +14,7 @@ from ..avf import (
     cpu_fit_by_class,
     failures_per_execution,
 )
+from ..avf.static_sdc import calibration_report
 from ..avf.weighted import BenchmarkAVF, weighted_avf, weighted_class_avf
 from ..gefin.outcomes import FAILURE_OUTCOMES
 from ..microarch import CONFIGS
@@ -184,3 +185,24 @@ def fig12_ecc_fit(grid: CampaignGrid) -> dict:
                 out[core][scheme.name][level] = cpu_fit(config, field_avfs,
                                                         scheme)
     return out
+
+
+def fig_static_calibration(grid: CampaignGrid) -> dict:
+    """Static SDC/DUE predictor calibrated against dynamic campaigns.
+
+    Not a paper figure: this is the repo's static-vs-dynamic analysis.
+    For every (core, benchmark, level) cell of the grid spec, run a
+    uniform-mode PRF campaign, predict each trial's outcome class from
+    the bit-level propagation verdicts alone, and report confusion /
+    precision / recall (see :mod:`repro.avf.static_sdc`). Per-trial
+    records are not cached by the grid store, so cells are re-simulated
+    on every call; size the spec accordingly.
+    """
+    spec = grid.spec
+    return {
+        core: calibration_report(
+            tuple(spec.benchmarks), core=core,
+            opt_levels=tuple(spec.levels), n=spec.injections,
+            seed=spec.seed, scale=spec.scale)
+        for core in spec.cores
+    }

@@ -117,3 +117,28 @@ def render_fig12(data: dict) -> str:
             f"Fig. 12: CPU FIT per ECC scheme ({core})",
             ["scheme"] + levels, rows))
     return "\n\n".join(parts)
+
+
+def render_calibration(data: dict) -> str:
+    """Render :func:`~repro.experiments.figures.fig_static_calibration`."""
+    headers = ["bench", "level", "n", "acc",
+               "P(mask)", "R(mask)", "P(sdc)", "R(sdc)",
+               "P(due)", "R(due)"]
+    parts = []
+    for core, report in data.items():
+        rows = []
+
+        def row(label: str, level: str, cell: dict) -> list[str]:
+            return [label, level, str(cell["n"]), f"{cell['accuracy']:.2f}",
+                    *(f"{cell[metric][name]:.2f}"
+                      for name in ("masked", "sdc", "due")
+                      for metric in ("precision", "recall"))]
+
+        for bench, levels in report["cells"].items():
+            rows.extend(row(bench, level, cell)
+                        for level, cell in levels.items())
+        rows.append(row("(all)", "-", report["overall"]))
+        parts.append(format_table(
+            f"Static SDC/DUE prediction vs dynamic ground truth ({core})",
+            headers, rows))
+    return "\n\n".join(parts)

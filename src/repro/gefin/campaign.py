@@ -333,13 +333,14 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
     degradation = None
     if workers <= 1 or len(pending) <= 1:
         for shard in pending:
-            started = time.time()
+            started = time.time()  # det: allow (span metadata)
             results = run_shard(
                 program, config, golden, field, shard, seed, mode=mode,
                 burst=burst, bit_count=bit_count, early_exit=early_exit,
                 convergence_horizon=convergence_horizon, trace=trace)
             finish(shard, results,
-                   shard_span(shard, started, time.time(), len(results)))
+                   shard_span(shard, started, time.time(),  # det: allow
+                              len(results)))
     elif pending:
         if shard_timeout is None:
             shard_timeout = default_shard_timeout(
@@ -383,6 +384,10 @@ def run_campaign(program: Program, config: CoreConfig, field: str, n: int,
                         golden.cycles, bit_count, results)
     summary.timeline = sorted(timeline,
                               key=lambda span: span["shard"])
+    if metrics is not None:
+        for tier, count in summary.pruning.items():
+            if isinstance(count, int):  # skip mean_window (a float)
+                metrics.counter(f"campaign.prune.{tier}").inc(count)
     if degradation is not None and degradation.dirty:
         summary.degradation = degradation.report(n, bit_count,
                                                  golden.cycles)

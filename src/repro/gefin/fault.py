@@ -98,9 +98,21 @@ class GoldenTrace:
     * ``committed`` -- the cumulative committed-instruction count,
       compared per cycle by the fault-propagation tracer to date a
       trial's first commit-stream divergence from the golden run.
+    * ``rename`` / ``alloc`` / ``ready`` / ``inflight`` / ``commit_pc``
+      -- the register-rename view needed for bit-level PRF pruning: the
+      architectural rename map (one byte per architectural register),
+      the PRF allocated/ready bit vectors and the core's in-flight
+      destination mask (each packed little-endian into ``mask_words``
+      64-bit words per cycle), and the PC of the oldest uncommitted
+      instruction. Together these let the pruner decide, without a
+      simulator, whether a PRF flip lands in a free register, a
+      register awaiting full-width writeback, or a statically dead bit
+      of a committed architectural value.
     """
 
-    __slots__ = ("quick", "full", "rob", "sq", "iq", "lq", "committed")
+    __slots__ = ("quick", "full", "rob", "sq", "iq", "lq", "committed",
+                 "rename", "alloc", "ready", "inflight", "commit_pc",
+                 "mask_words")
 
     def __init__(self) -> None:
         self.quick = array("Q")
@@ -110,6 +122,12 @@ class GoldenTrace:
         self.iq = array("Q")
         self.lq = array("Q")
         self.committed = array("Q")
+        self.rename = bytearray()
+        self.alloc = array("Q")
+        self.ready = array("Q")
+        self.inflight = array("Q")
+        self.commit_pc = array("Q")
+        self.mask_words = 0
 
     def __len__(self) -> int:
         return len(self.quick)
@@ -125,6 +143,45 @@ class GoldenTrace:
         self.iq.append(core.iq.valid_mask)
         self.lq.append(core.lq.valid_mask)
         self.committed.append(core.stats.committed)
+        prf = core.prf
+        words = self.mask_words
+        if not words:
+            words = self.mask_words = (prf.num_regs + 63) // 64
+        self.rename.extend(prf.rename_map)
+        alloc = prf.alloc_mask
+        ready = prf.ready_mask
+        inflight = core.inflight_dest_mask
+        low = (1 << 64) - 1
+        for _ in range(words):
+            self.alloc.append(alloc & low)
+            self.ready.append(ready & low)
+            self.inflight.append(inflight & low)
+            alloc >>= 64
+            ready >>= 64
+            inflight >>= 64
+        self.commit_pc.append(core.next_commit_pc())
+
+    def rename_state(self, cycle: int) -> tuple[bytes, int, int, int, int]:
+        """Rename view after ``cycle``: ``(rename_map, alloc_mask,
+        ready_mask, inflight_dest_mask, next_commit_pc)``.
+
+        ``rename_map`` is one byte per architectural register holding its
+        physical tag. Raises :class:`IndexError` when the cycle was never
+        recorded.
+        """
+        index = cycle - 1
+        if not 0 <= index < len(self.commit_pc):
+            raise IndexError(f"cycle {cycle} not recorded")
+        words = self.mask_words
+        span = len(self.rename) // len(self.commit_pc)
+        rename = bytes(self.rename[span * index:span * (index + 1)])
+        alloc = ready = inflight = 0
+        for word in range(words):
+            shift = 64 * word
+            alloc |= self.alloc[words * index + word] << shift
+            ready |= self.ready[words * index + word] << shift
+            inflight |= self.inflight[words * index + word] << shift
+        return rename, alloc, ready, inflight, self.commit_pc[index]
 
 
 @dataclass

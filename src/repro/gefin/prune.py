@@ -1,6 +1,6 @@
 """Pre-simulation fault pruning: classify trials Masked for free.
 
-Two tiers, both consulted *before* a :class:`~repro.microarch.
+Three tiers, all consulted *before* a :class:`~repro.microarch.
 simulator.Simulator` is even constructed (the pruned trial still counts
 in the campaign denominator, exactly as if it had been simulated):
 
@@ -14,12 +14,36 @@ in the campaign denominator, exactly as if it had been simulated):
    the injection cycle bounces off invalid storage (the flip method
    would return ``False``), so the machine stays bit-identical to the
    golden run and determinism yields the golden outcome.
+3. **Bit-level register-file pruning** -- a uniform-mode PRF flip is
+   provably masked when each corrupted physical register is either
 
-Soundness rests on the flip methods' contract: a flip into an invalid
-slot changes no machine state. The pruner replicates the exact
-:class:`~repro.gefin.injector.InjectionResult` (outcome, weight,
-bit index) the simulated path produces, so early-exit and full
-campaigns aggregate identically; the equivalence is enforced by test.
+   * *unallocated* (free list residents are written full-width at their
+     next allocation before any ready-gated read),
+   * *allocated but not ready* (the producing uop's writeback rewrites
+     the whole register before the issue stage ever reads it), or
+   * *the committed architectural value of some register ``r``* (it is
+     the frontend rename target of ``r`` with no producer in flight)
+     whose flipped bits are all *statically dead* at the commit-point
+     instruction per the bit-level propagation analysis
+     (:func:`repro.compiler.propagation.analyze_propagation`).
+
+   The third rule leans on program facts (known-bit narrowing), whose
+   validity assumes every register other than the flipped one holds its
+   golden value; it is therefore applied to at most one physical
+   register per fault, and never to ``r0`` (hardwired zero). Wrong-path
+   uops may read the corrupted register, but speculation on this core
+   is timing-only: stores, syscalls, and exceptions act at commit, so a
+   squashed reader cannot launder the flip into architectural state.
+
+Soundness of tiers 1-2 rests on the flip methods' contract: a flip into
+an invalid slot changes no machine state. Tier 3's flips *do* perturb
+machine state; its contract is the weaker outcome equivalence -- a full
+simulation of the same fault classifies Masked (typically via digest
+reconvergence once the corrupted registers are recycled). The pruner
+replicates the (outcome, weight, bit index) triple of the simulated
+path, so early-exit and full campaigns aggregate identically; the
+equivalence is enforced by differential test across every workload,
+core, and optimization level.
 """
 
 from __future__ import annotations
@@ -27,7 +51,9 @@ from __future__ import annotations
 from array import array
 
 from ..avf.static_ace import static_ace_estimate
+from ..compiler.propagation import Propagation, analyze_propagation
 from ..isa.program import Program
+from ..kernel.layout import SystemMap
 from ..microarch.config import CoreConfig
 from ..microarch.queues import ARCH_FIELD_BITS, NUM_FLAGS, PC_FIELD_BITS
 from .fault import FaultSpec, GoldenRun
@@ -50,6 +76,20 @@ class StaticPruner:
         self.golden = golden
         trace = golden.trace
         self.trace = trace if trace is not None and len(trace) else None
+        self._program = program
+        self._xlen = config.xlen
+        self._prf_bits = config.phys_regs * config.xlen
+        self._text_base = SystemMap().text_base
+        # Lazy: the propagation analysis costs ~10 ms per binary and is
+        # only needed for PRF campaigns.
+        self._propagation: Propagation | None = None
+        # Traces recorded before the rename view existed (or unpickled
+        # from older checkpoints) lack the per-cycle arrays; tier 3 then
+        # simply declines.
+        self._rename_trace = (
+            self.trace is not None
+            and getattr(self.trace, "mask_words", 0) > 0
+            and len(self.trace.commit_pc) == len(self.trace))
         self._geometry: dict[str, tuple[str, int, array, int]] = {}
         if self.trace is not None:
             tag = config.phys_tag_bits
@@ -102,6 +142,8 @@ class StaticPruner:
             if spec.mode == "occupancy":
                 return self._zero_live(spec)
             return self._unchanged(spec)
+        if spec.field == "prf":
+            return self._prune_prf(spec)
         geometry = self._geometry.get(spec.field)
         if geometry is None or self.trace is None \
                 or spec.cycle > len(self.trace):
@@ -128,3 +170,62 @@ class StaticPruner:
             elif (packed >> slot) & 1:
                 return None
         return self._unchanged(spec)
+
+    # ----------------------------------------------------- tier 3: PRF
+
+    def _prune_prf(self, spec: FaultSpec) -> InjectionResult | None:
+        """Bit-level PRF pruning (tier 3); ``None`` when not provable.
+
+        Uniform mode only: occupancy-mode trials with live bits draw
+        their bit index from the trial RNG inside the injector, which
+        the never-consumes-RNG contract forbids replicating here (and
+        the PRF always has >= 32 allocated registers, so its occupancy
+        weight is never zero).
+        """
+        if (spec.mode != "uniform" or spec.bit_index is None
+                or not self._rename_trace or self.trace is None
+                or spec.cycle > len(self.trace)):
+            return None
+        xlen = self._xlen
+        per_reg: dict[int, int] = {}
+        for offset in range(spec.burst):
+            index = spec.bit_index + offset
+            if index >= self._prf_bits:
+                continue  # clipped by the injector: a no-op flip
+            reg, bit = divmod(index, xlen)
+            per_reg[reg] = per_reg.get(reg, 0) | (1 << bit)
+        rename, alloc, ready, inflight, commit_pc = \
+            self.trace.rename_state(spec.cycle)
+        fact_rule_used = False
+        for reg, bits in per_reg.items():
+            if not (alloc >> reg) & 1:
+                continue  # free register: rewritten at next allocation
+            if not (ready >> reg) & 1:
+                continue  # awaiting its producer's full-width writeback
+            if (inflight >> reg) & 1:
+                # Ready with its producer still in flight: already-read
+                # consumers saw golden values while future ones see the
+                # flip; no single architectural point models that.
+                return None
+            arch = rename.find(reg)
+            if arch <= 0:
+                # Not the frontend mapping of any register (a committed
+                # old_phys awaiting its successor's retirement free), or
+                # the hardwired-zero mapping. Not provable here.
+                return None
+            if fact_rule_used:
+                # Known-bit facts assume every *other* register is
+                # golden; only one register per fault may rely on them.
+                return None
+            slot, misaligned = divmod(commit_pc - self._text_base, 4)
+            if misaligned or not 0 <= slot < len(self._program.text):
+                return None
+            if self._propagation is None:
+                self._propagation = analyze_propagation(self._program)
+            if bits & ~self._propagation.dead_mask(slot, arch):
+                return None
+            fact_rule_used = True
+        return InjectionResult(
+            spec, Outcome.MASKED, 1.0, spec.bit_index,
+            "statically pruned: dead register bits",
+            self.golden.cycles, early="static-bit")

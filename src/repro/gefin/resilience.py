@@ -322,7 +322,7 @@ class ShardSupervisor:
         inflight: dict[Future, tuple[_Task, float]] = {}
         try:
             while self._ready or self._waiting or inflight:
-                now = time.monotonic()
+                now = time.monotonic()  # det: allow (watchdog clock)
                 self._promote_waiting(now)
                 pool = self._fill(pool, inflight, now)
                 if not inflight:
@@ -352,7 +352,7 @@ class ShardSupervisor:
     def _sleep_until_due(self) -> None:
         if not self._waiting:
             return
-        now = time.monotonic()
+        now = time.monotonic()  # det: allow (backoff clock)
         delay = min(task.not_before for task in self._waiting) - now
         if delay > 0:
             time.sleep(min(delay, _POLL_INTERVAL))
@@ -430,7 +430,7 @@ class ShardSupervisor:
         if task.attempts <= self.policy.max_retries:
             token = f"{task.key}:{task.shard.start}:{task.shard.stop}"
             delay = self.policy.delay(self._seed, token, task.attempts)
-            task.not_before = time.monotonic() + delay
+            task.not_before = time.monotonic() + delay  # det: allow
             self._waiting.append(task)
             _LOG.warning("retrying shard", shard=task.shard.index,
                          trials=f"[{task.shard.start},{task.shard.stop})",
@@ -469,7 +469,7 @@ class ShardSupervisor:
         """Kill and recover the pool when a shard overran its deadline."""
         if not self.shard_timeout:
             return pool
-        now = time.monotonic()
+        now = time.monotonic()  # det: allow (watchdog clock)
         expired = [future for future, (_task, deadline) in inflight.items()
                    if deadline and now > deadline]
         if not expired:

@@ -123,6 +123,12 @@ class OoOCore:
         self.fetch_queue: deque[MicroOp] = deque()
         self.decode_queue: deque[MicroOp] = deque()
         self.inflight: list[MicroOp] = []
+        # Physical destination tags of renamed-but-uncommitted uops, as a
+        # bit vector over physical registers. Write-only metadata for the
+        # golden trace (static bit-level pruning needs to know, per cycle,
+        # which mapped registers still have their producer in flight); it
+        # never feeds back into pipeline behaviour.
+        self.inflight_dest_mask = 0
         self.commit_stall_until = 0
         self.next_seq = 0
         self.cycle = 0
@@ -293,6 +299,7 @@ class OoOCore:
                 new_phys = self.prf.allocate()
                 uop.phys_dest = new_phys
                 uop.old_phys_dest = self.prf.remap(uop.arch_dest, new_phys)
+                self.inflight_dest_mask |= 1 << new_phys
             uop.rob_index = self.rob.allocate(uop)
             if uop.is_load:
                 uop.lq_index = self.lq.insert(uop)
@@ -503,6 +510,8 @@ class OoOCore:
                 break
             victim.squashed = True
             self.stats.squashed += 1
+            if victim.phys_dest is not None:
+                self.inflight_dest_mask &= ~(1 << victim.phys_dest)
             if tail_entry.flag(FLAG_HAS_DEST):
                 self.prf.remap(tail_entry.arch_dest, tail_entry.old_phys,
                                "squash")
@@ -579,9 +588,33 @@ class OoOCore:
                     raise SimAssertError(
                         "ROB architectural destination out of range")
                 self.prf.free(entry.old_phys, "commit")
+            if uop.phys_dest is not None:
+                self.inflight_dest_mask &= ~(1 << uop.phys_dest)
             self.rob.pop_head()
             self.stats.committed += 1
             budget -= 1
+
+    # ------------------------------------------------------- observability
+
+    def next_commit_pc(self) -> int:
+        """PC of the oldest uncommitted instruction.
+
+        Falls through ROB head -> decode queue -> fetch queue ->
+        ``fetch_pc``. The oldest uncommitted uop is always correct-path:
+        commit is in order, and any mispredicted branch older than it
+        would have resolved (and squashed the wrong path) before the uop
+        could become oldest. This is the architectural "program counter"
+        the static propagation analysis is queried at when a fault is
+        injected between cycles.
+        """
+        entry = self.rob.head_entry()
+        if entry is not None and entry.uop is not None:
+            return entry.uop.pc
+        if self.decode_queue:
+            return self.decode_queue[0].pc
+        if self.fetch_queue:
+            return self.fetch_queue[0].pc
+        return self.fetch_pc
 
     # -------------------------------------------------------------- digest
 
@@ -672,5 +705,13 @@ class OoOCore:
         self.commit_stall_until = state["commit_stall_until"]
         self.next_seq = state["next_seq"]
         self.cycle = state["cycle"]
+        # Derived from ROB residency, so recompute instead of storing:
+        # snapshots written before the mask existed restore identically.
+        mask = 0
+        for entry in self.rob.walk_from_tail():
+            uop = entry.uop
+            if uop is not None and uop.phys_dest is not None:
+                mask |= 1 << uop.phys_dest
+        self.inflight_dest_mask = mask
         for name, value in state["stats"].items():
             setattr(self.stats, name, value)

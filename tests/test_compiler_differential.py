@@ -20,9 +20,12 @@ LEVELS = ("O0", "O1", "O2", "O3")
 
 def _run_everywhere(source: str) -> bytes:
     """Run on all 4 levels x 2 targets; outputs must agree within a
-    target (and for these width-safe programs, across targets too)."""
-    outputs = set()
+    target.  Cross-target agreement is NOT asserted: ``int`` is the
+    native word, so a generated program whose intermediates overflow 32
+    bits legitimately wraps differently on armlet32 and armlet64."""
+    last = b""
     for target in (ARMLET32, ARMLET64):
+        outputs = set()
         for level in LEVELS:
             program = compile_source(source, level, target)
             memory = MainMemory(4 * 1024 * 1024)
@@ -30,8 +33,9 @@ def _run_everywhere(source: str) -> bytes:
                                     max_instructions=3_000_000)
             assert result.exit_code == 0
             outputs.add(result.output.data)
-    assert len(outputs) == 1, outputs
-    return outputs.pop()
+        assert len(outputs) == 1, (target.name, outputs)
+        last = outputs.pop()
+    return last
 
 
 # ------------------------------------------------------ hypothesis grammar

@@ -295,9 +295,12 @@ class TestOutcomeEquivalence:
             self, program32, golden32):
         """convergence_horizon=0 forces full runs but never changes the
         classification of a trial that would have converged."""
-        shard = Shard(0, 0, 10)
+        # Tier-3 bit-level pruning now classifies most uniform PRF
+        # flips before simulation; this (seed, n) leaves several
+        # trials that reach the digest-reconvergence path.
+        shard = Shard(0, 0, 60)
         fast = run_shard(program32, CORTEX_A15, golden32, "prf", shard,
-                         seed=2, mode="uniform", early_exit=True)
+                         seed=5, mode="uniform", early_exit=True)
         converged = [r for r in fast if r.early == "converged"]
         assert converged, "expected at least one digest-converged trial"
         for r in converged:

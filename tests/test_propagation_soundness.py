@@ -1,0 +1,190 @@
+"""Soundness of the bit-level propagation verdicts and tier-3 pruning.
+
+Two layers of evidence:
+
+* **Architectural**: hypothesis-generated MinC programs where every
+  statically-DEAD (pc, reg, bit) verdict sampled is checked by actually
+  flipping those bits in a functional simulation and demanding the
+  golden output. Because every transfer rule in the analysis is
+  per-use positional, all dead bits of one register are jointly dead,
+  so one run flipping the register's whole dead mask checks each of
+  its dead-bit verdicts at once.
+
+* **Microarchitectural**: the tier-3 PRF pruner's verdicts are
+  replayed against full out-of-order simulation across every workload,
+  both cores, and O0-O3 -- each pruned fault must fully simulate to
+  the same (outcome, weight, bit index) triple, i.e. Masked.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.compiler import ARMLET32, ARMLET64, compile_source
+from repro.compiler.propagation import analyze_propagation
+from repro.gefin.fault import FaultSpec, run_golden_auto
+from repro.gefin.injector import inject_one
+from repro.gefin.outcomes import Outcome
+from repro.gefin.prune import StaticPruner
+from repro.isa import registers
+from repro.kernel import MainMemory, load
+from repro.kernel.functional import FunctionalCPU
+from repro.microarch.config import CONFIGS
+from repro.workloads.registry import BENCHMARKS, build_program
+
+from .test_compiler_differential import minc_programs
+
+MAX_STEPS = 200_000
+
+
+def _boot(program) -> FunctionalCPU:
+    memory = MainMemory(4 * 1024 * 1024)
+    image = load(program, memory)
+    return FunctionalCPU(image, memory, program.xlen)
+
+
+def _advance(cpu: FunctionalCPU, steps: int) -> None:
+    """Single-step ``cpu`` forward ``steps`` instructions."""
+    text = cpu.image.program.text
+    base = cpu.image.system_map.text_base
+    for _ in range(steps):
+        cpu.image.system_map.check_fetch(cpu.pc, cpu.image.text_bytes)
+        cpu.step(text[(cpu.pc - base) >> 2])
+        cpu.instructions += 1
+
+
+def _finish(cpu: FunctionalCPU) -> tuple[bytes, int | None]:
+    result = cpu.run(MAX_STEPS)
+    return result.output.data, result.exit_code
+
+
+# ------------------------------------------- architectural flip checks
+
+def _check_dead_verdicts(source: str, level: str, target) -> None:
+    program = compile_source(source, level, target)
+    golden = _boot(program)
+    golden_output, golden_exit = _finish(golden)
+    assert golden_exit == 0
+    total_steps = golden.instructions
+    prop = analyze_propagation(program)
+    rng = random.Random(0xD15EA5E)
+    steps = sorted({rng.randrange(total_steps)
+                    for _ in range(min(4, total_steps))})
+    for step in steps:
+        probe = _boot(program)
+        _advance(probe, step)
+        slot = (probe.pc
+                - probe.image.system_map.text_base) >> 2
+        saved_regs = list(probe.regs)
+        saved_pc = probe.pc
+        for reg in range(1, registers.NUM_REGS):
+            dead = prop.dead_mask(slot, reg)
+            if not dead:
+                continue
+            # One run per register flips its whole dead mask: the
+            # transfer rules are positional, so the bits are jointly
+            # dead and each per-bit verdict is covered by this run.
+            cpu = _boot(program)
+            _advance(cpu, step)
+            assert cpu.regs == saved_regs and cpu.pc == saved_pc
+            cpu.regs[reg] ^= dead
+            try:
+                output, exit_code = _finish(cpu)
+            except Exception as exc:
+                raise AssertionError(
+                    f"flip at step {step} slot {slot} reg "
+                    f"{registers.reg_name(reg)} mask {dead:#x} crashed "
+                    f"({level}, {target.name}): {exc!r}") from exc
+            assert (output, exit_code) == (golden_output, golden_exit), (
+                f"DEAD verdict violated at step {step} slot {slot} "
+                f"reg {registers.reg_name(reg)} mask {dead:#x} "
+                f"({level}, {target.name})")
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(minc_programs())
+def test_dead_verdicts_survive_architectural_flips(source) -> None:
+    _check_dead_verdicts(source, "O2", ARMLET32)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(minc_programs())
+def test_dead_verdicts_survive_flips_64(source) -> None:
+    _check_dead_verdicts(source, "O1", ARMLET64)
+
+
+def test_dead_verdicts_fixed_program_all_levels() -> None:
+    source = """
+    int g[8];
+    int main() {
+        int acc = 0;
+        for (int i = 0; i < 20; i++) {
+            g[i % 8] = i * 3;
+            acc += g[(i + 1) % 8] & 255;
+        }
+        putint(acc & 65535);
+        return 0;
+    }
+    """
+    for level in ("O0", "O1", "O2", "O3"):
+        _check_dead_verdicts(source, level, ARMLET32)
+        _check_dead_verdicts(source, level, ARMLET64)
+
+
+# --------------------------------------- tier-3 differential soundness
+
+_CORE_TO_TARGET = {"cortex-a15": "armlet32", "cortex-a72": "armlet64"}
+_LEVELS = ("O0", "O1", "O2", "O3")
+
+#: Uniform-mode PRF faults sampled per (workload, core, level) cell,
+#: and how many of the pruned ones are replayed in full simulation.
+_N_SPECS = 60
+_N_VERIFY = 4
+
+
+def _tier3_differential(workload: str, core: str, level: str) -> None:
+    config = CONFIGS[core]
+    program = build_program(workload, "micro", level,
+                            _CORE_TO_TARGET[core])
+    golden = run_golden_auto(program, config)
+    pruner = StaticPruner(program, config, golden)
+    bits = config.phys_regs * config.xlen
+    rng = random.Random(20210213)
+    pruned = []
+    for _ in range(_N_SPECS):
+        spec = FaultSpec(field="prf",
+                         cycle=rng.randrange(1, golden.cycles + 1),
+                         bit_index=rng.randrange(bits), mode="uniform")
+        result = pruner.prune(spec)
+        if result is not None:
+            assert result.outcome is Outcome.MASKED
+            assert result.early == "static-bit"
+            pruned.append((spec, result))
+    # Bit-level pruning should fire on a healthy fraction of uniform
+    # PRF faults (most of a large PRF is unallocated or dead).
+    assert len(pruned) >= _N_SPECS // 4, (workload, core, level)
+    for spec, claimed in pruned[:_N_VERIFY]:
+        full = inject_one(program, config, golden, spec, early_exit=True)
+        assert full.outcome is Outcome.MASKED, (spec, full.detail)
+        assert (full.outcome, full.weight, full.bit_index) == \
+            (claimed.outcome, claimed.weight, claimed.bit_index)
+
+
+@pytest.mark.parametrize("core", sorted(CONFIGS))
+@pytest.mark.parametrize("level", _LEVELS)
+def test_tier3_differential_qsort(core, level) -> None:
+    _tier3_differential("qsort", core, level)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workload", sorted(set(BENCHMARKS) - {"qsort"}))
+@pytest.mark.parametrize("core", sorted(CONFIGS))
+@pytest.mark.parametrize("level", _LEVELS)
+def test_tier3_differential_matrix(workload, core, level) -> None:
+    """Full soundness matrix: all workloads x both cores x O0-O3."""
+    _tier3_differential(workload, core, level)

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""AST lint enforcing determinism in the measurement core.
+
+Campaign results must be a pure function of ``(program, config, field,
+n, seed, mode, burst)``: the paper's statistical argument, the shard
+bit-exactness guarantee, resumable checkpoints, and the pruner's
+differential soundness tests all assume a re-run reproduces every trial
+bit for bit. This lint bans the three ways nondeterminism usually
+sneaks in, for every Python file under ``src/repro/gefin`` and
+``src/repro/compiler``:
+
+DET001  unseeded randomness -- calls through the ``random`` module's
+        hidden global generator (``random.randrange(...)``) or
+        ``random.Random()`` with no seed. Derive a seeded generator
+        instead (see ``gefin.parallel.derive_rng``).
+DET002  wall-clock reads -- ``time.time()``, ``time.monotonic()``,
+        ``time.perf_counter()``, ``datetime.now()`` and friends.
+        Timing may drive *observability* (shard spans, watchdogs) but
+        never results; legitimate sites carry a pragma.
+DET003  iteration over an unordered set -- ``for x in {a, b}``,
+        ``for x in set(...)`` or ``frozenset(...)`` directly in a
+        ``for``/comprehension. Sort first, or iterate an ordered
+        container (dicts preserve insertion order; sets do not).
+
+A finding is suppressed by a trailing ``# det: allow`` comment on the
+offending line, which doubles as in-source documentation that the site
+was audited. Exit status is 1 when findings remain, 0 otherwise;
+``--json`` emits a machine-readable findings document for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+#: Directories linted by default (relative to the repository root).
+DEFAULT_SCOPE = ("src/repro/gefin", "src/repro/compiler")
+
+PRAGMA = "# det: allow"
+
+#: ``module.attr`` call targets that read the wall clock.
+WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: ``random`` module members that are *not* the global-RNG trap.
+RANDOM_OK = {"Random", "SystemRandom", "getstate", "setstate"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism violation."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _call_target(node: ast.Call) -> tuple[str, str] | None:
+    """``("module", "attr")`` for a ``module.attr(...)`` call shape."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+def _is_set_valued(node: ast.expr) -> bool:
+    """Syntactically set-valued: a set display/comprehension or a call
+    to the ``set``/``frozenset`` builtins."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, node.lineno, code, message))
+
+    # -- DET001 / DET002 --------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = _call_target(node)
+        if target is not None:
+            module, attr = target
+            if module == "random" and attr not in RANDOM_OK:
+                self._flag(node, "DET001",
+                           f"random.{attr}() uses the unseeded global "
+                           "generator; derive a seeded random.Random")
+            elif (module == "random" and attr == "Random"
+                    and not node.args and not node.keywords):
+                self._flag(node, "DET001",
+                           "random.Random() without a seed is "
+                           "nondeterministic; pass an explicit seed")
+            elif target in WALLCLOCK_CALLS:
+                self._flag(node, "DET002",
+                           f"{module}.{attr}() reads the wall clock; "
+                           "results must not depend on time "
+                           f"(audited sites: '{PRAGMA}')")
+        elif (isinstance(node.func, ast.Name)
+                and node.func.id == "Random" and not node.args
+                and not node.keywords):
+            self._flag(node, "DET001",
+                       "Random() without a seed is nondeterministic; "
+                       "pass an explicit seed")
+        self.generic_visit(node)
+
+    # -- DET003 -----------------------------------------------------
+
+    def _check_iter(self, iterable: ast.expr) -> None:
+        if _is_set_valued(iterable):
+            self._flag(iterable, "DET003",
+                       "iterating a set has no defined order; sort it "
+                       "or use an ordered container")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def scan_source(source: str, path: str) -> list[Finding]:
+    """Lint one module's source text."""
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    return [finding for finding in visitor.findings
+            if PRAGMA not in lines[finding.line - 1]]
+
+
+def scan_file(path: Path, root: Path | None = None) -> list[Finding]:
+    """Lint one file; paths in findings are relative to ``root``."""
+    shown = str(path.relative_to(root) if root else path)
+    return scan_source(path.read_text(), shown)
+
+
+def scan_tree(root: Path, scope: tuple[str, ...] = DEFAULT_SCOPE,
+              ) -> list[Finding]:
+    """Lint every ``.py`` file under ``root``'s scope directories."""
+    findings: list[Finding] = []
+    for rel in scope:
+        base = root / rel
+        for path in sorted(base.rglob("*.py")):
+            findings.extend(scan_file(path, root))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: "
+                             "the gefin + compiler measurement core)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root for the default scope")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document on stdout")
+    args = parser.parse_args(argv)
+
+    findings: list[Finding] = []
+    if args.paths:
+        for path in args.paths:
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    findings.extend(scan_file(file))
+            else:
+                findings.extend(scan_file(path))
+    else:
+        findings = scan_tree(args.root)
+
+    if args.json:
+        json.dump({"findings": [asdict(f) for f in findings],
+                   "count": len(findings)},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"{len(findings)} determinism finding(s)"
+              if findings else "determinism lint clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
